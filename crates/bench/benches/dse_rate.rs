@@ -1,0 +1,51 @@
+//! Benchmarks the design-space-exploration rate (the paper reports an
+//! average effective rate of 0.17M designs/second; Figure 13(c)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maestro_dnn::zoo;
+use maestro_dse::{variants, Explorer, SweepSpace};
+use maestro_ir::Style;
+use std::hint::black_box;
+
+fn bench_dse(c: &mut Criterion) {
+    let vgg = zoo::vgg16(1);
+    let mut g = c.benchmark_group("dse");
+    g.sample_size(10);
+    for (lname, style) in [("CONV2", Style::KCP), ("CONV11", Style::YRP)] {
+        let layer = vgg.layer(lname).expect("zoo layer");
+        let maps = variants::variants(style);
+        g.bench_function(format!("{style}/{lname}/standard-space"), |b| {
+            b.iter(|| {
+                let e = Explorer::new(SweepSpace::standard());
+                let r = e.explore(black_box(layer), black_box(&maps));
+                assert!(r.stats.valid > 0);
+                r.stats.explored
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dse_parallel(c: &mut Criterion) {
+    // Ablation: the thread-parallel explorer vs the serial one on the
+    // same space (the paper runs four DSEs concurrently on a Xeon).
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV2").expect("zoo layer");
+    let maps = variants::variants(Style::KCP);
+    let mut g = c.benchmark_group("dse-parallel-ablation");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_function(format!("threads-{threads}"), |b| {
+            b.iter(|| {
+                let e = Explorer::new(SweepSpace::standard());
+                let r = e.explore_parallel(black_box(layer), black_box(&maps), threads);
+                assert!(r.stats.valid > 0);
+                r.stats.explored
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dse, bench_dse_parallel);
+criterion_main!(benches);

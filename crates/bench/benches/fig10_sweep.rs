@@ -1,0 +1,40 @@
+//! Benchmarks the full Figure 10 sweep: five dataflows across the five
+//! evaluation networks (231 layers), demonstrating that whole-suite
+//! evaluation is interactive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maestro_core::{analyze, analyze_model_with};
+use maestro_dnn::zoo;
+use maestro_hw::Accelerator;
+use maestro_ir::Style;
+
+fn bench_fig10(c: &mut Criterion) {
+    let acc = Accelerator::paper_case_study();
+    let models = zoo::figure10_models(1);
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("five-models-x-five-dataflows", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for model in &models {
+                for style in Style::ALL {
+                    let r = analyze_model_with(model, &acc, |l| {
+                        let df = style.dataflow();
+                        if analyze(l, &df, &acc).is_ok() {
+                            df
+                        } else {
+                            Style::XP.dataflow()
+                        }
+                    })
+                    .expect("model analysis");
+                    total += r.runtime();
+                }
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmarks the cost of one analytical-model evaluation (§4.5 reports
+//! ~10 ms per MAESTRO run; this implementation is far below that) and of
+//! the supporting phases (resolution, parsing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maestro_core::analyze;
+use maestro_dnn::zoo;
+use maestro_hw::Accelerator;
+use maestro_ir::{parse::parse_dataflow, resolve, Style};
+use std::hint::black_box;
+
+fn bench_analyze(c: &mut Criterion) {
+    let vgg = zoo::vgg16(1);
+    let acc = Accelerator::paper_case_study();
+    let mut g = c.benchmark_group("analyze");
+    for lname in ["CONV2", "CONV11"] {
+        let layer = vgg.layer(lname).expect("zoo layer");
+        for style in [Style::KCP, Style::YRP] {
+            let df = style.dataflow();
+            g.bench_function(format!("{lname}/{style}"), |b| {
+                b.iter(|| analyze(black_box(layer), black_box(&df), black_box(&acc)).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_whole_network(c: &mut Criterion) {
+    let acc = Accelerator::paper_case_study();
+    let df = Style::KCP.dataflow();
+    let resnet = zoo::resnet50(1);
+    c.bench_function("analyze_model/resnet50-70-layers", |b| {
+        b.iter(|| maestro_core::analyze_model(black_box(&resnet), &df, &acc).unwrap())
+    });
+}
+
+fn bench_resolve_and_parse(c: &mut Criterion) {
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV2").expect("zoo layer");
+    let df = Style::YRP.dataflow();
+    c.bench_function("resolve/YR-P", |b| {
+        b.iter(|| resolve(black_box(&df), black_box(layer), 256).unwrap())
+    });
+    let text = df.to_string();
+    c.bench_function("parse/YR-P", |b| {
+        b.iter(|| parse_dataflow(black_box(&text)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_analyze, bench_whole_network, bench_resolve_and_parse);
+criterion_main!(benches);

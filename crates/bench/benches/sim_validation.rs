@@ -1,0 +1,29 @@
+//! Benchmarks the reference simulator against the analytical model on one
+//! layer, quantifying the speed gap the paper reports against RTL
+//! (1029-4116x); the step-exact simulator sits in between.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maestro_core::analyze;
+use maestro_dnn::{Layer, LayerDims, Operator};
+use maestro_hw::Accelerator;
+use maestro_ir::Style;
+use maestro_sim::{simulate, SimOptions};
+use std::hint::black_box;
+
+fn bench_model_vs_sim(c: &mut Criterion) {
+    let layer = Layer::new("c", Operator::conv2d(), LayerDims::square(1, 32, 32, 34, 3));
+    let acc = Accelerator::builder(64).build();
+    let df = Style::KCP.dataflow();
+    c.bench_function("model/32x32x32conv", |b| {
+        b.iter(|| analyze(black_box(&layer), &df, &acc).unwrap())
+    });
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("sim/32x32x32conv", |b| {
+        b.iter(|| simulate(black_box(&layer), &df, &acc, SimOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model_vs_sim);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Whole-network design-space exploration: each hardware point is
+//! evaluated with the best per-layer mapping (embedded auto-tuning), the
+//! natural end-to-end extension of the paper's per-layer DSE (§5.2).
+
+use maestro_dnn::zoo;
+use maestro_dse::{tuner::default_candidates, Explorer, SweepSpace};
+
+fn main() {
+    let model = zoo::alexnet(1);
+    let explorer = Explorer::new(SweepSpace::tiny());
+    let candidates = default_candidates();
+    let r = explorer.explore_model(&model, &candidates);
+    println!(
+        "whole-model DSE over {}: {} designs explored, {} valid, {:.2}s",
+        model.name, r.stats.explored, r.stats.valid, r.stats.seconds
+    );
+    let show = |tag: &str, p: &Option<maestro_dse::DesignPoint>| {
+        if let Some(p) = p {
+            println!(
+                "  {tag}: {:>3} PEs, NoC {:>2}, L1 {:>6} B, L2 {:>8} B -> {:>12.0} cyc end-to-end, {:>11.3e} pJ, {:.1} mm2, {:.0} mW",
+                p.pes, p.noc_bw, p.l1_bytes, p.l2_bytes, p.runtime, p.energy, p.area_mm2, p.power_mw
+            );
+        }
+    };
+    show("throughput-opt", &r.best_throughput);
+    show("energy-opt    ", &r.best_energy);
+    show("EDP-opt       ", &r.best_edp);
+    println!("  Pareto front: {} points", r.pareto.len());
+}

@@ -1,0 +1,42 @@
+//! Regenerates paper Figure 11: activation/filter reuse factors (with the
+//! algorithmic maximum "A") and NoC bandwidth requirements of the five
+//! dataflows on four representative operators.
+
+use maestro_bench::{case_study_acc, figure11_operators, layer};
+use maestro_core::analyze;
+use maestro_dnn::TensorKind;
+use maestro_ir::Style;
+
+fn main() {
+    let acc = case_study_acc();
+    println!("Figure 11 — reuse factors and NoC bandwidth needs (256 PEs)\n");
+    for (label, model, lname) in figure11_operators() {
+        let l = layer(&model, &lname);
+        println!("== {label} ({}/{lname}) ==", model.name);
+        println!(
+            "{:<8} {:>14} {:>14} {:>16}",
+            "flow", "act. reuse", "filt. reuse", "BW need (el/cy)"
+        );
+        let mut alg = (0.0, 0.0);
+        for style in Style::ALL {
+            match analyze(l, &style.dataflow(), &acc) {
+                Ok(r) => {
+                    alg = (
+                        r.algorithmic_max_reuse(TensorKind::Input),
+                        r.algorithmic_max_reuse(TensorKind::Weight),
+                    );
+                    println!(
+                        "{:<8} {:>14.1} {:>14.1} {:>16.1}",
+                        style.short_name(),
+                        r.reuse_factor(TensorKind::Input),
+                        r.reuse_factor(TensorKind::Weight),
+                        r.peak_bw
+                    );
+                }
+                Err(e) => println!("{:<8} (not mappable: {e})", style.short_name()),
+            }
+        }
+        println!("{:<8} {:>14.1} {:>14.1} {:>16}", "A (max)", alg.0, alg.1, "-");
+        println!();
+    }
+}

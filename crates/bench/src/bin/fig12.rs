@@ -1,0 +1,56 @@
+//! Regenerates paper Figure 12: the energy breakdown (MAC, L1/L2 reads and
+//! writes per tensor, including partial-sum L2 traffic) of the five
+//! dataflows on VGG16 CONV1 and CONV11, normalized to C-P's MAC energy.
+
+use maestro_bench::layer;
+use maestro_core::analyze;
+use maestro_dnn::{zoo, TensorKind};
+use maestro_hw::EnergyModel;
+use maestro_ir::Style;
+
+fn main() {
+    let vgg = zoo::vgg16(1);
+    let acc = maestro_bench::case_study_acc();
+    // The paper's Figure 12 breakdown covers on-chip activity only
+    // (MAC, L1, L2); zero the DRAM term so the stacks are comparable.
+    let mut em = EnergyModel::normalized();
+    em.dram = 0.0;
+    println!("Figure 12 — energy breakdown, normalized to C-P MAC energy\n");
+    for lname in ["CONV1", "CONV11"] {
+        let l = layer(&vgg, lname);
+        let base = analyze(l, &Style::CP.dataflow(), &acc)
+            .expect("C-P")
+            .energy_breakdown(&em)
+            .mac;
+        println!("== VGG16 {lname} ==");
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+            "flow", "MAC", "L1Rd", "L1Wr", "L2Rd In", "L2Rd Wt", "L2Rd Sum", "L2Wr Sum", "L2Wr Out", "total"
+        );
+        for style in Style::ALL {
+            let r = analyze(l, &style.dataflow(), &acc).expect("analysis");
+            let b = r.energy_breakdown(&em);
+            // "Sum" rows are the partial-sum refetch/spill traffic; final
+            // output commits are the remainder of the L2 writes.
+            let l2rd_sum = b.l2_read[TensorKind::Output];
+            let l2wr_total = b.l2_write[TensorKind::Output];
+            let outputs = r.tensor_elems[TensorKind::Output as usize] as f64 * em.l2_write;
+            let l2wr_out = outputs.min(l2wr_total);
+            let l2wr_sum = (l2wr_total - l2wr_out).max(0.0);
+            println!(
+                "{:<8} {:>8.2} {:>8.2} {:>8.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8.1}",
+                style.alias(),
+                b.mac / base,
+                b.l1_read.total() / base,
+                b.l1_write.total() / base,
+                b.l2_read[TensorKind::Input] / base,
+                b.l2_read[TensorKind::Weight] / base,
+                l2rd_sum / base,
+                l2wr_sum / base,
+                l2wr_out / base,
+                b.total() / base,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates paper Figure 5: the six 1-D convolution playground
+//! dataflows and the temporal/spatial reuse each exposes, using the
+//! model's automatic reuse explanation.
+
+use maestro_core::explain;
+use maestro_dnn::{Layer, LayerDims, Operator};
+use maestro_hw::Accelerator;
+use maestro_ir::styles;
+
+fn main() {
+    // The playground layer: 1-D convolution, X' = 6, S = 3 (Figure 5).
+    let layer = Layer::new(
+        "conv1d",
+        Operator::conv2d(),
+        LayerDims { n: 1, k: 1, c: 1, y: 1, x: 8, r: 1, s: 3, stride_y: 1, stride_x: 1 },
+    );
+    println!("Figure 5 — 1-D convolution dataflow playground (X'=6, S=3, 3 PEs)\n");
+    for id in ['A', 'B', 'C', 'D', 'E', 'F'] {
+        let df = styles::playground(id).expect("playground id");
+        let pes = if id == 'F' { 6 } else { 3 };
+        let acc = Accelerator::builder(pes).build();
+        println!("({id}) {}", df);
+        match explain(&layer, &df, &acc) {
+            Ok(e) => {
+                for l in &e.levels {
+                    let notes: Vec<String> =
+                        l.observations.iter().map(ToString::to_string).collect();
+                    println!("    level {} ({} units): {}", l.level, l.units, notes.join("; "));
+                }
+            }
+            Err(err) => println!("    (cannot resolve: {err})"),
+        }
+        println!();
+    }
+}

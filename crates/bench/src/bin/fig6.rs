@@ -1,0 +1,32 @@
+//! Regenerates paper Figure 6(d): the per-PE data mapping of the
+//! row-stationary example over two time steps and two clusters.
+
+use maestro_dnn::{Layer, LayerDims, Operator, TensorKind};
+use maestro_ir::styles;
+use maestro_sim::mapping_at_step;
+
+fn main() {
+    let layer = Layer::new("fig1", Operator::conv2d(), LayerDims::square(2, 4, 6, 8, 3));
+    let df = styles::figure6_row_stationary();
+    println!("Figure 6 — row-stationary mapping on 6 PEs (2 clusters x 3)\n{df}\n");
+    for t in [0u64, 1] {
+        println!("== time step {t} ==");
+        let maps = mapping_at_step(&layer, &df, 6, t).expect("mapping");
+        for kind in TensorKind::ALL {
+            println!("  {kind}:");
+            for m in &maps {
+                let coords: Vec<String> = m.ranges[kind as usize]
+                    .iter()
+                    .map(|(d, iv)| format!("{d} {}-{}", iv.start, iv.start + iv.len - 1))
+                    .collect();
+                println!(
+                    "    PE{} (cluster {}) : {}",
+                    m.pe,
+                    m.unit_coords[0],
+                    coords.join(", ")
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates paper Figure 9: runtime validation of the analytical model
+//! against the step-exact reference simulator (our substitute for the
+//! MAERI and Eyeriss RTL testbeds), on VGG16 (KC-P, 64 PEs) and AlexNet
+//! (YR-P, 168 PEs).
+
+use maestro_dnn::zoo;
+use maestro_hw::Accelerator;
+use maestro_ir::Style;
+use maestro_sim::{validate_network, SimOptions};
+use std::time::Instant;
+
+fn main() {
+    let runs = [
+        ("VGG16 / KC-P (MAERI-like, 64 PEs)", zoo::vgg16(1), Style::KCP, Accelerator::maeri_like(64)),
+        ("AlexNet / YR-P (Eyeriss-like, 168 PEs)", zoo::alexnet(1), Style::YRP, Accelerator::eyeriss_like()),
+    ];
+    println!("Figure 9 — analytical model vs step-exact simulator\n");
+    for (label, model, style, acc) in runs {
+        let t0 = Instant::now();
+        let (points, mean) = validate_network(&model, &style.dataflow(), &acc, SimOptions::default());
+        println!("== {label} ==");
+        println!("{:<12} {:>14} {:>14} {:>8}", "layer", "model (cyc)", "sim (cyc)", "err %");
+        for p in &points {
+            println!(
+                "{:<12} {:>14.0} {:>14.0} {:>8.2}",
+                p.layer, p.model_runtime, p.sim_runtime, p.runtime_error_pct()
+            );
+            assert_eq!(p.sim_macs, p.exact_macs, "MAC conservation");
+        }
+        println!(
+            "mean abs runtime error: {mean:.2}% over {} layers  ({:.1}s wall)\n",
+            points.len(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

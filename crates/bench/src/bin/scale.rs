@@ -1,0 +1,40 @@
+//! PE-scaling study: throughput and utilization of each dataflow style as
+//! the array grows — the "which dataflow scales" counterpart to the
+//! paper's fixed-256-PE case study (§5.1's utilization discussion).
+
+use maestro_bench::layer;
+use maestro_core::analyze;
+use maestro_dnn::zoo;
+use maestro_hw::Accelerator;
+use maestro_ir::Style;
+
+fn main() {
+    let vgg = zoo::vgg16(1);
+    let pes = [64u64, 128, 256, 512, 1024];
+    for lname in ["CONV2", "CONV11"] {
+        let l = layer(&vgg, lname);
+        println!("== VGG16 {lname}: throughput (MACs/cycle) [utilization %] ==");
+        print!("{:<7}", "flow");
+        for p in pes {
+            print!("{p:>16}");
+        }
+        println!();
+        for style in Style::ALL {
+            print!("{:<7}", style.short_name());
+            for p in pes {
+                // Keep NoC bandwidth proportional to the array, as real
+                // designs do.
+                let acc = Accelerator::builder(p).noc_bandwidth((p / 8).max(8)).build();
+                match analyze(l, &style.dataflow(), &acc) {
+                    Ok(r) => print!(
+                        "{:>16}",
+                        format!("{:.0} [{:.0}%]", r.throughput(), r.utilization * 100.0)
+                    ),
+                    Err(_) => print!("{:>16}", "-"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates paper Table 1: reuse opportunities per spatially-mapped
+//! dimension and per innermost temporally-mapped dimension, for CONV2D.
+
+use maestro_core::reuse::opportunity_table;
+use maestro_dnn::Coupling;
+
+fn main() {
+    let table = opportunity_table(&Coupling::conv2d());
+    println!("Table 1 — reuse opportunities (CONV2D coupling)");
+    println!("{:<6} | {:^33} | {:^33}", "", "Spatially mapped", "Innermost temporal");
+    println!(
+        "{:<6} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+        "Dim", "Input", "Filter", "Output", "Input", "Filter", "Output"
+    );
+    println!("{}", "-".repeat(78));
+    for row in table {
+        println!(
+            "{:<6} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+            row.dim.to_string(),
+            row.spatial[0].to_string(),
+            row.spatial[1].to_string(),
+            row.spatial[2].to_string(),
+            row.temporal[0].to_string(),
+            row.temporal[1].to_string(),
+            row.temporal[2].to_string(),
+        );
+    }
+    println!("\nDepthwise coupling (output follows C, no channel reduction):");
+    for row in opportunity_table(&Coupling::depthwise()) {
+        println!(
+            "{:<6} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+            row.dim.to_string(),
+            row.spatial[0].to_string(),
+            row.spatial[1].to_string(),
+            row.spatial[2].to_string(),
+            row.temporal[0].to_string(),
+            row.temporal[1].to_string(),
+            row.temporal[2].to_string(),
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Table 3: the five dataflow styles in the textual DSL,
+//! with their characteristics.
+
+use maestro_ir::Style;
+
+fn main() {
+    println!("Table 3 — the five evaluated dataflow styles\n");
+    for s in Style::ALL {
+        println!("== {} ({}) ==", s.short_name(), s.alias());
+        println!("{}", s.dataflow());
+        println!("characteristics: {}\n", s.characteristics());
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Table 4: DNN operator classes with examples drawn
+//! from the model zoo.
+
+use maestro_bench::figure10_models;
+use maestro_dnn::zoo::operator_table;
+
+fn main() {
+    let mut models = figure10_models();
+    models.push(maestro_dnn::zoo::dcgan(1));
+    println!("Table 4 — operators in state-of-the-art DNNs");
+    println!("{:<22} examples", "Operator class");
+    println!("{}", "-".repeat(72));
+    for row in operator_table(&models, 3) {
+        println!("{:<22} {}", row.class.to_string(), row.examples.join(", "));
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates paper Table 5: the impact of multicast/reduction support,
+//! NoC bandwidth and buffer size on a KC-P design for VGG16 CONV2
+//! (56 PEs, as in the paper).
+
+use maestro_bench::layer;
+use maestro_core::analyze;
+use maestro_dnn::zoo;
+use maestro_hw::{Accelerator, EnergyModel, ReuseSupport, SpatialMulticast, SpatialReduction};
+use maestro_dse::variants::kcp_variant;
+
+fn main() {
+    let vgg = zoo::vgg16(1);
+    let conv2 = layer(&vgg, "CONV2");
+    let em = EnergyModel::cacti_28nm(2048, 1 << 20);
+    let mk = |bw: u64, support: ReuseSupport| {
+        Accelerator::builder(56).noc_bandwidth(bw).support(support).build()
+    };
+    // The paper's 56-PE design point: KC-P with a 8-wide channel cluster (7 K-clusters x 8 C-lanes)
+    // (the canonical Cluster(64) cannot subdivide 56 PEs).
+    let df = kcp_variant(8, 1, 1);
+    let rows: Vec<(&str, Accelerator)> = vec![
+        ("Reference", mk(40, ReuseSupport::full())),
+        ("Small bandwidth", mk(2, ReuseSupport::full())),
+        (
+            "No multicast",
+            mk(40, ReuseSupport { multicast: SpatialMulticast::None, reduction: SpatialReduction::Fanin }),
+        ),
+        (
+            "No sp. reduction",
+            mk(40, ReuseSupport { multicast: SpatialMulticast::Fanout, reduction: SpatialReduction::None }),
+        ),
+    ];
+    println!("Table 5 — HW support impact (KC-P, VGG16 CONV2, 56 PEs)");
+    println!(
+        "{:<18} {:>4} {:>6} {:>6} {:>12} {:>14} {:>10}",
+        "Design point", "BW", "mcast", "red", "tput MAC/cyc", "energy (pJ)", "L1 B/PE"
+    );
+    println!("{}", "-".repeat(76));
+    let reference = analyze(conv2, &df, &rows[0].1).expect("reference");
+    let ref_energy = reference.energy(&em);
+    for (name, acc) in &rows {
+        let r = analyze(conv2, &df, acc).expect(name);
+        println!(
+            "{:<18} {:>4} {:>6} {:>6} {:>12.2} {:>14.3e} {:>10}  ({:+.1}% energy)",
+            name,
+            acc.noc.bandwidth,
+            (acc.support.multicast != SpatialMulticast::None) as u8,
+            (acc.support.reduction != SpatialReduction::None) as u8,
+            r.throughput(),
+            r.energy(&em),
+            r.l1_per_pe_elems,
+            100.0 * (r.energy(&em) / ref_energy - 1.0),
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal command-line argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` / `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// `--key value` options and boolean `--flag`s (value `"true"`).
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding `argv[0]`).
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Args {
+        let mut args = Args::default();
+        let mut pending_key: Option<String> = None;
+        for a in argv.by_ref() {
+            if let Some(key) = a.strip_prefix("--") {
+                if let Some(k) = pending_key.take() {
+                    args.options.insert(k, "true".into());
+                }
+                pending_key = Some(key.to_string());
+            } else if let Some(k) = pending_key.take() {
+                args.options.insert(k, a);
+            } else if args.command.is_empty() {
+                args.command = a;
+            } else {
+                args.positional.push(a);
+            }
+        }
+        if let Some(k) = pending_key.take() {
+            args.options.insert(k, "true".into());
+        }
+        args
+    }
+
+    /// String option with a default.
+    pub fn get<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Integer option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when the value is not an integer.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).is_some_and(|v| v == "true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse("analyze --model vgg16 --pes 256 --json");
+        assert_eq!(a.command, "analyze");
+        assert_eq!(a.get("model", ""), "vgg16");
+        assert_eq!(a.get_u64("pes", 64).unwrap(), 256);
+        assert!(a.flag("json"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn positional_arguments() {
+        let a = parse("zoo resnet50 extra");
+        assert_eq!(a.command, "zoo");
+        assert_eq!(a.positional, vec!["resnet50", "extra"]);
+    }
+
+    #[test]
+    fn bad_integer_reports_error() {
+        let a = parse("x --pes lots");
+        assert!(a.get_u64("pes", 1).is_err());
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse("x --verbose");
+        assert!(a.flag("verbose"));
+    }
+}

@@ -1,0 +1,390 @@
+//! `maestro` — command-line front-end for the dataflow cost model.
+//!
+//! ```text
+//! maestro analyze  --model vgg16 --layer CONV2 --dataflow KC-P --pes 256 [--bw 32] [--json]
+//! maestro model    --model resnet50 --dataflow YR-P --pes 256 [--adaptive] [--json]
+//! maestro dse      --model vgg16 --layer CONV2 --style KC-P [--json]
+//! maestro validate --model alexnet --dataflow YR-P --pes 168
+//! maestro mapping  --model vgg16 --layer CONV1 --dataflow YR-P --pes 6 --step 0
+//! maestro zoo
+//! ```
+//!
+//! `--dataflow` accepts a Table 3 style name (C-P, X-P, YX-P, YR-P, KC-P)
+//! or a path to a `.df` file in the textual DSL.
+
+mod args;
+
+use args::Args;
+use maestro_core::{analyze, analyze_model, analyze_model_with};
+use maestro_dnn::{zoo, Layer, Model, TensorKind};
+use maestro_hw::{Accelerator, EnergyModel};
+use maestro_ir::{parse::parse_dataflow, Dataflow, Style};
+use maestro_sim::{mapping_at_step, validate_network, SimOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let result = match args.command.as_str() {
+        "analyze" => cmd_analyze(&args),
+        "model" => cmd_model(&args),
+        "dse" => cmd_dse(&args),
+        "validate" => cmd_validate(&args),
+        "mapping" => cmd_mapping(&args),
+        "explain" => cmd_explain(&args),
+        "lint" => cmd_lint(&args),
+        "trace" => cmd_trace(&args),
+        "tune" => cmd_tune(&args),
+        "zoo" => cmd_zoo(),
+        "" | "help" | "-h" => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+maestro — data-centric DNN dataflow cost model
+
+USAGE:
+  maestro analyze  --model <zoo> --layer <name> --dataflow <style|file> --pes <n> [--bw <n>] [--json]
+  maestro model    --model <zoo> --dataflow <style|file> --pes <n> [--adaptive] [--json]
+  maestro dse      --model <zoo> --layer <name> --style <style> [--json]
+  maestro validate --model <zoo> --dataflow <style|file> --pes <n>
+  maestro mapping  --model <zoo> --layer <name> --dataflow <style|file> --pes <n> --step <t>
+  maestro explain  --model <zoo> --layer <name> --dataflow <style|file> --pes <n>
+  maestro lint     --model <zoo> --layer <name> --dataflow <style|file> --pes <n>
+  maestro trace    --model <zoo> --layer <name> --dataflow <style|file> --pes <n> [--steps <k>]
+  maestro tune     --model <zoo> --pes <n> [--objective runtime|energy|edp] [--json]
+  maestro zoo
+
+Zoo models: vgg16 alexnet resnet50 resnext50 mobilenet_v2 unet dcgan deepspeech2 googlenet efficientnet_b0\n(--model also accepts a path to a Network description file)
+Styles (Table 3): C-P X-P YX-P YR-P KC-P
+";
+
+fn load_model(name: &str) -> Result<Model, String> {
+    let m = match name {
+        "vgg16" => zoo::vgg16(1),
+        "deepspeech2" | "ds2" => zoo::deepspeech2(1),
+        "googlenet" => zoo::googlenet(1),
+        "efficientnet_b0" | "efficientnet" => zoo::efficientnet_b0(1),
+        "alexnet" => zoo::alexnet(1),
+        "resnet50" => zoo::resnet50(1),
+        "resnext50" => zoo::resnext50(1),
+        "mobilenet_v2" | "mobilenetv2" => zoo::mobilenet_v2(1),
+        "unet" => zoo::unet(1),
+        "dcgan" => zoo::dcgan(1),
+        other => {
+            // Not a zoo name: try it as a network description file.
+            let text = std::fs::read_to_string(other).map_err(|e| {
+                format!("`{other}` is not a zoo model and reading it failed: {e}")
+            })?;
+            return maestro_dnn::parse_network(&text)
+                .map_err(|e| format!("parsing {other}: {e}"));
+        }
+    };
+    Ok(m)
+}
+
+fn load_dataflow(spec: &str) -> Result<Dataflow, String> {
+    for s in Style::ALL {
+        if s.short_name().eq_ignore_ascii_case(spec) || s.alias().eq_ignore_ascii_case(spec) {
+            return Ok(s.dataflow());
+        }
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("`{spec}` is not a style name and reading it failed: {e}"))?;
+    parse_dataflow(&text).map_err(|e| format!("parsing {spec}: {e}"))
+}
+
+fn pick_layer<'m>(model: &'m Model, args: &Args) -> Result<&'m Layer, String> {
+    let name = args.get("layer", "");
+    if name.is_empty() {
+        return Err("missing --layer".into());
+    }
+    model
+        .layer(name)
+        .ok_or_else(|| format!("model {} has no layer `{name}`", model.name))
+}
+
+fn accelerator(args: &Args) -> Result<Accelerator, String> {
+    let pes = args.get_u64("pes", 256)?;
+    let bw = args.get_u64("bw", 32)?;
+    let l1 = args.get_u64("l1", 2048)?;
+    let l2 = args.get_u64("l2", 1 << 20)?;
+    Ok(Accelerator::builder(pes)
+        .noc_bandwidth(bw)
+        .l1_bytes(l1)
+        .l2_bytes(l2)
+        .build())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let model = load_model(args.get("model", "vgg16"))?;
+    let layer = pick_layer(&model, args)?;
+    let df = load_dataflow(args.get("dataflow", "KC-P"))?;
+    let acc = accelerator(args)?;
+    let report = analyze(layer, &df, &acc).map_err(|e| e.to_string())?;
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{report}");
+        let em = EnergyModel::cacti_28nm(acc.l1_bytes, acc.l2_bytes);
+        println!("  energy        {:>14.3e} pJ (CACTI-style 28nm)", report.energy(&em));
+        for k in TensorKind::ALL {
+            println!(
+                "  {k:<7} reuse {:>14.1} (algorithmic max {:.1})",
+                report.reuse_factor(k),
+                report.algorithmic_max_reuse(k)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_model(args: &Args) -> Result<(), String> {
+    let model = load_model(args.get("model", "vgg16"))?;
+    let acc = accelerator(args)?;
+    let report = if args.flag("adaptive") {
+        analyze_model_with(&model, &acc, |layer| {
+            Style::ALL
+                .iter()
+                .map(|s| s.dataflow())
+                .filter(|df| analyze(layer, df, &acc).is_ok())
+                .min_by(|a, b| {
+                    let ra = analyze(layer, a, &acc).map(|r| r.runtime).unwrap_or(f64::MAX);
+                    let rb = analyze(layer, b, &acc).map(|r| r.runtime).unwrap_or(f64::MAX);
+                    ra.total_cmp(&rb)
+                })
+                .unwrap_or_else(|| Style::KCP.dataflow())
+        })
+    } else {
+        let df = load_dataflow(args.get("dataflow", "KC-P"))?;
+        analyze_model(&model, &df, &acc)
+    }
+    .map_err(|e| e.to_string())?;
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{report}");
+        let em = EnergyModel::cacti_28nm(acc.l1_bytes, acc.l2_bytes);
+        println!(
+            "total: {:.3e} cycles, {:.3e} pJ",
+            report.runtime(),
+            report.energy(&em)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dse(args: &Args) -> Result<(), String> {
+    let model = load_model(args.get("model", "vgg16"))?;
+    let layer = pick_layer(&model, args)?;
+    let style_name = args.get("style", "KC-P");
+    let style = Style::ALL
+        .into_iter()
+        .find(|s| s.short_name().eq_ignore_ascii_case(style_name))
+        .ok_or_else(|| format!("unknown style `{style_name}`"))?;
+    let explorer = maestro_dse::Explorer::new(maestro_dse::SweepSpace::standard());
+    let result = explorer.explore(layer, &maestro_dse::variants::variants(style));
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "explored {} designs ({} evaluated, {} valid) in {:.2}s — {:.2e} designs/s",
+        result.stats.explored,
+        result.stats.evaluated,
+        result.stats.valid,
+        result.stats.seconds,
+        result.stats.rate
+    );
+    let show = |tag: &str, p: &Option<maestro_dse::DesignPoint>| {
+        if let Some(p) = p {
+            println!(
+                "{tag}: {} PEs, NoC {}, L1 {} B, L2 {} B, map {} -> {:.1} MACs/cyc, {:.3e} pJ, {:.1} mm2, {:.0} mW",
+                p.pes, p.noc_bw, p.l1_bytes, p.l2_bytes, p.mapping, p.throughput, p.energy, p.area_mm2, p.power_mw
+            );
+        }
+    };
+    show("throughput-optimized", &result.best_throughput);
+    show("energy-optimized    ", &result.best_energy);
+    show("EDP-optimized       ", &result.best_edp);
+    println!("Pareto front: {} points", result.pareto.len());
+    Ok(())
+}
+
+fn cmd_validate(args: &Args) -> Result<(), String> {
+    let model = load_model(args.get("model", "vgg16"))?;
+    let df = load_dataflow(args.get("dataflow", "KC-P"))?;
+    let acc = accelerator(args)?;
+    let (points, mean) = validate_network(&model, &df, &acc, SimOptions::default());
+    for p in &points {
+        println!("{p}");
+    }
+    println!(
+        "mean absolute runtime error: {mean:.2}% over {} layers",
+        points.len()
+    );
+    Ok(())
+}
+
+fn cmd_mapping(args: &Args) -> Result<(), String> {
+    let model = load_model(args.get("model", "vgg16"))?;
+    let layer = pick_layer(&model, args)?;
+    let df = load_dataflow(args.get("dataflow", "YR-P"))?;
+    let pes = args.get_u64("pes", 6)?;
+    let step = args.get_u64("step", 0)?;
+    let maps = mapping_at_step(layer, &df, pes, step).map_err(|e| e.to_string())?;
+    println!("{} / {} / {} PEs / t={step}", layer.name, df.name(), pes);
+    for m in maps {
+        print!("PE{:<3} [{:?}]", m.pe, m.unit_coords);
+        for (kind, ranges) in TensorKind::ALL.iter().zip(&m.ranges) {
+            print!("  {kind}: ");
+            for (d, iv) in ranges {
+                print!("{d}:{}-{} ", iv.start, iv.start + iv.len.saturating_sub(1));
+            }
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let model = load_model(args.get("model", "vgg16"))?;
+    let layer = pick_layer(&model, args)?;
+    let df = load_dataflow(args.get("dataflow", "KC-P"))?;
+    let acc = accelerator(args)?;
+    let explanation = maestro_core::explain(layer, &df, &acc).map_err(|e| e.to_string())?;
+    print!("{explanation}");
+    Ok(())
+}
+
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let model = load_model(args.get("model", "vgg16"))?;
+    let layer = pick_layer(&model, args)?;
+    let df = load_dataflow(args.get("dataflow", "KC-P"))?;
+    let acc = accelerator(args)?;
+    let lints = maestro_core::lint(layer, &df, &acc).map_err(|e| e.to_string())?;
+    if lints.is_empty() {
+        println!("no findings: {} maps cleanly onto {}", df.name(), acc.name);
+    } else {
+        for l in &lints {
+            println!("warning: {l}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let model = load_model(args.get("model", "vgg16"))?;
+    let layer = pick_layer(&model, args)?;
+    let df = load_dataflow(args.get("dataflow", "KC-P"))?;
+    let pes = args.get_u64("pes", 256)?;
+    let steps = args.get_u64("steps", 16)?;
+    let t = maestro_sim::trace(layer, &df, pes, steps).map_err(|e| e.to_string())?;
+    println!(
+        "{} / {} / {} PEs — showing {} of {} steps",
+        layer.name,
+        df.name(),
+        pes,
+        t.steps.len(),
+        t.total_steps
+    );
+    println!(
+        "{:<6} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "step", "loop", "new In", "new Wt", "new Out", "MACs", "PEs"
+    );
+    for s in &t.steps {
+        println!(
+            "{:<6} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            s.step,
+            s.advanced.map_or("-".to_string(), |j| j.to_string()),
+            s.new_data[0],
+            s.new_data[1],
+            s.new_data[2],
+            s.macs,
+            s.active_pes
+        );
+    }
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let model = load_model(args.get("model", "vgg16"))?;
+    let acc = accelerator(args)?;
+    let em = EnergyModel::cacti_28nm(acc.l1_bytes, acc.l2_bytes);
+    let objective = match args.get("objective", "runtime") {
+        "runtime" => maestro_dse::Objective::Runtime,
+        "energy" => maestro_dse::Objective::Energy(em),
+        "edp" => maestro_dse::Objective::Edp(em),
+        other => return Err(format!("unknown objective `{other}`")),
+    };
+    let tuned = maestro_dse::tune_model(&model, &acc, objective);
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&tuned).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "tuned {} for {objective} on {} PEs ({} distinct dataflows):",
+        tuned.model, acc.num_pes, tuned.distinct_dataflows()
+    );
+    for l in &tuned.layers {
+        println!(
+            "  {:<18} -> {:<20} {:>12.0} cyc {:>8.1} MAC/cy",
+            l.layer,
+            l.dataflow.name(),
+            l.report.runtime,
+            l.report.throughput()
+        );
+    }
+    println!(
+        "total: {:.3e} cycles, {:.3e} pJ",
+        tuned.runtime(),
+        tuned.energy(&em)
+    );
+    Ok(())
+}
+
+fn cmd_zoo() -> Result<(), String> {
+    for name in [
+        "vgg16",
+        "alexnet",
+        "resnet50",
+        "resnext50",
+        "mobilenet_v2",
+        "unet",
+        "dcgan",
+        "deepspeech2",
+        "googlenet",
+        "efficientnet_b0",
+    ] {
+        let m = load_model(name)?;
+        println!(
+            "{:<13} {:>3} layers, {:>14} MACs",
+            name,
+            m.len(),
+            m.total_macs()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,265 @@
+//! Public entry points: analyze a layer or a whole model.
+
+use crate::engine::{analyze_level, LevelResult};
+use crate::level::LevelCtx;
+use crate::report::{LayerReport, ModelReport};
+use maestro_dnn::layer::LayerError;
+use maestro_dnn::{Layer, Model, TensorKind};
+use maestro_hw::Accelerator;
+use maestro_ir::{resolve, Dataflow, ResolveError};
+use std::fmt;
+
+/// Errors produced by the analysis entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The layer description is invalid.
+    Layer(LayerError),
+    /// The dataflow cannot be bound to the layer/accelerator.
+    Resolve(ResolveError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Layer(e) => write!(f, "invalid layer: {e}"),
+            AnalysisError::Resolve(e) => write!(f, "cannot resolve dataflow: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Layer(e) => Some(e),
+            AnalysisError::Resolve(e) => Some(e),
+        }
+    }
+}
+
+impl From<LayerError> for AnalysisError {
+    fn from(e: LayerError) -> Self {
+        AnalysisError::Layer(e)
+    }
+}
+
+impl From<ResolveError> for AnalysisError {
+    fn from(e: ResolveError) -> Self {
+        AnalysisError::Resolve(e)
+    }
+}
+
+/// Analyze one layer under `dataflow` on `acc`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] when the layer is invalid or the dataflow
+/// cannot be resolved for this layer/PE combination.
+///
+/// ```
+/// use maestro_core::analyze;
+/// use maestro_dnn::{Layer, LayerDims, Operator};
+/// use maestro_hw::Accelerator;
+/// use maestro_ir::Style;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let layer = Layer::new("c", Operator::conv2d(), LayerDims::square(1, 16, 16, 18, 3));
+/// let acc = Accelerator::builder(64).build();
+/// let report = analyze(&layer, &Style::KCP.dataflow(), &acc)?;
+/// assert!(report.runtime > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(
+    layer: &Layer,
+    dataflow: &Dataflow,
+    acc: &Accelerator,
+) -> Result<LayerReport, AnalysisError> {
+    layer.validate()?;
+    let resolved = resolve(dataflow, layer, acc.num_pes)?;
+    let coupling = layer.coupling();
+
+    let ctxs: Vec<LevelCtx> = resolved
+        .levels
+        .iter()
+        .map(|l| LevelCtx::build(&resolved, l, &coupling))
+        .collect();
+
+    let mut result: Option<LevelResult> = None;
+    let mut levels: Vec<crate::report::LevelSummary> = Vec::with_capacity(ctxs.len());
+    for (i, ctx) in ctxs.iter().enumerate().rev() {
+        let r = analyze_level(ctx, result.as_ref(), acc, &coupling, layer.density, i == 0);
+        levels.push(crate::report::LevelSummary {
+            level: i,
+            units: ctx.num_units,
+            active_units: ctx.active_units,
+            utilization: ctx.utilization,
+            steps: ctx.total_steps,
+            pass_cycles: r.runtime_steady,
+            footprint: [
+                ctx.views.footprint(&coupling, TensorKind::Input),
+                ctx.views.footprint(&coupling, TensorKind::Weight),
+                ctx.views.footprint(&coupling, TensorKind::Output),
+            ],
+            output_spatial: ctx.output_spatial,
+        });
+        result = Some(r);
+    }
+    levels.reverse();
+    let mut top = result.expect("resolution produces at least one level");
+
+    // Without spatial-reduction hardware, partial sums from spatially
+    // reduced levels are combined by read-modify-write at the L2: every
+    // output write implies one extra read (paper Table 2 / Table 5).
+    if acc.support.reduction == maestro_hw::SpatialReduction::None
+        && ctxs
+            .iter()
+            .any(|c| c.output_spatial == crate::level::OutputSpatial::Reduced)
+    {
+        let writes = top.counts.l2_write[TensorKind::Output];
+        top.counts.l2_read[TensorKind::Output] += writes;
+    }
+
+    let utilization: f64 = ctxs.iter().map(|c| c.utilization).product::<f64>()
+        * (resolved.used_pes as f64 / acc.num_pes as f64);
+
+    // Off-chip traffic (Figure 2 lists DRAM bandwidth among the model's
+    // hardware parameters): compulsory moves plus capacity misses, with
+    // the transfer overlapped against on-chip execution (double-buffered).
+    let tensor_elems = [
+        layer.tensor_elements(TensorKind::Input),
+        layer.tensor_elements(TensorKind::Weight),
+        layer.tensor_elements(TensorKind::Output),
+    ];
+    let (dram_read, dram_write) =
+        crate::report::offchip_traffic(&top.counts, tensor_elems, acc.l2_elements());
+    top.counts.dram_read = dram_read;
+    top.counts.dram_write = dram_write;
+    let dram_delay =
+        (dram_read.total() + dram_write.total()) / acc.offchip_bandwidth.max(1) as f64;
+    let runtime = top.runtime_first.max(dram_delay);
+    let avg_bw = if runtime > 0.0 {
+        (top.counts.l2_read.total() + top.counts.l2_write.total()) / runtime
+    } else {
+        0.0
+    };
+
+    Ok(LayerReport {
+        layer: layer.name.clone(),
+        dataflow: dataflow.name().to_string(),
+        runtime,
+        counts: top.counts,
+        macs_dense: top.macs_dense,
+        macs_effective: top.macs_effective,
+        l1_per_pe_elems: top.l1_per_pe,
+        l2_staging_elems: top.staging,
+        peak_bw: top.peak_bw,
+        avg_bw,
+        utilization,
+        used_pes: resolved.used_pes,
+        num_pes: acc.num_pes,
+        tensor_elems,
+        levels,
+    })
+}
+
+/// Analyze every layer of `model` under a per-layer dataflow choice.
+///
+/// # Errors
+///
+/// Fails on the first layer that cannot be analyzed.
+pub fn analyze_model_with(
+    model: &Model,
+    acc: &Accelerator,
+    mut choose: impl FnMut(&Layer) -> Dataflow,
+) -> Result<ModelReport, AnalysisError> {
+    let mut layers = Vec::with_capacity(model.len());
+    for layer in model.iter() {
+        layers.push(analyze(layer, &choose(layer), acc)?);
+    }
+    Ok(ModelReport {
+        model: model.name.clone(),
+        layers,
+    })
+}
+
+/// Analyze every layer of `model` under one fixed dataflow.
+///
+/// # Errors
+///
+/// Fails on the first layer that cannot be analyzed.
+pub fn analyze_model(
+    model: &Model,
+    dataflow: &Dataflow,
+    acc: &Accelerator,
+) -> Result<ModelReport, AnalysisError> {
+    analyze_model_with(model, acc, |_| dataflow.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_dnn::{zoo, LayerDims, Operator};
+    use maestro_ir::Style;
+
+    #[test]
+    fn analyze_rejects_invalid_layers() {
+        let layer = Layer::new("bad", Operator::conv2d(), LayerDims::square(1, 0, 3, 8, 3));
+        let acc = Accelerator::builder(16).build();
+        let err = analyze(&layer, &Style::KCP.dataflow(), &acc).unwrap_err();
+        assert!(matches!(err, AnalysisError::Layer(_)));
+        assert!(err.to_string().contains("invalid layer"));
+    }
+
+    #[test]
+    fn analyze_model_sums_layers() {
+        let model = zoo::alexnet(1);
+        let acc = Accelerator::builder(64).build();
+        let report = analyze_model(&model, &Style::KCP.dataflow(), &acc).unwrap();
+        assert_eq!(report.layers.len(), model.len());
+        assert!(report.runtime() > 0.0);
+        let sum: f64 = report.layers.iter().map(|l| l.runtime).sum();
+        assert!((report.runtime() - sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adaptive_choice_is_at_least_as_good_as_fixed() {
+        let model = zoo::alexnet(1);
+        let acc = Accelerator::builder(64).build();
+        // Adaptive: per layer, pick the best of the five styles by runtime.
+        let adaptive = analyze_model_with(&model, &acc, |layer| {
+            Style::ALL
+                .iter()
+                .map(|s| s.dataflow())
+                .min_by(|a, b| {
+                    let ra = analyze(layer, a, &acc).map(|r| r.runtime).unwrap_or(f64::MAX);
+                    let rb = analyze(layer, b, &acc).map(|r| r.runtime).unwrap_or(f64::MAX);
+                    ra.total_cmp(&rb)
+                })
+                .expect("non-empty styles")
+        })
+        .unwrap();
+        for style in Style::ALL {
+            let fixed = analyze_model(&model, &style.dataflow(), &acc).unwrap();
+            assert!(
+                adaptive.runtime() <= fixed.runtime() * 1.0001,
+                "adaptive {} vs {style} {}",
+                adaptive.runtime(),
+                fixed.runtime()
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let layer = Layer::new("c", Operator::conv2d(), LayerDims::square(1, 16, 16, 18, 3));
+        let acc = Accelerator::builder(64).build();
+        for style in Style::ALL {
+            let r = analyze(&layer, &style.dataflow(), &acc).unwrap();
+            assert!(
+                (0.0..=1.0).contains(&r.utilization),
+                "{style}: {}",
+                r.utilization
+            );
+        }
+    }
+}

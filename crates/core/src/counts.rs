@@ -1,0 +1,212 @@
+//! Activity counts: the raw output of the cost analysis engine.
+//!
+//! Counts are kept as `f64` because density (sparsity) scaling and
+//! occurrence-weighted sums produce fractional expectations, and because
+//! energy integration multiplies them by fractional per-access energies.
+
+use maestro_dnn::TensorKind;
+use maestro_hw::EnergyModel;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Index, IndexMut};
+
+/// A per-tensor triple of counts, indexed by [`TensorKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PerTensor(pub [f64; 3]);
+
+impl PerTensor {
+    /// Sum over the three tensors.
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Scale every entry.
+    #[must_use]
+    pub fn scaled(&self, by: f64) -> Self {
+        PerTensor([self.0[0] * by, self.0[1] * by, self.0[2] * by])
+    }
+}
+
+impl Index<TensorKind> for PerTensor {
+    type Output = f64;
+
+    fn index(&self, k: TensorKind) -> &f64 {
+        &self.0[k as usize]
+    }
+}
+
+impl IndexMut<TensorKind> for PerTensor {
+    fn index_mut(&mut self, k: TensorKind) -> &mut f64 {
+        &mut self.0[k as usize]
+    }
+}
+
+impl Add for PerTensor {
+    type Output = PerTensor;
+
+    fn add(self, rhs: PerTensor) -> PerTensor {
+        PerTensor([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+        ])
+    }
+}
+
+impl AddAssign for PerTensor {
+    fn add_assign(&mut self, rhs: PerTensor) {
+        for i in 0..3 {
+            self.0[i] += rhs.0[i];
+        }
+    }
+}
+
+/// Hardware activity counts for one analyzed scope (a cluster-level pass or
+/// a whole layer).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ActivityCounts {
+    /// Multiply-accumulate operations (element operations for non-MAC ops).
+    pub macs: f64,
+    /// Element reads from PE-local L1 scratchpads.
+    pub l1_read: PerTensor,
+    /// Element writes to PE-local L1 scratchpads.
+    pub l1_write: PerTensor,
+    /// Element reads from the shared L2 scratchpad.
+    pub l2_read: PerTensor,
+    /// Element writes to the shared L2 scratchpad.
+    pub l2_write: PerTensor,
+    /// Elements traversing the NoC.
+    pub noc: PerTensor,
+    /// Element reads from off-chip DRAM.
+    pub dram_read: PerTensor,
+    /// Element writes to off-chip DRAM.
+    pub dram_write: PerTensor,
+}
+
+impl ActivityCounts {
+    /// An all-zero count set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Integrate against an energy table.
+    pub fn energy(&self, e: &EnergyModel) -> f64 {
+        self.macs * e.mac
+            + self.l1_read.total() * e.l1_read
+            + self.l1_write.total() * e.l1_write
+            + self.l2_read.total() * e.l2_read
+            + self.l2_write.total() * e.l2_write
+            + self.noc.total() * e.noc
+            + (self.dram_read.total() + self.dram_write.total()) * e.dram
+    }
+
+    /// Energy broken down by activity class, in Figure 12's categories.
+    pub fn energy_breakdown(&self, e: &EnergyModel) -> EnergyBreakdown {
+        EnergyBreakdown {
+            mac: self.macs * e.mac,
+            l1_read: self.l1_read.scaled(e.l1_read),
+            l1_write: self.l1_write.scaled(e.l1_write),
+            l2_read: self.l2_read.scaled(e.l2_read),
+            l2_write: self.l2_write.scaled(e.l2_write),
+            noc: self.noc.scaled(e.noc),
+            dram: (self.dram_read + self.dram_write).scaled(e.dram),
+        }
+    }
+
+    /// Accumulate `rhs` scaled by `times` (e.g. inner-level counts times
+    /// the number of inner passes).
+    pub fn add_scaled(&mut self, rhs: &ActivityCounts, times: f64) {
+        self.macs += rhs.macs * times;
+        self.l1_read += rhs.l1_read.scaled(times);
+        self.l1_write += rhs.l1_write.scaled(times);
+        self.l2_read += rhs.l2_read.scaled(times);
+        self.l2_write += rhs.l2_write.scaled(times);
+        self.noc += rhs.noc.scaled(times);
+        self.dram_read += rhs.dram_read.scaled(times);
+        self.dram_write += rhs.dram_write.scaled(times);
+    }
+}
+
+impl Add for ActivityCounts {
+    type Output = ActivityCounts;
+
+    fn add(self, rhs: ActivityCounts) -> ActivityCounts {
+        let mut out = self;
+        out.add_scaled(&rhs, 1.0);
+        out
+    }
+}
+
+/// Per-category energy (Figure 12's stacked bars), in the units of the
+/// [`EnergyModel`] used to produce it.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// MAC energy.
+    pub mac: f64,
+    /// L1 read energy per tensor.
+    pub l1_read: PerTensor,
+    /// L1 write energy per tensor.
+    pub l1_write: PerTensor,
+    /// L2 read energy per tensor.
+    pub l2_read: PerTensor,
+    /// L2 write energy per tensor.
+    pub l2_write: PerTensor,
+    /// NoC energy per tensor.
+    pub noc: PerTensor,
+    /// DRAM energy per tensor.
+    pub dram: PerTensor,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across categories.
+    pub fn total(&self) -> f64 {
+        self.mac
+            + self.l1_read.total()
+            + self.l1_write.total()
+            + self.l2_read.total()
+            + self.l2_write.total()
+            + self.noc.total()
+            + self.dram.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tensor_indexing() {
+        let mut p = PerTensor::default();
+        p[TensorKind::Weight] = 3.0;
+        p[TensorKind::Output] += 2.0;
+        assert_eq!(p[TensorKind::Weight], 3.0);
+        assert_eq!(p.total(), 5.0);
+        assert_eq!(p.scaled(2.0).total(), 10.0);
+    }
+
+    #[test]
+    fn energy_integration() {
+        let mut c = ActivityCounts::new();
+        c.macs = 10.0;
+        c.l2_read[TensorKind::Input] = 2.0;
+        let e = EnergyModel::normalized();
+        let total = c.energy(&e);
+        assert!((total - (10.0 + 2.0 * 18.6)).abs() < 1e-9);
+        let bd = c.energy_breakdown(&e);
+        assert!((bd.total() - total).abs() < 1e-9);
+        assert!((bd.l2_read[TensorKind::Input] - 37.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = ActivityCounts::new();
+        a.macs = 1.0;
+        let mut b = ActivityCounts::new();
+        b.macs = 2.0;
+        b.noc[TensorKind::Weight] = 1.0;
+        a.add_scaled(&b, 3.0);
+        assert_eq!(a.macs, 7.0);
+        assert_eq!(a.noc[TensorKind::Weight], 3.0);
+        let c = a + b;
+        assert_eq!(c.macs, 9.0);
+    }
+}

@@ -1,0 +1,613 @@
+//! The performance and cost analysis engines (paper §4.2–§4.4, Figure 8).
+//!
+//! Each cluster level is analyzed by enumerating its odometer *transition
+//! classes* — Init, plus "loop `j` advances (inner loops reset)" for every
+//! temporal loop — in closed form: each class has an occurrence count and a
+//! per-occurrence traffic/delay, so runtime and activity counts come out as
+//! occurrence-weighted sums without walking every time step. Levels compose
+//! recursively: the inner level's steady-state pass runtime is the outer
+//! level's per-step compute delay (double-buffered), exactly the paper's
+//! multi-cluster scheme (§4.4).
+
+use crate::counts::ActivityCounts;
+use crate::level::{LevelCtx, OutputSpatial};
+use maestro_dnn::{Coupling, Density, Dim, TensorKind};
+use maestro_hw::Accelerator;
+use serde::{Deserialize, Serialize};
+
+/// Analysis results for one cluster level (one pass of one instance),
+/// inner levels included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelResult {
+    /// Pass runtime assuming the pipeline is already warm (used as the
+    /// parent's per-step compute delay).
+    pub runtime_steady: f64,
+    /// Pass runtime including the initial fill (used for the first step).
+    pub runtime_first: f64,
+    /// Activity counts for one pass, inner levels included.
+    pub counts: ActivityCounts,
+    /// Dense MACs per pass.
+    pub macs_dense: f64,
+    /// Density-scaled MACs per pass.
+    pub macs_effective: f64,
+    /// Required L1 capacity per PE, in elements (double-buffered).
+    pub l1_per_pe: u64,
+    /// Data staged per steady step across this level's units, in elements
+    /// (double-buffered) — the L2 requirement when this is the top level.
+    pub staging: u64,
+    /// Peak NoC bandwidth demand (elements/cycle) to avoid stalls.
+    pub peak_bw: f64,
+    /// Steady-state per-step compute delay at this level.
+    pub compute_delay: f64,
+    /// Replication fanout of (input, weight) data from this level's
+    /// boundary down to PE L1s: data multicast at a level lands in every
+    /// unit's L1, data distributed spatially splits. Used by the top level
+    /// to charge L1 fills and NoC deliveries.
+    pub fanout: [f64; 2],
+}
+
+/// Whether a tensor's footprint depends on a dimension's position (i.e.
+/// resetting that dimension invalidates the tensor's resident data).
+pub fn depends(coupling: &Coupling, kind: TensorKind, d: Dim) -> bool {
+    use crate::footprint::CouplingExt;
+    match kind {
+        TensorKind::Output => {
+            // Outputs are anchored to the Y/X windows; R/S iteration is
+            // pure reduction.
+            coupling.is_coupled(kind, d)
+                && !(d.is_filter_window() && coupling.has_window_on_partner(d))
+        }
+        TensorKind::Input => {
+            coupling.is_coupled(kind, d)
+                || (d.is_filter_window() && coupling.has_window_on_partner(d))
+        }
+        TensorKind::Weight => coupling.is_coupled(kind, d),
+    }
+}
+
+/// What happens to a dimension on a given odometer transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DimState {
+    /// The dimension's chunk advances by this many view-coordinate steps.
+    Advance(u64),
+    /// An inner loop: the dimension resets to its first chunk.
+    Reset,
+    /// Outer loop or unlooped: the chunk is unchanged.
+    Hold,
+}
+
+fn dim_state(ctx: &LevelCtx, j: usize, d: Dim) -> DimState {
+    if let Some((_, adv)) = ctx.loops[j].dims.iter().find(|(ld, _)| *ld == d) {
+        DimState::Advance(*adv)
+    } else if ctx.loops[j + 1..]
+        .iter()
+        .any(|l| l.dims.iter().any(|(ld, _)| *ld == d))
+    {
+        DimState::Reset
+    } else {
+        DimState::Hold
+    }
+}
+
+/// New elements of `kind` needed (per unit) when loop `j` advances and all
+/// inner loops reset.
+///
+/// When `own_only` is set (used for the output tensor's psum accounting),
+/// inner-loop resets are treated as unchanged: the result then measures the
+/// change caused by this loop's *own* dimensions, so pure-reduction loops
+/// (whose advance revisits the same outputs) report zero and are classified
+/// as reduction loops rather than output loops.
+fn new_data(ctx: &LevelCtx, coupling: &Coupling, kind: TensorKind, j: usize, own_only: bool) -> f64 {
+    use crate::footprint::CouplingExt;
+    let fp = ctx.views.footprint(coupling, kind) as f64;
+    let mut overlap = 1.0f64;
+    let st = |d: Dim| {
+        let s = dim_state(ctx, j, d);
+        if own_only && s == DimState::Reset {
+            DimState::Hold
+        } else {
+            s
+        }
+    };
+    for d in maestro_dnn::ALL_DIMS {
+        // The input's receptive field along Y/X depends on both halves of
+        // the window pair; handle the pair on the Y/X visit and skip R/S.
+        if kind == TensorKind::Input && d.is_input_spatial() && coupling.has_window_on(d) {
+            let p = d.window_partner().expect("Y/X have partners");
+            let f = ctx.views.fp_factor(coupling, kind, d) as f64;
+            let ov = match (st(d), st(p)) {
+                (DimState::Reset, _) | (_, DimState::Reset) => 0.0,
+                (sy, sp) => {
+                    let adv = |s| match s {
+                        DimState::Advance(a) => a,
+                        _ => 0,
+                    };
+                    let shift = ctx.views.strides.of(d) * adv(sy) + adv(sp);
+                    (f - shift as f64).max(0.0)
+                }
+            };
+            overlap *= ov;
+            continue;
+        }
+        if kind == TensorKind::Input && d.is_filter_window() && coupling.has_window_on_partner(d) {
+            continue; // handled on the partner axis above
+        }
+        if !coupling.is_coupled(kind, d) {
+            continue;
+        }
+        if kind == TensorKind::Output && d.is_filter_window() && coupling.has_window_on_partner(d)
+        {
+            continue; // pure reduction: outputs anchored to the Y/X window
+        }
+        match st(d) {
+            DimState::Hold => overlap *= ctx.views.fp_factor(coupling, kind, d) as f64,
+            DimState::Advance(a) => {
+                overlap *= ctx.views.overlap_factor(coupling, kind, d, a) as f64;
+            }
+            DimState::Reset => {
+                overlap = 0.0;
+                break;
+            }
+        }
+        if overlap == 0.0 {
+            break;
+        }
+    }
+    (fp - overlap).max(0.0)
+}
+
+/// Per-occurrence NoC transfer delay for `elements`.
+fn transfer(acc: &Accelerator, elements: f64) -> f64 {
+    if elements <= 0.0 {
+        0.0
+    } else {
+        (elements / acc.noc.bandwidth as f64).ceil() + acc.noc.avg_latency as f64
+    }
+}
+
+/// Analyze one level given the already-analyzed inner level (if any).
+///
+/// `is_top` marks the outermost level (its ingress/egress is charged to the
+/// L2 scratchpad); the innermost level (when `inner` is `None`) charges L1
+/// fills and per-MAC operand accesses.
+#[allow(clippy::too_many_lines)]
+pub fn analyze_level(
+    ctx: &LevelCtx,
+    inner: Option<&LevelResult>,
+    acc: &Accelerator,
+    coupling: &Coupling,
+    density: Density,
+    is_top: bool,
+) -> LevelResult {
+    let is_leaf = inner.is_none();
+    let active = ctx.active_units;
+    let activef = active as f64;
+    let support = acc.support;
+
+    // Footprints per unit per step.
+    let fp = |k: TensorKind| ctx.views.footprint(coupling, k) as f64;
+    let fp_in = fp(TensorKind::Input);
+    let fp_w = fp(TensorKind::Weight);
+    let fp_out = fp(TensorKind::Output);
+
+    // Traffic multipliers across units.
+    let operand_mult = |k: TensorKind| -> f64 {
+        if ctx.varies_spatially(coupling, k) {
+            match support.multicast {
+                maestro_hw::SpatialMulticast::None => activef,
+                _ => activef * ctx.spatial_sharing_ratio(coupling, k),
+            }
+        } else {
+            support.multicast.upstream_reads(active) as f64
+        }
+    };
+    let in_mult = operand_mult(TensorKind::Input);
+    let w_mult = operand_mult(TensorKind::Weight);
+    let out_mult = match ctx.output_spatial {
+        OutputSpatial::Varies => activef,
+        OutputSpatial::Reduced => support.reduction.upstream_writes(active) as f64,
+        OutputSpatial::NotParallel => 1.0,
+    };
+    let d_in = density.input;
+    let d_w = density.weight;
+    let d_out = density.output;
+
+    // Per-step compute delay. Multicast/reduction network latencies are
+    // pipeline-fill costs: they delay the first result, not the steady
+    // state, so they are charged on the Init transition only.
+    let reduction_latency = if ctx.output_spatial == OutputSpatial::Reduced {
+        support.reduction.extra_latency(active) as f64
+    } else {
+        0.0
+    };
+    let multicast_latency = support.multicast.extra_latency(active) as f64;
+    let (compute_delay, compute_first) = match inner {
+        Some(r) => (
+            r.runtime_steady,
+            r.runtime_first + reduction_latency,
+        ),
+        None => {
+            let macs = ctx.macs_per_unit_step() as f64 * density.mac_fraction();
+            let d = (macs / acc.vector_width as f64).ceil().max(1.0);
+            (d, d + reduction_latency)
+        }
+    };
+
+    // Coverage corrects for edge padding: each dimension's chunk grid
+    // covers `trips × chunk ≥ total` positions, but only `total` carry
+    // real work. Per-step compute and traffic are both roughly
+    // proportional to the chunk-size product, so scaling the
+    // occurrence-weighted sums by the coverage ratio reproduces the exact
+    // totals (and makes the multi-level MAC aggregate exact: inner
+    // extents are the outer level's steady chunks, so products telescope).
+    let coverage: f64 = ctx
+        .views
+        .iter()
+        .map(|v| v.total as f64 / (v.trips as f64 * v.chunk as f64))
+        .product();
+    // Runtime only shrinks with *temporal* edge padding: a spatial edge
+    // chunk runs on fewer/smaller units in parallel, taking the same time.
+    let coverage_temporal: f64 = ctx
+        .views
+        .iter()
+        .filter(|v| !v.spatial)
+        .map(|v| v.total as f64 / (v.trips as f64 * v.chunk as f64))
+        .product();
+
+    // Transition classes.
+    let mut counts = ActivityCounts::new();
+    let mut runtime_accum = 0.0f64; // Σ over non-init transitions
+    let mut peak_bw = 0.0f64;
+    let mut last_outstanding = compute_delay; // steady stand-in when loop-free
+    // Per-unit ingress totals for one pass, per tensor (for L1 fills).
+    let mut per_unit_in = fp_in;
+    let mut per_unit_w = fp_w;
+    // Per-unit egress totals (for L1 drains).
+    let mut per_unit_out = fp_out; // final flush of resident outputs
+    // Aggregated L2/noc traffic for one pass.
+    let mut l2_in = fp_in * in_mult * d_in;
+    let mut l2_w = fp_w * w_mult * d_w;
+    let mut final_write = fp_out * out_mult * d_out; // completed outputs
+    let mut spill_write = 0.0f64; // partial-sum spills (always hit L2)
+    let mut spill_read = 0.0f64; // partial-sum refetches
+
+    let mut outer_cycles = 1.0f64; // Π of trips of loops outer than j
+    let mut outer_red = 1.0f64; // Π of trips of reduction loops outer than j
+    for (j, l) in ctx.loops.iter().enumerate() {
+        let occurrences = (l.trips - 1) as f64 * outer_cycles;
+        let new_in = new_data(ctx, coupling, TensorKind::Input, j, false);
+        let new_w = new_data(ctx, coupling, TensorKind::Weight, j, false);
+        let out_new = new_data(ctx, coupling, TensorKind::Output, j, true);
+        let is_output_loop = out_new > 0.0;
+
+        let mut ingress = new_in * in_mult * d_in + new_w * w_mult * d_w;
+        let mut egress = 0.0f64;
+        if is_output_loop {
+            let moved = out_new * out_mult * d_out;
+            if outer_red > 1.0 {
+                // Partial sums spill upstream and are re-fetched on every
+                // revisit (all outer-reduction iterations but the first).
+                let refetch = moved * (outer_red - 1.0) / outer_red;
+                ingress += refetch;
+                egress += moved;
+                spill_write += moved * occurrences;
+                spill_read += refetch * occurrences;
+            } else {
+                egress += moved;
+                final_write += moved * occurrences;
+            }
+            per_unit_out += out_new * occurrences;
+        }
+
+        let ingress_delay = transfer(acc, ingress);
+        let egress_delay = transfer(acc, egress);
+        let outstanding = compute_delay.max(ingress_delay).max(egress_delay);
+        runtime_accum += occurrences * outstanding;
+        last_outstanding = outstanding;
+
+        let headroom = (compute_delay - acc.noc.avg_latency as f64).max(1.0);
+        peak_bw = peak_bw.max((ingress + egress) / headroom);
+
+        per_unit_in += new_in * occurrences;
+        per_unit_w += new_w * occurrences;
+        l2_in += new_in * in_mult * d_in * occurrences;
+        l2_w += new_w * w_mult * d_w * occurrences;
+
+        outer_cycles *= l.trips as f64;
+        if !is_output_loop
+            && l.dims
+                .iter()
+                .any(|(d, _)| coupling.reduction.contains(*d) || d.is_filter_window())
+        {
+            outer_red *= l.trips as f64;
+        }
+    }
+
+    // Init transition: everything fetched, nothing overlapped.
+    let init_ingress = fp_in * in_mult * d_in + fp_w * w_mult * d_w;
+    let init_delay = transfer(acc, init_ingress) + multicast_latency + compute_first;
+    peak_bw = peak_bw.max(init_ingress / (compute_delay - acc.noc.avg_latency as f64).max(1.0));
+
+    let runtime_first = init_delay + runtime_accum * coverage_temporal;
+    let runtime_steady = runtime_accum * coverage_temporal + last_outstanding;
+
+    // ---- Activity counts ----
+    let passes_per_step =
+        ctx.total_steps as f64 * ctx.num_units as f64 * ctx.utilization * coverage;
+    let macs_dense;
+    let macs_effective;
+    if let Some(r) = inner {
+        counts.add_scaled(&r.counts, passes_per_step);
+        macs_dense = r.macs_dense * passes_per_step;
+        macs_effective = r.macs_effective * passes_per_step;
+    } else {
+        macs_dense = ctx.macs_per_unit_step() as f64 * passes_per_step;
+        macs_effective = macs_dense * density.mac_fraction();
+        counts.macs = macs_effective;
+        // Per-MAC operand and psum accesses at the PE register/L1 level.
+        counts.l1_read[TensorKind::Input] += macs_effective;
+        counts.l1_read[TensorKind::Weight] += macs_effective;
+        counts.l1_read[TensorKind::Output] += macs_effective;
+        counts.l1_write[TensorKind::Output] += macs_effective;
+        // Output drains and their NoC traversals happen once per pass at
+        // the PEs, whatever level commits them upstream.
+        counts.l1_read[TensorKind::Output] += per_unit_out * d_out * activef;
+        counts.noc[TensorKind::Output] += final_write + spill_write + spill_read;
+    }
+    // Replication fanout from this level's boundary to PE L1s: multicast
+    // tensors land in every sub-unit's L1, distributed tensors split.
+    let child_fanout = inner.map(|r| r.fanout).unwrap_or([1.0, 1.0]);
+    let step_fanout = |k: TensorKind, below: f64| -> f64 {
+        if ctx.varies_spatially(coupling, k) {
+            below
+        } else {
+            activef * below
+        }
+    };
+    let fanout = [
+        step_fanout(TensorKind::Input, child_fanout[0]),
+        step_fanout(TensorKind::Weight, child_fanout[1]),
+    ];
+    // Partial-sum spills always reach the L2, regardless of level.
+    counts.l2_write[TensorKind::Output] += spill_write;
+    counts.l2_read[TensorKind::Output] += spill_read;
+    if is_top {
+        // Operand fetches and completed-output commits are charged once,
+        // at the boundary that actually touches the L2. L1 fills and their
+        // NoC deliveries are the same stream, replicated by the multicast
+        // fanout of the levels below (data held stationary by outer loops
+        // is *not* re-filled every inner pass).
+        counts.l2_read[TensorKind::Input] += l2_in;
+        counts.l2_read[TensorKind::Weight] += l2_w;
+        counts.l2_write[TensorKind::Output] += final_write;
+        let fill_in = per_unit_in * d_in * activef * child_fanout[0];
+        let fill_w = per_unit_w * d_w * activef * child_fanout[1];
+        counts.l1_write[TensorKind::Input] += fill_in;
+        counts.l1_write[TensorKind::Weight] += fill_w;
+        counts.noc[TensorKind::Input] += fill_in;
+        counts.noc[TensorKind::Weight] += fill_w;
+    }
+
+    // Buffer requirements.
+    let l1_per_pe = if is_leaf {
+        2 * (fp_in as u64 + fp_w as u64) + 2 * fp_out as u64
+    } else {
+        inner.map(|r| r.l1_per_pe).unwrap_or(0)
+    };
+    let out_staged = match ctx.output_spatial {
+        OutputSpatial::Varies => fp_out * activef,
+        _ => fp_out,
+    };
+    let staging = (2.0
+        * (fp_in * activef * ctx.spatial_sharing_ratio(coupling, TensorKind::Input)
+            + fp_w * activef * ctx.spatial_sharing_ratio(coupling, TensorKind::Weight)
+            + out_staged)) as u64;
+
+    let peak_bw = peak_bw.max(inner.map(|r| r.peak_bw).unwrap_or(0.0));
+
+    LevelResult {
+        runtime_steady,
+        runtime_first,
+        counts,
+        macs_dense,
+        macs_effective,
+        l1_per_pe,
+        staging,
+        peak_bw,
+        compute_delay,
+        fanout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_dnn::{Layer, LayerDims, Operator};
+    use maestro_ir::{resolve, Style};
+
+    fn analyze_layer(layer: &Layer, style: Style, acc: &Accelerator) -> LevelResult {
+        let r = resolve(&style.dataflow(), layer, acc.num_pes).unwrap();
+        let coupling = layer.coupling();
+        let ctxs: Vec<LevelCtx> = r
+            .levels
+            .iter()
+            .map(|l| LevelCtx::build(&r, l, &coupling))
+            .collect();
+        let mut result: Option<LevelResult> = None;
+        for (i, ctx) in ctxs.iter().enumerate().rev() {
+            result = Some(analyze_level(
+                ctx,
+                result.as_ref(),
+                acc,
+                &coupling,
+                layer.density,
+                i == 0,
+            ));
+        }
+        result.expect("at least one level")
+    }
+
+    fn small_conv() -> Layer {
+        Layer::new("c", Operator::conv2d(), LayerDims::square(1, 16, 16, 18, 3))
+    }
+
+    #[test]
+    fn mac_counts_match_layer_for_all_styles() {
+        let layer = small_conv();
+        let acc = Accelerator::builder(64).build();
+        let exact = layer.total_macs() as f64;
+        for style in Style::ALL {
+            let r = analyze_layer(&layer, style, &acc);
+            let ratio = r.macs_dense / exact;
+            assert!(
+                (0.99..1.4).contains(&ratio),
+                "{style}: {} vs {exact}",
+                r.macs_dense
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_respects_compute_roofline() {
+        let layer = small_conv();
+        let acc = Accelerator::builder(64).build();
+        for style in Style::ALL {
+            let r = analyze_layer(&layer, style, &acc);
+            let roofline = layer.total_macs() as f64 / acc.peak_macs_per_cycle() as f64;
+            assert!(
+                r.runtime_first >= roofline * 0.9,
+                "{style}: runtime {} below roofline {roofline}",
+                r.runtime_first
+            );
+        }
+    }
+
+    #[test]
+    fn l2_reads_cover_each_tensor_at_least_once() {
+        let layer = small_conv();
+        let acc = Accelerator::builder(64).build();
+        for style in Style::ALL {
+            let r = analyze_layer(&layer, style, &acc);
+            let inputs = layer.tensor_elements(TensorKind::Input) as f64;
+            let weights = layer.tensor_elements(TensorKind::Weight) as f64;
+            let outputs = layer.tensor_elements(TensorKind::Output) as f64;
+            assert!(
+                r.counts.l2_read[TensorKind::Input] >= inputs * 0.9,
+                "{style}: input reads {} < {inputs}",
+                r.counts.l2_read[TensorKind::Input]
+            );
+            assert!(
+                r.counts.l2_read[TensorKind::Weight] >= weights * 0.9,
+                "{style}: weight reads {} < {weights}",
+                r.counts.l2_read[TensorKind::Weight]
+            );
+            assert!(
+                r.counts.l2_write[TensorKind::Output] >= outputs * 0.9,
+                "{style}: output writes {} < {outputs}",
+                r.counts.l2_write[TensorKind::Output]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_stationary_reads_weights_close_to_once() {
+        // KC-P holds weights stationary across the Y/X sweep: weight L2
+        // reads should be near the tensor size (x C-loop revisits = 1 here).
+        let layer = small_conv();
+        let acc = Accelerator::builder(64).build();
+        let r = analyze_layer(&layer, Style::KCP, &acc);
+        let weights = layer.tensor_elements(TensorKind::Weight) as f64;
+        let reads = r.counts.l2_read[TensorKind::Weight];
+        assert!(
+            reads <= weights * 1.5,
+            "KC-P weight reads {reads} should be ~{weights}"
+        );
+    }
+
+    #[test]
+    fn no_local_reuse_dataflow_reads_inputs_many_times() {
+        // C-P refetches activations for every output channel.
+        let layer = small_conv();
+        let acc = Accelerator::builder(64).build();
+        let cp = analyze_layer(&layer, Style::CP, &acc);
+        let inputs = layer.tensor_elements(TensorKind::Input) as f64;
+        assert!(
+            cp.counts.l2_read[TensorKind::Input] > inputs * 4.0,
+            "C-P input reads {} should be many times {inputs}",
+            cp.counts.l2_read[TensorKind::Input]
+        );
+    }
+
+    #[test]
+    fn psum_spills_appear_when_channels_exceed_cluster() {
+        // KC-P with C=128 > 64: the C loop is outer reduction => spills.
+        let layer = Layer::new(
+            "deep",
+            Operator::conv2d(),
+            LayerDims::square(1, 16, 128, 10, 3),
+        );
+        let acc = Accelerator::builder(256).build();
+        let r = analyze_layer(&layer, Style::KCP, &acc);
+        let outputs = layer.tensor_elements(TensorKind::Output) as f64;
+        assert!(
+            r.counts.l2_write[TensorKind::Output] > outputs * 1.5,
+            "expected psum spill traffic, got {}",
+            r.counts.l2_write[TensorKind::Output]
+        );
+        assert!(r.counts.l2_read[TensorKind::Output] > 0.0);
+    }
+
+    #[test]
+    fn removing_multicast_inflates_l2_reads() {
+        let layer = small_conv();
+        let full = Accelerator::builder(64).build();
+        let none = Accelerator::builder(64)
+            .support(maestro_hw::ReuseSupport::none())
+            .build();
+        // X-P multicasts weights to all columns.
+        let a = analyze_layer(&layer, Style::XP, &full);
+        let b = analyze_layer(&layer, Style::XP, &none);
+        assert!(
+            b.counts.l2_read[TensorKind::Weight] > a.counts.l2_read[TensorKind::Weight] * 4.0,
+            "no-multicast should massively inflate weight reads: {} vs {}",
+            b.counts.l2_read[TensorKind::Weight],
+            a.counts.l2_read[TensorKind::Weight]
+        );
+    }
+
+    #[test]
+    fn sparsity_scales_compute_and_traffic() {
+        let mut layer = small_conv();
+        let acc = Accelerator::builder(64).build();
+        let dense = analyze_layer(&layer, Style::KCP, &acc);
+        layer.density = maestro_dnn::Density {
+            input: 0.5,
+            weight: 0.5,
+            output: 1.0,
+        };
+        let sparse = analyze_layer(&layer, Style::KCP, &acc);
+        assert!((sparse.macs_effective / dense.macs_effective - 0.25).abs() < 0.01);
+        assert!(
+            sparse.counts.l2_read[TensorKind::Input]
+                < dense.counts.l2_read[TensorKind::Input] * 0.6
+        );
+    }
+
+    #[test]
+    fn buffer_requirements_are_positive_and_bounded() {
+        let layer = small_conv();
+        let acc = Accelerator::builder(64).build();
+        for style in Style::ALL {
+            let r = analyze_layer(&layer, style, &acc);
+            assert!(r.l1_per_pe > 0, "{style}");
+            assert!(r.staging > 0, "{style}");
+            assert!(r.peak_bw > 0.0, "{style}");
+            // L1 must not exceed the whole problem.
+            let total: u64 = TensorKind::ALL
+                .iter()
+                .map(|&k| layer.tensor_elements(k))
+                .sum();
+            assert!(r.l1_per_pe <= 2 * total, "{style}: {}", r.l1_per_pe);
+        }
+    }
+}

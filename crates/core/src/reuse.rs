@@ -1,0 +1,168 @@
+//! The reuse-opportunity taxonomy of paper Tables 1 and 2.
+//!
+//! Reuse arises when the same data is visible to multiple *spatial*
+//! destinations (PEs in one time step) or multiple *temporal* destinations
+//! (time steps at one PE). Operand tensors present multicast opportunities;
+//! the output tensor presents reduction opportunities. Which opportunity a
+//! mapping exposes is fully determined by dimension coupling.
+
+use crate::engine::depends;
+use maestro_dnn::{Coupling, Dim, TensorKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reuse opportunity exposed by a mapping choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReuseForm {
+    /// The same data serves several destinations (operands).
+    Multicast,
+    /// Partial results from several sources combine (outputs).
+    Reduction,
+    /// No reuse: the data differs per destination.
+    None,
+}
+
+impl fmt::Display for ReuseForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReuseForm::Multicast => "Multicast",
+            ReuseForm::Reduction => "Reduction",
+            ReuseForm::None => "-",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The reuse opportunity for tensor `kind` when dimension `mapped` is
+/// spatially mapped (paper Table 1, left half).
+///
+/// A tensor that does not depend on the mapped dimension is identical
+/// across PEs — a spatial multicast opportunity. The output tensor, when
+/// the mapped dimension is a reduction dimension, is accumulated across
+/// PEs — a spatial reduction opportunity.
+pub fn spatial_opportunity(coupling: &Coupling, mapped: Dim, kind: TensorKind) -> ReuseForm {
+    opportunity(coupling, mapped, kind)
+}
+
+/// The reuse opportunity for tensor `kind` when dimension `mapped` is the
+/// innermost temporally mapped dimension (paper Table 1, right half).
+///
+/// A tensor that does not depend on the innermost temporal dimension is
+/// unchanged across adjacent time steps — a temporal multicast
+/// (stationary-buffer) opportunity; the output analogously gets temporal
+/// reduction (in-place accumulation).
+pub fn temporal_opportunity(coupling: &Coupling, innermost: Dim, kind: TensorKind) -> ReuseForm {
+    opportunity(coupling, innermost, kind)
+}
+
+fn opportunity(coupling: &Coupling, mapped: Dim, kind: TensorKind) -> ReuseForm {
+    match kind {
+        TensorKind::Output => {
+            if coupling.is_reduction(mapped) {
+                ReuseForm::Reduction
+            } else if depends(coupling, TensorKind::Output, mapped) {
+                ReuseForm::None
+            } else {
+                ReuseForm::Multicast
+            }
+        }
+        operand => {
+            if depends(coupling, operand, mapped) {
+                ReuseForm::None
+            } else {
+                ReuseForm::Multicast
+            }
+        }
+    }
+}
+
+/// One row of paper Table 1 for a given coupling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpportunityRow {
+    /// The mapped dimension.
+    pub dim: Dim,
+    /// Opportunity for (Input, Weight, Output) under spatial mapping.
+    pub spatial: [ReuseForm; 3],
+    /// Opportunity for (Input, Weight, Output) as innermost temporal dim.
+    pub temporal: [ReuseForm; 3],
+}
+
+/// Build the full Table 1 for a coupling.
+pub fn opportunity_table(coupling: &Coupling) -> Vec<OpportunityRow> {
+    maestro_dnn::ALL_DIMS
+        .iter()
+        .map(|&dim| OpportunityRow {
+            dim,
+            spatial: TensorKind::ALL.map(|k| spatial_opportunity(coupling, dim, k)),
+            temporal: TensorKind::ALL.map(|k| temporal_opportunity(coupling, dim, k)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_table1_spot_checks() {
+        let c = Coupling::conv2d();
+        // K mapped: inputs are identical across PEs => multicast.
+        assert_eq!(
+            spatial_opportunity(&c, Dim::K, TensorKind::Input),
+            ReuseForm::Multicast
+        );
+        // C mapped: outputs accumulate across PEs => reduction.
+        assert_eq!(
+            spatial_opportunity(&c, Dim::C, TensorKind::Output),
+            ReuseForm::Reduction
+        );
+        // X/Y mapped: filters identical across PEs => multicast.
+        assert_eq!(
+            spatial_opportunity(&c, Dim::Y, TensorKind::Weight),
+            ReuseForm::Multicast
+        );
+        // R/S mapped: outputs reduce (filter window is a reduction dim).
+        assert_eq!(
+            spatial_opportunity(&c, Dim::R, TensorKind::Output),
+            ReuseForm::Reduction
+        );
+        // K innermost temporal: inputs stationary => temporal multicast.
+        assert_eq!(
+            temporal_opportunity(&c, Dim::K, TensorKind::Input),
+            ReuseForm::Multicast
+        );
+        // C innermost temporal: outputs accumulate in place.
+        assert_eq!(
+            temporal_opportunity(&c, Dim::C, TensorKind::Output),
+            ReuseForm::Reduction
+        );
+        // K mapped: weights differ per PE => none.
+        assert_eq!(
+            spatial_opportunity(&c, Dim::K, TensorKind::Weight),
+            ReuseForm::None
+        );
+    }
+
+    #[test]
+    fn depthwise_c_is_not_a_reduction() {
+        let c = Coupling::depthwise();
+        assert_eq!(
+            spatial_opportunity(&c, Dim::C, TensorKind::Output),
+            ReuseForm::None,
+            "depthwise output is coupled to C: no reduction across channels"
+        );
+        assert_eq!(
+            spatial_opportunity(&c, Dim::R, TensorKind::Output),
+            ReuseForm::Reduction
+        );
+    }
+
+    #[test]
+    fn table_covers_all_dims() {
+        let t = opportunity_table(&Coupling::conv2d());
+        assert_eq!(t.len(), 7);
+        // N mapped: weights identical across PEs.
+        let n = &t[0];
+        assert_eq!(n.spatial[TensorKind::Weight as usize], ReuseForm::Multicast);
+    }
+}

@@ -1,0 +1,311 @@
+//! Tensor kinds and dimension coupling.
+//!
+//! A dimension is *coupled* to a tensor when changing the dimension's index
+//! moves the position in that tensor's data space (paper §2.1). The coupling
+//! table is what the Tensor Analysis engine extracts for each operator, and
+//! everything downstream — reuse, traffic, buffer sizing — is derived from
+//! it, which is what gives the model its generality across operator types.
+
+use crate::dim::Dim;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The role of a tensor in a layer operation.
+///
+/// MAESTRO models operations with up to two input operands and one output
+/// (paper §4.4): `O += W * I` for convolutions and GEMMs, `O = A + B` for
+/// residual links, `O = pool(I)` for pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorKind {
+    /// Input activation (multicast-type reuse).
+    Input,
+    /// Filter weight (multicast-type reuse).
+    Weight,
+    /// Output activation / partial sums (reduction-type reuse).
+    Output,
+}
+
+impl TensorKind {
+    /// All three tensor kinds.
+    pub const ALL: [TensorKind; 3] = [TensorKind::Input, TensorKind::Weight, TensorKind::Output];
+
+    /// `true` if this tensor is an operand that is *read* by the computation.
+    pub const fn is_operand(self) -> bool {
+        matches!(self, TensorKind::Input | TensorKind::Weight)
+    }
+}
+
+impl fmt::Display for TensorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TensorKind::Input => "Input",
+            TensorKind::Weight => "Weight",
+            TensorKind::Output => "Output",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A compact set of [`Dim`]s, used for coupling and reduction-dimension sets.
+///
+/// ```
+/// use maestro_dnn::{Dim, coupling::DimSet};
+/// let s = DimSet::of(&[Dim::K, Dim::C]);
+/// assert!(s.contains(Dim::K));
+/// assert!(!s.contains(Dim::Y));
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct DimSet {
+    bits: u8,
+}
+
+impl DimSet {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        DimSet { bits: 0 }
+    }
+
+    /// Build a set from a slice of dimensions.
+    pub fn of(dims: &[Dim]) -> Self {
+        let mut s = Self::empty();
+        for &d in dims {
+            s.insert(d);
+        }
+        s
+    }
+
+    /// Insert a dimension.
+    pub fn insert(&mut self, d: Dim) {
+        self.bits |= 1 << d.index();
+    }
+
+    /// Remove a dimension.
+    pub fn remove(&mut self, d: Dim) {
+        self.bits &= !(1 << d.index());
+    }
+
+    /// Membership test.
+    pub const fn contains(&self, d: Dim) -> bool {
+        self.bits & (1 << d.index()) != 0
+    }
+
+    /// Number of dimensions in the set.
+    pub const fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// `true` when no dimension is in the set.
+    pub const fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Iterate the members in canonical dimension order.
+    pub fn iter(&self) -> impl Iterator<Item = Dim> + '_ {
+        crate::dim::ALL_DIMS
+            .iter()
+            .copied()
+            .filter(move |&d| self.contains(d))
+    }
+}
+
+impl fmt::Display for DimSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for d in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The dimension-coupling description of one layer operation.
+///
+/// This is the output of the Tensor Analysis engine: which of the seven
+/// dimensions each tensor is coupled to, and which dimensions are
+/// *reduction* dimensions (accumulated away to produce the output).
+///
+/// Window pairs `(Y,R)` and `(X,S)` are handled specially everywhere:
+/// the output is coupled to the pair as a whole (`y' = y - r`), so a
+/// coupling that contains `Y` (or `R`) in [`Coupling::output`] means "the
+/// output row index is derived from the mapped `Y`/`R` window".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coupling {
+    /// Dimensions coupled to the input activation tensor.
+    pub input: DimSet,
+    /// Dimensions coupled to the filter weight tensor (empty for ops
+    /// without weights, e.g. pooling or residual addition).
+    pub weight: DimSet,
+    /// Dimensions that index the output tensor. For window pairs, both
+    /// halves are listed; the derived output extent is computed from them.
+    pub output: DimSet,
+    /// Reduction dimensions: iterating these accumulates partial sums into
+    /// the same output element.
+    pub reduction: DimSet,
+}
+
+impl Coupling {
+    /// The classic dense CONV2D coupling (paper Figure 1):
+    /// `I[n][c][y][x]`, `W[k][c][r][s]`, `O[n][k][y'][x']`, reduction over
+    /// `C, R, S`.
+    pub fn conv2d() -> Self {
+        Coupling {
+            input: DimSet::of(&[Dim::N, Dim::C, Dim::Y, Dim::X]),
+            weight: DimSet::of(&[Dim::K, Dim::C, Dim::R, Dim::S]),
+            output: DimSet::of(&[Dim::N, Dim::K, Dim::Y, Dim::X, Dim::R, Dim::S]),
+            reduction: DimSet::of(&[Dim::C, Dim::R, Dim::S]),
+        }
+    }
+
+    /// Depth-wise convolution: the output is coupled to the *input* channel
+    /// dimension and there is no cross-channel reduction (paper §4.1).
+    pub fn depthwise() -> Self {
+        Coupling {
+            input: DimSet::of(&[Dim::N, Dim::C, Dim::Y, Dim::X]),
+            weight: DimSet::of(&[Dim::C, Dim::R, Dim::S]),
+            output: DimSet::of(&[Dim::N, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S]),
+            reduction: DimSet::of(&[Dim::R, Dim::S]),
+        }
+    }
+
+    /// GEMM / fully-connected coupling: `O[n][k] += W[k][c] * I[n][c]`.
+    pub fn gemm() -> Self {
+        Coupling {
+            input: DimSet::of(&[Dim::N, Dim::C]),
+            weight: DimSet::of(&[Dim::K, Dim::C]),
+            output: DimSet::of(&[Dim::N, Dim::K]),
+            reduction: DimSet::of(&[Dim::C]),
+        }
+    }
+
+    /// Pooling: a single input operand, no weights, window reduction.
+    pub fn pooling() -> Self {
+        Coupling {
+            input: DimSet::of(&[Dim::N, Dim::C, Dim::Y, Dim::X]),
+            weight: DimSet::empty(),
+            output: DimSet::of(&[Dim::N, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S]),
+            reduction: DimSet::of(&[Dim::R, Dim::S]),
+        }
+    }
+
+    /// Element-wise residual addition: two operands of identical shape.
+    /// The "weight" operand is the second activation tensor.
+    pub fn elementwise() -> Self {
+        let all = DimSet::of(&[Dim::N, Dim::K, Dim::Y, Dim::X]);
+        Coupling {
+            input: all,
+            weight: all,
+            output: all,
+            reduction: DimSet::empty(),
+        }
+    }
+
+    /// The coupling set for a given tensor kind.
+    pub fn coupled(&self, kind: TensorKind) -> DimSet {
+        match kind {
+            TensorKind::Input => self.input,
+            TensorKind::Weight => self.weight,
+            TensorKind::Output => self.output,
+        }
+    }
+
+    /// `true` when `d` is coupled to tensor `kind`.
+    pub fn is_coupled(&self, kind: TensorKind, d: Dim) -> bool {
+        self.coupled(kind).contains(d)
+    }
+
+    /// `true` when `d` is a reduction dimension of this operation.
+    pub fn is_reduction(&self, d: Dim) -> bool {
+        self.reduction.contains(d)
+    }
+
+    /// `true` when the operation slides a filter window over the input
+    /// (i.e. the output extent along `Y`/`X` is derived from `(Y,R)` /
+    /// `(X,S)` pairs rather than equal to the mapped size).
+    pub fn has_sliding_window(&self) -> bool {
+        self.output.contains(Dim::Y) && self.output.contains(Dim::R)
+            || self.output.contains(Dim::X) && self.output.contains(Dim::S)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::ALL_DIMS;
+
+    #[test]
+    fn dimset_insert_remove_iter() {
+        let mut s = DimSet::empty();
+        assert!(s.is_empty());
+        s.insert(Dim::R);
+        s.insert(Dim::N);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Dim::N, Dim::R]);
+        s.remove(Dim::N);
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(Dim::N));
+    }
+
+    #[test]
+    fn dimset_display() {
+        let s = DimSet::of(&[Dim::C, Dim::K]);
+        assert_eq!(s.to_string(), "{K,C}");
+        assert_eq!(DimSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn conv2d_coupling_matches_figure1() {
+        let c = Coupling::conv2d();
+        // Input: N, C, Y, X
+        assert!(c.is_coupled(TensorKind::Input, Dim::N));
+        assert!(c.is_coupled(TensorKind::Input, Dim::C));
+        assert!(!c.is_coupled(TensorKind::Input, Dim::K));
+        // Weight: K, C, R, S
+        assert!(c.is_coupled(TensorKind::Weight, Dim::K));
+        assert!(!c.is_coupled(TensorKind::Weight, Dim::Y));
+        // Reductions: C, R, S
+        assert!(c.is_reduction(Dim::C));
+        assert!(c.is_reduction(Dim::R));
+        assert!(!c.is_reduction(Dim::K));
+        assert!(c.has_sliding_window());
+    }
+
+    #[test]
+    fn depthwise_has_no_channel_reduction_and_no_k() {
+        let c = Coupling::depthwise();
+        assert!(!c.is_reduction(Dim::C));
+        assert!(c.is_coupled(TensorKind::Output, Dim::C));
+        assert!(!c.is_coupled(TensorKind::Weight, Dim::K));
+    }
+
+    #[test]
+    fn gemm_has_no_window() {
+        let c = Coupling::gemm();
+        assert!(!c.has_sliding_window());
+        assert!(c.is_reduction(Dim::C));
+    }
+
+    #[test]
+    fn pooling_has_no_weight_coupling() {
+        let c = Coupling::pooling();
+        assert!(c.weight.is_empty());
+        assert!(c.is_reduction(Dim::R));
+    }
+
+    #[test]
+    fn elementwise_has_no_reduction() {
+        let c = Coupling::elementwise();
+        assert!(c.reduction.is_empty());
+        for d in ALL_DIMS {
+            assert_eq!(
+                c.is_coupled(TensorKind::Input, d),
+                c.is_coupled(TensorKind::Weight, d),
+                "both operands of a residual add have the same shape"
+            );
+        }
+    }
+}

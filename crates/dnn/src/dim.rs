@@ -1,0 +1,272 @@
+//! The seven canonical tensor dimensions of the data-centric notation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A tensor dimension in the input-centric convolution loop nest.
+///
+/// The paper (Figure 1) addresses the three tensors of a convolutional layer
+/// through seven dimensions. `Y` and `X` are *input* row/column; the output
+/// row/column (`Y'`/`X'`) are derived as `y' = (y - r) / stride`.
+///
+/// ```
+/// use maestro_dnn::Dim;
+/// assert_eq!(Dim::K.to_string(), "K");
+/// assert_eq!("Y".parse::<Dim>().unwrap(), Dim::Y);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dim {
+    /// Input batch.
+    N,
+    /// Output channel (filter index).
+    K,
+    /// Input channel.
+    C,
+    /// Input row.
+    Y,
+    /// Input column.
+    X,
+    /// Filter row.
+    R,
+    /// Filter column.
+    S,
+}
+
+/// All seven dimensions in canonical order (`N, K, C, Y, X, R, S`).
+pub const ALL_DIMS: [Dim; 7] = [Dim::N, Dim::K, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S];
+
+impl Dim {
+    /// Index of this dimension within [`ALL_DIMS`].
+    ///
+    /// ```
+    /// use maestro_dnn::Dim;
+    /// assert_eq!(Dim::N.index(), 0);
+    /// assert_eq!(Dim::S.index(), 6);
+    /// ```
+    pub const fn index(self) -> usize {
+        match self {
+            Dim::N => 0,
+            Dim::K => 1,
+            Dim::C => 2,
+            Dim::Y => 3,
+            Dim::X => 4,
+            Dim::R => 5,
+            Dim::S => 6,
+        }
+    }
+
+    /// The sliding-window partner of this dimension, if any.
+    ///
+    /// `Y` pairs with `R` (rows) and `X` pairs with `S` (columns): a window
+    /// of `R` input rows starting at `y` produces output row `y' = y` (for
+    /// stride 1). All other dimensions have no partner.
+    ///
+    /// ```
+    /// use maestro_dnn::Dim;
+    /// assert_eq!(Dim::Y.window_partner(), Some(Dim::R));
+    /// assert_eq!(Dim::R.window_partner(), Some(Dim::Y));
+    /// assert_eq!(Dim::K.window_partner(), None);
+    /// ```
+    pub const fn window_partner(self) -> Option<Dim> {
+        match self {
+            Dim::Y => Some(Dim::R),
+            Dim::R => Some(Dim::Y),
+            Dim::X => Some(Dim::S),
+            Dim::S => Some(Dim::X),
+            _ => None,
+        }
+    }
+
+    /// `true` for the spatial input dimensions `Y` and `X`.
+    pub const fn is_input_spatial(self) -> bool {
+        matches!(self, Dim::Y | Dim::X)
+    }
+
+    /// `true` for the filter window dimensions `R` and `S`.
+    pub const fn is_filter_window(self) -> bool {
+        matches!(self, Dim::R | Dim::S)
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dim::N => "N",
+            Dim::K => "K",
+            Dim::C => "C",
+            Dim::Y => "Y",
+            Dim::X => "X",
+            Dim::R => "R",
+            Dim::S => "S",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing a [`Dim`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimError(pub String);
+
+impl fmt::Display for ParseDimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown dimension name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseDimError {}
+
+impl FromStr for Dim {
+    type Err = ParseDimError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "N" | "n" => Ok(Dim::N),
+            "K" | "k" => Ok(Dim::K),
+            "C" | "c" => Ok(Dim::C),
+            // The output-centric names are accepted as aliases for the
+            // input-centric dimensions they correspond to.
+            "Y" | "y" | "Y'" | "y'" => Ok(Dim::Y),
+            "X" | "x" | "X'" | "x'" => Ok(Dim::X),
+            "R" | "r" => Ok(Dim::R),
+            "S" | "s" => Ok(Dim::S),
+            other => Err(ParseDimError(other.to_string())),
+        }
+    }
+}
+
+/// A total size for each of the seven dimensions.
+///
+/// This is a small fixed-size map keyed by [`Dim`]; it is `Copy` and cheap to
+/// pass around, which matters because the analysis engines construct one per
+/// cluster level per layer.
+///
+/// ```
+/// use maestro_dnn::{Dim, DimSizes};
+/// let mut d = DimSizes::ones();
+/// d.set(Dim::K, 64);
+/// assert_eq!(d.get(Dim::K), 64);
+/// assert_eq!(d.get(Dim::N), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimSizes {
+    sizes: [u64; 7],
+}
+
+impl DimSizes {
+    /// All dimensions set to 1.
+    pub const fn ones() -> Self {
+        DimSizes { sizes: [1; 7] }
+    }
+
+    /// Build from explicit per-dimension sizes in canonical order.
+    pub const fn new(n: u64, k: u64, c: u64, y: u64, x: u64, r: u64, s: u64) -> Self {
+        DimSizes {
+            sizes: [n, k, c, y, x, r, s],
+        }
+    }
+
+    /// Size of dimension `d`.
+    pub const fn get(&self, d: Dim) -> u64 {
+        self.sizes[d.index()]
+    }
+
+    /// Set dimension `d` to `size`.
+    pub fn set(&mut self, d: Dim, size: u64) {
+        self.sizes[d.index()] = size;
+    }
+
+    /// Returns a copy with dimension `d` set to `size`.
+    #[must_use]
+    pub fn with(mut self, d: Dim, size: u64) -> Self {
+        self.set(d, size);
+        self
+    }
+
+    /// Iterate over `(Dim, size)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Dim, u64)> + '_ {
+        ALL_DIMS.iter().map(move |&d| (d, self.get(d)))
+    }
+
+    /// Product of all seven sizes.
+    pub fn product(&self) -> u64 {
+        self.sizes.iter().product()
+    }
+}
+
+impl Default for DimSizes {
+    fn default() -> Self {
+        Self::ones()
+    }
+}
+
+impl fmt::Display for DimSizes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (d, s) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{d}:{s}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_roundtrip_display_parse() {
+        for d in ALL_DIMS {
+            let s = d.to_string();
+            assert_eq!(s.parse::<Dim>().unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn dim_parse_aliases_and_errors() {
+        assert_eq!("Y'".parse::<Dim>().unwrap(), Dim::Y);
+        assert_eq!("x'".parse::<Dim>().unwrap(), Dim::X);
+        assert!("Q".parse::<Dim>().is_err());
+        let err = "Z".parse::<Dim>().unwrap_err();
+        assert!(err.to_string().contains('Z'));
+    }
+
+    #[test]
+    fn window_partners_are_symmetric() {
+        for d in ALL_DIMS {
+            if let Some(p) = d.window_partner() {
+                assert_eq!(p.window_partner(), Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn dim_sizes_set_get_product() {
+        let d = DimSizes::new(2, 4, 6, 8, 8, 3, 3);
+        assert_eq!(d.get(Dim::C), 6);
+        assert_eq!(d.product(), 2 * 4 * 6 * 8 * 8 * 3 * 3);
+        let d2 = d.with(Dim::C, 1);
+        assert_eq!(d2.get(Dim::C), 1);
+        assert_eq!(d.get(Dim::C), 6, "with() must not mutate the original");
+    }
+
+    #[test]
+    fn dim_sizes_display_lists_all() {
+        let d = DimSizes::ones();
+        let s = d.to_string();
+        for dim in ALL_DIMS {
+            assert!(s.contains(&format!("{dim}:1")));
+        }
+    }
+
+    #[test]
+    fn indices_are_canonical_order() {
+        for (i, d) in ALL_DIMS.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+}

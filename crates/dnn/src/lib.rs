@@ -1,0 +1,37 @@
+//! DNN workload descriptions for the MAESTRO cost model.
+//!
+//! This crate defines the seven canonical tensor dimensions used by the
+//! data-centric dataflow notation (`N, K, C, Y, X, R, S`), the
+//! dimension-coupling rules that relate those dimensions to the input
+//! activation, filter weight and output activation tensors, the DNN layer
+//! operators the model supports (dense/depthwise/pointwise/grouped
+//! convolution, fully-connected and general GEMM, transposed convolution,
+//! pooling and element-wise residual links), and a model zoo with the seven
+//! networks used in the paper's evaluation (VGG16, AlexNet, ResNet-50,
+//! ResNeXt-50, MobileNetV2, UNet and DCGAN).
+//!
+//! # Example
+//!
+//! ```
+//! use maestro_dnn::{Layer, Operator, zoo};
+//!
+//! let vgg = zoo::vgg16(1);
+//! let conv2 = vgg.layer("CONV2").unwrap();
+//! assert_eq!(conv2.dims.k, 64);
+//! assert_eq!(conv2.total_macs(), 64 * 64 * 224 * 224 * 9);
+//! ```
+
+pub mod coupling;
+pub mod dim;
+pub mod layer;
+pub mod model;
+pub mod op;
+pub mod parse;
+pub mod zoo;
+
+pub use coupling::{Coupling, TensorKind};
+pub use dim::{Dim, DimSizes, ALL_DIMS};
+pub use layer::{Density, Layer, LayerDims};
+pub use model::Model;
+pub use parse::{parse_network, write_network, ParseNetworkError};
+pub use op::{Operator, OperatorClass};

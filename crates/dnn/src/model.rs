@@ -1,0 +1,159 @@
+//! Whole-network descriptions: named sequences of layers.
+
+use crate::layer::{Layer, LayerError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A DNN model: an ordered list of layers.
+///
+/// ```
+/// use maestro_dnn::{Layer, LayerDims, Model, Operator};
+///
+/// let mut m = Model::new("tiny");
+/// m.push(Layer::new("c1", Operator::conv2d(), LayerDims::square(1, 8, 3, 16, 3)));
+/// assert_eq!(m.len(), 1);
+/// assert!(m.layer("c1").is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    /// Model name (e.g. "VGG16").
+    pub name: String,
+    layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Create an empty model.
+    pub fn new(name: impl Into<String>) -> Self {
+        Model {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Append a layer.
+    pub fn push(&mut self, layer: Layer) {
+        self.layers.push(layer);
+    }
+
+    /// The layers in network order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Look up a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&Layer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Iterate over the layers.
+    pub fn iter(&self) -> std::slice::Iter<'_, Layer> {
+        self.layers.iter()
+    }
+
+    /// Total dense MAC count across all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::total_macs).sum()
+    }
+
+    /// Validate every layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending layer's name together with its
+    /// [`LayerError`].
+    pub fn validate(&self) -> Result<(), (String, LayerError)> {
+        for l in &self.layers {
+            l.validate().map_err(|e| (l.name.clone(), e))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Model {} ({} layers)", self.name, self.layers.len())?;
+        for l in &self.layers {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<Layer> for Model {
+    fn extend<T: IntoIterator<Item = Layer>>(&mut self, iter: T) {
+        self.layers.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Model {
+    type Item = &'a Layer;
+    type IntoIter = std::slice::Iter<'a, Layer>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.layers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerDims;
+    use crate::op::Operator;
+
+    fn two_layer() -> Model {
+        let mut m = Model::new("m");
+        m.push(Layer::new(
+            "a",
+            Operator::conv2d(),
+            LayerDims::square(1, 4, 3, 8, 3),
+        ));
+        m.push(Layer::new(
+            "b",
+            Operator::conv2d(),
+            LayerDims::square(1, 8, 4, 6, 3),
+        ));
+        m
+    }
+
+    #[test]
+    fn lookup_and_totals() {
+        let m = two_layer();
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert!(m.layer("a").is_some());
+        assert!(m.layer("zz").is_none());
+        assert_eq!(
+            m.total_macs(),
+            m.layers()[0].total_macs() + m.layers()[1].total_macs()
+        );
+    }
+
+    #[test]
+    fn validate_reports_layer_name() {
+        let mut m = two_layer();
+        m.push(Layer::new(
+            "bad",
+            Operator::conv2d(),
+            LayerDims::square(1, 0, 3, 8, 3),
+        ));
+        let (name, _) = m.validate().unwrap_err();
+        assert_eq!(name, "bad");
+    }
+
+    #[test]
+    fn display_and_iter() {
+        let m = two_layer();
+        assert!(m.to_string().contains("2 layers"));
+        assert_eq!((&m).into_iter().count(), 2);
+    }
+}

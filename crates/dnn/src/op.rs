@@ -1,0 +1,161 @@
+//! Layer operator types and their classification (paper Table 4).
+
+use crate::coupling::Coupling;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A DNN layer operator supported by the cost model.
+///
+/// Every operator lowers to the generic "two operands, one output,
+/// dimension-coupled" form described in paper §4.4, so adding an operator
+/// only requires providing its [`Coupling`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operator {
+    /// Dense 2-D convolution. `groups > 1` models grouped convolution
+    /// (e.g. ResNeXt's aggregated residual blocks); the layer's `C`
+    /// dimension then holds the *per-group* channel count.
+    Conv2d {
+        /// Number of filter groups (1 for dense convolution).
+        groups: u32,
+    },
+    /// Depth-wise convolution: one filter per input channel, no
+    /// cross-channel reduction.
+    DepthwiseConv2d,
+    /// Transposed ("up-scale") convolution, modeled as a dense convolution
+    /// over the zero-upsampled input; the upsampling factor induces
+    /// structured input sparsity which the layer's density captures.
+    TransposedConv2d {
+        /// Spatial upsampling factor (the transposed stride).
+        upsample: u32,
+    },
+    /// Fully-connected layer / general matrix multiply.
+    FullyConnected,
+    /// Max/average pooling (single-operand window reduction).
+    Pooling,
+    /// Element-wise residual addition (skip connection).
+    ElementwiseAdd,
+}
+
+impl Operator {
+    /// Dense convolution with a single group.
+    pub const fn conv2d() -> Self {
+        Operator::Conv2d { groups: 1 }
+    }
+
+    /// The dimension coupling of this operator.
+    pub fn coupling(&self) -> Coupling {
+        match self {
+            Operator::Conv2d { .. } | Operator::TransposedConv2d { .. } => Coupling::conv2d(),
+            Operator::DepthwiseConv2d => Coupling::depthwise(),
+            Operator::FullyConnected => Coupling::gemm(),
+            Operator::Pooling => Coupling::pooling(),
+            Operator::ElementwiseAdd => Coupling::elementwise(),
+        }
+    }
+
+    /// `true` if the operator performs multiply-accumulates (pooling and
+    /// residual adds count element operations instead, which the model
+    /// treats as MAC-equivalent for timing).
+    pub const fn is_mac_op(&self) -> bool {
+        !matches!(self, Operator::Pooling | Operator::ElementwiseAdd)
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operator::Conv2d { groups: 1 } => write!(f, "CONV2D"),
+            Operator::Conv2d { groups } => write!(f, "CONV2D(groups={groups})"),
+            Operator::DepthwiseConv2d => write!(f, "DWCONV"),
+            Operator::TransposedConv2d { upsample } => write!(f, "TRCONV(x{upsample})"),
+            Operator::FullyConnected => write!(f, "FC"),
+            Operator::Pooling => write!(f, "POOL"),
+            Operator::ElementwiseAdd => write!(f, "ADD"),
+        }
+    }
+}
+
+/// The DNN-operator classes of paper Table 4 / Figure 10's legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatorClass {
+    /// CONV2D with large, shallow activations (C <= Y).
+    EarlyConv,
+    /// CONV2D with small, deep activations (C > Y).
+    LateConv,
+    /// 1x1 (point-wise) convolution.
+    Pointwise,
+    /// Depth-wise convolution.
+    Depthwise,
+    /// Grouped convolution inside an aggregated residual block.
+    AggregatedResidual,
+    /// Residual (skip-connection) element-wise addition.
+    Residual,
+    /// Fully-connected / GEMM.
+    FullyConnected,
+    /// Transposed (up-scale) convolution.
+    Transposed,
+    /// Pooling.
+    Pooling,
+}
+
+impl OperatorClass {
+    /// All classes, in Figure 10 legend order.
+    pub const ALL: [OperatorClass; 9] = [
+        OperatorClass::EarlyConv,
+        OperatorClass::LateConv,
+        OperatorClass::Pointwise,
+        OperatorClass::Residual,
+        OperatorClass::FullyConnected,
+        OperatorClass::Depthwise,
+        OperatorClass::AggregatedResidual,
+        OperatorClass::Transposed,
+        OperatorClass::Pooling,
+    ];
+}
+
+impl fmt::Display for OperatorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OperatorClass::EarlyConv => "Early Layer",
+            OperatorClass::LateConv => "Late Layer",
+            OperatorClass::Pointwise => "Point-wise",
+            OperatorClass::Depthwise => "Depth-wise",
+            OperatorClass::AggregatedResidual => "Aggregated Residual",
+            OperatorClass::Residual => "Residual",
+            OperatorClass::FullyConnected => "FC",
+            OperatorClass::Transposed => "Transposed",
+            OperatorClass::Pooling => "Pooling",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Operator::conv2d().to_string(), "CONV2D");
+        assert_eq!(Operator::Conv2d { groups: 32 }.to_string(), "CONV2D(groups=32)");
+        assert_eq!(Operator::TransposedConv2d { upsample: 2 }.to_string(), "TRCONV(x2)");
+    }
+
+    #[test]
+    fn mac_op_classification() {
+        assert!(Operator::conv2d().is_mac_op());
+        assert!(Operator::FullyConnected.is_mac_op());
+        assert!(!Operator::Pooling.is_mac_op());
+        assert!(!Operator::ElementwiseAdd.is_mac_op());
+    }
+
+    #[test]
+    fn coupling_dispatch() {
+        assert_eq!(Operator::conv2d().coupling(), Coupling::conv2d());
+        assert_eq!(Operator::DepthwiseConv2d.coupling(), Coupling::depthwise());
+        assert_eq!(
+            Operator::TransposedConv2d { upsample: 2 }.coupling(),
+            Coupling::conv2d()
+        );
+    }
+}

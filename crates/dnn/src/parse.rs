@@ -1,0 +1,437 @@
+//! Text format for network descriptions.
+//!
+//! The released MAESTRO tool is driven by description files that list a
+//! network's layers with their dimensions; this module provides the same
+//! workflow. Grammar (whitespace-insensitive, `//` line comments):
+//!
+//! ```text
+//! network  := "Network" IDENT "{" layer* "}"
+//! layer    := "Layer" IDENT "{" field* "}"
+//! field    := "Type" ":" TYPE ";"
+//!           | "Stride" ":" INT ";" | "StrideY" ":" INT ";" | "StrideX" ":" INT ";"
+//!           | "Groups" ":" INT ";"
+//!           | "Upsample" ":" INT ";"
+//!           | "Dimensions" "{" (DIM ":" INT)* "}"
+//!           | "Density" "{" (TENSOR ":" FLOAT)* "}"
+//! TYPE     := "CONV" | "DWCONV" | "TRCONV" | "FC" | "GEMM" | "POOL" | "ADD"
+//! TENSOR   := "Input" | "Weight" | "Output"
+//! ```
+//!
+//! [`write_network`] emits the same format; the two round-trip.
+
+use crate::dim::Dim;
+use crate::layer::{Density, Layer, LayerDims};
+use crate::model::Model;
+use crate::op::Operator;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parse failure, with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetworkError {
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseNetworkError {}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_trivia(&mut self) {
+        let b = self.src.as_bytes();
+        loop {
+            while self.pos < b.len() && b[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.src[self.pos..].starts_with("//") {
+                while self.pos < b.len() && b[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseNetworkError {
+        ParseNetworkError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_trivia();
+        self.src.as_bytes().get(self.pos).copied()
+    }
+
+    fn expect_char(&mut self, c: u8) -> Result<(), ParseNetworkError> {
+        match self.peek() {
+            Some(got) if got == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(self.err(format!(
+                "expected `{}`, found {:?}",
+                c as char,
+                got.map(|g| g as char)
+            ))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseNetworkError> {
+        self.skip_trivia();
+        let b = self.src.as_bytes();
+        let start = self.pos;
+        while self.pos < b.len()
+            && (b[self.pos].is_ascii_alphanumeric()
+                || b[self.pos] == b'_'
+                || b[self.pos] == b'-'
+                || b[self.pos] == b'\'')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected an identifier"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn number(&mut self) -> Result<f64, ParseNetworkError> {
+        self.skip_trivia();
+        let b = self.src.as_bytes();
+        let start = self.pos;
+        while self.pos < b.len() && (b[self.pos].is_ascii_digit() || b[self.pos] == b'.') {
+            self.pos += 1;
+        }
+        self.src[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("expected a number"))
+    }
+
+    fn opt_semi(&mut self) {
+        if self.peek() == Some(b';') {
+            self.pos += 1;
+        }
+    }
+}
+
+fn operator_of(name: &str, groups: u32, upsample: u32) -> Option<Operator> {
+    Some(match name {
+        "CONV" | "CONV2D" => Operator::Conv2d { groups },
+        "DWCONV" => Operator::DepthwiseConv2d,
+        "TRCONV" => Operator::TransposedConv2d { upsample },
+        "FC" | "GEMM" => Operator::FullyConnected,
+        "POOL" => Operator::Pooling,
+        "ADD" => Operator::ElementwiseAdd,
+        _ => return None,
+    })
+}
+
+fn operator_name(op: &Operator) -> &'static str {
+    match op {
+        Operator::Conv2d { .. } => "CONV",
+        Operator::DepthwiseConv2d => "DWCONV",
+        Operator::TransposedConv2d { .. } => "TRCONV",
+        Operator::FullyConnected => "FC",
+        Operator::Pooling => "POOL",
+        Operator::ElementwiseAdd => "ADD",
+    }
+}
+
+/// Parse a network description.
+///
+/// # Errors
+///
+/// Returns a [`ParseNetworkError`] on malformed input or invalid layers.
+///
+/// ```
+/// use maestro_dnn::parse::parse_network;
+/// let m = parse_network(
+///     "Network tiny { Layer C1 { Type: CONV; Dimensions { N:1 K:8 C:3 Y:18 X:18 R:3 S:3 } } }",
+/// ).unwrap();
+/// assert_eq!(m.name, "tiny");
+/// assert_eq!(m.layer("C1").unwrap().dims.k, 8);
+/// ```
+pub fn parse_network(src: &str) -> Result<Model, ParseNetworkError> {
+    let mut c = Cursor { src, pos: 0 };
+    let kw = c.ident()?;
+    if kw != "Network" {
+        return Err(c.err(format!("expected `Network`, found `{kw}`")));
+    }
+    let name = c.ident()?;
+    c.expect_char(b'{')?;
+    let mut model = Model::new(name);
+    loop {
+        match c.peek() {
+            Some(b'}') => {
+                c.pos += 1;
+                break;
+            }
+            Some(_) => {
+                let kw = c.ident()?;
+                if kw != "Layer" {
+                    return Err(c.err(format!("expected `Layer` or `}}`, found `{kw}`")));
+                }
+                model.push(parse_layer(&mut c)?);
+            }
+            None => return Err(c.err("unexpected end of input in network body")),
+        }
+    }
+    c.skip_trivia();
+    if c.pos != src.len() {
+        return Err(c.err("trailing input after network body"));
+    }
+    model
+        .validate()
+        .map_err(|(lname, e)| ParseNetworkError {
+            offset: src.len(),
+            message: format!("layer {lname}: {e}"),
+        })?;
+    Ok(model)
+}
+
+fn parse_layer(c: &mut Cursor<'_>) -> Result<Layer, ParseNetworkError> {
+    let name = c.ident()?;
+    c.expect_char(b'{')?;
+    let mut ty = "CONV".to_string();
+    let mut groups = 1u32;
+    let mut upsample = 2u32;
+    let mut dims = LayerDims {
+        n: 1,
+        k: 1,
+        c: 1,
+        y: 1,
+        x: 1,
+        r: 1,
+        s: 1,
+        stride_y: 1,
+        stride_x: 1,
+    };
+    let mut density = Density::dense();
+    loop {
+        match c.peek() {
+            Some(b'}') => {
+                c.pos += 1;
+                break;
+            }
+            Some(_) => {
+                let field = c.ident()?;
+                match field.as_str() {
+                    "Type" => {
+                        c.expect_char(b':')?;
+                        ty = c.ident()?;
+                        c.opt_semi();
+                    }
+                    "Stride" => {
+                        c.expect_char(b':')?;
+                        let v = c.number()? as u64;
+                        dims.stride_y = v;
+                        dims.stride_x = v;
+                        c.opt_semi();
+                    }
+                    "StrideY" => {
+                        c.expect_char(b':')?;
+                        dims.stride_y = c.number()? as u64;
+                        c.opt_semi();
+                    }
+                    "StrideX" => {
+                        c.expect_char(b':')?;
+                        dims.stride_x = c.number()? as u64;
+                        c.opt_semi();
+                    }
+                    "Groups" => {
+                        c.expect_char(b':')?;
+                        groups = c.number()? as u32;
+                        c.opt_semi();
+                    }
+                    "Upsample" => {
+                        c.expect_char(b':')?;
+                        upsample = c.number()? as u32;
+                        c.opt_semi();
+                    }
+                    "Dimensions" => {
+                        c.expect_char(b'{')?;
+                        while c.peek() != Some(b'}') {
+                            let d = c.ident()?;
+                            let dim: Dim = d.parse().map_err(|_| {
+                                c.err(format!("`{d}` is not a dimension name"))
+                            })?;
+                            c.expect_char(b':')?;
+                            let v = c.number()? as u64;
+                            match dim {
+                                Dim::N => dims.n = v,
+                                Dim::K => dims.k = v,
+                                Dim::C => dims.c = v,
+                                Dim::Y => dims.y = v,
+                                Dim::X => dims.x = v,
+                                Dim::R => dims.r = v,
+                                Dim::S => dims.s = v,
+                            }
+                        }
+                        c.pos += 1; // consume '}'
+                    }
+                    "Density" => {
+                        c.expect_char(b'{')?;
+                        while c.peek() != Some(b'}') {
+                            let t = c.ident()?;
+                            c.expect_char(b':')?;
+                            let v = c.number()?;
+                            match t.as_str() {
+                                "Input" => density.input = v,
+                                "Weight" => density.weight = v,
+                                "Output" => density.output = v,
+                                other => {
+                                    return Err(
+                                        c.err(format!("`{other}` is not a tensor name"))
+                                    )
+                                }
+                            }
+                        }
+                        c.pos += 1;
+                    }
+                    other => return Err(c.err(format!("unknown layer field `{other}`"))),
+                }
+            }
+            None => return Err(c.err("unexpected end of input in layer body")),
+        }
+    }
+    let op = operator_of(&ty, groups, upsample)
+        .ok_or_else(|| c.err(format!("unknown layer type `{ty}`")))?;
+    Ok(Layer::new(name, op, dims).with_density(density))
+}
+
+/// Write a model in the network description format (round-trips with
+/// [`parse_network`]).
+pub fn write_network(model: &Model) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Network {} {{", model.name);
+    for l in model.iter() {
+        let _ = writeln!(out, "  Layer {} {{", l.name);
+        let _ = writeln!(out, "    Type: {};", operator_name(&l.op));
+        if let Operator::Conv2d { groups } = l.op {
+            if groups > 1 {
+                let _ = writeln!(out, "    Groups: {groups};");
+            }
+        }
+        if let Operator::TransposedConv2d { upsample } = l.op {
+            let _ = writeln!(out, "    Upsample: {upsample};");
+        }
+        if l.dims.stride_y == l.dims.stride_x {
+            if l.dims.stride_y != 1 {
+                let _ = writeln!(out, "    Stride: {};", l.dims.stride_y);
+            }
+        } else {
+            let _ = writeln!(out, "    StrideY: {};", l.dims.stride_y);
+            let _ = writeln!(out, "    StrideX: {};", l.dims.stride_x);
+        }
+        let d = &l.dims;
+        let _ = writeln!(
+            out,
+            "    Dimensions {{ N:{} K:{} C:{} Y:{} X:{} R:{} S:{} }}",
+            d.n, d.k, d.c, d.y, d.x, d.r, d.s
+        );
+        if l.density != Density::dense() {
+            let _ = writeln!(
+                out,
+                "    Density {{ Input:{} Weight:{} Output:{} }}",
+                l.density.input, l.density.weight, l.density.output
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn parse_minimal() {
+        let m = parse_network(
+            "Network n { Layer a { Dimensions { K:4 C:3 Y:8 X:8 R:3 S:3 } } }",
+        )
+        .unwrap();
+        assert_eq!(m.len(), 1);
+        let l = m.layer("a").unwrap();
+        assert_eq!(l.op, Operator::conv2d());
+        assert_eq!(l.dims.n, 1, "N defaults to 1");
+    }
+
+    #[test]
+    fn parse_all_fields() {
+        let m = parse_network(
+            "Network n {
+               // grouped strided conv
+               Layer g { Type: CONV; Groups: 2; Stride: 2;
+                         Dimensions { K:8 C:4 Y:9 X:9 R:3 S:3 } }
+               Layer t { Type: TRCONV; Upsample: 2;
+                         Dimensions { K:4 C:8 Y:9 X:9 R:2 S:2 }
+                         Density { Input: 0.25 } }
+               Layer f { Type: FC; Dimensions { N:4 K:10 C:20 } }
+               Layer p { Type: POOL; Dimensions { C:8 Y:8 X:8 R:2 S:2 } }
+               Layer e { Type: ADD; Dimensions { K:8 Y:8 X:8 } }
+             }",
+        )
+        .unwrap();
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.layer("g").unwrap().op, Operator::Conv2d { groups: 2 });
+        assert_eq!(m.layer("g").unwrap().dims.stride_y, 2);
+        assert!((m.layer("t").unwrap().density.input - 0.25).abs() < 1e-12);
+        assert_eq!(m.layer("f").unwrap().op, Operator::FullyConnected);
+        assert_eq!(m.layer("p").unwrap().op, Operator::Pooling);
+        assert_eq!(m.layer("e").unwrap().op, Operator::ElementwiseAdd);
+    }
+
+    #[test]
+    fn roundtrip_zoo_models() {
+        for m in [zoo::vgg16(1), zoo::mobilenet_v2(1), zoo::dcgan(1)] {
+            let text = write_network(&m);
+            let back = parse_network(&text).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            assert_eq!(m, back, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn invalid_layers_are_rejected_at_parse_time() {
+        let err = parse_network(
+            "Network n { Layer a { Dimensions { K:4 C:3 Y:2 X:8 R:3 S:3 } } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(parse_network("Nutwork n {}").unwrap_err().message.contains("Network"));
+        assert!(parse_network("Network n { Frob x {} }")
+            .unwrap_err()
+            .message
+            .contains("Layer"));
+        let err = parse_network(
+            "Network n { Layer a { Type: WAT; Dimensions { K:1 } } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("WAT"), "{err}");
+        let err = parse_network(
+            "Network n { Layer a { Dimensions { Q:1 } } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("dimension"), "{err}");
+    }
+}

@@ -1,0 +1,585 @@
+//! The design-space explorer.
+//!
+//! Sweeps PE count × mapping variant × NoC bandwidth with one cost-model
+//! evaluation each (buffer capacities do not change the schedule, only
+//! validity and access energy), then expands each evaluation across the
+//! L1/L2 capacity grid. Like the paper's tool, whole sub-spaces that
+//! cannot meet the area/power budget (or the dataflow's buffer
+//! requirement) are *skipped in bulk* without individual evaluation, which
+//! is what produces effective rates of >0.1M designs/second.
+
+use crate::space::{Constraints, SweepSpace};
+use maestro_core::{analyze, LayerReport};
+use maestro_dnn::Layer;
+use maestro_hw::{Accelerator, AreaModel, EnergyModel, PowerModel};
+use maestro_ir::Dataflow;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One valid design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// PE count.
+    pub pes: u64,
+    /// NoC bandwidth (elements/cycle).
+    pub noc_bw: u64,
+    /// Placed per-PE L1 capacity (bytes).
+    pub l1_bytes: u64,
+    /// Placed L2 capacity (bytes).
+    pub l2_bytes: u64,
+    /// Mapping (dataflow variant) name.
+    pub mapping: String,
+    /// Die area (mm²).
+    pub area_mm2: f64,
+    /// Power (mW).
+    pub power_mw: f64,
+    /// Runtime (cycles).
+    pub runtime: f64,
+    /// Throughput (MACs/cycle).
+    pub throughput: f64,
+    /// Energy (pJ, CACTI-style table at the placed capacities).
+    pub energy: f64,
+    /// Energy-delay product.
+    pub edp: f64,
+}
+
+/// Aggregate statistics of one exploration run (paper Figure 13(c)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DseStats {
+    /// Design points covered (including bulk-skipped ones).
+    pub explored: u64,
+    /// Cost-model evaluations actually performed.
+    pub evaluated: u64,
+    /// Valid design points found.
+    pub valid: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Effective exploration rate (designs/second).
+    pub rate: f64,
+}
+
+/// Result of one exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseResult {
+    /// Pareto-optimal points in the (runtime, energy) plane.
+    pub pareto: Vec<DesignPoint>,
+    /// Highest-throughput valid design.
+    pub best_throughput: Option<DesignPoint>,
+    /// Lowest-energy valid design.
+    pub best_energy: Option<DesignPoint>,
+    /// Lowest-EDP valid design.
+    pub best_edp: Option<DesignPoint>,
+    /// A subsample of valid points (for scatter plots), at most
+    /// [`Explorer::sample_cap`] entries.
+    pub sample: Vec<DesignPoint>,
+    /// Run statistics.
+    pub stats: DseStats,
+}
+
+/// Design-space exploration driver.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Hardware sweep space.
+    pub space: SweepSpace,
+    /// Area/power budget.
+    pub constraints: Constraints,
+    /// Component area model.
+    pub area_model: AreaModel,
+    /// Component power model.
+    pub power_model: PowerModel,
+    /// Cap on the retained scatter sample.
+    pub sample_cap: usize,
+    /// DRAM access energy per element (pJ). When the placed L2 cannot hold
+    /// the layer's working set, a fraction of L2 refills spill to DRAM —
+    /// this is what makes *larger* scratchpads energy-favourable and gives
+    /// the paper's SRAM-heavy energy-optimized designs (§5.2).
+    pub dram_pj: f64,
+}
+
+impl Explorer {
+    /// An explorer over `space` with the paper's constraint point and the
+    /// synthetic 28 nm component models.
+    pub fn new(space: SweepSpace) -> Self {
+        Explorer {
+            space,
+            constraints: Constraints::default(),
+            area_model: AreaModel::default(),
+            power_model: PowerModel::default(),
+            sample_cap: 4096,
+            dram_pj: 100.0,
+        }
+    }
+
+    /// Total energy of a placed design: CACTI-style on-chip accesses plus
+    /// DRAM spill traffic. With `l2` at least the layer's working set, only
+    /// compulsory DRAM traffic remains (each tensor moved once); below the
+    /// requirement-to-working-set range, L2 refills increasingly miss.
+    fn placed_energy(&self, report: &LayerReport, l1: u64, l2: u64) -> f64 {
+        let mut em = EnergyModel::cacti_28nm(l1, l2);
+        em.dram = self.dram_pj;
+        // Recompute the off-chip traffic at the *placed* capacity using
+        // the shared estimator, replacing the counts taken at analysis
+        // time (which assumed the reference L2 size).
+        let mut counts = report.counts;
+        let (dr, dw) =
+            maestro_core::report::offchip_traffic(&counts, report.tensor_elems, l2);
+        counts.dram_read = dr;
+        counts.dram_write = dw;
+        counts.energy(&em)
+    }
+
+    /// Explore `layer` across the hardware space × `mappings`.
+    pub fn explore(&self, layer: &Layer, mappings: &[Dataflow]) -> DseResult {
+        let t0 = Instant::now();
+        let mut stats = DseStats {
+            explored: 0,
+            evaluated: 0,
+            valid: 0,
+            seconds: 0.0,
+            rate: 0.0,
+        };
+        let mut pareto: Vec<DesignPoint> = Vec::new();
+        let mut best_t: Option<DesignPoint> = None;
+        let mut best_e: Option<DesignPoint> = None;
+        let mut best_edp: Option<DesignPoint> = None;
+        let mut sample: Vec<DesignPoint> = Vec::new();
+        let caps_per_eval = (self.space.l1_bytes.len() * self.space.l2_bytes.len()) as u64;
+        let min_l1 = *self.space.l1_bytes.first().expect("non-empty l1 grid");
+        let min_l2 = *self.space.l2_bytes.first().expect("non-empty l2 grid");
+        let min_bw = *self.space.noc_bw.iter().min().expect("non-empty bw grid");
+
+        for &pes in &self.space.pes {
+            // Bulk skip: if even the smallest configuration at this PE
+            // count blows the budget, the whole subtree is invalid.
+            let min_acc = Accelerator::builder(pes)
+                .l1_bytes(min_l1)
+                .l2_bytes(min_l2)
+                .noc_bandwidth(min_bw)
+                .build();
+            let subtree =
+                caps_per_eval * (self.space.noc_bw.len() * mappings.len()) as u64;
+            if self.area_model.total_area(&min_acc) > self.constraints.max_area_mm2
+                || self.power_model.total_power(&min_acc) > self.constraints.max_power_mw
+            {
+                stats.explored += subtree;
+                continue;
+            }
+            for mapping in mappings {
+                for &bw in &self.space.noc_bw {
+                    stats.explored += caps_per_eval;
+                    let acc = Accelerator::builder(pes).noc_bandwidth(bw).build();
+                    let Ok(report) = analyze(layer, mapping, &acc) else {
+                        continue;
+                    };
+                    stats.evaluated += 1;
+                    self.expand_capacities(
+                        pes,
+                        bw,
+                        mapping.name(),
+                        &report,
+                        &mut stats,
+                        &mut pareto,
+                        &mut best_t,
+                        &mut best_e,
+                        &mut best_edp,
+                        &mut sample,
+                    );
+                }
+            }
+        }
+        stats.seconds = t0.elapsed().as_secs_f64().max(1e-9);
+        stats.rate = stats.explored as f64 / stats.seconds;
+        DseResult {
+            pareto,
+            best_throughput: best_t,
+            best_energy: best_e,
+            best_edp,
+            sample,
+            stats,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand_capacities(
+        &self,
+        pes: u64,
+        bw: u64,
+        mapping: &str,
+        report: &LayerReport,
+        stats: &mut DseStats,
+        pareto: &mut Vec<DesignPoint>,
+        best_t: &mut Option<DesignPoint>,
+        best_e: &mut Option<DesignPoint>,
+        best_edp: &mut Option<DesignPoint>,
+        sample: &mut Vec<DesignPoint>,
+    ) {
+        for &l1 in &self.space.l1_bytes {
+            if l1 < report.l1_per_pe_elems {
+                continue; // capacity below the mapping's requirement
+            }
+            for &l2 in &self.space.l2_bytes {
+                if l2 < report.l2_staging_elems {
+                    continue;
+                }
+                let acc = Accelerator::builder(pes)
+                    .noc_bandwidth(bw)
+                    .l1_bytes(l1)
+                    .l2_bytes(l2)
+                    .build();
+                let area = self.area_model.total_area(&acc);
+                let power = self.power_model.total_power(&acc);
+                if area > self.constraints.max_area_mm2
+                    || power > self.constraints.max_power_mw
+                {
+                    continue;
+                }
+                stats.valid += 1;
+                let energy = self.placed_energy(report, l1, l2);
+                let point = DesignPoint {
+                    pes,
+                    noc_bw: bw,
+                    l1_bytes: l1,
+                    l2_bytes: l2,
+                    mapping: mapping.to_string(),
+                    area_mm2: area,
+                    power_mw: power,
+                    runtime: report.runtime,
+                    throughput: report.throughput(),
+                    energy,
+                    edp: energy * report.runtime,
+                };
+                update_best(best_t, &point, |p| -p.throughput);
+                update_best(best_e, &point, |p| p.energy);
+                update_best(best_edp, &point, |p| p.edp);
+                insert_pareto(pareto, &point);
+                // Stratified subsample: every 61st valid point, so the
+                // scatter spans the whole space instead of its first corner.
+                if stats.valid % 61 == 0 && sample.len() < self.sample_cap {
+                    sample.push(point);
+                }
+            }
+        }
+    }
+}
+
+fn update_best(slot: &mut Option<DesignPoint>, p: &DesignPoint, key: impl Fn(&DesignPoint) -> f64) {
+    let better = match slot {
+        Some(cur) => key(p) < key(cur),
+        None => true,
+    };
+    if better {
+        *slot = Some(p.clone());
+    }
+}
+
+/// Insert into the (runtime, energy) Pareto front, dropping dominated
+/// points.
+fn insert_pareto(front: &mut Vec<DesignPoint>, p: &DesignPoint) {
+    if front
+        .iter()
+        .any(|q| q.runtime <= p.runtime && q.energy <= p.energy)
+    {
+        return;
+    }
+    front.retain(|q| !(p.runtime <= q.runtime && p.energy <= q.energy));
+    front.push(p.clone());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SweepSpace;
+    use crate::variants;
+    use maestro_dnn::{LayerDims, Operator};
+    use maestro_ir::Style;
+
+    fn layer() -> Layer {
+        Layer::new("c", Operator::conv2d(), LayerDims::square(1, 32, 32, 34, 3))
+    }
+
+    #[test]
+    fn exploration_finds_valid_points() {
+        let e = Explorer::new(SweepSpace::tiny());
+        let r = e.explore(&layer(), &variants::variants(Style::KCP));
+        assert!(r.stats.valid > 0, "{:?}", r.stats);
+        assert!(r.stats.explored >= r.stats.valid);
+        assert!(r.best_throughput.is_some());
+        assert!(r.best_energy.is_some());
+        assert!(!r.pareto.is_empty());
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated() {
+        let e = Explorer::new(SweepSpace::tiny());
+        let r = e.explore(&layer(), &variants::variants(Style::KCP));
+        for a in &r.pareto {
+            for b in &r.pareto {
+                if std::ptr::eq(a, b) {
+                    continue;
+                }
+                assert!(
+                    !(a.runtime <= b.runtime && a.energy < b.energy
+                        || a.runtime < b.runtime && a.energy <= b.energy),
+                    "{a:?} dominates {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constraints_bound_every_valid_point() {
+        let e = Explorer::new(SweepSpace::tiny());
+        let r = e.explore(&layer(), &variants::variants(Style::YRP));
+        for p in &r.sample {
+            assert!(p.area_mm2 <= e.constraints.max_area_mm2);
+            assert!(p.power_mw <= e.constraints.max_power_mw);
+        }
+    }
+
+    #[test]
+    fn tighter_budget_yields_fewer_valid_points() {
+        let space = SweepSpace::tiny();
+        let loose = Explorer::new(space.clone());
+        let mut tight = Explorer::new(space);
+        tight.constraints = Constraints {
+            max_area_mm2: 4.0,
+            max_power_mw: 120.0,
+        };
+        let maps = variants::variants(Style::KCP);
+        let l = layer();
+        let a = loose.explore(&l, &maps);
+        let b = tight.explore(&l, &maps);
+        assert!(b.stats.valid <= a.stats.valid);
+    }
+
+    #[test]
+    fn throughput_and_energy_optima_differ_in_general() {
+        let e = Explorer::new(SweepSpace::tiny());
+        let r = e.explore(&layer(), &variants::variants(Style::KCP));
+        let t = r.best_throughput.unwrap();
+        let en = r.best_energy.unwrap();
+        assert!(t.throughput >= en.throughput);
+        assert!(en.energy <= t.energy);
+    }
+}
+
+impl Explorer {
+    /// Explore a *whole model*: each hardware point is evaluated with the
+    /// best-runtime mapping per layer (an embedded auto-tune), runtime and
+    /// activity counts summed across layers, buffer requirements taken as
+    /// worst-case. Energy at each placed capacity sums the per-layer
+    /// placed energies (so per-layer working sets drive DRAM misses).
+    pub fn explore_model(&self, model: &maestro_dnn::Model, mappings: &[Dataflow]) -> DseResult {
+        let t0 = Instant::now();
+        let mut stats = DseStats {
+            explored: 0,
+            evaluated: 0,
+            valid: 0,
+            seconds: 0.0,
+            rate: 0.0,
+        };
+        let mut pareto: Vec<DesignPoint> = Vec::new();
+        let mut best_t: Option<DesignPoint> = None;
+        let mut best_e: Option<DesignPoint> = None;
+        let mut best_edp: Option<DesignPoint> = None;
+        let mut sample: Vec<DesignPoint> = Vec::new();
+        let caps_per_eval = (self.space.l1_bytes.len() * self.space.l2_bytes.len()) as u64;
+
+        for &pes in &self.space.pes {
+            for &bw in &self.space.noc_bw {
+                stats.explored += caps_per_eval;
+                let acc = Accelerator::builder(pes).noc_bandwidth(bw).build();
+                // Per-layer best-runtime mapping (embedded tuning).
+                let mut reports: Vec<LayerReport> = Vec::with_capacity(model.len());
+                let mut ok = true;
+                for layer in model.iter() {
+                    let best = mappings
+                        .iter()
+                        .filter_map(|m| {
+                            stats.evaluated += 1;
+                            analyze(layer, m, &acc).ok()
+                        })
+                        .min_by(|a, b| a.runtime.total_cmp(&b.runtime));
+                    match best {
+                        Some(r) => reports.push(r),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let runtime: f64 = reports.iter().map(|r| r.runtime).sum();
+                let macs: f64 = reports.iter().map(|r| r.macs_effective).sum();
+                let l1_req = reports.iter().map(|r| r.l1_per_pe_elems).max().unwrap_or(0);
+                let l2_req = reports.iter().map(|r| r.l2_staging_elems).max().unwrap_or(0);
+                for &l1 in &self.space.l1_bytes {
+                    if l1 < l1_req {
+                        continue;
+                    }
+                    for &l2 in &self.space.l2_bytes {
+                        if l2 < l2_req {
+                            continue;
+                        }
+                        let placed = Accelerator::builder(pes)
+                            .noc_bandwidth(bw)
+                            .l1_bytes(l1)
+                            .l2_bytes(l2)
+                            .build();
+                        let area = self.area_model.total_area(&placed);
+                        let power = self.power_model.total_power(&placed);
+                        if area > self.constraints.max_area_mm2
+                            || power > self.constraints.max_power_mw
+                        {
+                            continue;
+                        }
+                        stats.valid += 1;
+                        let energy: f64 =
+                            reports.iter().map(|r| self.placed_energy(r, l1, l2)).sum();
+                        let point = DesignPoint {
+                            pes,
+                            noc_bw: bw,
+                            l1_bytes: l1,
+                            l2_bytes: l2,
+                            mapping: format!("per-layer best of {}", mappings.len()),
+                            area_mm2: area,
+                            power_mw: power,
+                            runtime,
+                            throughput: macs / runtime.max(1.0),
+                            energy,
+                            edp: energy * runtime,
+                        };
+                        update_best(&mut best_t, &point, |p| -p.throughput);
+                        update_best(&mut best_e, &point, |p| p.energy);
+                        update_best(&mut best_edp, &point, |p| p.edp);
+                        insert_pareto(&mut pareto, &point);
+                        if stats.valid % 61 == 0 && sample.len() < self.sample_cap {
+                            sample.push(point);
+                        }
+                    }
+                }
+            }
+        }
+        stats.seconds = t0.elapsed().as_secs_f64().max(1e-9);
+        stats.rate = stats.explored as f64 / stats.seconds;
+        DseResult {
+            pareto,
+            best_throughput: best_t,
+            best_energy: best_e,
+            best_edp,
+            sample,
+            stats,
+        }
+    }
+
+    /// [`Explorer::explore`] split across `threads` OS threads by PE
+    /// count, with the partial results merged (the paper runs four DSEs
+    /// concurrently on its workstation).
+    pub fn explore_parallel(
+        &self,
+        layer: &Layer,
+        mappings: &[Dataflow],
+        threads: usize,
+    ) -> DseResult {
+        let threads = threads.max(1).min(self.space.pes.len().max(1));
+        let chunks: Vec<Vec<u64>> = (0..threads)
+            .map(|t| {
+                self.space
+                    .pes
+                    .iter()
+                    .copied()
+                    .skip(t)
+                    .step_by(threads)
+                    .collect()
+            })
+            .collect();
+        let t0 = Instant::now();
+        let results: Vec<DseResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|pes| {
+                    let mut sub = self.clone();
+                    sub.space.pes = pes.clone();
+                    scope.spawn(move || sub.explore(layer, mappings))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("DSE worker")).collect()
+        });
+        let mut merged = DseResult {
+            pareto: Vec::new(),
+            best_throughput: None,
+            best_energy: None,
+            best_edp: None,
+            sample: Vec::new(),
+            stats: DseStats {
+                explored: 0,
+                evaluated: 0,
+                valid: 0,
+                seconds: 0.0,
+                rate: 0.0,
+            },
+        };
+        for r in results {
+            merged.stats.explored += r.stats.explored;
+            merged.stats.evaluated += r.stats.evaluated;
+            merged.stats.valid += r.stats.valid;
+            for p in &r.pareto {
+                insert_pareto(&mut merged.pareto, p);
+            }
+            for p in [&r.best_throughput, &r.best_energy, &r.best_edp].into_iter().flatten() {
+                update_best(&mut merged.best_throughput, p, |p| -p.throughput);
+                update_best(&mut merged.best_energy, p, |p| p.energy);
+                update_best(&mut merged.best_edp, p, |p| p.edp);
+            }
+            let room = merged.sample.capacity().max(self.sample_cap) - merged.sample.len();
+            merged.sample.extend(r.sample.into_iter().take(room));
+        }
+        merged.stats.seconds = t0.elapsed().as_secs_f64().max(1e-9);
+        merged.stats.rate = merged.stats.explored as f64 / merged.stats.seconds;
+        merged
+    }
+}
+
+#[cfg(test)]
+mod model_tests {
+    use super::*;
+    use crate::space::SweepSpace;
+    use crate::variants;
+    use maestro_dnn::zoo;
+    use maestro_ir::Style;
+
+    #[test]
+    fn whole_model_exploration() {
+        let e = Explorer::new(SweepSpace::tiny());
+        let model = zoo::alexnet(1);
+        let maps = variants::variants(Style::KCP);
+        let r = e.explore_model(&model, &maps);
+        assert!(r.stats.valid > 0);
+        let t = r.best_throughput.expect("some valid design");
+        assert!(t.runtime > 0.0);
+        assert!(t.mapping.contains("per-layer"));
+    }
+
+    #[test]
+    fn parallel_matches_serial_optima() {
+        let e = Explorer::new(SweepSpace::tiny());
+        let model = zoo::vgg16(1);
+        let layer = model.layer("CONV5").expect("zoo layer");
+        let maps = variants::variants(Style::KCP);
+        let serial = e.explore(layer, &maps);
+        let parallel = e.explore_parallel(layer, &maps, 3);
+        assert_eq!(serial.stats.valid, parallel.stats.valid);
+        let (s, p) = (
+            serial.best_throughput.expect("serial optimum"),
+            parallel.best_throughput.expect("parallel optimum"),
+        );
+        assert_eq!(s.throughput, p.throughput);
+        let (s, p) = (
+            serial.best_energy.expect("serial"),
+            parallel.best_energy.expect("parallel"),
+        );
+        assert!((s.energy - p.energy).abs() < 1e-6 * s.energy);
+    }
+}

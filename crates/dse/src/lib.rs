@@ -1,0 +1,29 @@
+//! Hardware design-space exploration driven by the MAESTRO cost model
+//! (paper §5.2, Figure 13, Table 5).
+//!
+//! The explorer sweeps PE count, NoC bandwidth, L1/L2 capacities and the
+//! dataflow's mapping (tile-size) variants under an area/power budget,
+//! bulk-skipping sub-spaces that cannot meet the budget, and reports the
+//! Pareto front plus throughput-, energy- and EDP-optimized designs.
+//!
+//! # Example
+//!
+//! ```
+//! use maestro_dnn::{Layer, LayerDims, Operator};
+//! use maestro_dse::{variants, Explorer, SweepSpace};
+//! use maestro_ir::Style;
+//!
+//! let layer = Layer::new("c", Operator::conv2d(), LayerDims::square(1, 32, 32, 34, 3));
+//! let explorer = Explorer::new(SweepSpace::tiny());
+//! let result = explorer.explore(&layer, &variants::variants(Style::KCP));
+//! assert!(result.stats.valid > 0);
+//! ```
+
+pub mod explorer;
+pub mod tuner;
+pub mod space;
+pub mod variants;
+
+pub use explorer::{DesignPoint, DseResult, DseStats, Explorer};
+pub use tuner::{tune_layer, tune_model, Objective, TunedLayer, TunedModel};
+pub use space::{Constraints, SweepSpace};

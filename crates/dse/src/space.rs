@@ -1,0 +1,111 @@
+//! The hardware design space and its constraints.
+
+use serde::{Deserialize, Serialize};
+
+/// Area/power budget for valid designs (the paper uses Eyeriss' reported
+/// envelope: 16 mm², 450 mW).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Maximum die area in mm².
+    pub max_area_mm2: f64,
+    /// Maximum power in mW.
+    pub max_power_mw: f64,
+}
+
+impl Constraints {
+    /// The paper's Eyeriss-envelope constraint point.
+    pub const fn eyeriss_envelope() -> Self {
+        Constraints {
+            max_area_mm2: 16.0,
+            max_power_mw: 450.0,
+        }
+    }
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Self::eyeriss_envelope()
+    }
+}
+
+/// The swept hardware parameters: PE count, NoC bandwidth and the L1/L2
+/// capacities (paper §5.2's four parameters). Buffer capacities are swept
+/// as *placement* choices — a design is valid only when they cover the
+/// dataflow's requirement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpace {
+    /// PE counts to explore.
+    pub pes: Vec<u64>,
+    /// NoC bandwidths (elements/cycle) to explore.
+    pub noc_bw: Vec<u64>,
+    /// Per-PE L1 capacities (bytes) to explore.
+    pub l1_bytes: Vec<u64>,
+    /// Shared L2 capacities (bytes) to explore.
+    pub l2_bytes: Vec<u64>,
+}
+
+impl SweepSpace {
+    /// The default space: 16–512 PEs, 1–64 wide NoC, 0.25–16 KB L1,
+    /// 16 KB–4 MB L2 (geometric grids).
+    pub fn standard() -> Self {
+        SweepSpace {
+            pes: vec![16, 24, 32, 48, 64, 96, 128, 152, 192, 256, 384, 512],
+            noc_bw: vec![1, 2, 4, 8, 16, 24, 32, 48, 64],
+            l1_bytes: geometric(256, 16 * 1024, 17),
+            l2_bytes: geometric(16 * 1024, 4 * 1024 * 1024, 17),
+        }
+    }
+
+    /// A small space for tests.
+    pub fn tiny() -> Self {
+        SweepSpace {
+            pes: vec![16, 64, 128],
+            noc_bw: vec![4, 16, 32],
+            l1_bytes: vec![512, 2048, 8192],
+            l2_bytes: vec![64 * 1024, 512 * 1024, 2 * 1024 * 1024],
+        }
+    }
+
+    /// Total number of hardware points (excluding mapping variants).
+    pub fn size(&self) -> u64 {
+        (self.pes.len() * self.noc_bw.len() * self.l1_bytes.len() * self.l2_bytes.len()) as u64
+    }
+}
+
+/// `n` geometrically spaced values from `lo` to `hi` (inclusive, rounded).
+pub fn geometric(lo: u64, hi: u64, n: usize) -> Vec<u64> {
+    assert!(n >= 2 && lo > 0 && hi > lo);
+    let ratio = (hi as f64 / lo as f64).powf(1.0 / (n - 1) as f64);
+    let mut out: Vec<u64> = (0..n)
+        .map(|i| (lo as f64 * ratio.powi(i as i32)).round() as u64)
+        .collect();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_grid_endpoints() {
+        let g = geometric(256, 16 * 1024, 7);
+        assert_eq!(*g.first().unwrap(), 256);
+        assert_eq!(*g.last().unwrap(), 16 * 1024);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn space_size() {
+        let s = SweepSpace::tiny();
+        assert_eq!(s.size(), 81);
+        assert!(SweepSpace::standard().size() > 10_000);
+    }
+
+    #[test]
+    fn default_constraints_are_the_eyeriss_envelope() {
+        let c = Constraints::default();
+        assert_eq!(c.max_area_mm2, 16.0);
+        assert_eq!(c.max_power_mw, 450.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Tile-size variants of the dataflow styles.
+//!
+//! The paper's DSE observes that "the tiling strategy of the dataflow
+//! (mapping sizes in our directive representation) significantly affects
+//! the efficiency of buffer use" (§5.2): the same style with different
+//! mapping sizes trades buffer capacity against refetch traffic and
+//! utilization. This module generates those mapping variants.
+
+use maestro_dnn::Dim;
+use maestro_ir::{Dataflow, SizeExpr, Style};
+
+/// A KC-P (NVDLA-style) dataflow with `c_cluster` channels per cluster and
+/// a `ytile`×`xtile` output tile per step.
+pub fn kcp_variant(c_cluster: u64, ytile: u64, xtile: u64) -> Dataflow {
+    let sz = SizeExpr::size;
+    let win = |t: u64, d: Dim| SizeExpr::lit(t).add(sz(d)).sub(SizeExpr::lit(1));
+    Dataflow::builder(format!("KC-P[c{c_cluster},y{ytile},x{xtile}]"))
+        .spatial(1, 1, Dim::K)
+        .temporal(c_cluster, c_cluster, Dim::C)
+        .temporal(sz(Dim::R), sz(Dim::R), Dim::R)
+        .temporal(sz(Dim::S), sz(Dim::S), Dim::S)
+        .temporal(win(ytile, Dim::R), ytile, Dim::Y)
+        .temporal(win(xtile, Dim::S), xtile, Dim::X)
+        .cluster(SizeExpr::lit(c_cluster))
+        .spatial(1, 1, Dim::C)
+        .build()
+}
+
+/// A YR-P (row-stationary) dataflow with `c_chunk`/`k_chunk` channel tile
+/// sizes and an `xtile`-wide output-column step.
+pub fn yrp_variant(c_chunk: u64, k_chunk: u64, xtile: u64) -> Dataflow {
+    let sz = SizeExpr::size;
+    let win = |t: u64, d: Dim| SizeExpr::lit(t).add(sz(d)).sub(SizeExpr::lit(1));
+    Dataflow::builder(format!("YR-P[c{c_chunk},k{k_chunk},x{xtile}]"))
+        .temporal(c_chunk, c_chunk, Dim::C)
+        .temporal(k_chunk, k_chunk, Dim::K)
+        .spatial(sz(Dim::R), 1, Dim::Y)
+        .temporal(win(xtile, Dim::S), xtile, Dim::X)
+        .temporal(sz(Dim::R), sz(Dim::R), Dim::R)
+        .temporal(sz(Dim::S), sz(Dim::S), Dim::S)
+        .cluster(sz(Dim::R))
+        .spatial(1, 1, Dim::Y)
+        .spatial(1, 1, Dim::R)
+        .build()
+}
+
+/// An X-P (weight-stationary) variant with a `ytile`-row output step.
+pub fn xp_variant(ytile: u64) -> Dataflow {
+    let sz = SizeExpr::size;
+    let win = |t: u64, d: Dim| SizeExpr::lit(t).add(sz(d)).sub(SizeExpr::lit(1));
+    Dataflow::builder(format!("X-P[y{ytile}]"))
+        .temporal(1, 1, Dim::K)
+        .temporal(1, 1, Dim::C)
+        .temporal(sz(Dim::R), sz(Dim::R), Dim::R)
+        .temporal(sz(Dim::S), sz(Dim::S), Dim::S)
+        .temporal(win(ytile, Dim::R), ytile, Dim::Y)
+        .spatial(sz(Dim::S), 1, Dim::X)
+        .build()
+}
+
+/// A YX-P (ShiDianNao-style) variant with an `xtile`-wide column strip per
+/// `cluster`-PE group.
+pub fn yxp_variant(cluster: u64, xtile: u64) -> Dataflow {
+    let sz = SizeExpr::size;
+    let win = |t: u64, d: Dim| SizeExpr::lit(t).add(sz(d)).sub(SizeExpr::lit(1));
+    Dataflow::builder(format!("YX-P[p{cluster},x{xtile}]"))
+        .temporal(1, 1, Dim::K)
+        .spatial(sz(Dim::R), 1, Dim::Y)
+        .temporal(win(xtile, Dim::S), xtile, Dim::X)
+        .temporal(1, 1, Dim::C)
+        .temporal(sz(Dim::R), sz(Dim::R), Dim::R)
+        .temporal(sz(Dim::S), sz(Dim::S), Dim::S)
+        .cluster(SizeExpr::lit(cluster))
+        .spatial(sz(Dim::S), 1, Dim::X)
+        .build()
+}
+
+/// The mapping-variant sweep of a style (the canonical Table 3 form plus
+/// tile-size alternatives).
+pub fn variants(style: Style) -> Vec<Dataflow> {
+    match style {
+        Style::KCP => {
+            let mut v = Vec::new();
+            for c in [16, 32, 64] {
+                for t in [1, 2, 4] {
+                    v.push(kcp_variant(c, t, t));
+                }
+            }
+            v
+        }
+        Style::YRP => {
+            let mut v = Vec::new();
+            for ck in [1, 2, 4] {
+                for kk in [2, 4, 8] {
+                    v.push(yrp_variant(ck, kk, 1));
+                }
+            }
+            v
+        }
+        Style::XP => [1, 2, 4, 8].iter().map(|&t| xp_variant(t)).collect(),
+        Style::YXP => {
+            let mut v = Vec::new();
+            for p in [4, 8, 16] {
+                for t in [4, 8, 16] {
+                    v.push(yxp_variant(p, t));
+                }
+            }
+            v
+        }
+        Style::CP => vec![style.dataflow()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_dnn::{Layer, LayerDims, Operator};
+    use maestro_ir::resolve;
+
+    fn layer() -> Layer {
+        Layer::new("c", Operator::conv2d(), LayerDims::square(1, 64, 64, 58, 3))
+    }
+
+    #[test]
+    fn all_variants_resolve() {
+        let l = layer();
+        for style in Style::ALL {
+            for df in variants(style) {
+                resolve(&df, &l, 256)
+                    .unwrap_or_else(|e| panic!("{}: {e}", df.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn variant_names_are_distinct() {
+        for style in Style::ALL {
+            let vs = variants(style);
+            let mut names: Vec<_> = vs.iter().map(|d| d.name().to_string()).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), vs.len(), "{style}");
+        }
+    }
+
+    #[test]
+    fn bigger_tiles_need_bigger_buffers() {
+        let l = layer();
+        let acc = maestro_hw::Accelerator::builder(256).build();
+        let small = maestro_core::analyze(&l, &kcp_variant(64, 1, 1), &acc).unwrap();
+        let big = maestro_core::analyze(&l, &kcp_variant(64, 4, 4), &acc).unwrap();
+        assert!(
+            big.l1_per_pe_elems > small.l1_per_pe_elems,
+            "{} vs {}",
+            big.l1_per_pe_elems,
+            small.l1_per_pe_elems
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Area and power models of accelerator building blocks.
+//!
+//! The paper synthesizes MAC units, buses, arbiters and scratchpads at
+//! 28 nm and fits the bus cost to a linear model and the arbiter cost to a
+//! quadratic one (§5.2), then uses those fits inside the DSE. We reproduce
+//! the *structure* of that model with synthetic 28 nm-plausible constants,
+//! calibrated so that the paper's constraint point (16 mm², 450 mW — the
+//! reported Eyeriss budget) binds in the same region of the design space
+//! (roughly 50–250 PEs with tens-of-KB to MB-scale buffers).
+
+use crate::config::Accelerator;
+use serde::{Deserialize, Serialize};
+
+/// Component area model (mm²).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Fixed per-PE control/pipeline overhead (mm²).
+    pub pe_overhead_mm2: f64,
+    /// One 16-bit MAC lane (mm²); scaled by `(bits/16)^1.5`.
+    pub mac16_mm2: f64,
+    /// SRAM density (mm² per byte), including periphery amortization.
+    pub sram_mm2_per_byte: f64,
+    /// Fixed SRAM macro overhead (mm² per macro instance).
+    pub sram_macro_mm2: f64,
+    /// Bus wiring cost (mm² per element/cycle of bandwidth) — linear fit.
+    pub bus_mm2_per_lane: f64,
+    /// Arbiter cost (mm² per port²) — quadratic fit.
+    pub arbiter_mm2_per_port2: f64,
+}
+
+impl AreaModel {
+    /// The synthetic 28 nm calibration used throughout the workspace.
+    pub const fn synthetic_28nm() -> Self {
+        AreaModel {
+            pe_overhead_mm2: 0.045,
+            mac16_mm2: 0.0016,
+            sram_mm2_per_byte: 1.2e-6,
+            sram_macro_mm2: 0.0008,
+            bus_mm2_per_lane: 0.012,
+            arbiter_mm2_per_port2: 3.0e-5,
+        }
+    }
+
+    /// Area of one PE: overhead + vector MAC + L1 macro.
+    pub fn pe_area(&self, vector_width: u64, precision_bytes: u64, l1_bytes: u64) -> f64 {
+        let bits = precision_bytes as f64 * 8.0;
+        let mac = self.mac16_mm2 * (bits / 16.0).powf(1.5) * vector_width as f64;
+        let l1 = self.sram_macro_mm2 + self.sram_mm2_per_byte * l1_bytes as f64;
+        self.pe_overhead_mm2 + mac + l1
+    }
+
+    /// Area of the shared L2 scratchpad.
+    pub fn l2_area(&self, l2_bytes: u64) -> f64 {
+        self.sram_macro_mm2 + self.sram_mm2_per_byte * l2_bytes as f64
+    }
+
+    /// Area of the NoC: linear bus + quadratic arbiter.
+    pub fn noc_area(&self, num_pes: u64, bandwidth: u64) -> f64 {
+        self.bus_mm2_per_lane * bandwidth as f64
+            + self.arbiter_mm2_per_port2 * (num_pes as f64).powi(2) / 64.0
+    }
+
+    /// Area of the spatial-reuse support structures (Table 2's choices):
+    /// fan-out wiring scales with destinations, adder trees with sources.
+    pub fn support_area(&self, num_pes: u64, support: crate::support::ReuseSupport) -> f64 {
+        use crate::support::{SpatialMulticast, SpatialReduction};
+        let n = num_pes as f64;
+        let multicast = match support.multicast {
+            SpatialMulticast::Fanout => 0.0002 * n,
+            SpatialMulticast::StoreAndForward => 0.0003 * n,
+            SpatialMulticast::None => 0.0,
+        };
+        let reduction = match support.reduction {
+            // One adder per tree node ≈ one per source.
+            SpatialReduction::Fanin => 0.0004 * n,
+            SpatialReduction::ReduceAndForward => 0.0003 * n,
+            SpatialReduction::None => 0.0,
+        };
+        multicast + reduction
+    }
+
+    /// Total accelerator area in mm².
+    pub fn total_area(&self, acc: &Accelerator) -> f64 {
+        acc.num_pes as f64 * self.pe_area(acc.vector_width, acc.precision_bytes, acc.l1_bytes)
+            + self.l2_area(acc.l2_bytes)
+            + self.noc_area(acc.num_pes, acc.noc.bandwidth)
+            + self.support_area(acc.num_pes, acc.support)
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::synthetic_28nm()
+    }
+}
+
+/// Component power model (mW, at the nominal 1 GHz clock).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Per-PE baseline power (control + L1 leakage), mW.
+    pub pe_mw: f64,
+    /// Additional power per MAC lane, mW.
+    pub mac_lane_mw: f64,
+    /// SRAM power per KB (dynamic + leakage at typical activity), mW.
+    pub sram_mw_per_kb: f64,
+    /// NoC power per element/cycle of bandwidth, mW.
+    pub noc_mw_per_lane: f64,
+}
+
+impl PowerModel {
+    /// The synthetic 28 nm calibration.
+    pub const fn synthetic_28nm() -> Self {
+        PowerModel {
+            pe_mw: 1.1,
+            mac_lane_mw: 0.35,
+            sram_mw_per_kb: 0.055,
+            noc_mw_per_lane: 0.9,
+        }
+    }
+
+    /// Total accelerator power in mW.
+    pub fn total_power(&self, acc: &Accelerator) -> f64 {
+        let pes = acc.num_pes as f64
+            * (self.pe_mw
+                + self.mac_lane_mw * acc.vector_width as f64
+                + self.sram_mw_per_kb * acc.l1_bytes as f64 / 1024.0);
+        let l2 = self.sram_mw_per_kb * acc.l2_bytes as f64 / 1024.0;
+        let noc = self.noc_mw_per_lane * acc.noc.bandwidth as f64;
+        // Reuse-support structures burn a small per-PE overhead when present.
+        let support = support_cost::support_power_mw(acc);
+        pes + l2 + noc + support
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::synthetic_28nm()
+    }
+}
+
+mod support_cost {
+    use crate::config::Accelerator;
+    use crate::support::{SpatialMulticast, SpatialReduction};
+
+    /// Power of the spatial-reuse structures, mW.
+    pub fn support_power_mw(acc: &Accelerator) -> f64 {
+        let n = acc.num_pes as f64;
+        let m = match acc.support.multicast {
+            SpatialMulticast::None => 0.0,
+            _ => 0.02 * n,
+        };
+        let r = match acc.support.reduction {
+            SpatialReduction::None => 0.0,
+            _ => 0.03 * n,
+        };
+        m + r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(pes: u64, l1: u64, l2: u64, bw: u64) -> Accelerator {
+        Accelerator::builder(pes)
+            .l1_bytes(l1)
+            .l2_bytes(l2)
+            .noc_bandwidth(bw)
+            .build()
+    }
+
+    #[test]
+    fn area_monotonic_in_everything() {
+        let a = AreaModel::default();
+        let base = a.total_area(&acc(128, 2048, 1 << 20, 32));
+        assert!(a.total_area(&acc(256, 2048, 1 << 20, 32)) > base);
+        assert!(a.total_area(&acc(128, 4096, 1 << 20, 32)) > base);
+        assert!(a.total_area(&acc(128, 2048, 1 << 21, 32)) > base);
+        assert!(a.total_area(&acc(128, 2048, 1 << 20, 64)) > base);
+    }
+
+    #[test]
+    fn constraint_point_binds_in_paper_region() {
+        // The paper's 16 mm² / 450 mW budget should admit a mid-size design
+        // and reject an extreme one.
+        let a = AreaModel::default();
+        let p = PowerModel::default();
+        let mid = acc(128, 2048, 1 << 20, 32);
+        assert!(a.total_area(&mid) < 16.0, "{}", a.total_area(&mid));
+        assert!(p.total_power(&mid) < 450.0, "{}", p.total_power(&mid));
+        let big = acc(1024, 8192, 8 << 20, 128);
+        assert!(a.total_area(&big) > 16.0 || p.total_power(&big) > 450.0);
+        // And specifically ~150-250 PEs should be near the power knee.
+        let knee = acc(256, 2048, 1 << 20, 32);
+        let pw = p.total_power(&knee);
+        assert!((300.0..600.0).contains(&pw), "{pw}");
+    }
+
+    #[test]
+    fn arbiter_cost_is_quadratic() {
+        let a = AreaModel::default();
+        let n1 = a.noc_area(64, 32);
+        let n2 = a.noc_area(128, 32);
+        let n4 = a.noc_area(256, 32);
+        assert!((n2 - a.bus_mm2_per_lane * 32.0) / (n1 - a.bus_mm2_per_lane * 32.0) > 3.9);
+        assert!((n4 - a.bus_mm2_per_lane * 32.0) / (n2 - a.bus_mm2_per_lane * 32.0) > 3.9);
+    }
+
+    #[test]
+    fn support_structures_cost_area_and_power() {
+        let a = AreaModel::default();
+        let p = PowerModel::default();
+        let full = acc(128, 2048, 1 << 20, 32);
+        let none = Accelerator::builder(128)
+            .l1_bytes(2048)
+            .l2_bytes(1 << 20)
+            .noc_bandwidth(32)
+            .support(crate::support::ReuseSupport::none())
+            .build();
+        assert!(a.total_area(&full) > a.total_area(&none));
+        assert!(p.total_power(&full) > p.total_power(&none));
+    }
+
+    #[test]
+    fn precision_scales_mac_area() {
+        let a = AreaModel::default();
+        assert!(a.pe_area(1, 2, 2048) > a.pe_area(1, 1, 2048));
+        assert!(a.pe_area(4, 1, 2048) > a.pe_area(1, 1, 2048));
+    }
+}

@@ -1,0 +1,256 @@
+//! The accelerator configuration and its builder.
+
+use crate::noc::NocConfig;
+use crate::support::ReuseSupport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One accelerator configuration: the hardware inputs of the cost model
+/// (paper Figure 2's parameter list).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// Configuration name (for reports).
+    pub name: String,
+    /// Number of processing elements.
+    pub num_pes: u64,
+    /// MACs each PE performs per cycle (ALU vector width).
+    pub vector_width: u64,
+    /// Bytes per data element (ALU precision).
+    pub precision_bytes: u64,
+    /// Per-PE L1 scratchpad capacity in bytes.
+    pub l1_bytes: u64,
+    /// Shared L2 scratchpad capacity in bytes.
+    pub l2_bytes: u64,
+    /// NoC pipe parameters.
+    pub noc: NocConfig,
+    /// Spatial multicast / reduction capabilities.
+    pub support: ReuseSupport,
+    /// Off-chip (DRAM) bandwidth in elements per cycle, used to charge the
+    /// initial L2 fill.
+    pub offchip_bandwidth: u64,
+}
+
+impl Accelerator {
+    /// Start building a configuration with `num_pes` PEs and defaults
+    /// matching the paper's case studies (2 KB L1, 1 MB L2, 32-wide NoC,
+    /// full reuse support, 1-byte elements).
+    pub fn builder(num_pes: u64) -> AcceleratorBuilder {
+        AcceleratorBuilder {
+            acc: Accelerator {
+                name: format!("acc-{num_pes}pe"),
+                num_pes,
+                vector_width: 1,
+                precision_bytes: 1,
+                l1_bytes: 2 * 1024,
+                l2_bytes: 1024 * 1024,
+                noc: NocConfig::default(),
+                support: ReuseSupport::full(),
+                offchip_bandwidth: 16,
+            },
+        }
+    }
+
+    /// Peak MAC throughput per cycle.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.num_pes * self.vector_width
+    }
+
+    /// L1 capacity in elements.
+    pub fn l1_elements(&self) -> u64 {
+        self.l1_bytes / self.precision_bytes.max(1)
+    }
+
+    /// L2 capacity in elements.
+    pub fn l2_elements(&self) -> u64 {
+        self.l2_bytes / self.precision_bytes.max(1)
+    }
+
+    /// The 256-PE, 32 GB/s configuration used for the Figure 10/11 case
+    /// studies.
+    pub fn paper_case_study() -> Self {
+        Accelerator::builder(256).name("case-study-256pe").build()
+    }
+
+    /// An Eyeriss-like configuration: 168 PEs, a three-channel hierarchical
+    /// bus, systolic-style forwarding.
+    pub fn eyeriss_like() -> Self {
+        Accelerator::builder(168)
+            .name("eyeriss-like")
+            .l1_bytes(512)
+            .l2_bytes(108 * 1024)
+            .noc(NocConfig::bus(3, 2))
+            .support(ReuseSupport {
+                multicast: crate::support::SpatialMulticast::Fanout,
+                reduction: crate::support::SpatialReduction::ReduceAndForward,
+            })
+            .build()
+    }
+
+    /// A TPU-flavoured configuration: fewer, wide vector PEs (a 16-lane
+    /// MAC per PE), large unified buffer, high off-chip bandwidth.
+    pub fn tpu_like(num_pes: u64) -> Self {
+        Accelerator::builder(num_pes)
+            .name("tpu-like")
+            .vector_width(16)
+            .l1_bytes(4 * 1024)
+            .l2_bytes(8 * 1024 * 1024)
+            .noc(NocConfig::new(64, 2))
+            .offchip_bandwidth(64)
+            .support(ReuseSupport::systolic())
+            .build()
+    }
+
+    /// A MAERI-like configuration: 64 PEs with fat-tree distribution and
+    /// augmented-reduction-tree collection.
+    pub fn maeri_like(num_pes: u64) -> Self {
+        Accelerator::builder(num_pes)
+            .name("maeri-like")
+            .l1_bytes(1024)
+            .l2_bytes(512 * 1024)
+            .noc(NocConfig::new(16, 1))
+            .support(ReuseSupport::full())
+            .build()
+    }
+}
+
+impl fmt::Display for Accelerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} PEs x{}w, L1 {} B, L2 {} B, NoC {}x/{}cy, mcast {}, red {}",
+            self.name,
+            self.num_pes,
+            self.vector_width,
+            self.l1_bytes,
+            self.l2_bytes,
+            self.noc.bandwidth,
+            self.noc.avg_latency,
+            self.support.multicast,
+            self.support.reduction,
+        )
+    }
+}
+
+/// Builder for [`Accelerator`] (non-consuming terminal `build`).
+#[derive(Debug, Clone)]
+pub struct AcceleratorBuilder {
+    acc: Accelerator,
+}
+
+impl AcceleratorBuilder {
+    /// Set the configuration name.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.acc.name = name.into();
+        self
+    }
+
+    /// Set the ALU vector width (MACs per PE per cycle).
+    #[must_use]
+    pub fn vector_width(mut self, w: u64) -> Self {
+        self.acc.vector_width = w;
+        self
+    }
+
+    /// Set element precision in bytes.
+    #[must_use]
+    pub fn precision_bytes(mut self, b: u64) -> Self {
+        self.acc.precision_bytes = b;
+        self
+    }
+
+    /// Set per-PE L1 capacity in bytes.
+    #[must_use]
+    pub fn l1_bytes(mut self, b: u64) -> Self {
+        self.acc.l1_bytes = b;
+        self
+    }
+
+    /// Set shared L2 capacity in bytes.
+    #[must_use]
+    pub fn l2_bytes(mut self, b: u64) -> Self {
+        self.acc.l2_bytes = b;
+        self
+    }
+
+    /// Set the full NoC configuration.
+    #[must_use]
+    pub fn noc(mut self, noc: NocConfig) -> Self {
+        self.acc.noc = noc;
+        self
+    }
+
+    /// Set just the NoC bandwidth (elements per cycle).
+    #[must_use]
+    pub fn noc_bandwidth(mut self, bw: u64) -> Self {
+        self.acc.noc = NocConfig::new(bw, self.acc.noc.avg_latency);
+        self
+    }
+
+    /// Set the spatial reuse support.
+    #[must_use]
+    pub fn support(mut self, s: ReuseSupport) -> Self {
+        self.acc.support = s;
+        self
+    }
+
+    /// Set the off-chip bandwidth in elements per cycle.
+    #[must_use]
+    pub fn offchip_bandwidth(mut self, bw: u64) -> Self {
+        self.acc.offchip_bandwidth = bw;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Accelerator {
+        self.acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_case_study() {
+        let acc = Accelerator::paper_case_study();
+        assert_eq!(acc.num_pes, 256);
+        assert_eq!(acc.noc.bandwidth, 32);
+        assert_eq!(acc.l1_bytes, 2048);
+        assert_eq!(acc.l2_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let acc = Accelerator::builder(64)
+            .name("x")
+            .vector_width(4)
+            .precision_bytes(2)
+            .l1_bytes(4096)
+            .l2_bytes(1 << 19)
+            .noc_bandwidth(8)
+            .offchip_bandwidth(4)
+            .build();
+        assert_eq!(acc.name, "x");
+        assert_eq!(acc.peak_macs_per_cycle(), 256);
+        assert_eq!(acc.l1_elements(), 2048);
+        assert_eq!(acc.l2_elements(), 1 << 18);
+        assert_eq!(acc.noc.bandwidth, 8);
+        assert_eq!(acc.offchip_bandwidth, 4);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(Accelerator::eyeriss_like().num_pes, 168);
+        assert_eq!(Accelerator::maeri_like(64).num_pes, 64);
+        let tpu = Accelerator::tpu_like(64);
+        assert_eq!(tpu.peak_macs_per_cycle(), 1024);
+    }
+
+    #[test]
+    fn display_mentions_key_parameters() {
+        let s = Accelerator::paper_case_study().to_string();
+        assert!(s.contains("256 PEs"));
+        assert!(s.contains("NoC 32x"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-activity energy tables.
+//!
+//! The cost engine produces *activity counts* (MACs, buffer accesses, NoC
+//! traversals); multiplying by this table yields energy, exactly as the
+//! paper multiplies counts by CACTI-derived base energies (§5). Absolute
+//! values here are synthetic but calibrated to the well-published 28 nm
+//! orderings: a small (KB-scale) scratchpad access costs a few× a MAC, a
+//! MB-scale shared buffer costs tens of× a MAC.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy per activity, in picojoules (or arbitrary units for
+/// [`EnergyModel::normalized`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One multiply-accumulate.
+    pub mac: f64,
+    /// One element read from a PE's L1 scratchpad.
+    pub l1_read: f64,
+    /// One element write to a PE's L1 scratchpad.
+    pub l1_write: f64,
+    /// One element read from the shared L2 scratchpad.
+    pub l2_read: f64,
+    /// One element write to the shared L2 scratchpad.
+    pub l2_write: f64,
+    /// One element traversing the NoC.
+    pub noc: f64,
+    /// One element moved to or from off-chip DRAM.
+    pub dram: f64,
+}
+
+impl EnergyModel {
+    /// Energies normalized to the MAC (Figure 12's "normalized to MAC
+    /// energy of C-P" convention): L1 ≈ 1.7×, L2 ≈ 19×, NoC ≈ 2× a MAC.
+    pub const fn normalized() -> Self {
+        EnergyModel {
+            mac: 1.0,
+            l1_read: 1.68,
+            l1_write: 1.68,
+            l2_read: 18.6,
+            l2_write: 18.6,
+            noc: 2.0,
+            // The well-published ~200x MAC cost of a DRAM access.
+            dram: 200.0,
+        }
+    }
+
+    /// A CACTI-flavoured 28 nm table in pJ for the given scratchpad
+    /// capacities: SRAM access energy grows ≈ √capacity
+    /// (`0.35 pJ × √KB`), MAC is a 16-bit multiply-add (0.5 pJ).
+    pub fn cacti_28nm(l1_bytes: u64, l2_bytes: u64) -> Self {
+        let l1 = sram_access_pj(l1_bytes);
+        let l2 = sram_access_pj(l2_bytes);
+        EnergyModel {
+            mac: 0.5,
+            l1_read: l1,
+            l1_write: l1 * 1.05,
+            l2_read: l2,
+            l2_write: l2 * 1.05,
+            noc: 0.7,
+            dram: 120.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::normalized()
+    }
+}
+
+/// Synthetic CACTI-style SRAM access energy: `0.35 pJ × √(capacity in KB)`,
+/// floored at a register-file-like 0.15 pJ.
+pub fn sram_access_pj(bytes: u64) -> f64 {
+    let kb = bytes as f64 / 1024.0;
+    (0.35 * kb.sqrt()).max(0.15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_ratios() {
+        let e = EnergyModel::normalized();
+        assert_eq!(e.mac, 1.0);
+        assert!(e.l2_read > e.l1_read && e.l1_read > e.mac);
+    }
+
+    #[test]
+    fn cacti_scales_with_capacity() {
+        let small = EnergyModel::cacti_28nm(2 * 1024, 64 * 1024);
+        let big = EnergyModel::cacti_28nm(2 * 1024, 1024 * 1024);
+        assert!(big.l2_read > small.l2_read);
+        assert_eq!(big.l1_read, small.l1_read);
+        // 1 MB L2 should cost an order of magnitude more than 2 KB L1.
+        assert!(big.l2_read / big.l1_read > 10.0);
+    }
+
+    #[test]
+    fn sram_floor() {
+        assert_eq!(sram_access_pj(16), 0.15);
+        assert!((sram_access_pj(1024) - 0.35).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! Abstract DNN accelerator hardware model (paper Figure 2).
+//!
+//! The model is the pervasive spatial-accelerator template: an array of
+//! processing elements (PEs), each with a private L1 scratchpad and a
+//! (possibly vector) MAC unit, a shared L2 scratchpad, and a
+//! network-on-chip connecting them. The NoC is modeled as a *pipe*
+//! (bandwidth + average latency, §4.2), and the hardware's support for each
+//! reuse class — spatial/temporal multicast and reduction (Table 2) — is an
+//! explicit capability that costs area/energy and enables the corresponding
+//! reuse.
+//!
+//! Data quantities throughout the workspace are counted in *elements*
+//! (words); [`Accelerator::precision_bytes`] converts to bytes for buffer
+//! sizing and area.
+//!
+//! # Example
+//!
+//! ```
+//! use maestro_hw::Accelerator;
+//!
+//! let acc = Accelerator::builder(256)
+//!     .noc_bandwidth(32)
+//!     .l1_bytes(2 * 1024)
+//!     .l2_bytes(1024 * 1024)
+//!     .build();
+//! assert_eq!(acc.num_pes, 256);
+//! assert_eq!(acc.peak_macs_per_cycle(), 256);
+//! ```
+
+pub mod area;
+pub mod config;
+pub mod energy;
+pub mod noc;
+pub mod support;
+
+pub use area::{AreaModel, PowerModel};
+pub use config::{Accelerator, AcceleratorBuilder};
+pub use energy::EnergyModel;
+pub use noc::NocConfig;
+pub use support::{ReuseSupport, SpatialMulticast, SpatialReduction};

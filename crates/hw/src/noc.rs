@@ -1,0 +1,89 @@
+//! The analytical network-on-chip pipe model (paper §4.2).
+//!
+//! MAESTRO models the NoC with two parameters — bandwidth (pipe width) and
+//! average latency (pipe length) — which, combined with a pipelining
+//! assumption, approximates buses, crossbars, trees and meshes. For a bus
+//! or crossbar the model is exact; for an `N×N` mesh injected from a corner
+//! the paper recommends bandwidth `N` and average latency `N`.
+
+use serde::{Deserialize, Serialize};
+
+/// NoC pipe parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Elements transferable per cycle (pipe width).
+    pub bandwidth: u64,
+    /// Average delivery latency in cycles (pipe length).
+    pub avg_latency: u64,
+}
+
+impl NocConfig {
+    /// Create a pipe model with the given bandwidth and latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is zero.
+    pub fn new(bandwidth: u64, avg_latency: u64) -> Self {
+        assert!(bandwidth > 0, "NoC bandwidth must be positive");
+        NocConfig {
+            bandwidth,
+            avg_latency,
+        }
+    }
+
+    /// Cycles to deliver `elements` through the pipe:
+    /// `ceil(elements / bandwidth) + avg_latency` (zero for an empty
+    /// transfer — nothing enters the pipe).
+    pub fn transfer_cycles(&self, elements: u64) -> u64 {
+        if elements == 0 {
+            0
+        } else {
+            elements.div_ceil(self.bandwidth) + self.avg_latency
+        }
+    }
+
+    /// Parameters approximating an `n × n` mesh injected at a corner.
+    pub fn mesh(n: u64) -> Self {
+        NocConfig::new(n.max(1), n)
+    }
+
+    /// A bus with dedicated per-tensor channels (e.g. Eyeriss' three-way
+    /// hierarchical bus ≈ bandwidth 3 × channel width).
+    pub fn bus(width: u64, latency: u64) -> Self {
+        NocConfig::new(width, latency)
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig::new(32, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_rounds_up_and_adds_latency() {
+        let noc = NocConfig::new(8, 2);
+        assert_eq!(noc.transfer_cycles(0), 0);
+        assert_eq!(noc.transfer_cycles(1), 3);
+        assert_eq!(noc.transfer_cycles(8), 3);
+        assert_eq!(noc.transfer_cycles(9), 4);
+        assert_eq!(noc.transfer_cycles(64), 10);
+    }
+
+    #[test]
+    fn mesh_preset() {
+        let m = NocConfig::mesh(16);
+        assert_eq!(m.bandwidth, 16);
+        assert_eq!(m.avg_latency, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = NocConfig::new(0, 1);
+    }
+}

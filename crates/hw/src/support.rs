@@ -1,0 +1,179 @@
+//! Hardware implementation choices for spatial reuse (paper Table 2).
+//!
+//! Temporal multicast (stationary buffers) and temporal reduction
+//! (read-modify-write buffers) are assumed present in every PE — they are
+//! what the L1 scratchpad *is*. Spatial multicast and spatial reduction are
+//! optional structures whose presence/absence the cost model charges for
+//! (Table 5 quantifies the impact of removing them).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How (and whether) the NoC replicates one datum to many PEs in a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SpatialMulticast {
+    /// A fan-out structure (bus or tree): one upstream read serves all
+    /// destinations.
+    #[default]
+    Fanout,
+    /// Store-and-forward neighbor links (systolic): one upstream read, but
+    /// delivery is staggered by one hop per unit.
+    StoreAndForward,
+    /// No multicast: the upstream buffer is read once *per destination*.
+    None,
+}
+
+impl SpatialMulticast {
+    /// Extra delivery cycles beyond the pipe model for `units` receivers.
+    pub fn extra_latency(&self, units: u64) -> u64 {
+        match self {
+            SpatialMulticast::Fanout | SpatialMulticast::None => 0,
+            SpatialMulticast::StoreAndForward => units.saturating_sub(1),
+        }
+    }
+
+    /// Upstream reads needed to deliver one element to `units` receivers.
+    pub fn upstream_reads(&self, units: u64) -> u64 {
+        match self {
+            SpatialMulticast::Fanout | SpatialMulticast::StoreAndForward => 1,
+            SpatialMulticast::None => units,
+        }
+    }
+}
+
+impl fmt::Display for SpatialMulticast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpatialMulticast::Fanout => "fanout (bus/tree)",
+            SpatialMulticast::StoreAndForward => "store-and-forward",
+            SpatialMulticast::None => "none",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How (and whether) partial sums from many PEs combine in space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SpatialReduction {
+    /// A fan-in adder tree: `log2(units)` combining latency, one upstream
+    /// write per reduced output.
+    #[default]
+    Fanin,
+    /// Reduce-and-forward neighbor chains (systolic): `units - 1` latency,
+    /// one upstream write per reduced output.
+    ReduceAndForward,
+    /// No spatial reduction: every PE's partial sums travel upstream and
+    /// are combined by read-modify-write at the parent buffer.
+    None,
+}
+
+impl SpatialReduction {
+    /// Extra combining latency for reducing across `units` sources.
+    pub fn extra_latency(&self, units: u64) -> u64 {
+        match self {
+            SpatialReduction::Fanin => {
+                if units <= 1 {
+                    0
+                } else {
+                    64 - u64::from((units - 1).leading_zeros()) // ceil(log2(units))
+                }
+            }
+            SpatialReduction::ReduceAndForward => units.saturating_sub(1),
+            SpatialReduction::None => 0,
+        }
+    }
+
+    /// Upstream writes produced per reduced output across `units` sources.
+    pub fn upstream_writes(&self, units: u64) -> u64 {
+        match self {
+            SpatialReduction::Fanin | SpatialReduction::ReduceAndForward => 1,
+            SpatialReduction::None => units,
+        }
+    }
+}
+
+impl fmt::Display for SpatialReduction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpatialReduction::Fanin => "fan-in (adder tree)",
+            SpatialReduction::ReduceAndForward => "reduce-and-forward",
+            SpatialReduction::None => "none",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The pair of spatial-reuse capabilities of an accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct ReuseSupport {
+    /// Spatial multicast structure.
+    pub multicast: SpatialMulticast,
+    /// Spatial reduction structure.
+    pub reduction: SpatialReduction,
+}
+
+impl ReuseSupport {
+    /// Full support with the cheapest structures (bus fan-out, adder tree).
+    pub const fn full() -> Self {
+        ReuseSupport {
+            multicast: SpatialMulticast::Fanout,
+            reduction: SpatialReduction::Fanin,
+        }
+    }
+
+    /// Systolic-style support (store-and-forward, reduce-and-forward).
+    pub const fn systolic() -> Self {
+        ReuseSupport {
+            multicast: SpatialMulticast::StoreAndForward,
+            reduction: SpatialReduction::ReduceAndForward,
+        }
+    }
+
+    /// No spatial reuse hardware at all.
+    pub const fn none() -> Self {
+        ReuseSupport {
+            multicast: SpatialMulticast::None,
+            reduction: SpatialReduction::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multicast_read_amplification() {
+        assert_eq!(SpatialMulticast::Fanout.upstream_reads(64), 1);
+        assert_eq!(SpatialMulticast::StoreAndForward.upstream_reads(64), 1);
+        assert_eq!(SpatialMulticast::None.upstream_reads(64), 64);
+    }
+
+    #[test]
+    fn reduction_write_amplification() {
+        assert_eq!(SpatialReduction::Fanin.upstream_writes(64), 1);
+        assert_eq!(SpatialReduction::None.upstream_writes(64), 64);
+    }
+
+    #[test]
+    fn latencies() {
+        assert_eq!(SpatialReduction::Fanin.extra_latency(1), 0);
+        assert_eq!(SpatialReduction::Fanin.extra_latency(2), 1);
+        assert_eq!(SpatialReduction::Fanin.extra_latency(64), 6);
+        assert_eq!(SpatialReduction::Fanin.extra_latency(65), 7);
+        assert_eq!(SpatialReduction::ReduceAndForward.extra_latency(64), 63);
+        assert_eq!(SpatialMulticast::StoreAndForward.extra_latency(8), 7);
+        assert_eq!(SpatialMulticast::Fanout.extra_latency(8), 0);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(ReuseSupport::full().multicast, SpatialMulticast::Fanout);
+        assert_eq!(
+            ReuseSupport::systolic().reduction,
+            SpatialReduction::ReduceAndForward
+        );
+        assert_eq!(ReuseSupport::none().multicast, SpatialMulticast::None);
+        assert_eq!(ReuseSupport::default(), ReuseSupport::full());
+    }
+}

@@ -1,0 +1,209 @@
+//! Complete dataflow descriptions and a builder for constructing them.
+
+use crate::directive::{Directive, SizeExpr};
+use maestro_dnn::Dim;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A named, ordered list of dataflow directives.
+///
+/// The `Display` impl prints the MAESTRO-style textual form, and
+/// [`FromStr`] parses it back; the two round-trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataflow {
+    name: String,
+    directives: Vec<Directive>,
+}
+
+impl Dataflow {
+    /// Create a dataflow from parts.
+    ///
+    /// Prefer [`Dataflow::builder`] in application code.
+    pub fn new(name: impl Into<String>, directives: Vec<Directive>) -> Self {
+        Dataflow {
+            name: name.into(),
+            directives,
+        }
+    }
+
+    /// Start building a dataflow with the given name.
+    pub fn builder(name: impl Into<String>) -> DataflowBuilder {
+        DataflowBuilder {
+            name: name.into(),
+            directives: Vec::new(),
+        }
+    }
+
+    /// The dataflow's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered directive list.
+    pub fn directives(&self) -> &[Directive] {
+        &self.directives
+    }
+
+    /// Number of cluster levels (number of `Cluster` directives + 1).
+    pub fn num_levels(&self) -> usize {
+        1 + self
+            .directives
+            .iter()
+            .filter(|d| matches!(d, Directive::Cluster(_)))
+            .count()
+    }
+
+    /// Returns a copy with a different name.
+    #[must_use]
+    pub fn renamed(&self, name: impl Into<String>) -> Self {
+        Dataflow {
+            name: name.into(),
+            directives: self.directives.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dataflow {} {{", self.name)?;
+        let mut depth = 1usize;
+        for d in &self.directives {
+            if matches!(d, Directive::Cluster(_)) {
+                for _ in 0..depth {
+                    write!(f, "  ")?;
+                }
+                writeln!(f, "{d};")?;
+                depth += 1;
+            } else {
+                for _ in 0..depth {
+                    write!(f, "  ")?;
+                }
+                writeln!(f, "{d};")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromStr for Dataflow {
+    type Err = crate::parse::ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        crate::parse::parse_dataflow(s)
+    }
+}
+
+/// Incremental builder for [`Dataflow`] (paper-order: outer first).
+///
+/// ```
+/// use maestro_dnn::Dim;
+/// use maestro_ir::{Dataflow, SizeExpr};
+///
+/// let df = Dataflow::builder("kc-p")
+///     .temporal(2, 2, Dim::K)
+///     .cluster(SizeExpr::lit(64))
+///     .spatial(1, 1, Dim::C)
+///     .build();
+/// assert_eq!(df.num_levels(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataflowBuilder {
+    name: String,
+    directives: Vec<Directive>,
+}
+
+impl DataflowBuilder {
+    /// Append a `TemporalMap(size, offset) dim`.
+    #[must_use]
+    pub fn temporal(
+        mut self,
+        size: impl Into<SizeExpr>,
+        offset: impl Into<SizeExpr>,
+        dim: Dim,
+    ) -> Self {
+        self.directives.push(Directive::TemporalMap {
+            size: size.into(),
+            offset: offset.into(),
+            dim,
+        });
+        self
+    }
+
+    /// Append a `SpatialMap(size, offset) dim`.
+    #[must_use]
+    pub fn spatial(
+        mut self,
+        size: impl Into<SizeExpr>,
+        offset: impl Into<SizeExpr>,
+        dim: Dim,
+    ) -> Self {
+        self.directives.push(Directive::SpatialMap {
+            size: size.into(),
+            offset: offset.into(),
+            dim,
+        });
+        self
+    }
+
+    /// Append a `Cluster(size)` directive, opening an inner level.
+    #[must_use]
+    pub fn cluster(mut self, size: impl Into<SizeExpr>) -> Self {
+        self.directives.push(Directive::Cluster(size.into()));
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Dataflow {
+        Dataflow {
+            name: self.name,
+            directives: self.directives,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let df = Dataflow::builder("t")
+            .spatial(1, 1, Dim::K)
+            .temporal(SizeExpr::size(Dim::R), SizeExpr::size(Dim::R), Dim::R)
+            .build();
+        assert_eq!(df.name(), "t");
+        assert_eq!(df.directives().len(), 2);
+        assert_eq!(df.num_levels(), 1);
+        let df2 = df.renamed("u");
+        assert_eq!(df2.name(), "u");
+        assert_eq!(df2.directives(), df.directives());
+    }
+
+    #[test]
+    fn display_is_indented_by_cluster_depth() {
+        let df = Dataflow::builder("x")
+            .temporal(1, 1, Dim::K)
+            .cluster(SizeExpr::lit(4))
+            .spatial(1, 1, Dim::C)
+            .build();
+        let s = df.to_string();
+        assert!(s.contains("Dataflow x {"));
+        assert!(s.contains("  TemporalMap(1,1) K;"));
+        assert!(s.contains("  Cluster(4);"));
+        assert!(s.contains("    SpatialMap(1,1) C;"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn num_levels_counts_clusters() {
+        let df = Dataflow::builder("n")
+            .temporal(1, 1, Dim::K)
+            .cluster(SizeExpr::lit(4))
+            .spatial(1, 1, Dim::C)
+            .cluster(SizeExpr::lit(2))
+            .spatial(1, 1, Dim::K)
+            .build();
+        assert_eq!(df.num_levels(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Individual dataflow directives and layer-parametric size expressions.
+
+use maestro_dnn::{Dim, DimSizes};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A size or offset expression, evaluated against a layer's dimension
+/// sizes when the dataflow is resolved.
+///
+/// This is what lets a single dataflow description (e.g. Table 3's
+/// `TemporalMap(Sz(R), Sz(R)) R`) apply to every layer of a network.
+///
+/// ```
+/// use maestro_dnn::{Dim, DimSizes};
+/// use maestro_ir::SizeExpr;
+///
+/// let e = SizeExpr::size(Dim::S).add(SizeExpr::lit(7)).sub(SizeExpr::lit(1));
+/// let dims = DimSizes::ones().with(Dim::S, 3);
+/// assert_eq!(e.eval(&dims), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SizeExpr {
+    /// A literal constant.
+    Const(u64),
+    /// `Sz(dim)` — the full size of a dimension in the current layer.
+    Size(Dim),
+    /// Sum of two expressions.
+    Add(Box<SizeExpr>, Box<SizeExpr>),
+    /// Saturating difference of two expressions.
+    Sub(Box<SizeExpr>, Box<SizeExpr>),
+}
+
+impl SizeExpr {
+    /// A literal constant expression.
+    pub const fn lit(v: u64) -> Self {
+        SizeExpr::Const(v)
+    }
+
+    /// The `Sz(dim)` expression.
+    pub const fn size(dim: Dim) -> Self {
+        SizeExpr::Size(dim)
+    }
+
+    /// `self + rhs`.
+    #[must_use]
+    pub fn add(self, rhs: SizeExpr) -> Self {
+        SizeExpr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs` (saturating at zero on evaluation).
+    #[must_use]
+    pub fn sub(self, rhs: SizeExpr) -> Self {
+        SizeExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluate against concrete dimension sizes.
+    pub fn eval(&self, dims: &DimSizes) -> u64 {
+        match self {
+            SizeExpr::Const(v) => *v,
+            SizeExpr::Size(d) => dims.get(*d),
+            SizeExpr::Add(a, b) => a.eval(dims) + b.eval(dims),
+            SizeExpr::Sub(a, b) => a.eval(dims).saturating_sub(b.eval(dims)),
+        }
+    }
+}
+
+impl From<u64> for SizeExpr {
+    fn from(v: u64) -> Self {
+        SizeExpr::Const(v)
+    }
+}
+
+impl From<Dim> for SizeExpr {
+    fn from(d: Dim) -> Self {
+        SizeExpr::Size(d)
+    }
+}
+
+impl fmt::Display for SizeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SizeExpr::Const(v) => write!(f, "{v}"),
+            SizeExpr::Size(d) => write!(f, "Sz({d})"),
+            SizeExpr::Add(a, b) => write!(f, "{a}+{b}"),
+            SizeExpr::Sub(a, b) => write!(f, "{a}-{b}"),
+        }
+    }
+}
+
+/// Whether a map distributes indices over space (sub-units) or time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapKind {
+    /// Distributed across the sub-units of the cluster level.
+    Spatial,
+    /// Distributed across time steps, replicated on every sub-unit.
+    Temporal,
+}
+
+impl fmt::Display for MapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapKind::Spatial => write!(f, "SpatialMap"),
+            MapKind::Temporal => write!(f, "TemporalMap"),
+        }
+    }
+}
+
+/// One directive of a data-centric dataflow description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Directive {
+    /// `SpatialMap(size, offset) dim`
+    SpatialMap {
+        /// Number of indices mapped to each sub-unit.
+        size: SizeExpr,
+        /// Shift of the starting index between consecutive sub-units.
+        offset: SizeExpr,
+        /// The mapped dimension.
+        dim: Dim,
+    },
+    /// `TemporalMap(size, offset) dim`
+    TemporalMap {
+        /// Number of indices mapped per time step.
+        size: SizeExpr,
+        /// Shift of the starting index between consecutive time steps.
+        offset: SizeExpr,
+        /// The mapped dimension.
+        dim: Dim,
+    },
+    /// `Cluster(size)` — group the sub-units below into clusters of `size`.
+    Cluster(SizeExpr),
+}
+
+impl Directive {
+    /// The mapped dimension, if this is a map directive.
+    pub fn dim(&self) -> Option<Dim> {
+        match self {
+            Directive::SpatialMap { dim, .. } | Directive::TemporalMap { dim, .. } => Some(*dim),
+            Directive::Cluster(_) => None,
+        }
+    }
+
+    /// The map kind, if this is a map directive.
+    pub fn kind(&self) -> Option<MapKind> {
+        match self {
+            Directive::SpatialMap { .. } => Some(MapKind::Spatial),
+            Directive::TemporalMap { .. } => Some(MapKind::Temporal),
+            Directive::Cluster(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Directive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Directive::SpatialMap { size, offset, dim } => {
+                write!(f, "SpatialMap({size},{offset}) {dim}")
+            }
+            Directive::TemporalMap { size, offset, dim } => {
+                write!(f, "TemporalMap({size},{offset}) {dim}")
+            }
+            Directive::Cluster(size) => write!(f, "Cluster({size})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_expr_eval() {
+        let dims = DimSizes::new(1, 2, 3, 4, 5, 6, 7);
+        assert_eq!(SizeExpr::lit(9).eval(&dims), 9);
+        assert_eq!(SizeExpr::size(Dim::R).eval(&dims), 6);
+        let e = SizeExpr::lit(8).add(SizeExpr::size(Dim::S)).sub(SizeExpr::lit(1));
+        assert_eq!(e.eval(&dims), 14);
+        // Saturating subtraction.
+        assert_eq!(SizeExpr::lit(1).sub(SizeExpr::lit(5)).eval(&dims), 0);
+    }
+
+    #[test]
+    fn size_expr_display() {
+        let e = SizeExpr::lit(8).add(SizeExpr::size(Dim::S)).sub(SizeExpr::lit(1));
+        assert_eq!(e.to_string(), "8+Sz(S)-1");
+    }
+
+    #[test]
+    fn directive_display() {
+        let d = Directive::SpatialMap {
+            size: SizeExpr::size(Dim::R),
+            offset: SizeExpr::lit(1),
+            dim: Dim::Y,
+        };
+        assert_eq!(d.to_string(), "SpatialMap(Sz(R),1) Y");
+        assert_eq!(d.dim(), Some(Dim::Y));
+        assert_eq!(d.kind(), Some(MapKind::Spatial));
+        let c = Directive::Cluster(SizeExpr::lit(8));
+        assert_eq!(c.to_string(), "Cluster(8)");
+        assert_eq!(c.dim(), None);
+        assert_eq!(c.kind(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SizeExpr::from(4u64), SizeExpr::Const(4));
+        assert_eq!(SizeExpr::from(Dim::K), SizeExpr::Size(Dim::K));
+    }
+}

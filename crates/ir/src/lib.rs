@@ -1,0 +1,48 @@
+//! The data-centric dataflow intermediate representation (paper §3).
+//!
+//! A *dataflow* is an ordered list of directives:
+//!
+//! * [`Directive::SpatialMap`] — distribute a dimension's indices across the
+//!   sub-units (PEs or sub-clusters) of the current cluster level;
+//! * [`Directive::TemporalMap`] — distribute a dimension's indices across
+//!   time steps, identically on every sub-unit;
+//! * [`Directive::Cluster`] — group the sub-units below into logical
+//!   clusters, opening a new (inner) cluster level;
+//! * directive *order* encodes the data-movement order (outer directives
+//!   change more slowly).
+//!
+//! Map sizes and offsets are [`SizeExpr`]s so a dataflow can be written once
+//! and re-used across layers (`Sz(R)` etc.), exactly like the paper's
+//! Table 3 listings. [`resolve::resolve`] binds a dataflow to a concrete
+//! layer and PE count, producing the per-level structure consumed by both
+//! the analytical model (`maestro-core`) and the reference simulator
+//! (`maestro-sim`).
+//!
+//! # Example
+//!
+//! ```
+//! use maestro_dnn::Dim;
+//! use maestro_ir::{Dataflow, SizeExpr};
+//!
+//! let df = Dataflow::builder("output-stationary")
+//!     .spatial(SizeExpr::size(Dim::S), 1, Dim::X)
+//!     .temporal(SizeExpr::size(Dim::S), SizeExpr::size(Dim::S), Dim::S)
+//!     .build();
+//! assert_eq!(df.directives().len(), 2);
+//! let printed = df.to_string();
+//! let reparsed: Dataflow = printed.parse().unwrap();
+//! assert_eq!(df, reparsed);
+//! ```
+
+pub mod dataflow;
+pub mod directive;
+pub mod loopnest;
+pub mod parse;
+pub mod resolve;
+pub mod styles;
+
+pub use dataflow::{Dataflow, DataflowBuilder};
+pub use directive::{Directive, MapKind, SizeExpr};
+pub use parse::ParseError;
+pub use resolve::{resolve, Resolved, ResolvedLevel, ResolvedMap, ResolveError};
+pub use styles::Style;

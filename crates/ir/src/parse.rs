@@ -1,0 +1,460 @@
+//! Text format for dataflow descriptions (the MAESTRO-style DSL).
+//!
+//! Grammar (whitespace-insensitive, `//` line comments):
+//!
+//! ```text
+//! dataflow  := "Dataflow" IDENT "{" directive* "}"
+//! directive := ("SpatialMap" | "TemporalMap") "(" expr "," expr ")" DIM ";"
+//!            | "Cluster" "(" expr ")" ";"
+//! expr      := term (("+" | "-") term)*
+//! term      := INT | "Sz" "(" DIM ")"
+//! DIM       := "N" | "K" | "C" | "Y" | "X" | "R" | "S" | "Y'" | "X'"
+//! ```
+//!
+//! A bare directive list (without the `Dataflow name { }` wrapper) is also
+//! accepted and named `"anonymous"`.
+
+use crate::dataflow::Dataflow;
+use crate::directive::{Directive, SizeExpr};
+use maestro_dnn::Dim;
+use std::fmt;
+
+/// A parse failure, with a byte offset into the source and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Plus,
+    Minus,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn skip_trivia(&mut self) {
+        let bytes = self.src.as_bytes();
+        loop {
+            while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.src[self.pos..].starts_with("//") {
+                while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<(usize, Tok), ParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
+        if self.pos >= bytes.len() {
+            return Ok((start, Tok::Eof));
+        }
+        let c = bytes[self.pos];
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b'{' => {
+                self.pos += 1;
+                Tok::LBrace
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::RBrace
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b';' => {
+                self.pos += 1;
+                Tok::Semi
+            }
+            b'+' => {
+                self.pos += 1;
+                Tok::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                Tok::Minus
+            }
+            b'0'..=b'9' => {
+                let mut end = self.pos;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                let v: u64 = self.src[self.pos..end].parse().map_err(|_| ParseError {
+                    offset: start,
+                    message: "integer literal out of range".into(),
+                })?;
+                self.pos = end;
+                Tok::Int(v)
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut end = self.pos;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric()
+                        || bytes[end] == b'_'
+                        || bytes[end] == b'-'
+                        || bytes[end] == b'\'')
+                {
+                    end += 1;
+                }
+                let s = self.src[self.pos..end].to_string();
+                self.pos = end;
+                Tok::Ident(s)
+            }
+            other => {
+                return Err(ParseError {
+                    offset: start,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        };
+        Ok((start, tok))
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    peeked: Option<(usize, Tok)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            lexer: Lexer::new(src),
+            peeked: None,
+        }
+    }
+
+    fn peek(&mut self) -> Result<&(usize, Tok), ParseError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lexer.next()?);
+        }
+        Ok(self.peeked.as_ref().expect("just filled"))
+    }
+
+    fn bump(&mut self) -> Result<(usize, Tok), ParseError> {
+        match self.peeked.take() {
+            Some(t) => Ok(t),
+            None => self.lexer.next(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        let (off, got) = self.bump()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(ParseError {
+                offset: off,
+                message: format!("expected {want}, found {got}"),
+            })
+        }
+    }
+
+    fn dim(&mut self) -> Result<Dim, ParseError> {
+        let (off, tok) = self.bump()?;
+        match tok {
+            Tok::Ident(name) => name.parse().map_err(|_| ParseError {
+                offset: off,
+                message: format!("`{name}` is not a dimension name"),
+            }),
+            other => Err(ParseError {
+                offset: off,
+                message: format!("expected a dimension name, found {other}"),
+            }),
+        }
+    }
+
+    fn term(&mut self) -> Result<SizeExpr, ParseError> {
+        let (off, tok) = self.bump()?;
+        match tok {
+            Tok::Int(v) => Ok(SizeExpr::Const(v)),
+            Tok::Ident(s) if s == "Sz" => {
+                self.expect(&Tok::LParen)?;
+                let d = self.dim()?;
+                self.expect(&Tok::RParen)?;
+                Ok(SizeExpr::Size(d))
+            }
+            other => Err(ParseError {
+                offset: off,
+                message: format!("expected an integer or Sz(dim), found {other}"),
+            }),
+        }
+    }
+
+    fn expr(&mut self) -> Result<SizeExpr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match &self.peek()?.1 {
+                Tok::Plus => {
+                    self.bump()?;
+                    lhs = lhs.add(self.term()?);
+                }
+                Tok::Minus => {
+                    self.bump()?;
+                    lhs = lhs.sub(self.term()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn directive(&mut self, keyword: &str, off: usize) -> Result<Directive, ParseError> {
+        match keyword {
+            "SpatialMap" | "TemporalMap" => {
+                self.expect(&Tok::LParen)?;
+                let size = self.expr()?;
+                self.expect(&Tok::Comma)?;
+                let offset = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let dim = self.dim()?;
+                if keyword == "SpatialMap" {
+                    Ok(Directive::SpatialMap { size, offset, dim })
+                } else {
+                    Ok(Directive::TemporalMap { size, offset, dim })
+                }
+            }
+            "Cluster" => {
+                self.expect(&Tok::LParen)?;
+                let size = self.expr()?;
+                // Real MAESTRO files write `Cluster(n, P)`; accept and
+                // ignore a trailing `, IDENT` argument.
+                if self.peek()?.1 == Tok::Comma {
+                    self.bump()?;
+                    self.bump()?;
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(Directive::Cluster(size))
+            }
+            other => Err(ParseError {
+                offset: off,
+                message: format!(
+                    "expected SpatialMap, TemporalMap or Cluster, found `{other}`"
+                ),
+            }),
+        }
+    }
+
+    fn directives_until(&mut self, terminator: &Tok) -> Result<Vec<Directive>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let (off, tok) = self.bump()?;
+            match tok {
+                t if &t == terminator => return Ok(out),
+                Tok::Ident(kw) => {
+                    out.push(self.directive(&kw, off)?);
+                    // Semicolons between directives are optional.
+                    if self.peek()?.1 == Tok::Semi {
+                        self.bump()?;
+                    }
+                }
+                other => {
+                    return Err(ParseError {
+                        offset: off,
+                        message: format!("expected a directive or {terminator}, found {other}"),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Parse a dataflow description.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a byte offset on malformed input.
+///
+/// ```
+/// use maestro_ir::parse::parse_dataflow;
+/// let df = parse_dataflow(
+///     "Dataflow ws {\n  TemporalMap(1,1) K;\n  SpatialMap(Sz(S),1) X;\n}",
+/// ).unwrap();
+/// assert_eq!(df.name(), "ws");
+/// assert_eq!(df.directives().len(), 2);
+/// ```
+pub fn parse_dataflow(src: &str) -> Result<Dataflow, ParseError> {
+    let mut p = Parser::new(src);
+    let (off, tok) = p.bump()?;
+    match tok {
+        Tok::Ident(kw) if kw == "Dataflow" => {
+            let (noff, ntok) = p.bump()?;
+            let name = match ntok {
+                Tok::Ident(n) => n,
+                other => {
+                    return Err(ParseError {
+                        offset: noff,
+                        message: format!("expected a dataflow name, found {other}"),
+                    })
+                }
+            };
+            p.expect(&Tok::LBrace)?;
+            let directives = p.directives_until(&Tok::RBrace)?;
+            let (eoff, etok) = p.bump()?;
+            if etok != Tok::Eof {
+                return Err(ParseError {
+                    offset: eoff,
+                    message: format!("trailing input after dataflow body: {etok}"),
+                });
+            }
+            Ok(Dataflow::new(name, directives))
+        }
+        Tok::Ident(kw) => {
+            // Bare directive list.
+            let mut first = vec![p.directive(&kw, off)?];
+            if p.peek()?.1 == Tok::Semi {
+                p.bump()?;
+            }
+            let rest = p.directives_until(&Tok::Eof)?;
+            first.extend(rest);
+            Ok(Dataflow::new("anonymous", first))
+        }
+        Tok::Eof => Err(ParseError {
+            offset: off,
+            message: "empty input".into(),
+        }),
+        other => Err(ParseError {
+            offset: off,
+            message: format!("expected `Dataflow` or a directive, found {other}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::styles::Style;
+
+    #[test]
+    fn roundtrip_all_styles() {
+        for s in Style::ALL {
+            let df = s.dataflow();
+            let printed = df.to_string();
+            let reparsed = parse_dataflow(&printed)
+                .unwrap_or_else(|e| panic!("{s}: {e}\n{printed}"));
+            // Names with `-` parse back identically thanks to ident rules.
+            assert_eq!(df, reparsed, "{printed}");
+        }
+    }
+
+    #[test]
+    fn bare_directive_list() {
+        let df = parse_dataflow("TemporalMap(1,1) K SpatialMap(2,2) C").unwrap();
+        assert_eq!(df.name(), "anonymous");
+        assert_eq!(df.directives().len(), 2);
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let df = parse_dataflow(
+            "Dataflow x { // a comment\n  TemporalMap(Sz(R), Sz(R)) R; // inline\n}",
+        )
+        .unwrap();
+        assert_eq!(df.directives().len(), 1);
+    }
+
+    #[test]
+    fn output_centric_dims_are_aliases() {
+        let df = parse_dataflow("SpatialMap(1,1) Y'").unwrap();
+        assert_eq!(df.directives()[0].dim(), Some(maestro_dnn::Dim::Y));
+    }
+
+    #[test]
+    fn cluster_with_type_argument() {
+        let df = parse_dataflow("Cluster(3, P); SpatialMap(1,1) Y").unwrap();
+        assert_eq!(df.directives().len(), 2);
+    }
+
+    #[test]
+    fn size_expressions() {
+        let df = parse_dataflow("TemporalMap(8+Sz(S)-1, 8) X").unwrap();
+        let printed = df.to_string();
+        assert!(printed.contains("8+Sz(S)-1"), "{printed}");
+    }
+
+    #[test]
+    fn error_reporting() {
+        let err = parse_dataflow("").unwrap_err();
+        assert!(err.message.contains("empty"));
+
+        let err = parse_dataflow("Dataflow x { Frob(1,1) K; }").unwrap_err();
+        assert!(err.message.contains("Frob"), "{err}");
+
+        let err = parse_dataflow("TemporalMap(1,1) Q").unwrap_err();
+        assert!(err.message.contains("dimension"), "{err}");
+
+        let err = parse_dataflow("TemporalMap(1 1) K").unwrap_err();
+        assert!(err.message.contains("expected"), "{err}");
+
+        let err = parse_dataflow("Dataflow x { } garbage").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn error_offsets_point_into_source() {
+        let src = "Dataflow x { TemporalMap(1,1) Q; }";
+        let err = parse_dataflow(src).unwrap_err();
+        assert_eq!(&src[err.offset..err.offset + 1], "Q");
+    }
+}

@@ -1,0 +1,440 @@
+//! Binding a dataflow to a concrete layer and PE count.
+//!
+//! This implements the structural half of the paper's Cluster Analysis
+//! engine (§4.1): splitting the directive list into cluster levels,
+//! counting sub-units per level, evaluating size expressions against the
+//! layer's dimensions, clamping map sizes, and inferring omitted directives
+//! (a dimension not mapped at a level is fully resident there, i.e. an
+//! implicit `TemporalMap(size, size)` in the innermost position).
+
+use crate::dataflow::Dataflow;
+use crate::directive::{Directive, MapKind};
+use maestro_dnn::{Dim, DimSizes, Layer, ALL_DIMS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A map directive with its size expressions evaluated and clamped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolvedMap {
+    /// Spatial or temporal.
+    pub kind: MapKind,
+    /// The mapped dimension.
+    pub dim: Dim,
+    /// Mapped chunk size (clamped to the level's dimension size, ≥ 1).
+    pub size: u64,
+    /// Chunk start shift between consecutive units / time steps (≥ 1).
+    pub offset: u64,
+    /// `true` when this map was inferred rather than written by the user.
+    pub inferred: bool,
+}
+
+impl ResolvedMap {
+    /// Number of chunks this map produces over a dimension of size `dim_size`:
+    /// `ceil((dim_size - size) / offset) + 1`.
+    pub fn num_chunks(&self, dim_size: u64) -> u64 {
+        if self.size >= dim_size {
+            1
+        } else {
+            (dim_size - self.size).div_ceil(self.offset) + 1
+        }
+    }
+
+    /// The chunk (start, len) at index `i` over a dimension of `dim_size`.
+    ///
+    /// The final chunk is truncated at the dimension boundary (the "edge"
+    /// iteration case of the paper).
+    pub fn chunk(&self, i: u64, dim_size: u64) -> (u64, u64) {
+        let start = (i * self.offset).min(dim_size.saturating_sub(1));
+        let len = self.size.min(dim_size - start);
+        (start, len)
+    }
+}
+
+impl fmt::Display for ResolvedMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({},{}) {}", self.kind, self.size, self.offset, self.dim)
+    }
+}
+
+/// One cluster level of a resolved dataflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedLevel {
+    /// Maps in data-movement order (outer first). Every dimension appears
+    /// exactly once; inferred full-coverage maps are appended innermost.
+    pub maps: Vec<ResolvedMap>,
+    /// Number of sub-units (sub-clusters, or PEs at the innermost level)
+    /// within one instance of this level.
+    pub num_units: u64,
+    /// Dimension sizes visible at this level (the outer level's mapped
+    /// chunk sizes; the layer's sizes at the top level).
+    pub dims: DimSizes,
+}
+
+impl ResolvedLevel {
+    /// The map for dimension `d` (always present after resolution).
+    pub fn map(&self, d: Dim) -> &ResolvedMap {
+        self.maps
+            .iter()
+            .find(|m| m.dim == d)
+            .expect("resolution guarantees every dimension is mapped")
+    }
+
+    /// Maps that are spatial at this level, in order.
+    pub fn spatial_maps(&self) -> impl Iterator<Item = &ResolvedMap> + '_ {
+        self.maps.iter().filter(|m| m.kind == MapKind::Spatial)
+    }
+
+    /// The chunk sizes of every map (steady-state footprint sizes).
+    pub fn mapped_sizes(&self) -> DimSizes {
+        let mut s = DimSizes::ones();
+        for m in &self.maps {
+            s.set(m.dim, m.size.min(self.dims.get(m.dim)));
+        }
+        s
+    }
+}
+
+/// A dataflow bound to a layer and a PE count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resolved {
+    /// Cluster levels, outermost first. Always at least one.
+    pub levels: Vec<ResolvedLevel>,
+    /// Total PEs in the accelerator.
+    pub num_pes: u64,
+    /// PEs actually covered by the cluster hierarchy
+    /// (`Π level.num_units ≤ num_pes`).
+    pub used_pes: u64,
+    /// Vertical stride of the bound layer.
+    pub stride_y: u64,
+    /// Horizontal stride of the bound layer.
+    pub stride_x: u64,
+}
+
+impl Resolved {
+    /// The innermost (PE) level.
+    pub fn innermost(&self) -> &ResolvedLevel {
+        self.levels.last().expect("at least one level")
+    }
+
+    /// Stride along `d` (1 except for Y/X).
+    pub fn stride(&self, d: Dim) -> u64 {
+        match d {
+            Dim::Y => self.stride_y,
+            Dim::X => self.stride_x,
+            _ => 1,
+        }
+    }
+}
+
+/// Errors produced while resolving a dataflow against a layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// A map size evaluated to zero.
+    ZeroSize(Dim),
+    /// A map offset evaluated to zero.
+    ZeroOffset(Dim),
+    /// The same dimension is mapped twice within one cluster level.
+    DuplicateDim(Dim),
+    /// A cluster size evaluated to zero.
+    ZeroClusterSize,
+    /// A cluster level would have zero units (cluster size exceeds the
+    /// available sub-units).
+    ClusterTooLarge {
+        /// The offending cluster size.
+        cluster: u64,
+        /// Units available to subdivide.
+        available: u64,
+    },
+    /// The dataflow has no PEs to map onto.
+    NoPes,
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::ZeroSize(d) => write!(f, "map size for {d} evaluates to zero"),
+            ResolveError::ZeroOffset(d) => write!(f, "map offset for {d} evaluates to zero"),
+            ResolveError::DuplicateDim(d) => {
+                write!(f, "dimension {d} is mapped more than once in a cluster level")
+            }
+            ResolveError::ZeroClusterSize => write!(f, "cluster size evaluates to zero"),
+            ResolveError::ClusterTooLarge { cluster, available } => write!(
+                f,
+                "cluster size {cluster} exceeds the {available} available sub-units"
+            ),
+            ResolveError::NoPes => write!(f, "accelerator has zero PEs"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Resolve `dataflow` for `layer` on an accelerator with `num_pes` PEs.
+///
+/// # Errors
+///
+/// Returns a [`ResolveError`] when the dataflow is structurally invalid
+/// for this layer/PE combination (zero sizes or offsets, duplicate maps,
+/// oversized clusters).
+pub fn resolve(dataflow: &Dataflow, layer: &Layer, num_pes: u64) -> Result<Resolved, ResolveError> {
+    if num_pes == 0 {
+        return Err(ResolveError::NoPes);
+    }
+    let layer_dims = layer.dims.sizes();
+
+    // Split directives into per-level map lists and collect cluster sizes.
+    let mut level_dirs: Vec<Vec<&Directive>> = vec![Vec::new()];
+    let mut cluster_sizes: Vec<u64> = Vec::new();
+    for d in dataflow.directives() {
+        match d {
+            Directive::Cluster(sz) => {
+                let v = sz.eval(&layer_dims);
+                if v == 0 {
+                    return Err(ResolveError::ZeroClusterSize);
+                }
+                cluster_sizes.push(v);
+                level_dirs.push(Vec::new());
+            }
+            _ => level_dirs.last_mut().expect("non-empty").push(d),
+        }
+    }
+
+    // Units per level: level 0 divides the PEs into clusters of
+    // cluster_sizes[0]; level i divides cluster_sizes[i-1] into clusters of
+    // cluster_sizes[i]; the innermost level's units are its cluster size.
+    let num_levels = level_dirs.len();
+    let mut units = Vec::with_capacity(num_levels);
+    let mut available = num_pes;
+    for (i, &c) in cluster_sizes.iter().enumerate() {
+        if c > available {
+            return Err(ResolveError::ClusterTooLarge {
+                cluster: c,
+                available,
+            });
+        }
+        units.push(available / c);
+        available = c;
+        if i == cluster_sizes.len() - 1 {
+            units.push(c);
+        }
+    }
+    if cluster_sizes.is_empty() {
+        units.push(num_pes);
+    }
+    debug_assert_eq!(units.len(), num_levels);
+
+    // Resolve each level top-down, threading dimension sizes.
+    let mut levels = Vec::with_capacity(num_levels);
+    let mut dims = layer_dims;
+    for (li, dirs) in level_dirs.iter().enumerate() {
+        let mut maps: Vec<ResolvedMap> = Vec::with_capacity(ALL_DIMS.len());
+        for d in dirs {
+            let (kind, size, offset, dim) = match d {
+                Directive::SpatialMap { size, offset, dim } => {
+                    (MapKind::Spatial, size, offset, *dim)
+                }
+                Directive::TemporalMap { size, offset, dim } => {
+                    (MapKind::Temporal, size, offset, *dim)
+                }
+                Directive::Cluster(_) => unreachable!("clusters split levels"),
+            };
+            if maps.iter().any(|m| m.dim == dim) {
+                return Err(ResolveError::DuplicateDim(dim));
+            }
+            // Sizes are evaluated against the *layer* dims so `Sz(R)` means
+            // the same thing at every level, then clamped to this level.
+            let size = size.eval(&layer_dims);
+            let offset = offset.eval(&layer_dims);
+            if size == 0 {
+                return Err(ResolveError::ZeroSize(dim));
+            }
+            if offset == 0 {
+                return Err(ResolveError::ZeroOffset(dim));
+            }
+            maps.push(ResolvedMap {
+                kind,
+                dim,
+                size: size.min(dims.get(dim)),
+                offset,
+                inferred: false,
+            });
+        }
+        // Inferred full-coverage maps for unmapped dimensions (innermost).
+        for dim in ALL_DIMS {
+            if !maps.iter().any(|m| m.dim == dim) {
+                let sz = dims.get(dim);
+                maps.push(ResolvedMap {
+                    kind: MapKind::Temporal,
+                    dim,
+                    size: sz,
+                    offset: sz,
+                    inferred: true,
+                });
+            }
+        }
+        let level = ResolvedLevel {
+            maps,
+            num_units: units[li],
+            dims,
+        };
+        dims = level.mapped_sizes();
+        levels.push(level);
+    }
+
+    let used_pes = levels.iter().map(|l| l.num_units).product();
+    Ok(Resolved {
+        levels,
+        num_pes,
+        used_pes,
+        stride_y: layer.dims.stride_y,
+        stride_x: layer.dims.stride_x,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directive::SizeExpr;
+    use maestro_dnn::{LayerDims, Operator};
+
+    fn toy_layer() -> Layer {
+        Layer::new("t", Operator::conv2d(), LayerDims::square(1, 4, 6, 8, 3))
+    }
+
+    #[test]
+    fn single_level_resolution() {
+        let df = Dataflow::builder("os")
+            .spatial(SizeExpr::size(Dim::S), 1, Dim::X)
+            .temporal(SizeExpr::size(Dim::S), SizeExpr::size(Dim::S), Dim::S)
+            .build();
+        let r = resolve(&df, &toy_layer(), 16).unwrap();
+        assert_eq!(r.levels.len(), 1);
+        let l = &r.levels[0];
+        assert_eq!(l.num_units, 16);
+        assert_eq!(l.map(Dim::X).size, 3);
+        assert_eq!(l.map(Dim::X).kind, MapKind::Spatial);
+        // All 7 dims present; unmapped are inferred full coverage.
+        assert_eq!(l.maps.len(), 7);
+        let k = l.map(Dim::K);
+        assert!(k.inferred);
+        assert_eq!(k.size, 4);
+        assert_eq!(k.offset, 4);
+    }
+
+    #[test]
+    fn cluster_unit_arithmetic() {
+        let df = Dataflow::builder("two")
+            .spatial(1, 1, Dim::K)
+            .cluster(SizeExpr::lit(8))
+            .spatial(1, 1, Dim::C)
+            .build();
+        let r = resolve(&df, &toy_layer(), 64).unwrap();
+        assert_eq!(r.levels.len(), 2);
+        assert_eq!(r.levels[0].num_units, 8, "64 PEs / clusters of 8");
+        assert_eq!(r.levels[1].num_units, 8, "8 PEs per cluster");
+        assert_eq!(r.used_pes, 64);
+    }
+
+    #[test]
+    fn nested_clusters() {
+        let df = Dataflow::builder("three")
+            .spatial(1, 1, Dim::K)
+            .cluster(SizeExpr::lit(16))
+            .spatial(1, 1, Dim::C)
+            .cluster(SizeExpr::lit(4))
+            .spatial(1, 1, Dim::X)
+            .build();
+        let r = resolve(&df, &toy_layer(), 64).unwrap();
+        assert_eq!(r.levels.len(), 3);
+        assert_eq!(r.levels[0].num_units, 4); // 64 / 16
+        assert_eq!(r.levels[1].num_units, 4); // 16 / 4
+        assert_eq!(r.levels[2].num_units, 4); // 4
+    }
+
+    #[test]
+    fn inner_level_sees_outer_chunk_sizes() {
+        let df = Dataflow::builder("yx")
+            .spatial(SizeExpr::size(Dim::R), 1, Dim::Y)
+            .temporal(4, 4, Dim::X)
+            .cluster(SizeExpr::lit(4))
+            .spatial(1, 1, Dim::X)
+            .build();
+        let r = resolve(&df, &toy_layer(), 16).unwrap();
+        let inner = &r.levels[1];
+        assert_eq!(inner.dims.get(Dim::Y), 3, "outer mapped Sz(R)=3 rows");
+        assert_eq!(inner.dims.get(Dim::X), 4, "outer mapped 4 columns");
+        assert_eq!(inner.dims.get(Dim::K), 4, "unmapped dims pass through whole");
+    }
+
+    #[test]
+    fn size_clamping() {
+        let df = Dataflow::builder("clamp").temporal(100, 100, Dim::C).build();
+        let r = resolve(&df, &toy_layer(), 4).unwrap();
+        assert_eq!(r.levels[0].map(Dim::C).size, 6);
+    }
+
+    #[test]
+    fn errors() {
+        let layer = toy_layer();
+        let df = Dataflow::builder("z").temporal(0u64, 1, Dim::K).build();
+        assert_eq!(resolve(&df, &layer, 4), Err(ResolveError::ZeroSize(Dim::K)));
+
+        let df = Dataflow::builder("z").temporal(1, 0u64, Dim::K).build();
+        assert_eq!(resolve(&df, &layer, 4), Err(ResolveError::ZeroOffset(Dim::K)));
+
+        let df = Dataflow::builder("d")
+            .temporal(1, 1, Dim::K)
+            .spatial(1, 1, Dim::K)
+            .build();
+        assert_eq!(resolve(&df, &layer, 4), Err(ResolveError::DuplicateDim(Dim::K)));
+
+        let df = Dataflow::builder("c")
+            .spatial(1, 1, Dim::K)
+            .cluster(SizeExpr::lit(32))
+            .spatial(1, 1, Dim::C)
+            .build();
+        assert!(matches!(
+            resolve(&df, &layer, 16),
+            Err(ResolveError::ClusterTooLarge { cluster: 32, available: 16 })
+        ));
+
+        let df = Dataflow::builder("p").spatial(1, 1, Dim::K).build();
+        assert_eq!(resolve(&df, &layer, 0), Err(ResolveError::NoPes));
+    }
+
+    #[test]
+    fn chunk_iteration() {
+        let m = ResolvedMap {
+            kind: MapKind::Temporal,
+            dim: Dim::X,
+            size: 3,
+            offset: 2,
+            inferred: false,
+        };
+        // dim size 8: starts 0,2,4, last chunk start 4 has len 3; chunks
+        // cover up to index 6 then an edge chunk is needed: ceil((8-3)/2)+1=4.
+        assert_eq!(m.num_chunks(8), 4);
+        assert_eq!(m.chunk(0, 8), (0, 3));
+        assert_eq!(m.chunk(1, 8), (2, 3));
+        assert_eq!(m.chunk(3, 8), (6, 2), "edge chunk truncated");
+        // Fully covered dimension: one chunk.
+        assert_eq!(m.num_chunks(3), 1);
+        assert_eq!(m.num_chunks(2), 1);
+    }
+
+    #[test]
+    fn yr_p_style_two_spatial_maps_in_inner_level() {
+        let df = Dataflow::builder("yr")
+            .spatial(SizeExpr::size(Dim::R), 1, Dim::Y)
+            .cluster(SizeExpr::size(Dim::R))
+            .spatial(1, 1, Dim::Y)
+            .spatial(1, 1, Dim::R)
+            .build();
+        let r = resolve(&df, &toy_layer(), 12).unwrap();
+        let inner = &r.levels[1];
+        assert_eq!(inner.num_units, 3);
+        assert_eq!(inner.spatial_maps().count(), 2);
+        assert_eq!(inner.dims.get(Dim::Y), 3);
+        assert_eq!(inner.dims.get(Dim::R), 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! Step-by-step execution traces for debugging and teaching.
+//!
+//! A trace records, for every time step of the flattened schedule, which
+//! loop advanced, the representative PE's tensor footprints, the new data
+//! fetched, the MACs executed and the active PE count — the raw material
+//! behind figures like the paper's Figure 3 timeline.
+
+use crate::engine::SimError;
+use crate::flat::{tensor_axis_interval, FlatSchedule, Interval};
+use maestro_core::level::LevelCtx;
+use maestro_dnn::{Layer, TensorKind, ALL_DIMS};
+use maestro_ir::{resolve, Dataflow};
+use serde::{Deserialize, Serialize};
+
+/// One time step of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepTrace {
+    /// Step index (0-based).
+    pub step: u64,
+    /// Index of the flattened loop that advanced to reach this step
+    /// (`None` for the initial step).
+    pub advanced: Option<usize>,
+    /// Representative-PE footprint per tensor (elements).
+    pub footprint: [u64; 3],
+    /// New elements fetched per tensor at the representative PE.
+    pub new_data: [u64; 3],
+    /// MACs executed across the whole array this step.
+    pub macs: u64,
+    /// Active PEs this step.
+    pub active_pes: u64,
+}
+
+/// A complete (truncated) trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Dataflow name.
+    pub dataflow: String,
+    /// Total steps in the schedule (the trace may cover fewer).
+    pub total_steps: u64,
+    /// Recorded steps.
+    pub steps: Vec<StepTrace>,
+}
+
+/// Trace the first `max_steps` steps of `layer` under `dataflow`.
+///
+/// # Errors
+///
+/// Fails when the dataflow cannot be resolved.
+pub fn trace(
+    layer: &Layer,
+    dataflow: &Dataflow,
+    num_pes: u64,
+    max_steps: u64,
+) -> Result<Trace, SimError> {
+    let coupling = layer.coupling();
+    let resolved = resolve(dataflow, layer, num_pes)?;
+    let levels: Vec<LevelCtx> = resolved
+        .levels
+        .iter()
+        .map(|l| LevelCtx::build(&resolved, l, &coupling))
+        .collect();
+    let mut sched = FlatSchedule::new(levels, &coupling);
+    let strides = (layer.dims.stride_y, layer.dims.stride_x);
+    let num_levels = sched.levels.len();
+
+    let axes = |s: &FlatSchedule| -> [Vec<Option<Interval>>; 3] {
+        TensorKind::ALL.map(|k| {
+            ALL_DIMS
+                .iter()
+                .map(|&d| tensor_axis_interval(s, &coupling, k, d, strides, &[]))
+                .collect()
+        })
+    };
+    let fp = |iv: &[Option<Interval>]| -> u64 { iv.iter().flatten().map(|i| i.len).product() };
+    let overlap = |a: &[Option<Interval>], b: &[Option<Interval>]| -> u64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| match (x, y) {
+                (Some(x), Some(y)) => x.overlap(y),
+                _ => 1,
+            })
+            .product()
+    };
+
+    let mut steps = Vec::new();
+    let mut prev = axes(&sched);
+    let mut advanced: Option<usize> = None;
+    let mut step = 0u64;
+    let mut memo = std::collections::HashMap::new();
+    loop {
+        let cur = axes(&sched);
+        let active: u64 = (0..num_levels).map(|l| sched.active_units(l)).product();
+        let macs = crate::engine::exact_step_macs(&sched, &coupling, &mut memo);
+        let footprint = [
+            fp(&cur[0]),
+            fp(&cur[1]),
+            fp(&cur[2]),
+        ];
+        let new_data = std::array::from_fn(|i| {
+            if step == 0 {
+                footprint[i]
+            } else {
+                footprint[i].saturating_sub(overlap(&prev[i], &cur[i]))
+            }
+        });
+        steps.push(StepTrace {
+            step,
+            advanced,
+            footprint,
+            new_data,
+            macs,
+            active_pes: active,
+        });
+        prev = cur;
+        step += 1;
+        if step >= max_steps {
+            break;
+        }
+        match sched.advance() {
+            Some(j) => advanced = Some(j),
+            None => break,
+        }
+    }
+    Ok(Trace {
+        dataflow: dataflow.name().to_string(),
+        total_steps: sched.total_steps,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_dnn::{LayerDims, Operator};
+    use maestro_ir::Style;
+
+    fn layer() -> Layer {
+        Layer::new("c", Operator::conv2d(), LayerDims::square(1, 4, 4, 6, 3))
+    }
+
+    #[test]
+    fn trace_records_steps_in_order() {
+        let t = trace(&layer(), &Style::XP.dataflow(), 8, 16).unwrap();
+        assert!(!t.steps.is_empty());
+        assert!(t.steps.len() as u64 <= 16);
+        for (i, s) in t.steps.iter().enumerate() {
+            assert_eq!(s.step, i as u64);
+            assert!(s.macs > 0);
+            assert!(s.active_pes >= 1);
+        }
+        assert_eq!(t.steps[0].advanced, None, "initial step has no advance");
+        assert!(t.steps[1].advanced.is_some());
+    }
+
+    #[test]
+    fn first_step_fetches_full_footprints() {
+        let t = trace(&layer(), &Style::KCP.dataflow(), 64, 4).unwrap();
+        let s0 = &t.steps[0];
+        assert_eq!(s0.new_data, s0.footprint);
+    }
+
+    #[test]
+    fn weight_stationary_steps_fetch_no_new_weights() {
+        // X-P holds weights while Y advances.
+        let t = trace(&layer(), &Style::XP.dataflow(), 8, 4).unwrap();
+        let w = TensorKind::Weight as usize;
+        assert_eq!(
+            t.steps[1].new_data[w], 0,
+            "weights are stationary across the Y sweep: {:?}",
+            t.steps[1]
+        );
+    }
+
+    #[test]
+    fn trace_covers_whole_schedule_when_short() {
+        let t = trace(&layer(), &Style::KCP.dataflow(), 64, u64::MAX).unwrap();
+        assert_eq!(t.steps.len() as u64, t.total_steps);
+    }
+}

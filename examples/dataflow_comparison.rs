@@ -1,0 +1,36 @@
+//! Compare the five Table 3 dataflow styles on early and late VGG16
+//! layers — a miniature of the paper's Figure 10/12 case study.
+//!
+//! Run with: `cargo run --release --example dataflow_comparison`
+
+use maestro::core::analyze;
+use maestro::dnn::zoo;
+use maestro::hw::{Accelerator, EnergyModel};
+use maestro::ir::Style;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vgg = zoo::vgg16(1);
+    let acc = Accelerator::paper_case_study();
+    let em = EnergyModel::cacti_28nm(acc.l1_bytes, acc.l2_bytes);
+    for lname in ["CONV1", "CONV2", "CONV11"] {
+        let layer = vgg.layer(lname).expect("zoo layer");
+        println!("== VGG16 {lname} ==");
+        println!(
+            "{:<6} {:>14} {:>12} {:>8} {:>10}",
+            "flow", "runtime (cyc)", "energy (pJ)", "util %", "BW el/cy"
+        );
+        for style in Style::ALL {
+            let r = analyze(layer, &style.dataflow(), &acc)?;
+            println!(
+                "{:<6} {:>14.0} {:>12.3e} {:>8.1} {:>10.1}",
+                style.short_name(),
+                r.runtime,
+                r.energy(&em),
+                r.utilization * 100.0,
+                r.peak_bw
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Hardware design-space exploration (paper §5.2, Figure 13): sweep PEs,
+//! NoC bandwidth, buffer capacities and mapping variants under the
+//! 16 mm² / 450 mW budget, and report Pareto-optimal designs.
+//!
+//! Run with: `cargo run --release --example dse_pareto`
+
+use maestro::dnn::zoo;
+use maestro::dse::{variants, Explorer, SweepSpace};
+use maestro::ir::Style;
+
+fn main() {
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV2").expect("zoo layer");
+    let explorer = Explorer::new(SweepSpace::standard());
+    let result = explorer.explore(layer, &variants::variants(Style::KCP));
+
+    println!(
+        "explored {:.2e} designs ({} model evaluations, {:.2e} valid) in {:.2}s -> {:.2e} designs/s",
+        result.stats.explored as f64,
+        result.stats.evaluated,
+        result.stats.valid as f64,
+        result.stats.seconds,
+        result.stats.rate
+    );
+
+    println!("\nPareto front (runtime vs energy):");
+    let mut front = result.pareto.clone();
+    front.sort_by(|a, b| a.runtime.total_cmp(&b.runtime));
+    for p in &front {
+        println!(
+            "  {:>3} PEs  NoC {:>2}  L1 {:>6} B  L2 {:>8} B  {:<18} {:>12.0} cyc  {:>12.3e} pJ",
+            p.pes, p.noc_bw, p.l1_bytes, p.l2_bytes, p.mapping, p.runtime, p.energy
+        );
+    }
+
+    if let (Some(t), Some(e)) = (&result.best_throughput, &result.best_energy) {
+        println!("\nthroughput-optimized: {} PEs, {:.1} MACs/cycle, {:.0} mW", t.pes, t.throughput, t.power_mw);
+        println!("energy-optimized:     {} PEs, {:.1} MACs/cycle, {:.0} mW", e.pes, e.throughput, e.power_mw);
+        println!(
+            "energy-optimized design uses {:.1}x the SRAM at {:.0}% of the throughput",
+            (e.l1_bytes * e.pes + e.l2_bytes) as f64 / (t.l1_bytes * t.pes + t.l2_bytes) as f64,
+            100.0 * e.throughput / t.throughput
+        );
+    }
+}

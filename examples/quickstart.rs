@@ -1,0 +1,36 @@
+//! Quickstart: analyze one layer under one dataflow on one accelerator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use maestro::core::analyze;
+use maestro::dnn::{zoo, TensorKind};
+use maestro::hw::{Accelerator, EnergyModel};
+use maestro::ir::Style;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A workload: VGG16's second convolution (64x64 channels, 224x224).
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV2").expect("zoo layer");
+    println!("layer: {layer}");
+
+    // 2. A dataflow: the NVDLA-style KC-partitioned schedule (Table 3).
+    let dataflow = Style::KCP.dataflow();
+    println!("\n{dataflow}\n");
+
+    // 3. Hardware: 256 PEs, 2 KB L1, 1 MB L2, 32-element/cycle NoC.
+    let acc = Accelerator::paper_case_study();
+
+    // 4. Analyze.
+    let report = analyze(layer, &dataflow, &acc)?;
+    println!("{report}");
+    let energy = EnergyModel::cacti_28nm(acc.l1_bytes, acc.l2_bytes);
+    println!("\nenergy: {:.3e} pJ", report.energy(&energy));
+    for kind in TensorKind::ALL {
+        println!(
+            "{kind:<7} reuse factor {:>8.1}  (algorithmic max {:>8.1})",
+            report.reuse_factor(kind),
+            report.algorithmic_max_reuse(kind),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Inspect a dataflow's reuse behavior: the automatic explanation
+//! (paper Figure 5's prose) plus a step-by-step execution trace showing
+//! stationarity and halo reuse directly in the fetch stream.
+//!
+//! Run with: `cargo run --release --example reuse_explorer`
+
+use maestro::core::explain;
+use maestro::dnn::{zoo, TensorKind};
+use maestro::hw::Accelerator;
+use maestro::ir::Style;
+use maestro::sim::trace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV5").expect("zoo layer");
+    let acc = Accelerator::paper_case_study();
+
+    for style in [Style::XP, Style::YRP, Style::KCP] {
+        let df = style.dataflow();
+        println!("{}", explain(layer, &df, &acc)?);
+    }
+
+    // Watch the fetch stream of the weight-stationary schedule: after the
+    // initial fill, steps fetch new input columns but zero new weights.
+    println!("X-P fetch stream (first 8 steps):");
+    let t = trace(layer, &Style::XP.dataflow(), acc.num_pes, 8)?;
+    println!(
+        "{:<5} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "step", "new In", "new Wt", "new Out", "MACs", "PEs"
+    );
+    for s in &t.steps {
+        println!(
+            "{:<5} {:>10} {:>10} {:>10} {:>8} {:>8}",
+            s.step,
+            s.new_data[TensorKind::Input as usize],
+            s.new_data[TensorKind::Weight as usize],
+            s.new_data[TensorKind::Output as usize],
+            s.macs,
+            s.active_pes
+        );
+    }
+    Ok(())
+}

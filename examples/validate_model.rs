@@ -1,0 +1,21 @@
+//! Validate the analytical model against the step-exact reference
+//! simulator (the role of the paper's Figure 9 RTL comparison).
+//!
+//! Run with: `cargo run --release --example validate_model`
+
+use maestro::dnn::zoo;
+use maestro::hw::Accelerator;
+use maestro::ir::Style;
+use maestro::sim::{validate_network, SimOptions};
+
+fn main() {
+    let acc = Accelerator::maeri_like(64);
+    let model = zoo::alexnet(1);
+    println!("AlexNet under KC-P on a MAERI-like 64-PE accelerator:\n");
+    let (points, mean) = validate_network(&model, &Style::KCP.dataflow(), &acc, SimOptions::default());
+    for p in &points {
+        println!("{p}");
+        assert_eq!(p.sim_macs, p.exact_macs, "simulator must conserve MACs");
+    }
+    println!("\nmean absolute runtime error: {mean:.2}% over {} layers", points.len());
+}

@@ -1,0 +1,42 @@
+//! MAESTRO-rs: a data-centric cost model for DNN accelerator dataflows.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`dnn`] — layer shapes, operator coupling, the model zoo;
+//! * [`ir`] — the data-centric directives (SpatialMap / TemporalMap /
+//!   Cluster), the DSL parser, the loop-nest front-end, the Table 3 styles;
+//! * [`hw`] — the abstract accelerator model (PEs, scratchpads, NoC pipe,
+//!   reuse-support structures, energy/area/power);
+//! * [`core`] — the analytical engines: [`core::analyze`] estimates
+//!   runtime, activity counts, energy, buffer needs, bandwidth demand and
+//!   reuse factors for (layer × dataflow × hardware);
+//! * [`sim`] — a step-exact reference simulator used to validate the
+//!   model (the role RTL plays in the paper's Figure 9);
+//! * [`dse`] — design-space exploration with Pareto tracking under
+//!   area/power budgets.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use maestro::core::analyze;
+//! use maestro::dnn::{zoo, TensorKind};
+//! use maestro::hw::{Accelerator, EnergyModel};
+//! use maestro::ir::Style;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let vgg = zoo::vgg16(1);
+//! let conv2 = vgg.layer("CONV2").expect("zoo layer");
+//! let acc = Accelerator::paper_case_study();
+//! let report = analyze(conv2, &Style::KCP.dataflow(), &acc)?;
+//! println!("{} cycles, {} pJ", report.runtime, report.energy(&EnergyModel::cacti_28nm(2048, 1 << 20)));
+//! assert!(report.reuse_factor(TensorKind::Weight) > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use maestro_core as core;
+pub use maestro_dnn as dnn;
+pub use maestro_dse as dse;
+pub use maestro_hw as hw;
+pub use maestro_ir as ir;
+pub use maestro_sim as sim;

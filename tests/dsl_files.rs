@@ -1,0 +1,67 @@
+//! Golden tests for the shipped `.df` dataflow description files: they
+//! parse, resolve against real layers, and the style-equivalent files
+//! analyze identically to the built-in styles.
+
+use maestro::core::analyze;
+use maestro::dnn::zoo;
+use maestro::hw::Accelerator;
+use maestro::ir::{parse::parse_dataflow, Dataflow, Style};
+use std::fs;
+use std::path::Path;
+
+fn load(name: &str) -> Dataflow {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("dataflows").join(name);
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    parse_dataflow(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn all_shipped_files_parse_and_resolve() {
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV5").expect("zoo layer");
+    let acc = Accelerator::paper_case_study();
+    for name in [
+        "weight_stationary.df",
+        "output_stationary_2d.df",
+        "row_stationary.df",
+        "nvdla.df",
+    ] {
+        let df = load(name);
+        analyze(layer, &df, &acc).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn shipped_files_match_builtin_styles() {
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV5").expect("zoo layer");
+    let acc = Accelerator::paper_case_study();
+    let pairs = [
+        ("weight_stationary.df", Style::XP),
+        ("output_stationary_2d.df", Style::YXP),
+        ("row_stationary.df", Style::YRP),
+        ("nvdla.df", Style::KCP),
+    ];
+    for (file, style) in pairs {
+        let a = analyze(layer, &load(file), &acc).unwrap();
+        let b = analyze(layer, &style.dataflow(), &acc).unwrap();
+        assert_eq!(a.runtime, b.runtime, "{file} vs {style}");
+        assert_eq!(a.counts, b.counts, "{file} vs {style}");
+    }
+}
+
+#[test]
+fn shipped_network_file_parses_and_analyzes() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("networks/edge_detector.net");
+    let text = fs::read_to_string(&path).expect("network file readable");
+    let model = maestro::dnn::parse_network(&text).expect("network file parses");
+    assert_eq!(model.len(), 5);
+    let acc = Accelerator::builder(64).build();
+    for layer in model.iter() {
+        analyze(layer, &Style::XP.dataflow(), &acc)
+            .unwrap_or_else(|e| panic!("{}: {e}", layer.name));
+    }
+    // Round-trips through the writer.
+    let back = maestro::dnn::parse_network(&maestro::dnn::write_network(&model)).unwrap();
+    assert_eq!(model, back);
+}

@@ -1,0 +1,304 @@
+//! End-to-end integration: zoo models × Table 3 dataflows through the full
+//! analysis pipeline.
+
+use maestro::core::{analyze, analyze_model_with};
+use maestro::dnn::{zoo, TensorKind};
+use maestro::hw::{Accelerator, EnergyModel};
+use maestro::ir::Style;
+
+fn fallback(style: Style, l: &maestro::dnn::Layer, acc: &Accelerator) -> maestro::ir::Dataflow {
+    let df = style.dataflow();
+    if analyze(l, &df, acc).is_ok() {
+        df
+    } else {
+        Style::XP.dataflow()
+    }
+}
+
+#[test]
+fn every_zoo_model_analyzes_under_every_style() {
+    let acc = Accelerator::paper_case_study();
+    let models = [
+        zoo::vgg16(1),
+        zoo::alexnet(1),
+        zoo::resnet50(1),
+        zoo::resnext50(1),
+        zoo::mobilenet_v2(1),
+        zoo::unet(1),
+        zoo::dcgan(1),
+    ];
+    for model in &models {
+        for style in Style::ALL {
+            let report = analyze_model_with(model, &acc, |l| fallback(style, l, &acc))
+                .unwrap_or_else(|e| panic!("{}/{style}: {e}", model.name));
+            assert!(report.runtime() > 0.0, "{}/{style}", model.name);
+            assert!(
+                report.counts().macs > 0.0,
+                "{}/{style}: zero MACs",
+                model.name
+            );
+        }
+    }
+}
+
+#[test]
+fn runtime_is_bounded_by_roofline_for_all_vgg_layers() {
+    let acc = Accelerator::paper_case_study();
+    let vgg = zoo::vgg16(1);
+    for layer in vgg.iter() {
+        for style in Style::ALL {
+            let Ok(r) = analyze(layer, &style.dataflow(), &acc) else {
+                continue;
+            };
+            let roofline = layer.total_macs() as f64 / acc.peak_macs_per_cycle() as f64;
+            assert!(
+                r.runtime >= roofline * 0.95,
+                "{}/{style}: runtime {} below roofline {roofline}",
+                layer.name,
+                r.runtime
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_accounts_are_internally_consistent() {
+    let acc = Accelerator::paper_case_study();
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV5").expect("zoo layer");
+    let em = EnergyModel::normalized();
+    for style in Style::ALL {
+        let r = analyze(layer, &style.dataflow(), &acc).unwrap();
+        let breakdown = r.energy_breakdown(&em);
+        assert!(
+            (breakdown.total() - r.energy(&em)).abs() <= 1e-6 * r.energy(&em),
+            "{style}: breakdown total mismatch"
+        );
+        // Energy is at least the MAC floor.
+        assert!(r.energy(&em) >= r.macs_effective * em.mac);
+    }
+}
+
+#[test]
+fn l2_traffic_covers_compulsory_misses() {
+    let acc = Accelerator::paper_case_study();
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV8").expect("zoo layer");
+    for style in Style::ALL {
+        let r = analyze(layer, &style.dataflow(), &acc).unwrap();
+        assert!(
+            r.counts.l2_read[TensorKind::Input]
+                >= layer.tensor_elements(TensorKind::Input) as f64 * 0.9,
+            "{style}"
+        );
+        assert!(
+            r.counts.l2_read[TensorKind::Weight]
+                >= layer.tensor_elements(TensorKind::Weight) as f64 * 0.9,
+            "{style}"
+        );
+        assert!(
+            r.counts.l2_write[TensorKind::Output]
+                >= layer.tensor_elements(TensorKind::Output) as f64 * 0.9,
+            "{style}"
+        );
+    }
+}
+
+#[test]
+fn reuse_factors_do_not_exceed_algorithmic_max() {
+    let acc = Accelerator::paper_case_study();
+    let vgg = zoo::vgg16(1);
+    for lname in ["CONV2", "CONV11"] {
+        let layer = vgg.layer(lname).expect("zoo layer");
+        for style in Style::ALL {
+            let r = analyze(layer, &style.dataflow(), &acc).unwrap();
+            for kind in [TensorKind::Input, TensorKind::Weight] {
+                // Fills inflate the numerator slightly; allow 10% + 2.
+                assert!(
+                    r.reuse_factor(kind) <= r.algorithmic_max_reuse(kind) * 1.1 + 2.0,
+                    "{lname}/{style}/{kind}: {} > {}",
+                    r.reuse_factor(kind),
+                    r.algorithmic_max_reuse(kind)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dsl_files_round_trip_through_analysis() {
+    // A dataflow written as text analyzes identically to the same dataflow
+    // built programmatically.
+    let acc = Accelerator::builder(64).build();
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV11").expect("zoo layer");
+    let built = Style::XP.dataflow();
+    let parsed: maestro::ir::Dataflow = built.to_string().parse().expect("parses");
+    let a = analyze(layer, &built, &acc).unwrap();
+    let b = analyze(layer, &parsed, &acc).unwrap();
+    assert_eq!(a.runtime, b.runtime);
+    assert_eq!(a.counts, b.counts);
+}
+
+#[test]
+fn offchip_traffic_is_compulsory_plus_capacity_misses() {
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV8").expect("zoo layer");
+    let df = Style::KCP.dataflow();
+    // Ample L2: only compulsory DRAM traffic.
+    let big = Accelerator::builder(256).l2_bytes(64 << 20).build();
+    let r_big = analyze(layer, &df, &big).unwrap();
+    let compulsory: f64 = r_big.tensor_elems.iter().map(|&e| e as f64).sum();
+    let dram_big = r_big.counts.dram_read.total() + r_big.counts.dram_write.total();
+    assert!(
+        (dram_big - compulsory).abs() / compulsory < 0.05,
+        "big L2: {dram_big} vs compulsory {compulsory}"
+    );
+    // Tiny L2: capacity misses dominate.
+    let small = Accelerator::builder(256).l2_bytes(16 << 10).build();
+    let r_small = analyze(layer, &df, &small).unwrap();
+    let dram_small = r_small.counts.dram_read.total() + r_small.counts.dram_write.total();
+    assert!(
+        dram_small > dram_big * 2.0,
+        "small L2 should miss more: {dram_small} vs {dram_big}"
+    );
+}
+
+#[test]
+fn offchip_bandwidth_can_bound_runtime() {
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV8").expect("zoo layer");
+    let df = Style::KCP.dataflow();
+    let fast = Accelerator::builder(256).offchip_bandwidth(64).build();
+    let slow = Accelerator::builder(256).offchip_bandwidth(1).build();
+    let rf = analyze(layer, &df, &fast).unwrap();
+    let rs = analyze(layer, &df, &slow).unwrap();
+    assert!(rs.runtime >= rf.runtime, "{} vs {}", rs.runtime, rf.runtime);
+    // At 1 element/cycle the DRAM stream must bound the runtime.
+    let dram = rs.counts.dram_read.total() + rs.counts.dram_write.total();
+    assert!(rs.runtime >= dram * 0.99);
+}
+
+#[test]
+fn model_and_simulator_agree_on_offchip_rule() {
+    use maestro::sim::{simulate, SimOptions};
+    let layer = maestro::dnn::Layer::new(
+        "c",
+        maestro::dnn::Operator::conv2d(),
+        maestro::dnn::LayerDims::square(1, 16, 16, 18, 3),
+    );
+    // Small L2 so capacity misses are active on both sides.
+    let acc = Accelerator::builder(64).l2_bytes(4 << 10).build();
+    let df = Style::KCP.dataflow();
+    let m = analyze(&layer, &df, &acc).unwrap();
+    let s = simulate(&layer, &df, &acc, SimOptions::default()).unwrap();
+    let md = m.counts.dram_read.total() + m.counts.dram_write.total();
+    let sd = s.counts.dram_read.total() + s.counts.dram_write.total();
+    assert!(
+        (md - sd).abs() / sd.max(1.0) < 0.1,
+        "model dram {md} vs sim dram {sd}"
+    );
+}
+
+#[test]
+fn per_level_summaries_expose_hierarchy() {
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV5").expect("zoo layer");
+    let acc = Accelerator::paper_case_study();
+    let r = analyze(layer, &Style::KCP.dataflow(), &acc).unwrap();
+    assert_eq!(r.levels.len(), 2);
+    assert_eq!(r.levels[0].units, 4, "256 PEs / clusters of 64");
+    assert_eq!(r.levels[1].units, 64);
+    assert!(r.levels[0].steps > 1);
+    assert_eq!(
+        r.levels[1].output_spatial,
+        maestro::core::OutputSpatial::Reduced
+    );
+    let text = r.to_string();
+    assert!(text.contains("level 0"), "{text}");
+    assert!(text.contains("level 1"), "{text}");
+}
+
+#[test]
+fn three_level_hierarchies_analyze_and_conserve_macs() {
+    use maestro::dnn::Dim;
+    use maestro::ir::{Dataflow, SizeExpr};
+    use maestro::sim::{simulate, SimOptions};
+    // K across 4 top clusters, C across 4 sub-clusters, X' across 4 PEs.
+    let df = Dataflow::builder("three-level")
+        .spatial(1, 1, Dim::K)
+        .cluster(SizeExpr::lit(16))
+        .spatial(1, 1, Dim::C)
+        .cluster(SizeExpr::lit(4))
+        .spatial(SizeExpr::size(Dim::S), 1, Dim::X)
+        .build();
+    let layer = maestro::dnn::Layer::new(
+        "c",
+        maestro::dnn::Operator::conv2d(),
+        maestro::dnn::LayerDims::square(1, 8, 8, 10, 3),
+    );
+    let acc = Accelerator::builder(64).build();
+    let r = analyze(&layer, &df, &acc).unwrap();
+    assert_eq!(r.levels.len(), 3);
+    assert_eq!(r.levels.iter().map(|l| l.units).product::<u64>(), 64);
+    let s = simulate(&layer, &df, &acc, SimOptions::default()).unwrap();
+    assert_eq!(s.macs, layer.total_macs(), "exact MAC conservation at 3 levels");
+    let ratio = r.runtime / s.cycles.max(1.0);
+    assert!((0.3..=3.0).contains(&ratio), "model {} vs sim {}", r.runtime, s.cycles);
+}
+
+#[test]
+fn custom_coupling_overrides_the_operator() {
+    use maestro::dnn::coupling::{Coupling, DimSet};
+    use maestro::dnn::{Dim, Layer, LayerDims, Operator};
+    // A per-channel correlation: O[n][k][c] += W[k][r][s] · I[n][c][y][x]
+    // — one shared K-bank of filters correlated against every channel,
+    // keeping a per-(k, c) score map. Not expressible as any built-in
+    // operator; expressible as a coupling.
+    let custom = Coupling {
+        input: DimSet::of(&[Dim::N, Dim::C, Dim::Y, Dim::X]),
+        weight: DimSet::of(&[Dim::K, Dim::R, Dim::S]),
+        output: DimSet::of(&[Dim::N, Dim::K, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S]),
+        reduction: DimSet::of(&[Dim::R, Dim::S]),
+    };
+    let layer = Layer::new(
+        "corr",
+        Operator::conv2d(),
+        LayerDims::square(1, 4, 8, 10, 3),
+    )
+    .with_coupling(custom);
+    // The weight tensor no longer spans C.
+    assert_eq!(layer.tensor_elements(TensorKind::Weight), 4 * 9);
+    // Outputs span K × C score maps.
+    assert_eq!(layer.tensor_elements(TensorKind::Output), 4 * 8 * 8 * 8);
+    let acc = Accelerator::builder(64).build();
+    let r = analyze(&layer, &Style::XP.dataflow(), &acc).unwrap();
+    assert!(r.runtime > 0.0);
+    // And the simulator follows the same coupling: conservation holds for
+    // the custom iteration space N*K*C*Y'*X'*R*S.
+    use maestro::sim::{simulate, SimOptions};
+    let s = simulate(&layer, &Style::XP.dataflow(), &acc, SimOptions::default()).unwrap();
+    assert_eq!(s.macs, layer.total_macs());
+    assert_eq!(layer.total_macs(), 4 * 8 * 8 * 8 * 9);
+}
+
+#[test]
+fn extended_zoo_analyzes_under_adaptive_choice() {
+    let acc = Accelerator::paper_case_study();
+    for model in [zoo::googlenet(1), zoo::efficientnet_b0(1), zoo::deepspeech2(1)] {
+        let report = analyze_model_with(&model, &acc, |l| {
+            Style::ALL
+                .iter()
+                .map(|s| s.dataflow())
+                .filter(|df| analyze(l, df, &acc).is_ok())
+                .min_by(|a, b| {
+                    let ra = analyze(l, a, &acc).map(|r| r.runtime).unwrap_or(f64::MAX);
+                    let rb = analyze(l, b, &acc).map(|r| r.runtime).unwrap_or(f64::MAX);
+                    ra.total_cmp(&rb)
+                })
+                .unwrap_or_else(|| Style::XP.dataflow())
+        })
+        .unwrap_or_else(|e| panic!("{}: {e}", model.name));
+        assert!(report.runtime() > 0.0, "{}", model.name);
+    }
+}

@@ -1,0 +1,93 @@
+//! Golden counts: a 1-D convolution small enough to compute by hand, with
+//! every activity count asserted exactly against both the analytical
+//! model and the step-exact simulator.
+//!
+//! Layer: N1 K2 C1 X8 S3 (X' = 6), output-stationary dataflow
+//! `SpatialMap(1,1) X; TemporalMap(1,1) S` on 3 PEs:
+//!
+//! * Schedule: 6 output columns over 3 PEs = 2 spatial folds; 3 filter
+//!   taps each → 6 time steps; each PE does K2 × 1 tap = 2 MACs/step.
+//!   Total MACs = 2 folds × 3 steps × 3 PEs × 2 = **36** (= 2·6·3 exact).
+//! * Inputs: each PE reads one new input element per step (x = x' + s,
+//!   distinct across PEs), 6 steps × 3 PEs = **18** L2 reads.
+//! * Weights: the K2-deep tap pair is multicast to all PEs (not coupled
+//!   to X): fetched at init (2), on each of the 4 steady S-advances (8),
+//!   and refetched when the fold wraps S back to zero (2) = **12** L2
+//!   reads; every PE's L1 receives each of those 12 = **36** L1 fills.
+//! * Outputs: each PE accumulates K2 psums in place across the S loop
+//!   (output-stationary), committing them on the fold advance (2×3) and
+//!   at the final drain (2×3) = **12** L2 writes — exactly the 2×6
+//!   output elements, each written once.
+
+use maestro::core::analyze;
+use maestro::dnn::{Dim, Layer, LayerDims, Operator, TensorKind};
+use maestro::hw::Accelerator;
+use maestro::ir::Dataflow;
+use maestro::sim::{simulate, SimOptions};
+
+fn fixture() -> (Layer, Dataflow, Accelerator) {
+    let layer = Layer::new(
+        "golden",
+        Operator::conv2d(),
+        LayerDims {
+            n: 1,
+            k: 2,
+            c: 1,
+            y: 1,
+            x: 8,
+            r: 1,
+            s: 3,
+            stride_y: 1,
+            stride_x: 1,
+        },
+    );
+    let df = Dataflow::builder("output-stationary")
+        .spatial(1, 1, Dim::X)
+        .temporal(1, 1, Dim::S)
+        .build();
+    let acc = Accelerator::builder(3).noc_bandwidth(8).build();
+    (layer, df, acc)
+}
+
+#[test]
+fn model_counts_match_hand_arithmetic() {
+    let (layer, df, acc) = fixture();
+    let r = analyze(&layer, &df, &acc).unwrap();
+    assert_eq!(r.counts.macs, 36.0);
+    assert_eq!(r.counts.l2_read[TensorKind::Input], 18.0);
+    assert_eq!(r.counts.l2_read[TensorKind::Weight], 12.0);
+    assert_eq!(r.counts.l2_write[TensorKind::Output], 12.0);
+    assert_eq!(r.counts.l2_read[TensorKind::Output], 0.0, "no psum spills");
+    assert_eq!(r.counts.l1_write[TensorKind::Input], 18.0);
+    assert_eq!(r.counts.l1_write[TensorKind::Weight], 36.0);
+    // Per-MAC operand reads and psum read-modify-writes.
+    assert_eq!(r.counts.l1_read[TensorKind::Input], 36.0);
+    assert_eq!(r.counts.l1_read[TensorKind::Weight], 36.0);
+    assert_eq!(r.counts.l1_write[TensorKind::Output], 36.0);
+}
+
+#[test]
+fn simulator_counts_match_hand_arithmetic() {
+    let (layer, df, acc) = fixture();
+    let s = simulate(&layer, &df, &acc, SimOptions::default()).unwrap();
+    assert_eq!(s.macs, 36);
+    assert_eq!(s.steps, 6);
+    assert_eq!(s.counts.l2_read[TensorKind::Input], 18.0);
+    assert_eq!(s.counts.l2_read[TensorKind::Weight], 12.0);
+    assert_eq!(s.counts.l2_write[TensorKind::Output], 12.0);
+    assert_eq!(s.counts.l1_write[TensorKind::Weight], 36.0);
+    assert_eq!(s.utilization, 1.0, "all 3 PEs busy every step");
+}
+
+#[test]
+fn model_and_simulator_agree_exactly_here() {
+    let (layer, df, acc) = fixture();
+    let m = analyze(&layer, &df, &acc).unwrap();
+    let s = simulate(&layer, &df, &acc, SimOptions::default()).unwrap();
+    assert_eq!(m.counts.l2_read, s.counts.l2_read);
+    assert_eq!(m.counts.l2_write, s.counts.l2_write);
+    assert_eq!(m.counts.l1_write, s.counts.l1_write);
+    assert_eq!(m.counts.macs, s.counts.macs);
+    // Runtime differs only by the init-step accounting (≤ a few cycles).
+    assert!((m.runtime - s.cycles).abs() <= 3.0, "{} vs {}", m.runtime, s.cycles);
+}

@@ -1,0 +1,420 @@
+//! Property-based invariants over random layers and random (well-formed)
+//! dataflows: MAC conservation, traffic lower bounds, rooflines, and
+//! model-vs-simulator agreement.
+
+use maestro::core::analyze;
+use maestro::dnn::{Dim, Layer, LayerDims, Operator, TensorKind, ALL_DIMS};
+use maestro::hw::Accelerator;
+use maestro::ir::{Dataflow, DataflowBuilder, SizeExpr};
+use maestro::sim::{simulate, SimOptions};
+use proptest::prelude::*;
+
+/// A row-stationary-style dataflow with co-mapped spatial `Y`+`R` inside a
+/// cluster of `Sz(R)` PEs, over random channel tiles — the co-indexed
+/// multi-spatial-map semantics the styles exercise, randomized.
+fn arb_row_stationary(layer: &Layer) -> impl Strategy<Value = Dataflow> {
+    let dims = layer.dims;
+    (1u64..=dims.c.max(1), 1u64..=dims.k.max(1)).prop_map(move |(ct, kt)| {
+        Dataflow::builder("prop-rs")
+            .temporal(ct, ct, Dim::C)
+            .temporal(kt, kt, Dim::K)
+            .spatial(SizeExpr::size(Dim::R), 1, Dim::Y)
+            .temporal(SizeExpr::size(Dim::S), dims.stride_x, Dim::X)
+            .temporal(SizeExpr::size(Dim::R), SizeExpr::size(Dim::R), Dim::R)
+            .temporal(SizeExpr::size(Dim::S), SizeExpr::size(Dim::S), Dim::S)
+            .cluster(SizeExpr::size(Dim::R))
+            .spatial(1, 1, Dim::Y)
+            .spatial(1, 1, Dim::R)
+            .build()
+    })
+}
+
+/// A random, well-formed layer small enough to simulate exhaustively.
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    (
+        1u64..3,   // n
+        1u64..12,  // k
+        1u64..12,  // c
+        1u64..4,   // r
+        1u64..4,   // s
+        0u64..14,  // y slack beyond r
+        0u64..14,  // x slack beyond s
+        1u64..3,   // stride
+    )
+        .prop_map(|(n, k, c, r, s, ys, xs, stride)| {
+            let dims = LayerDims {
+                n,
+                k,
+                c,
+                y: r + ys,
+                x: s + xs,
+                r,
+                s,
+                stride_y: stride,
+                stride_x: stride,
+            };
+            Layer::new("prop", Operator::conv2d(), dims)
+        })
+        .prop_filter("window must fit", |l| l.validate().is_ok() && l.total_macs() > 0)
+}
+
+/// A random gap-free dataflow for `layer`: each dimension is either fully
+/// resident or tiled with offset == tile (no redundant recompute, no
+/// skipped data), with one spatially mapped dimension, optionally behind a
+/// cluster level.
+fn arb_dataflow(layer: &Layer) -> impl Strategy<Value = Dataflow> {
+    let dims = layer.dims;
+    let tile = move |d: Dim, total: u64| {
+        (1u64..=total.max(1)).prop_map(move |t| (d, t))
+    };
+    (
+        tile(Dim::K, dims.k),
+        tile(Dim::C, dims.c),
+        tile(Dim::Y, dims.out_y().max(1)),
+        tile(Dim::X, dims.out_x().max(1)),
+        0usize..5, // which dim is spatial (of K, C, Y, X) — 4 means none
+        proptest::bool::ANY, // use a cluster level
+        1u64..4,   // cluster size exponent
+    )
+        .prop_map(move |(k, c, y, x, spatial_idx, use_cluster, csz_exp)| {
+            let stride = dims.stride_y;
+            let mut b: DataflowBuilder = Dataflow::builder("prop-df");
+            let entries = [k, c, y, x];
+            for (i, (d, t)) in entries.iter().enumerate() {
+                let (size, offset) = match d {
+                    // Output-tiled window maps: exact coverage.
+                    Dim::Y => (stride * (t - 1) + dims.r, t * stride),
+                    Dim::X => (stride * (t - 1) + dims.s, t * stride),
+                    _ => (*t, *t),
+                };
+                if i == spatial_idx {
+                    b = b.spatial(SizeExpr::lit(size), SizeExpr::lit(offset), *d);
+                } else {
+                    b = b.temporal(SizeExpr::lit(size), SizeExpr::lit(offset), *d);
+                }
+            }
+            if use_cluster {
+                let csz = 1u64 << csz_exp; // 2, 4, 8 — divides the 16 PEs
+                b = b.cluster(SizeExpr::lit(csz));
+                // Inner level: distribute C if it has room, else K.
+                b = b.spatial(1, 1, Dim::C);
+            }
+            b.build()
+        })
+}
+
+fn acc16() -> Accelerator {
+    Accelerator::builder(16).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The simulator executes every MAC of the layer exactly once for any
+    /// gap-free schedule.
+    #[test]
+    fn sim_conserves_macs((layer, df) in arb_layer().prop_flat_map(|l| {
+        let df = arb_dataflow(&l);
+        (Just(l), df)
+    })) {
+        let acc = acc16();
+        let opts = SimOptions { max_steps: 2_000_000 };
+        if let Ok(sim) = simulate(&layer, &df, &acc, opts) {
+            prop_assert_eq!(sim.macs, layer.total_macs(), "dataflow {}", df);
+        }
+    }
+
+    /// The analytical model's MAC count is exact up to edge-chunk padding
+    /// (never undercounts, bounded overcount).
+    #[test]
+    fn model_mac_count_is_tight((layer, df) in arb_layer().prop_flat_map(|l| {
+        let df = arb_dataflow(&l);
+        (Just(l), df)
+    })) {
+        let acc = acc16();
+        if let Ok(r) = analyze(&layer, &df, &acc) {
+            let exact = layer.total_macs() as f64;
+            prop_assert!(
+                (r.macs_dense - exact).abs() <= exact * 0.01 + 1.0,
+                "model MACs {} vs exact {exact} for {}",
+                r.macs_dense,
+                df
+            );
+        }
+    }
+
+    /// Runtime respects the compute roofline.
+    #[test]
+    fn runtime_roofline((layer, df) in arb_layer().prop_flat_map(|l| {
+        let df = arb_dataflow(&l);
+        (Just(l), df)
+    })) {
+        let acc = acc16();
+        if let Ok(r) = analyze(&layer, &df, &acc) {
+            let roofline = layer.total_macs() as f64 / acc.peak_macs_per_cycle() as f64;
+            prop_assert!(r.runtime >= roofline * 0.95);
+        }
+    }
+
+    /// Every operand element is fetched from L2 at least once; every
+    /// output is written at least once.
+    #[test]
+    fn compulsory_traffic((layer, df) in arb_layer().prop_flat_map(|l| {
+        let df = arb_dataflow(&l);
+        (Just(l), df)
+    })) {
+        let acc = acc16();
+        if let Ok(r) = analyze(&layer, &df, &acc) {
+            // Strided convolutions never touch the skipped input rows and
+            // columns, so the compulsory input traffic is the *covered*
+            // receptive field, not the full tensor.
+            let d = layer.dims;
+            let touched = |out: u64, w: u64, stride: u64| {
+                // Overlapping windows touch a contiguous band; disjoint
+                // (stride > window) ones touch out x window positions.
+                (stride * (out - 1) + w).min(out * w)
+            };
+            let covered_in = d.n
+                * d.c
+                * touched(d.out_y(), d.r, d.stride_y)
+                * touched(d.out_x(), d.s, d.stride_x);
+            prop_assert!(
+                r.counts.l2_read[TensorKind::Input] >= covered_in as f64 * 0.9,
+                "Input: {} < {covered_in}", r.counts.l2_read[TensorKind::Input]
+            );
+            prop_assert!(
+                r.counts.l2_read[TensorKind::Weight]
+                    >= layer.tensor_elements(TensorKind::Weight) as f64 * 0.9,
+                "Weight: {} < {}",
+                r.counts.l2_read[TensorKind::Weight],
+                layer.tensor_elements(TensorKind::Weight)
+            );
+            prop_assert!(
+                r.counts.l2_write[TensorKind::Output]
+                    >= layer.tensor_elements(TensorKind::Output) as f64 * 0.9
+            );
+        }
+    }
+
+    /// Model and simulator agree on runtime within a factor-level bound
+    /// for arbitrary schedules (edge-heavy schedules diverge most).
+    #[test]
+    fn model_tracks_sim((layer, df) in arb_layer().prop_flat_map(|l| {
+        let df = arb_dataflow(&l);
+        (Just(l), df)
+    })) {
+        let acc = acc16();
+        let opts = SimOptions { max_steps: 2_000_000 };
+        if let (Ok(model), Ok(sim)) = (analyze(&layer, &df, &acc), simulate(&layer, &df, &acc, opts)) {
+            let ratio = model.runtime / sim.cycles.max(1.0);
+            prop_assert!(
+                (0.4..=4.0).contains(&ratio),
+                "model {} vs sim {} (ratio {ratio}) for {}",
+                model.runtime, sim.cycles, df
+            );
+        }
+    }
+
+    /// The DSL round-trips arbitrary generated dataflows.
+    #[test]
+    fn dsl_roundtrip((_, df) in arb_layer().prop_flat_map(|l| {
+        let df = arb_dataflow(&l);
+        (Just(l), df)
+    })) {
+        let printed = df.to_string();
+        let reparsed: Dataflow = printed.parse().expect("generated dataflows reparse");
+        prop_assert_eq!(df, reparsed);
+    }
+
+    /// Utilization is a fraction and buffer requirements are positive.
+    #[test]
+    fn report_sanity((layer, df) in arb_layer().prop_flat_map(|l| {
+        let df = arb_dataflow(&l);
+        (Just(l), df)
+    })) {
+        let acc = acc16();
+        if let Ok(r) = analyze(&layer, &df, &acc) {
+            prop_assert!((0.0..=1.0).contains(&r.utilization));
+            prop_assert!(r.l1_per_pe_elems > 0);
+            prop_assert!(r.l2_staging_elems > 0);
+            prop_assert!(r.peak_bw >= 0.0);
+            prop_assert!(r.avg_bw <= r.peak_bw * 16.0 + 64.0);
+        }
+    }
+}
+
+/// A random layer over the non-conv operator types (depthwise, FC,
+/// pooling, element-wise residual).
+fn arb_op_layer() -> impl Strategy<Value = Layer> {
+    (
+        0usize..4,
+        1u64..3,  // n
+        1u64..10, // k
+        1u64..10, // c
+        1u64..4,  // r/s
+        0u64..10, // spatial slack
+    )
+        .prop_map(|(which, n, k, c, rs, slack)| {
+            let square = |k, c, yx, rs| LayerDims {
+                n,
+                k,
+                c,
+                y: yx,
+                x: yx,
+                r: rs,
+                s: rs,
+                stride_y: 1,
+                stride_x: 1,
+            };
+            match which {
+                0 => Layer::new(
+                    "dw",
+                    Operator::DepthwiseConv2d,
+                    square(1, c, rs + slack, rs),
+                ),
+                1 => Layer::new("fc", Operator::FullyConnected, square(k, c, 1, 1)),
+                2 => Layer::new("pool", Operator::Pooling, square(1, c, rs + slack, rs)),
+                _ => Layer::new(
+                    "add",
+                    Operator::ElementwiseAdd,
+                    square(k, 1, 1 + slack, 1),
+                ),
+            }
+        })
+        .prop_filter("valid", |l| l.validate().is_ok() && l.total_macs() > 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// MAC/element-op conservation holds for the non-conv operators too.
+    #[test]
+    fn sim_conserves_ops_for_all_operator_types((layer, df) in arb_op_layer().prop_flat_map(|l| {
+        let df = arb_dataflow(&l);
+        (Just(l), df)
+    })) {
+        let acc = acc16();
+        let opts = SimOptions { max_steps: 2_000_000 };
+        if let Ok(sim) = simulate(&layer, &df, &acc, opts) {
+            prop_assert_eq!(sim.macs, layer.total_macs(), "{} under {}", layer, df);
+        }
+    }
+
+    /// The model's MAC accounting stays exact across operator types.
+    #[test]
+    fn model_macs_exact_for_all_operator_types((layer, df) in arb_op_layer().prop_flat_map(|l| {
+        let df = arb_dataflow(&l);
+        (Just(l), df)
+    })) {
+        let acc = acc16();
+        if let Ok(r) = analyze(&layer, &df, &acc) {
+            let exact = layer.total_macs() as f64;
+            prop_assert!(
+                (r.macs_dense - exact).abs() <= exact * 0.01 + 1.0,
+                "{}: model {} vs exact {exact}",
+                layer,
+                r.macs_dense
+            );
+        }
+    }
+
+    /// Depthwise outputs are never spatially reduced across channels: a
+    /// C-spatial mapping must produce per-unit distinct outputs.
+    #[test]
+    fn depthwise_channel_mapping_is_not_a_reduction(c in 2u64..10, yx_slack in 0u64..8) {
+        let layer = Layer::new(
+            "dw",
+            Operator::DepthwiseConv2d,
+            LayerDims {
+                n: 1, k: 1, c, y: 3 + yx_slack, x: 3 + yx_slack,
+                r: 3, s: 3, stride_y: 1, stride_x: 1,
+            },
+        );
+        let df = Dataflow::builder("c-spatial").spatial(1, 1, Dim::C).build();
+        let acc = acc16();
+        if let (Ok(with_red), Ok(no_red)) = (
+            analyze(&layer, &df, &acc),
+            analyze(
+                &layer,
+                &df,
+                &Accelerator::builder(16)
+                    .support(maestro::hw::ReuseSupport::none())
+                    .build(),
+            ),
+        ) {
+            // Removing reduction hardware must not change output traffic:
+            // there is nothing to reduce across channels.
+            prop_assert_eq!(
+                with_red.counts.l2_write[TensorKind::Output],
+                no_red.counts.l2_write[TensorKind::Output]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The explanation and lint passes accept any resolvable dataflow
+    /// without panicking, and their findings are mutually consistent:
+    /// a level that the explainer calls spatially reduced is never
+    /// flagged as having no parallelism.
+    #[test]
+    fn explain_and_lint_are_total((layer, df) in arb_layer().prop_flat_map(|l| {
+        let df = arb_dataflow(&l);
+        (Just(l), df)
+    })) {
+        let acc = acc16();
+        if let Ok(e) = maestro::core::explain(&layer, &df, &acc) {
+            let lints = maestro::core::lint(&layer, &df, &acc).expect("lint resolves too");
+            for le in &e.levels {
+                let reduced = le
+                    .observations
+                    .contains(&maestro::core::Observation::SpatialReduction);
+                if reduced {
+                    prop_assert!(
+                        !lints.iter().any(|l| matches!(
+                            l,
+                            maestro::core::Lint::NoParallelism { level, .. } if *level == le.level
+                        )),
+                        "level {} both reduced and non-parallel", le.level
+                    );
+                }
+            }
+        }
+    }
+
+    /// Network-description round-trip for random layers.
+    #[test]
+    fn network_dsl_roundtrip(layer in arb_layer()) {
+        let mut model = maestro::dnn::Model::new("prop-net");
+        model.push(layer);
+        let text = maestro::dnn::write_network(&model);
+        let back = maestro::dnn::parse_network(&text).expect("writer output parses");
+        prop_assert_eq!(model, back);
+    }
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Co-mapped Y+R (row-stationary) schedules conserve MACs exactly and
+    /// keep the model within a factor bound of the simulator, across
+    /// random layers and channel tiles.
+    #[test]
+    fn row_stationary_conservation((layer, df) in arb_layer().prop_flat_map(|l| {
+        let df = arb_row_stationary(&l);
+        (Just(l), df)
+    })) {
+        // Row stationarity needs stride-1 vertical windows.
+        prop_assume!(layer.dims.stride_y == 1);
+        let acc = acc16();
+        let opts = SimOptions { max_steps: 2_000_000 };
+        if let (Ok(m), Ok(s)) = (analyze(&layer, &df, &acc), simulate(&layer, &df, &acc, opts)) {
+            prop_assert_eq!(s.macs, layer.total_macs(), "{} under {}", layer, df);
+            let ratio = m.runtime / s.cycles.max(1.0);
+            prop_assert!((0.25..=4.0).contains(&ratio), "model {} vs sim {}", m.runtime, s.cycles);
+        }
+    }
+}
