@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints (deny warnings), release build, full
+# test suite. Run from the repository root before sending a change out.
+#
+# The workspace builds fully offline: serde/serde_json/proptest/criterion
+# are local shim crates under crates/ (see DESIGN.md), so no registry
+# access is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "CI OK"

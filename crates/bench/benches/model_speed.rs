@@ -47,5 +47,10 @@ fn bench_resolve_and_parse(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_analyze, bench_whole_network, bench_resolve_and_parse);
+criterion_group!(
+    benches,
+    bench_analyze,
+    bench_whole_network,
+    bench_resolve_and_parse
+);
 criterion_main!(benches);

@@ -2,17 +2,33 @@
 //! evaluated with the best per-layer mapping (embedded auto-tuning), the
 //! natural end-to-end extension of the paper's per-layer DSE (§5.2).
 
+use maestro_bench::threads_arg;
 use maestro_dnn::zoo;
 use maestro_dse::{tuner::default_candidates, Explorer, SweepSpace};
 
+/// `--model <zoo name>` (default `alexnet`). VGG16 is the interesting
+/// memo-cache case: its repeated layer shapes make most per-layer
+/// analyses cache hits.
+fn model_arg() -> maestro_dnn::Model {
+    let mut argv = std::env::args();
+    let mut name = "alexnet".to_string();
+    while let Some(a) = argv.next() {
+        if a == "--model" {
+            name = argv.next().unwrap_or_default();
+        }
+    }
+    zoo::by_name(&name, 1).unwrap_or_else(|| panic!("unknown zoo model `{name}`"))
+}
+
 fn main() {
-    let model = zoo::alexnet(1);
+    let threads = threads_arg();
+    let model = model_arg();
     let explorer = Explorer::new(SweepSpace::tiny());
     let candidates = default_candidates();
-    let r = explorer.explore_model(&model, &candidates);
+    let r = explorer.explore_model_parallel(&model, &candidates, threads);
     println!(
-        "whole-model DSE over {}: {} designs explored, {} valid, {:.2}s",
-        model.name, r.stats.explored, r.stats.valid, r.stats.seconds
+        "whole-model DSE over {}: {} designs explored, {} valid ({} memo hits), {:.2}s",
+        model.name, r.stats.explored, r.stats.valid, r.stats.memo_hits, r.stats.seconds
     );
     let show = |tag: &str, p: &Option<maestro_dse::DesignPoint>| {
         if let Some(p) = p {

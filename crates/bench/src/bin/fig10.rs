@@ -26,7 +26,11 @@ fn main() {
                 // Layers the style cannot map (e.g. cluster too large) fall
                 // back to the best feasible style for fairness.
                 let df = style.dataflow();
-                if analyze(l, &df, &acc).is_ok() { df } else { best_for(l, &acc) }
+                if analyze(l, &df, &acc).is_ok() {
+                    df
+                } else {
+                    best_for(l, &acc)
+                }
             })
             .expect("model analysis");
             avg_fixed[i] += report.runtime();

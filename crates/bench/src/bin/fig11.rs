@@ -36,7 +36,10 @@ fn main() {
                 Err(e) => println!("{:<8} (not mappable: {e})", style.short_name()),
             }
         }
-        println!("{:<8} {:>14.1} {:>14.1} {:>16}", "A (max)", alg.0, alg.1, "-");
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>16}",
+            "A (max)", alg.0, alg.1, "-"
+        );
         println!();
     }
 }

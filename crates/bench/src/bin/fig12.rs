@@ -25,7 +25,16 @@ fn main() {
         println!("== VGG16 {lname} ==");
         println!(
             "{:<8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
-            "flow", "MAC", "L1Rd", "L1Wr", "L2Rd In", "L2Rd Wt", "L2Rd Sum", "L2Wr Sum", "L2Wr Out", "total"
+            "flow",
+            "MAC",
+            "L1Rd",
+            "L1Wr",
+            "L2Rd In",
+            "L2Rd Wt",
+            "L2Rd Sum",
+            "L2Wr Sum",
+            "L2Wr Out",
+            "total"
         );
         for style in Style::ALL {
             let r = analyze(l, &style.dataflow(), &acc).expect("analysis");

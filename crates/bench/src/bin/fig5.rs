@@ -12,7 +12,17 @@ fn main() {
     let layer = Layer::new(
         "conv1d",
         Operator::conv2d(),
-        LayerDims { n: 1, k: 1, c: 1, y: 1, x: 8, r: 1, s: 3, stride_y: 1, stride_x: 1 },
+        LayerDims {
+            n: 1,
+            k: 1,
+            c: 1,
+            y: 1,
+            x: 8,
+            r: 1,
+            s: 3,
+            stride_y: 1,
+            stride_x: 1,
+        },
     );
     println!("Figure 5 — 1-D convolution dataflow playground (X'=6, S=3, 3 PEs)\n");
     for id in ['A', 'B', 'C', 'D', 'E', 'F'] {
@@ -25,7 +35,12 @@ fn main() {
                 for l in &e.levels {
                     let notes: Vec<String> =
                         l.observations.iter().map(ToString::to_string).collect();
-                    println!("    level {} ({} units): {}", l.level, l.units, notes.join("; "));
+                    println!(
+                        "    level {} ({} units): {}",
+                        l.level,
+                        l.units,
+                        notes.join("; ")
+                    );
                 }
             }
             Err(err) => println!("    (cannot resolve: {err})"),

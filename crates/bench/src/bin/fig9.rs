@@ -11,19 +11,36 @@ use std::time::Instant;
 
 fn main() {
     let runs = [
-        ("VGG16 / KC-P (MAERI-like, 64 PEs)", zoo::vgg16(1), Style::KCP, Accelerator::maeri_like(64)),
-        ("AlexNet / YR-P (Eyeriss-like, 168 PEs)", zoo::alexnet(1), Style::YRP, Accelerator::eyeriss_like()),
+        (
+            "VGG16 / KC-P (MAERI-like, 64 PEs)",
+            zoo::vgg16(1),
+            Style::KCP,
+            Accelerator::maeri_like(64),
+        ),
+        (
+            "AlexNet / YR-P (Eyeriss-like, 168 PEs)",
+            zoo::alexnet(1),
+            Style::YRP,
+            Accelerator::eyeriss_like(),
+        ),
     ];
     println!("Figure 9 — analytical model vs step-exact simulator\n");
     for (label, model, style, acc) in runs {
         let t0 = Instant::now();
-        let (points, mean) = validate_network(&model, &style.dataflow(), &acc, SimOptions::default());
+        let (points, mean) =
+            validate_network(&model, &style.dataflow(), &acc, SimOptions::default());
         println!("== {label} ==");
-        println!("{:<12} {:>14} {:>14} {:>8}", "layer", "model (cyc)", "sim (cyc)", "err %");
+        println!(
+            "{:<12} {:>14} {:>14} {:>8}",
+            "layer", "model (cyc)", "sim (cyc)", "err %"
+        );
         for p in &points {
             println!(
                 "{:<12} {:>14.0} {:>14.0} {:>8.2}",
-                p.layer, p.model_runtime, p.sim_runtime, p.runtime_error_pct()
+                p.layer,
+                p.model_runtime,
+                p.sim_runtime,
+                p.runtime_error_pct()
             );
             assert_eq!(p.sim_macs, p.exact_macs, "MAC conservation");
         }

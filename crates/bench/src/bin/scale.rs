@@ -24,7 +24,9 @@ fn main() {
             for p in pes {
                 // Keep NoC bandwidth proportional to the array, as real
                 // designs do.
-                let acc = Accelerator::builder(p).noc_bandwidth((p / 8).max(8)).build();
+                let acc = Accelerator::builder(p)
+                    .noc_bandwidth((p / 8).max(8))
+                    .build();
                 match analyze(l, &style.dataflow(), &acc) {
                     Ok(r) => print!(
                         "{:>16}",

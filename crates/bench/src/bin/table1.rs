@@ -7,7 +7,10 @@ use maestro_dnn::Coupling;
 fn main() {
     let table = opportunity_table(&Coupling::conv2d());
     println!("Table 1 — reuse opportunities (CONV2D coupling)");
-    println!("{:<6} | {:^33} | {:^33}", "", "Spatially mapped", "Innermost temporal");
+    println!(
+        "{:<6} | {:^33} | {:^33}",
+        "", "Spatially mapped", "Innermost temporal"
+    );
     println!(
         "{:<6} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
         "Dim", "Input", "Filter", "Output", "Input", "Filter", "Output"

@@ -6,21 +6,46 @@ use maestro_hw::{SpatialMulticast, SpatialReduction};
 
 fn main() {
     println!("Table 2 — hardware implementation choices for reuse");
-    println!("{:<10} {:<14} {:<28} {:>8} {:>14}", "Reuse", "Comm. type", "Implementation", "latency", "upstream amp.");
+    println!(
+        "{:<10} {:<14} {:<28} {:>8} {:>14}",
+        "Reuse", "Comm. type", "Implementation", "latency", "upstream amp."
+    );
     println!("{}", "-".repeat(78));
     let n = 64;
-    for m in [SpatialMulticast::Fanout, SpatialMulticast::StoreAndForward, SpatialMulticast::None] {
+    for m in [
+        SpatialMulticast::Fanout,
+        SpatialMulticast::StoreAndForward,
+        SpatialMulticast::None,
+    ] {
         println!(
             "{:<10} {:<14} {:<28} {:>8} {:>11} rd",
-            "spatial", "multicast", m.to_string(), m.extra_latency(n), m.upstream_reads(n)
+            "spatial",
+            "multicast",
+            m.to_string(),
+            m.extra_latency(n),
+            m.upstream_reads(n)
         );
     }
-    for r in [SpatialReduction::Fanin, SpatialReduction::ReduceAndForward, SpatialReduction::None] {
+    for r in [
+        SpatialReduction::Fanin,
+        SpatialReduction::ReduceAndForward,
+        SpatialReduction::None,
+    ] {
         println!(
             "{:<10} {:<14} {:<28} {:>8} {:>11} wr",
-            "spatial", "reduction", r.to_string(), r.extra_latency(n), r.upstream_writes(n)
+            "spatial",
+            "reduction",
+            r.to_string(),
+            r.extra_latency(n),
+            r.upstream_writes(n)
         );
     }
-    println!("{:<10} {:<14} {:<28} {:>8} {:>14}", "temporal", "multicast", "stationary buffer (L1)", 0, "1 rd");
-    println!("{:<10} {:<14} {:<28} {:>8} {:>14}", "temporal", "reduction", "read-modify-write buffer", 0, "1 wr");
+    println!(
+        "{:<10} {:<14} {:<28} {:>8} {:>14}",
+        "temporal", "multicast", "stationary buffer (L1)", 0, "1 rd"
+    );
+    println!(
+        "{:<10} {:<14} {:<28} {:>8} {:>14}",
+        "temporal", "reduction", "read-modify-write buffer", 0, "1 wr"
+    );
 }

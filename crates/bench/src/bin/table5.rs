@@ -5,15 +5,18 @@
 use maestro_bench::layer;
 use maestro_core::analyze;
 use maestro_dnn::zoo;
-use maestro_hw::{Accelerator, EnergyModel, ReuseSupport, SpatialMulticast, SpatialReduction};
 use maestro_dse::variants::kcp_variant;
+use maestro_hw::{Accelerator, EnergyModel, ReuseSupport, SpatialMulticast, SpatialReduction};
 
 fn main() {
     let vgg = zoo::vgg16(1);
     let conv2 = layer(&vgg, "CONV2");
     let em = EnergyModel::cacti_28nm(2048, 1 << 20);
     let mk = |bw: u64, support: ReuseSupport| {
-        Accelerator::builder(56).noc_bandwidth(bw).support(support).build()
+        Accelerator::builder(56)
+            .noc_bandwidth(bw)
+            .support(support)
+            .build()
     };
     // The paper's 56-PE design point: KC-P with a 8-wide channel cluster (7 K-clusters x 8 C-lanes)
     // (the canonical Cluster(64) cannot subdivide 56 PEs).
@@ -23,11 +26,23 @@ fn main() {
         ("Small bandwidth", mk(2, ReuseSupport::full())),
         (
             "No multicast",
-            mk(40, ReuseSupport { multicast: SpatialMulticast::None, reduction: SpatialReduction::Fanin }),
+            mk(
+                40,
+                ReuseSupport {
+                    multicast: SpatialMulticast::None,
+                    reduction: SpatialReduction::Fanin,
+                },
+            ),
         ),
         (
             "No sp. reduction",
-            mk(40, ReuseSupport { multicast: SpatialMulticast::Fanout, reduction: SpatialReduction::None }),
+            mk(
+                40,
+                ReuseSupport {
+                    multicast: SpatialMulticast::Fanout,
+                    reduction: SpatialReduction::None,
+                },
+            ),
         ),
     ];
     println!("Table 5 — HW support impact (KC-P, VGG16 CONV2, 56 PEs)");

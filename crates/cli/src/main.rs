@@ -3,7 +3,7 @@
 //! ```text
 //! maestro analyze  --model vgg16 --layer CONV2 --dataflow KC-P --pes 256 [--bw 32] [--json]
 //! maestro model    --model resnet50 --dataflow YR-P --pes 256 [--adaptive] [--json]
-//! maestro dse      --model vgg16 --layer CONV2 --style KC-P [--json]
+//! maestro dse      --model vgg16 --layer CONV2 --style KC-P [--threads N] [--json]
 //! maestro validate --model alexnet --dataflow YR-P --pes 168
 //! maestro mapping  --model vgg16 --layer CONV1 --dataflow YR-P --pes 6 --step 0
 //! maestro zoo
@@ -56,7 +56,7 @@ maestro — data-centric DNN dataflow cost model
 USAGE:
   maestro analyze  --model <zoo> --layer <name> --dataflow <style|file> --pes <n> [--bw <n>] [--json]
   maestro model    --model <zoo> --dataflow <style|file> --pes <n> [--adaptive] [--json]
-  maestro dse      --model <zoo> --layer <name> --style <style> [--json]
+  maestro dse      --model <zoo> --layer <name> --style <style> [--threads <n>] [--json]
   maestro validate --model <zoo> --dataflow <style|file> --pes <n>
   maestro mapping  --model <zoo> --layer <name> --dataflow <style|file> --pes <n> --step <t>
   maestro explain  --model <zoo> --layer <name> --dataflow <style|file> --pes <n>
@@ -70,27 +70,13 @@ Styles (Table 3): C-P X-P YX-P YR-P KC-P
 ";
 
 fn load_model(name: &str) -> Result<Model, String> {
-    let m = match name {
-        "vgg16" => zoo::vgg16(1),
-        "deepspeech2" | "ds2" => zoo::deepspeech2(1),
-        "googlenet" => zoo::googlenet(1),
-        "efficientnet_b0" | "efficientnet" => zoo::efficientnet_b0(1),
-        "alexnet" => zoo::alexnet(1),
-        "resnet50" => zoo::resnet50(1),
-        "resnext50" => zoo::resnext50(1),
-        "mobilenet_v2" | "mobilenetv2" => zoo::mobilenet_v2(1),
-        "unet" => zoo::unet(1),
-        "dcgan" => zoo::dcgan(1),
-        other => {
-            // Not a zoo name: try it as a network description file.
-            let text = std::fs::read_to_string(other).map_err(|e| {
-                format!("`{other}` is not a zoo model and reading it failed: {e}")
-            })?;
-            return maestro_dnn::parse_network(&text)
-                .map_err(|e| format!("parsing {other}: {e}"));
-        }
-    };
-    Ok(m)
+    if let Some(m) = zoo::by_name(name, 1) {
+        return Ok(m);
+    }
+    // Not a zoo name: try it as a network description file.
+    let text = std::fs::read_to_string(name)
+        .map_err(|e| format!("`{name}` is not a zoo model and reading it failed: {e}"))?;
+    maestro_dnn::parse_network(&text).map_err(|e| format!("parsing {name}: {e}"))
 }
 
 fn load_dataflow(spec: &str) -> Result<Dataflow, String> {
@@ -140,7 +126,10 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     } else {
         println!("{report}");
         let em = EnergyModel::cacti_28nm(acc.l1_bytes, acc.l2_bytes);
-        println!("  energy        {:>14.3e} pJ (CACTI-style 28nm)", report.energy(&em));
+        println!(
+            "  energy        {:>14.3e} pJ (CACTI-style 28nm)",
+            report.energy(&em)
+        );
         for k in TensorKind::ALL {
             println!(
                 "  {k:<7} reuse {:>14.1} (algorithmic max {:.1})",
@@ -162,8 +151,12 @@ fn cmd_model(args: &Args) -> Result<(), String> {
                 .map(|s| s.dataflow())
                 .filter(|df| analyze(layer, df, &acc).is_ok())
                 .min_by(|a, b| {
-                    let ra = analyze(layer, a, &acc).map(|r| r.runtime).unwrap_or(f64::MAX);
-                    let rb = analyze(layer, b, &acc).map(|r| r.runtime).unwrap_or(f64::MAX);
+                    let ra = analyze(layer, a, &acc)
+                        .map(|r| r.runtime)
+                        .unwrap_or(f64::MAX);
+                    let rb = analyze(layer, b, &acc)
+                        .map(|r| r.runtime)
+                        .unwrap_or(f64::MAX);
                     ra.total_cmp(&rb)
                 })
                 .unwrap_or_else(|| Style::KCP.dataflow())
@@ -198,8 +191,11 @@ fn cmd_dse(args: &Args) -> Result<(), String> {
         .into_iter()
         .find(|s| s.short_name().eq_ignore_ascii_case(style_name))
         .ok_or_else(|| format!("unknown style `{style_name}`"))?;
+    // 0 = one worker per core; results are identical at any thread count.
+    let threads = usize::try_from(args.get_u64("threads", 0)?)
+        .map_err(|_| "--threads is too large".to_string())?;
     let explorer = maestro_dse::Explorer::new(maestro_dse::SweepSpace::standard());
-    let result = explorer.explore(layer, &maestro_dse::variants::variants(style));
+    let result = explorer.explore_parallel(layer, &maestro_dse::variants::variants(style), threads);
     if args.flag("json") {
         println!(
             "{}",
@@ -208,9 +204,10 @@ fn cmd_dse(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     println!(
-        "explored {} designs ({} evaluated, {} valid) in {:.2}s — {:.2e} designs/s",
+        "explored {} designs ({} evaluated, {} memo hits, {} valid) in {:.2}s — {:.2e} designs/s",
         result.stats.explored,
         result.stats.evaluated,
+        result.stats.memo_hits,
         result.stats.valid,
         result.stats.seconds,
         result.stats.rate
@@ -346,7 +343,9 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     }
     println!(
         "tuned {} for {objective} on {} PEs ({} distinct dataflows):",
-        tuned.model, acc.num_pes, tuned.distinct_dataflows()
+        tuned.model,
+        acc.num_pes,
+        tuned.distinct_dataflows()
     );
     for l in &tuned.layers {
         println!(

@@ -134,8 +134,7 @@ pub fn analyze(
         crate::report::offchip_traffic(&top.counts, tensor_elems, acc.l2_elements());
     top.counts.dram_read = dram_read;
     top.counts.dram_write = dram_write;
-    let dram_delay =
-        (dram_read.total() + dram_write.total()) / acc.offchip_bandwidth.max(1) as f64;
+    let dram_delay = (dram_read.total() + dram_write.total()) / acc.offchip_bandwidth.max(1) as f64;
     let runtime = top.runtime_first.max(dram_delay);
     let avg_bw = if runtime > 0.0 {
         (top.counts.l2_read.total() + top.counts.l2_write.total()) / runtime
@@ -231,8 +230,12 @@ mod tests {
                 .iter()
                 .map(|s| s.dataflow())
                 .min_by(|a, b| {
-                    let ra = analyze(layer, a, &acc).map(|r| r.runtime).unwrap_or(f64::MAX);
-                    let rb = analyze(layer, b, &acc).map(|r| r.runtime).unwrap_or(f64::MAX);
+                    let ra = analyze(layer, a, &acc)
+                        .map(|r| r.runtime)
+                        .unwrap_or(f64::MAX);
+                    let rb = analyze(layer, b, &acc)
+                        .map(|r| r.runtime)
+                        .unwrap_or(f64::MAX);
                     ra.total_cmp(&rb)
                 })
                 .expect("non-empty styles")

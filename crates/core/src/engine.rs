@@ -97,7 +97,13 @@ fn dim_state(ctx: &LevelCtx, j: usize, d: Dim) -> DimState {
 /// change caused by this loop's *own* dimensions, so pure-reduction loops
 /// (whose advance revisits the same outputs) report zero and are classified
 /// as reduction loops rather than output loops.
-fn new_data(ctx: &LevelCtx, coupling: &Coupling, kind: TensorKind, j: usize, own_only: bool) -> f64 {
+fn new_data(
+    ctx: &LevelCtx,
+    coupling: &Coupling,
+    kind: TensorKind,
+    j: usize,
+    own_only: bool,
+) -> f64 {
     use crate::footprint::CouplingExt;
     let fp = ctx.views.footprint(coupling, kind) as f64;
     let mut overlap = 1.0f64;
@@ -135,8 +141,7 @@ fn new_data(ctx: &LevelCtx, coupling: &Coupling, kind: TensorKind, j: usize, own
         if !coupling.is_coupled(kind, d) {
             continue;
         }
-        if kind == TensorKind::Output && d.is_filter_window() && coupling.has_window_on_partner(d)
-        {
+        if kind == TensorKind::Output && d.is_filter_window() && coupling.has_window_on_partner(d) {
             continue; // pure reduction: outputs anchored to the Y/X window
         }
         match st(d) {
@@ -222,10 +227,7 @@ pub fn analyze_level(
     };
     let multicast_latency = support.multicast.extra_latency(active) as f64;
     let (compute_delay, compute_first) = match inner {
-        Some(r) => (
-            r.runtime_steady,
-            r.runtime_first + reduction_latency,
-        ),
+        Some(r) => (r.runtime_steady, r.runtime_first + reduction_latency),
         None => {
             let macs = ctx.macs_per_unit_step() as f64 * density.mac_fraction();
             let d = (macs / acc.vector_width as f64).ceil().max(1.0);
@@ -259,12 +261,12 @@ pub fn analyze_level(
     let mut runtime_accum = 0.0f64; // Σ over non-init transitions
     let mut peak_bw = 0.0f64;
     let mut last_outstanding = compute_delay; // steady stand-in when loop-free
-    // Per-unit ingress totals for one pass, per tensor (for L1 fills).
+                                              // Per-unit ingress totals for one pass, per tensor (for L1 fills).
     let mut per_unit_in = fp_in;
     let mut per_unit_w = fp_w;
     // Per-unit egress totals (for L1 drains).
     let mut per_unit_out = fp_out; // final flush of resident outputs
-    // Aggregated L2/noc traffic for one pass.
+                                   // Aggregated L2/noc traffic for one pass.
     let mut l2_in = fp_in * in_mult * d_in;
     let mut l2_w = fp_w * w_mult * d_w;
     let mut final_write = fp_out * out_mult * d_out; // completed outputs

@@ -135,8 +135,7 @@ fn observe(ctx: &LevelCtx, coupling: &Coupling) -> Vec<Observation> {
     // Temporal reuse across the innermost loop.
     if let Some(innermost) = ctx.loops.last() {
         let changed: Vec<_> = innermost.dims.iter().map(|(d, _)| *d).collect();
-        let stationary =
-            |k: TensorKind| changed.iter().all(|&d| !depends(coupling, k, d));
+        let stationary = |k: TensorKind| changed.iter().all(|&d| !depends(coupling, k, d));
         for k in [TensorKind::Input, TensorKind::Weight] {
             if stationary(k) {
                 out.push(Observation::TemporalStationary(k));
@@ -204,11 +203,17 @@ mod tests {
         // (A) output-stationary: spatial multicast of weights + temporal
         // reduction of outputs.
         let a = ex('A', 3);
-        assert!(a.has(Observation::SpatialMulticast(TensorKind::Weight)), "{a}");
+        assert!(
+            a.has(Observation::SpatialMulticast(TensorKind::Weight)),
+            "{a}"
+        );
         assert!(a.has(Observation::TemporalReduction), "{a}");
         // (B) weight-stationary: weights survive the X' sweep.
         let b = ex('B', 3);
-        assert!(b.has(Observation::TemporalStationary(TensorKind::Weight)), "{b}");
+        assert!(
+            b.has(Observation::TemporalStationary(TensorKind::Weight)),
+            "{b}"
+        );
         // (C) collaborative output-stationary: spatial reduction.
         let c = ex('C', 3);
         assert!(c.has(Observation::SpatialReduction), "{c}");
@@ -216,7 +221,10 @@ mod tests {
         // stationary (S never advances temporally).
         let d = ex('D', 3);
         assert!(d.has(Observation::SpatialReduction), "{d}");
-        assert!(d.has(Observation::TemporalStationary(TensorKind::Weight)), "{d}");
+        assert!(
+            d.has(Observation::TemporalStationary(TensorKind::Weight)),
+            "{d}"
+        );
         // (E) tiled collaborative WS: partial temporal reuse of inputs.
         let e = ex('E', 3);
         assert!(e.has(Observation::TemporalHalo(TensorKind::Input)), "{e}");
@@ -229,11 +237,7 @@ mod tests {
 
     #[test]
     fn row_stationary_explanation() {
-        let layer = Layer::new(
-            "fig1",
-            Operator::conv2d(),
-            LayerDims::square(2, 4, 6, 8, 3),
-        );
+        let layer = Layer::new("fig1", Operator::conv2d(), LayerDims::square(2, 4, 6, 8, 3));
         let acc = Accelerator::builder(6).build();
         let e = explain(&layer, &styles::figure6_row_stationary(), &acc).unwrap();
         assert_eq!(e.levels.len(), 2);
@@ -243,7 +247,10 @@ mod tests {
             .observations
             .contains(&Observation::SpatialReduction));
         // Weights are stationary across the X sweep.
-        assert!(e.has(Observation::TemporalStationary(TensorKind::Weight)), "{e}");
+        assert!(
+            e.has(Observation::TemporalStationary(TensorKind::Weight)),
+            "{e}"
+        );
         let text = e.to_string();
         assert!(text.contains("spatial reduction"), "{text}");
     }

@@ -139,18 +139,13 @@ impl LevelViews {
         d: Dim,
         advance: u64,
     ) -> u64 {
-        if kind == TensorKind::Input
-            && d.is_filter_window()
-            && coupling.has_window_on_partner(d)
-        {
+        if kind == TensorKind::Input && d.is_filter_window() && coupling.has_window_on_partner(d) {
             // Advancing the filter chunk slides the input receptive field
             // along the *partner* axis; the returned value is the partner
             // axis' surviving extent (callers must not also multiply the
             // partner's own factor for the same transition).
             let axis = d.window_partner().expect("filter dims have partners");
-            return self
-                .fp_factor(coupling, kind, axis)
-                .saturating_sub(advance);
+            return self.fp_factor(coupling, kind, axis).saturating_sub(advance);
         }
         if !coupling.is_coupled(kind, d) {
             return 1;

@@ -198,27 +198,25 @@ impl LevelCtx {
             if !v.spatial {
                 continue;
             }
-            let (f, delta) = if kind == TensorKind::Input
-                && d.is_input_spatial()
-                && coupling.has_window_on(d)
-            {
-                // Input windows shift by stride×step per unit; R/S spatial
-                // shifts are handled on their own axis below.
-                (
-                    self.views.fp_factor(coupling, kind, d),
-                    self.views.strides.of(d) * v.step,
-                )
-            } else if kind == TensorKind::Input
-                && d.is_filter_window()
-                && coupling.has_window_on_partner(d)
-            {
-                let axis = d.window_partner().expect("filter dims have partners");
-                (self.views.fp_factor(coupling, kind, axis), v.step)
-            } else if coupling.is_coupled(kind, d) {
-                (v.chunk, v.step)
-            } else {
-                continue;
-            };
+            let (f, delta) =
+                if kind == TensorKind::Input && d.is_input_spatial() && coupling.has_window_on(d) {
+                    // Input windows shift by stride×step per unit; R/S spatial
+                    // shifts are handled on their own axis below.
+                    (
+                        self.views.fp_factor(coupling, kind, d),
+                        self.views.strides.of(d) * v.step,
+                    )
+                } else if kind == TensorKind::Input
+                    && d.is_filter_window()
+                    && coupling.has_window_on_partner(d)
+                {
+                    let axis = d.window_partner().expect("filter dims have partners");
+                    (self.views.fp_factor(coupling, kind, axis), v.step)
+                } else if coupling.is_coupled(kind, d) {
+                    (v.chunk, v.step)
+                } else {
+                    continue;
+                };
             if delta >= f {
                 continue; // disjoint chunks: no sharing on this axis
             }
@@ -275,7 +273,11 @@ mod tests {
     use maestro_ir::{resolve, Style};
 
     fn conv_layer() -> Layer {
-        Layer::new("c", Operator::conv2d(), LayerDims::square(1, 64, 64, 226, 3))
+        Layer::new(
+            "c",
+            Operator::conv2d(),
+            LayerDims::square(1, 64, 64, 226, 3),
+        )
     }
 
     fn build(style: Style, pes: u64) -> Vec<LevelCtx> {
@@ -309,7 +311,11 @@ mod tests {
 
         let leaf = &ctx[1];
         assert_eq!(leaf.num_units, 64);
-        assert_eq!(leaf.macs_per_unit_step(), 9, "3x3 window, one pixel, one channel");
+        assert_eq!(
+            leaf.macs_per_unit_step(),
+            9,
+            "3x3 window, one pixel, one channel"
+        );
         // C spatial within the cluster: outputs spatially reduced.
         assert_eq!(leaf.output_spatial, OutputSpatial::Reduced);
         assert_eq!(leaf.total_steps, 1);
@@ -322,7 +328,11 @@ mod tests {
         assert_eq!(leaf.num_units, 3);
         // Y and R co-spatial with equal steps: reduction, not variation.
         assert_eq!(leaf.output_spatial, OutputSpatial::Reduced);
-        assert_eq!(leaf.macs_per_unit_step(), 2 * 2 * 3, "K2*C2? no: K2,C2,S3 => 12");
+        assert_eq!(
+            leaf.macs_per_unit_step(),
+            2 * 2 * 3,
+            "K2*C2? no: K2,C2,S3 => 12"
+        );
     }
 
     #[test]
@@ -332,10 +342,7 @@ mod tests {
         for style in Style::ALL {
             let ctx = build(style, 256);
             // Π over levels of (steps × units × utilization) × leaf MACs.
-            let mut total = ctx
-                .last()
-                .expect("at least one level")
-                .macs_per_unit_step() as f64;
+            let mut total = ctx.last().expect("at least one level").macs_per_unit_step() as f64;
             for c in &ctx {
                 total *= c.total_steps as f64 * c.num_units as f64 * c.utilization;
             }
@@ -352,9 +359,16 @@ mod tests {
         let ctx = build(Style::CP, 256);
         let coupling = Coupling::conv2d();
         let top = &ctx[0];
-        assert!(top.varies_spatially(&coupling, TensorKind::Input), "C spatial");
+        assert!(
+            top.varies_spatially(&coupling, TensorKind::Input),
+            "C spatial"
+        );
         assert!(top.varies_spatially(&coupling, TensorKind::Weight));
-        assert_eq!(top.output_spatial, OutputSpatial::Reduced, "C-P reduces over C");
+        assert_eq!(
+            top.output_spatial,
+            OutputSpatial::Reduced,
+            "C-P reduces over C"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod explain;
 pub mod footprint;
 pub mod level;
 pub mod lint;
+pub mod memo;
 pub mod report;
 pub mod reuse;
 
@@ -43,5 +44,6 @@ pub use engine::LevelResult;
 pub use explain::{explain, Explanation, Observation};
 pub use level::{LevelCtx, OutputSpatial};
 pub use lint::{lint, Lint};
+pub use memo::{AnalysisCache, ShapeKey};
 pub use report::{LayerReport, ModelReport};
 pub use reuse::{opportunity_table, spatial_opportunity, temporal_opportunity, ReuseForm};

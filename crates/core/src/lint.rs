@@ -215,9 +215,10 @@ mod tests {
         for style in [Style::KCP, Style::XP] {
             let lints = lint(&l, &style.dataflow(), &acc).unwrap();
             assert!(
-                !lints
-                    .iter()
-                    .any(|l| matches!(l, Lint::RedundantRecompute { .. } | Lint::CoverageGap { .. })),
+                !lints.iter().any(|l| matches!(
+                    l,
+                    Lint::RedundantRecompute { .. } | Lint::CoverageGap { .. }
+                )),
                 "{style}: {lints:?}"
             );
         }
@@ -256,7 +257,9 @@ mod tests {
         let acc = Accelerator::builder(16).build();
         let lints = lint(&layer(), &df, &acc).unwrap();
         assert!(
-            lints.iter().any(|l| matches!(l, Lint::NoParallelism { .. })),
+            lints
+                .iter()
+                .any(|l| matches!(l, Lint::NoParallelism { .. })),
             "{lints:?}"
         );
     }
@@ -267,9 +270,13 @@ mod tests {
         let acc = Accelerator::builder(256).build();
         let lints = lint(&layer(), &Style::YRP.dataflow(), &acc).unwrap();
         assert!(
-            lints
-                .iter()
-                .any(|l| matches!(l, Lint::UnusedPes { used: 255, total: 256 })),
+            lints.iter().any(|l| matches!(
+                l,
+                Lint::UnusedPes {
+                    used: 255,
+                    total: 256
+                }
+            )),
             "{lints:?}"
         );
         // C-P on a 64-channel layer over 256 PEs: only 64 active.
@@ -290,13 +297,22 @@ mod tests {
             .spatial(1, 1, Dim::K)
             .build();
         let lints = lint(&layer(), &df, &acc).unwrap();
-        assert!(lints.iter().any(|l| matches!(l, Lint::L1Overflow { .. })), "{lints:?}");
-        assert!(lints.iter().any(|l| matches!(l, Lint::L2Overflow { .. })), "{lints:?}");
+        assert!(
+            lints.iter().any(|l| matches!(l, Lint::L1Overflow { .. })),
+            "{lints:?}"
+        );
+        assert!(
+            lints.iter().any(|l| matches!(l, Lint::L2Overflow { .. })),
+            "{lints:?}"
+        );
     }
 
     #[test]
     fn lint_display() {
-        let l = Lint::UnusedPes { used: 255, total: 256 };
+        let l = Lint::UnusedPes {
+            used: 255,
+            total: 256,
+        };
         assert!(l.to_string().contains("255 of 256"));
     }
 }

@@ -1,0 +1,186 @@
+//! Memoization in front of [`analyze`](crate::analyze).
+//!
+//! Design-space exploration re-analyzes the same layer *shape* many times:
+//! networks repeat convolution shapes (VGG-16's conv3_2/conv3_3 are
+//! identical, ResNet-50 repeats its bottleneck blocks), and a whole-model
+//! sweep evaluates every mapping on every one of them at every hardware
+//! point. The cost model is a pure function of (layer shape, dataflow,
+//! accelerator), so those repeats can be served from a table.
+//!
+//! [`ShapeKey`] is the hashable identity of a layer as the cost model sees
+//! it — dimensions, operator, and tensor densities, but *not* the name.
+//! [`AnalysisCache`] pairs a key with a caller-supplied `tag` encoding
+//! whatever dataflow/accelerator context the caller varies, and memoizes
+//! both successful reports and analysis errors.
+
+use crate::analysis::{analyze, AnalysisError};
+use crate::report::LayerReport;
+use maestro_dnn::{Layer, LayerDims, Operator};
+use maestro_hw::Accelerator;
+use maestro_ir::Dataflow;
+use std::collections::HashMap;
+
+/// The identity of a layer under the cost model: everything `analyze`
+/// reads from a [`Layer`] except its name. Two layers with equal keys
+/// produce equal reports for the same dataflow and accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    dims: LayerDims,
+    op: Operator,
+    /// Tensor densities as raw bits (f64 has no `Hash`; bit-equality is
+    /// exactly the equality the pure cost model needs).
+    density_bits: [u64; 3],
+}
+
+impl ShapeKey {
+    /// The key of `layer`, or `None` when the layer carries a custom
+    /// coupling override (those are rare and not worth hashing — callers
+    /// fall back to direct analysis).
+    pub fn of(layer: &Layer) -> Option<ShapeKey> {
+        if layer.coupling_override.is_some() {
+            return None;
+        }
+        Some(ShapeKey {
+            dims: layer.dims,
+            op: layer.op,
+            density_bits: [
+                layer.density.input.to_bits(),
+                layer.density.weight.to_bits(),
+                layer.density.output.to_bits(),
+            ],
+        })
+    }
+}
+
+/// A memo table in front of [`analyze`].
+///
+/// The cache is a plain single-threaded map: parallel explorers keep one
+/// per worker (keys never cross shard boundaries there), which avoids any
+/// locking and keeps results deterministic.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    map: HashMap<(ShapeKey, u64), Result<LayerReport, AnalysisError>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AnalysisCache::default()
+    }
+
+    /// Lookups served from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the cost model (including uncacheable layers).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// [`analyze`] through the cache. `tag` must encode every varying
+    /// input other than the layer shape — typically an index over
+    /// (dataflow, accelerator configuration) pairs; reusing a tag across
+    /// different dataflows or accelerators returns stale reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and memoizes) [`AnalysisError`] from the cost model.
+    pub fn analyze(
+        &mut self,
+        layer: &Layer,
+        dataflow: &Dataflow,
+        acc: &Accelerator,
+        tag: u64,
+    ) -> Result<LayerReport, AnalysisError> {
+        let Some(key) = ShapeKey::of(layer) else {
+            self.misses += 1;
+            return analyze(layer, dataflow, acc);
+        };
+        if let Some(cached) = self.map.get(&(key, tag)) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let result = analyze(layer, dataflow, acc);
+        self.map.insert((key, tag), result.clone());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_dnn::{Density, Layer, LayerDims, Operator};
+    use maestro_ir::Style;
+
+    fn layer(name: &str) -> Layer {
+        Layer::new(
+            name,
+            Operator::conv2d(),
+            LayerDims::square(1, 32, 32, 34, 3),
+        )
+    }
+
+    #[test]
+    fn key_ignores_name_but_not_shape() {
+        let a = ShapeKey::of(&layer("a")).unwrap();
+        let b = ShapeKey::of(&layer("b")).unwrap();
+        assert_eq!(a, b);
+        let bigger = Layer::new("c", Operator::conv2d(), LayerDims::square(1, 64, 32, 34, 3));
+        assert_ne!(a, ShapeKey::of(&bigger).unwrap());
+    }
+
+    #[test]
+    fn key_distinguishes_density() {
+        let dense = layer("d");
+        let mut sparse = layer("d");
+        sparse.density = Density {
+            input: 0.5,
+            weight: 1.0,
+            output: 1.0,
+        };
+        assert_ne!(
+            ShapeKey::of(&dense).unwrap(),
+            ShapeKey::of(&sparse).unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_hits_match_direct_analysis() {
+        let acc = Accelerator::builder(64).build();
+        let l = layer("x");
+        let df = Style::KCP.dataflow();
+        let direct = analyze(&l, &df, &acc).expect("analyzable");
+        let mut cache = AnalysisCache::new();
+        let first = cache.analyze(&l, &df, &acc, 0).expect("analyzable");
+        let second = cache
+            .analyze(&layer("renamed"), &df, &acc, 0)
+            .expect("analyzable");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(first, direct);
+        assert_eq!(second, direct);
+    }
+
+    #[test]
+    fn tags_separate_contexts() {
+        let acc = Accelerator::builder(64).build();
+        let l = layer("x");
+        let df = Style::KCP.dataflow();
+        let mut cache = AnalysisCache::new();
+        let _ = cache.analyze(&l, &df, &acc, 0);
+        let _ = cache.analyze(&l, &df, &acc, 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn coupling_override_bypasses_cache() {
+        let mut l = layer("x");
+        l.coupling_override = Some(l.op.coupling());
+        assert!(ShapeKey::of(&l).is_none());
+    }
+}

@@ -237,7 +237,11 @@ impl ModelReport {
 
     /// Worst-case per-PE L1 requirement across layers.
     pub fn l1_per_pe_elems(&self) -> u64 {
-        self.layers.iter().map(|l| l.l1_per_pe_elems).max().unwrap_or(0)
+        self.layers
+            .iter()
+            .map(|l| l.l1_per_pe_elems)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Worst-case L2 staging requirement across layers.

@@ -1,0 +1,178 @@
+//! Offline stand-in for `criterion`, implementing the subset of its API
+//! this workspace's benches use.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be fetched. This shim keeps the `benches/*.rs` files compiling
+//! and producing useful wall-clock numbers: each `bench_function` warms
+//! the closure up once, then runs it under a fixed timing budget and
+//! prints the mean iteration time. There is no statistical analysis,
+//! HTML report, or command-line filtering.
+
+use std::time::{Duration, Instant};
+
+/// Timing budget per benchmark. Fixed rather than adaptive; long-running
+/// closures still finish because at least one timed iteration always runs.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks (`Criterion::benchmark_group`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim uses a fixed time budget
+    /// instead of a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the budget is spent.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Untimed warm-up pass (doubles as the smoke-test pass).
+        std::hint::black_box(routine());
+        if self.smoke_only {
+            return;
+        }
+        let budget_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if budget_start.elapsed() >= TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    // `cargo bench` passes `--bench`; anything else (e.g. `cargo test
+    // --benches`) is treated as a smoke test, like real criterion.
+    if !std::env::args().any(|a| a == "--bench") {
+        let mut b = Bencher {
+            smoke_only: true,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        println!("{name:<50} (smoke test, 1 iteration)");
+        return;
+    }
+    let mut b = Bencher::default();
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<50} (no iterations)");
+        return;
+    }
+    let mean = b.total / u32::try_from(b.iters).unwrap_or(u32::MAX).max(1);
+    println!("{name:<50} mean {mean:>12.3?}   ({} iterations)", b.iters);
+}
+
+/// Bundle benchmark functions into a single runner, mirroring the real
+/// `criterion_group!` shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group, mirroring the real `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::default();
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(b.iters >= 1);
+        // Warm-up pass plus timed passes.
+        assert_eq!(count, b.iters + 1);
+    }
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+
+    criterion_group!(test_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        test_group();
+    }
+}

@@ -288,7 +288,7 @@ impl Layer {
             return Err(LayerError::InvalidDensity);
         }
         if let Operator::Conv2d { groups } = self.op {
-            if groups == 0 || self.dims.k % u64::from(groups) != 0 {
+            if groups == 0 || !self.dims.k.is_multiple_of(u64::from(groups)) {
                 return Err(LayerError::InvalidGroups {
                     groups,
                     k: self.dims.k,
@@ -393,17 +393,7 @@ impl fmt::Display for Layer {
         write!(
             f,
             "{} [{}] N{} K{} C{} Y{} X{} R{} S{} s{}x{}",
-            self.name,
-            self.op,
-            d.n,
-            d.k,
-            d.c,
-            d.y,
-            d.x,
-            d.r,
-            d.s,
-            d.stride_y,
-            d.stride_x
+            self.name, self.op, d.n, d.k, d.c, d.y, d.x, d.r, d.s, d.stride_y, d.stride_x
         )
     }
 }
@@ -414,11 +404,7 @@ mod tests {
 
     fn toy() -> Layer {
         // The Figure 1 example layer: N2 K4 C6 Y8 X8 R3 S3.
-        Layer::new(
-            "fig1",
-            Operator::conv2d(),
-            LayerDims::square(2, 4, 6, 8, 3),
-        )
+        Layer::new("fig1", Operator::conv2d(), LayerDims::square(2, 4, 6, 8, 3))
     }
 
     #[test]
@@ -501,7 +487,10 @@ mod tests {
 
         let mut l = toy();
         l.op = Operator::Conv2d { groups: 3 };
-        assert!(matches!(l.validate(), Err(LayerError::InvalidGroups { .. })));
+        assert!(matches!(
+            l.validate(),
+            Err(LayerError::InvalidGroups { .. })
+        ));
     }
 
     #[test]
@@ -521,7 +510,11 @@ mod tests {
         let early = Layer::new("e", Operator::conv2d(), LayerDims::square(1, 64, 3, 224, 3));
         assert_eq!(early.classify(), OperatorClass::EarlyConv);
         // Late: C (512) > Y (14).
-        let late = Layer::new("l", Operator::conv2d(), LayerDims::square(1, 512, 512, 14, 3));
+        let late = Layer::new(
+            "l",
+            Operator::conv2d(),
+            LayerDims::square(1, 512, 512, 14, 3),
+        );
         assert_eq!(late.classify(), OperatorClass::LateConv);
         // Pointwise: 1x1 kernel.
         let pw = Layer::new("p", Operator::conv2d(), LayerDims::square(1, 64, 16, 56, 1));

@@ -33,5 +33,5 @@ pub use coupling::{Coupling, TensorKind};
 pub use dim::{Dim, DimSizes, ALL_DIMS};
 pub use layer::{Density, Layer, LayerDims};
 pub use model::Model;
-pub use parse::{parse_network, write_network, ParseNetworkError};
 pub use op::{Operator, OperatorClass};
+pub use parse::{parse_network, write_network, ParseNetworkError};

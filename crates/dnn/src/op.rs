@@ -137,8 +137,14 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(Operator::conv2d().to_string(), "CONV2D");
-        assert_eq!(Operator::Conv2d { groups: 32 }.to_string(), "CONV2D(groups=32)");
-        assert_eq!(Operator::TransposedConv2d { upsample: 2 }.to_string(), "TRCONV(x2)");
+        assert_eq!(
+            Operator::Conv2d { groups: 32 }.to_string(),
+            "CONV2D(groups=32)"
+        );
+        assert_eq!(
+            Operator::TransposedConv2d { upsample: 2 }.to_string(),
+            "TRCONV(x2)"
+        );
     }
 
     #[test]

@@ -194,12 +194,10 @@ pub fn parse_network(src: &str) -> Result<Model, ParseNetworkError> {
     if c.pos != src.len() {
         return Err(c.err("trailing input after network body"));
     }
-    model
-        .validate()
-        .map_err(|(lname, e)| ParseNetworkError {
-            offset: src.len(),
-            message: format!("layer {lname}: {e}"),
-        })?;
+    model.validate().map_err(|(lname, e)| ParseNetworkError {
+        offset: src.len(),
+        message: format!("layer {lname}: {e}"),
+    })?;
     Ok(model)
 }
 
@@ -266,9 +264,9 @@ fn parse_layer(c: &mut Cursor<'_>) -> Result<Layer, ParseNetworkError> {
                         c.expect_char(b'{')?;
                         while c.peek() != Some(b'}') {
                             let d = c.ident()?;
-                            let dim: Dim = d.parse().map_err(|_| {
-                                c.err(format!("`{d}` is not a dimension name"))
-                            })?;
+                            let dim: Dim = d
+                                .parse()
+                                .map_err(|_| c.err(format!("`{d}` is not a dimension name")))?;
                             c.expect_char(b':')?;
                             let v = c.number()? as u64;
                             match dim {
@@ -294,9 +292,7 @@ fn parse_layer(c: &mut Cursor<'_>) -> Result<Layer, ParseNetworkError> {
                                 "Weight" => density.weight = v,
                                 "Output" => density.output = v,
                                 other => {
-                                    return Err(
-                                        c.err(format!("`{other}` is not a tensor name"))
-                                    )
+                                    return Err(c.err(format!("`{other}` is not a tensor name")))
                                 }
                             }
                         }
@@ -363,10 +359,8 @@ mod tests {
 
     #[test]
     fn parse_minimal() {
-        let m = parse_network(
-            "Network n { Layer a { Dimensions { K:4 C:3 Y:8 X:8 R:3 S:3 } } }",
-        )
-        .unwrap();
+        let m = parse_network("Network n { Layer a { Dimensions { K:4 C:3 Y:8 X:8 R:3 S:3 } } }")
+            .unwrap();
         assert_eq!(m.len(), 1);
         let l = m.layer("a").unwrap();
         assert_eq!(l.op, Operator::conv2d());
@@ -409,29 +403,25 @@ mod tests {
 
     #[test]
     fn invalid_layers_are_rejected_at_parse_time() {
-        let err = parse_network(
-            "Network n { Layer a { Dimensions { K:4 C:3 Y:2 X:8 R:3 S:3 } } }",
-        )
-        .unwrap_err();
+        let err = parse_network("Network n { Layer a { Dimensions { K:4 C:3 Y:2 X:8 R:3 S:3 } } }")
+            .unwrap_err();
         assert!(err.message.contains("does not fit"), "{err}");
     }
 
     #[test]
     fn error_messages() {
-        assert!(parse_network("Nutwork n {}").unwrap_err().message.contains("Network"));
+        assert!(parse_network("Nutwork n {}")
+            .unwrap_err()
+            .message
+            .contains("Network"));
         assert!(parse_network("Network n { Frob x {} }")
             .unwrap_err()
             .message
             .contains("Layer"));
-        let err = parse_network(
-            "Network n { Layer a { Type: WAT; Dimensions { K:1 } } }",
-        )
-        .unwrap_err();
+        let err =
+            parse_network("Network n { Layer a { Type: WAT; Dimensions { K:1 } } }").unwrap_err();
         assert!(err.message.contains("WAT"), "{err}");
-        let err = parse_network(
-            "Network n { Layer a { Dimensions { Q:1 } } }",
-        )
-        .unwrap_err();
+        let err = parse_network("Network n { Layer a { Dimensions { Q:1 } } }").unwrap_err();
         assert!(err.message.contains("dimension"), "{err}");
     }
 }

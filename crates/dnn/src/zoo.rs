@@ -15,6 +15,7 @@
 //! assert_eq!(m.layer("CONV13").unwrap().out_dims(), (14, 14));
 //! ```
 
+#![allow(clippy::items_after_test_module)] // helpers + tests precede the model builders
 use crate::layer::{Density, Layer, LayerDims};
 use crate::model::Model;
 use crate::op::{Operator, OperatorClass};
@@ -38,6 +39,7 @@ fn conv(name: &str, n: u64, k: u64, c: u64, out: u64, rs: u64, stride: u64) -> L
 }
 
 /// Grouped (aggregated-residual) convolution; `c` is channels *per group*.
+#[allow(clippy::too_many_arguments)]
 fn gconv(name: &str, n: u64, k: u64, c: u64, groups: u32, out: u64, rs: u64, stride: u64) -> Layer {
     let mut l = conv(name, n, k, c, out, rs, stride);
     l.op = Operator::Conv2d { groups };
@@ -201,7 +203,13 @@ fn bottleneck(
     groups: u32,
     project: bool,
 ) {
-    m.push(pw(&format!("{prefix}_a"), n, mid, cin, out * stride / stride));
+    m.push(pw(
+        &format!("{prefix}_a"),
+        n,
+        mid,
+        cin,
+        out * stride / stride,
+    ));
     if groups > 1 {
         m.push(gconv(
             &format!("{prefix}_b"),
@@ -381,6 +389,24 @@ pub fn dcgan(batch: u64) -> Model {
 }
 
 /// The five models used in Figure 10's dataflow case study.
+/// Look a zoo model up by its CLI name (accepting the common aliases);
+/// `None` if the name is not a zoo model.
+pub fn by_name(name: &str, batch: u64) -> Option<Model> {
+    Some(match name {
+        "vgg16" => vgg16(batch),
+        "alexnet" => alexnet(batch),
+        "resnet50" => resnet50(batch),
+        "resnext50" => resnext50(batch),
+        "mobilenet_v2" | "mobilenetv2" => mobilenet_v2(batch),
+        "unet" => unet(batch),
+        "dcgan" => dcgan(batch),
+        "deepspeech2" | "ds2" => deepspeech2(batch),
+        "googlenet" => googlenet(batch),
+        "efficientnet_b0" | "efficientnet" => efficientnet_b0(batch),
+        _ => return None,
+    })
+}
+
 pub fn figure10_models(batch: u64) -> Vec<Model> {
     vec![
         resnet50(batch),
@@ -531,8 +557,13 @@ mod tests {
         let m4 = vgg16(4);
         assert_eq!(m4.total_macs(), 4 * m1.total_macs());
         assert_eq!(
-            m4.layer("CONV1").unwrap().tensor_elements(TensorKind::Input),
-            4 * m1.layer("CONV1").unwrap().tensor_elements(TensorKind::Input)
+            m4.layer("CONV1")
+                .unwrap()
+                .tensor_elements(TensorKind::Input),
+            4 * m1
+                .layer("CONV1")
+                .unwrap()
+                .tensor_elements(TensorKind::Input)
         );
     }
 
@@ -603,7 +634,10 @@ mod tests {
         // Published EfficientNet-B0: ~0.39 GMACs; SE FCs are tiny.
         let macs = m.total_macs() as f64;
         assert!((0.25e9..0.6e9).contains(&macs), "{macs}");
-        assert!(m.layer("MB3_1_dw").unwrap().dims.r == 5, "5x5 depthwise stage");
+        assert!(
+            m.layer("MB3_1_dw").unwrap().dims.r == 5,
+            "5x5 depthwise stage"
+        );
         assert!(m.layer("MB2_1_se1").is_some(), "squeeze-excite present");
     }
 
@@ -614,11 +648,7 @@ mod tests {
         // Hand check: QKV = seq*3H*H; scores/context = heads*seq*seq*d each;
         // proj = seq*H*H; FFN = 2*seq*H*F.
         let (s, h, f, heads, d) = (128u64, 768u64, 3072u64, 12u64, 64u64);
-        let expect = s * 3 * h * h
-            + heads * s * s * d * 2
-            + s * h * h
-            + 2 * s * h * f
-            + 2 * s * h; // residual adds
+        let expect = s * 3 * h * h + heads * s * s * d * 2 + s * h * h + 2 * s * h * f + 2 * s * h; // residual adds
         assert_eq!(m.total_macs(), expect);
     }
 
@@ -637,7 +667,8 @@ mod tests {
             efficientnet_b0(2),
             transformer_encoder(2, 64),
         ] {
-            m.validate().unwrap_or_else(|(n, e)| panic!("{}/{n}: {e}", m.name));
+            m.validate()
+                .unwrap_or_else(|(n, e)| panic!("{}/{n}: {e}", m.name));
         }
     }
 }
@@ -758,6 +789,7 @@ pub fn googlenet(batch: u64) -> Model {
     m.push(conv("CONV2", n, 192, 64, 56, 3, 1));
     m.push(pool("POOL2", n, 192, 56, 3, 2));
     // (name, cin, out, 1x1, 3x3r, 3x3, 5x5r, 5x5, poolproj)
+    #[allow(clippy::type_complexity)]
     let blocks: [(&str, u64, u64, u64, u64, u64, u64, u64, u64); 9] = [
         ("INC3a", 192, 28, 64, 96, 128, 16, 32, 32),
         ("INC3b", 256, 28, 128, 128, 192, 32, 96, 64),

@@ -7,9 +7,18 @@
 //! cannot meet the area/power budget (or the dataflow's buffer
 //! requirement) are *skipped in bulk* without individual evaluation, which
 //! is what produces effective rates of >0.1M designs/second.
+//!
+//! The sweep is sharded by PE count into independent work units (one per
+//! entry of [`SweepSpace::pes`]) executed by [`crate::parallel::run_units`]
+//! and folded by [`crate::parallel::merge_partials`]; `explore` is the
+//! one-thread special case of `explore_parallel`, so parallel results are
+//! bit-identical to sequential ones apart from the wall-clock fields.
+//! Repeated layer shapes are served from a per-unit
+//! [`maestro_core::AnalysisCache`] instead of re-running the cost model.
 
+use crate::parallel::{merge_partials, run_units};
 use crate::space::{Constraints, SweepSpace};
-use maestro_core::{analyze, LayerReport};
+use maestro_core::{AnalysisCache, LayerReport};
 use maestro_dnn::Layer;
 use maestro_hw::{Accelerator, AreaModel, EnergyModel, PowerModel};
 use maestro_ir::Dataflow;
@@ -48,14 +57,31 @@ pub struct DesignPoint {
 pub struct DseStats {
     /// Design points covered (including bulk-skipped ones).
     pub explored: u64,
-    /// Cost-model evaluations actually performed.
+    /// Cost-model invocations actually performed (memo-cache misses,
+    /// including ones that returned an analysis error).
     pub evaluated: u64,
     /// Valid design points found.
     pub valid: u64,
+    /// Cost-model invocations served from the memo cache.
+    pub memo_hits: u64,
     /// Wall-clock seconds.
     pub seconds: f64,
     /// Effective exploration rate (designs/second).
     pub rate: f64,
+}
+
+impl DseStats {
+    /// All-zero statistics.
+    pub const fn empty() -> Self {
+        DseStats {
+            explored: 0,
+            evaluated: 0,
+            valid: 0,
+            memo_hits: 0,
+            seconds: 0.0,
+            rate: 0.0,
+        }
+    }
 }
 
 /// Result of one exploration.
@@ -76,6 +102,44 @@ pub struct DseResult {
     pub stats: DseStats,
 }
 
+/// The result of one work unit (one PE count's slice of the sweep),
+/// before merging. See [`crate::parallel`] for the merge rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partial {
+    /// Counters for this slice (`seconds`/`rate` stay zero).
+    pub stats: DseStats,
+    /// Pareto front of this slice.
+    pub pareto: Vec<DesignPoint>,
+    /// Highest-throughput point of this slice.
+    pub best_throughput: Option<DesignPoint>,
+    /// Lowest-energy point of this slice.
+    pub best_energy: Option<DesignPoint>,
+    /// Lowest-EDP point of this slice.
+    pub best_edp: Option<DesignPoint>,
+    /// Every 61st valid point of this slice.
+    pub sample: Vec<DesignPoint>,
+}
+
+impl Partial {
+    /// An empty partial.
+    pub fn new() -> Self {
+        Partial {
+            stats: DseStats::empty(),
+            pareto: Vec::new(),
+            best_throughput: None,
+            best_energy: None,
+            best_edp: None,
+            sample: Vec::new(),
+        }
+    }
+}
+
+impl Default for Partial {
+    fn default() -> Self {
+        Partial::new()
+    }
+}
+
 /// Design-space exploration driver.
 #[derive(Debug, Clone)]
 pub struct Explorer {
@@ -94,11 +158,17 @@ pub struct Explorer {
     /// this is what makes *larger* scratchpads energy-favourable and gives
     /// the paper's SRAM-heavy energy-optimized designs (§5.2).
     pub dram_pj: f64,
+    /// Element width in bytes, threaded into every built accelerator. The
+    /// capacity grids are in **bytes** while the cost model's buffer
+    /// requirements are in **elements**, so validity compares
+    /// `capacity / precision_bytes` against the requirement (exactly as
+    /// [`Accelerator::l1_elements`] does).
+    pub precision_bytes: u64,
 }
 
 impl Explorer {
-    /// An explorer over `space` with the paper's constraint point and the
-    /// synthetic 28 nm component models.
+    /// An explorer over `space` with the paper's constraint point, the
+    /// synthetic 28 nm component models and 1-byte (int8) elements.
     pub fn new(space: SweepSpace) -> Self {
         Explorer {
             space,
@@ -107,7 +177,25 @@ impl Explorer {
             power_model: PowerModel::default(),
             sample_cap: 4096,
             dram_pj: 100.0,
+            precision_bytes: 1,
         }
+    }
+
+    /// An accelerator at one sweep point, carrying the explorer's element
+    /// precision.
+    fn accelerator(&self, pes: u64, bw: u64, l1_l2: Option<(u64, u64)>) -> Accelerator {
+        let mut b = Accelerator::builder(pes)
+            .noc_bandwidth(bw)
+            .precision_bytes(self.precision_bytes);
+        if let Some((l1, l2)) = l1_l2 {
+            b = b.l1_bytes(l1).l2_bytes(l2);
+        }
+        b.build()
+    }
+
+    /// Byte capacity `bytes` expressed in elements.
+    fn elements(&self, bytes: u64) -> u64 {
+        bytes / self.precision_bytes.max(1)
     }
 
     /// Total energy of a placed design: CACTI-style on-chip accesses plus
@@ -122,7 +210,7 @@ impl Explorer {
         // time (which assumed the reference L2 size).
         let mut counts = report.counts;
         let (dr, dw) =
-            maestro_core::report::offchip_traffic(&counts, report.tensor_elems, l2);
+            maestro_core::report::offchip_traffic(&counts, report.tensor_elems, self.elements(l2));
         counts.dram_read = dr;
         counts.dram_write = dw;
         counts.energy(&em)
@@ -130,110 +218,94 @@ impl Explorer {
 
     /// Explore `layer` across the hardware space × `mappings`.
     pub fn explore(&self, layer: &Layer, mappings: &[Dataflow]) -> DseResult {
-        let t0 = Instant::now();
-        let mut stats = DseStats {
-            explored: 0,
-            evaluated: 0,
-            valid: 0,
-            seconds: 0.0,
-            rate: 0.0,
-        };
-        let mut pareto: Vec<DesignPoint> = Vec::new();
-        let mut best_t: Option<DesignPoint> = None;
-        let mut best_e: Option<DesignPoint> = None;
-        let mut best_edp: Option<DesignPoint> = None;
-        let mut sample: Vec<DesignPoint> = Vec::new();
-        let caps_per_eval = (self.space.l1_bytes.len() * self.space.l2_bytes.len()) as u64;
-        let min_l1 = *self.space.l1_bytes.first().expect("non-empty l1 grid");
-        let min_l2 = *self.space.l2_bytes.first().expect("non-empty l2 grid");
-        let min_bw = *self.space.noc_bw.iter().min().expect("non-empty bw grid");
-
-        for &pes in &self.space.pes {
-            // Bulk skip: if even the smallest configuration at this PE
-            // count blows the budget, the whole subtree is invalid.
-            let min_acc = Accelerator::builder(pes)
-                .l1_bytes(min_l1)
-                .l2_bytes(min_l2)
-                .noc_bandwidth(min_bw)
-                .build();
-            let subtree =
-                caps_per_eval * (self.space.noc_bw.len() * mappings.len()) as u64;
-            if self.area_model.total_area(&min_acc) > self.constraints.max_area_mm2
-                || self.power_model.total_power(&min_acc) > self.constraints.max_power_mw
-            {
-                stats.explored += subtree;
-                continue;
-            }
-            for mapping in mappings {
-                for &bw in &self.space.noc_bw {
-                    stats.explored += caps_per_eval;
-                    let acc = Accelerator::builder(pes).noc_bandwidth(bw).build();
-                    let Ok(report) = analyze(layer, mapping, &acc) else {
-                        continue;
-                    };
-                    stats.evaluated += 1;
-                    self.expand_capacities(
-                        pes,
-                        bw,
-                        mapping.name(),
-                        &report,
-                        &mut stats,
-                        &mut pareto,
-                        &mut best_t,
-                        &mut best_e,
-                        &mut best_edp,
-                        &mut sample,
-                    );
-                }
-            }
-        }
-        stats.seconds = t0.elapsed().as_secs_f64().max(1e-9);
-        stats.rate = stats.explored as f64 / stats.seconds;
-        DseResult {
-            pareto,
-            best_throughput: best_t,
-            best_energy: best_e,
-            best_edp,
-            sample,
-            stats,
-        }
+        self.explore_parallel(layer, mappings, 1)
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// [`Explorer::explore`] sharded by PE count across `threads` scoped
+    /// worker threads (`0` = one per core). The result is bit-identical to
+    /// `explore` at any thread count, except the wall-clock `seconds` and
+    /// `rate` fields. (The paper runs four DSEs concurrently on its
+    /// workstation; this parallelizes *within* one DSE.)
+    pub fn explore_parallel(
+        &self,
+        layer: &Layer,
+        mappings: &[Dataflow],
+        threads: usize,
+    ) -> DseResult {
+        let t0 = Instant::now();
+        self.space.validate().expect("invalid sweep space");
+        let partials = run_units(self.space.pes.len(), threads, |i| {
+            self.explore_unit(self.space.pes[i], layer, mappings)
+        });
+        let mut result = merge_partials(partials, self.sample_cap);
+        finish_stats(&mut result.stats, t0);
+        result
+    }
+
+    /// One work unit: the full mapping × bandwidth × capacity sweep at a
+    /// single PE count.
+    fn explore_unit(&self, pes: u64, layer: &Layer, mappings: &[Dataflow]) -> Partial {
+        let mut part = Partial::new();
+        let caps_per_eval = (self.space.l1_bytes.len() * self.space.l2_bytes.len()) as u64;
+        let min_l1 = *self.space.l1_bytes.iter().min().expect("non-empty l1 grid");
+        let min_l2 = *self.space.l2_bytes.iter().min().expect("non-empty l2 grid");
+        let min_bw = *self.space.noc_bw.iter().min().expect("non-empty bw grid");
+
+        // Bulk skip: if even the smallest configuration at this PE count
+        // blows the budget, the whole subtree is invalid.
+        let min_acc = self.accelerator(pes, min_bw, Some((min_l1, min_l2)));
+        let subtree = caps_per_eval * (self.space.noc_bw.len() * mappings.len()) as u64;
+        if self.area_model.total_area(&min_acc) > self.constraints.max_area_mm2
+            || self.power_model.total_power(&min_acc) > self.constraints.max_power_mw
+        {
+            part.stats.explored += subtree;
+            return part;
+        }
+        let mut memo = AnalysisCache::new();
+        for (m_idx, mapping) in mappings.iter().enumerate() {
+            for (b_idx, &bw) in self.space.noc_bw.iter().enumerate() {
+                part.stats.explored += caps_per_eval;
+                // Capacities do not change the schedule, so the analysis
+                // runs at the reference capacities and is expanded below.
+                let acc = self.accelerator(pes, bw, None);
+                let tag = (m_idx * self.space.noc_bw.len() + b_idx) as u64;
+                let Ok(report) = memo.analyze(layer, mapping, &acc, tag) else {
+                    continue;
+                };
+                self.expand_capacities(pes, bw, mapping.name(), &report, &mut part);
+            }
+        }
+        part.stats.evaluated += memo.misses();
+        part.stats.memo_hits += memo.hits();
+        part
+    }
+
+    /// Expand one (PE count, bandwidth, mapping) evaluation across the
+    /// L1/L2 capacity grid, accumulating into `part`.
     fn expand_capacities(
         &self,
         pes: u64,
         bw: u64,
         mapping: &str,
         report: &LayerReport,
-        stats: &mut DseStats,
-        pareto: &mut Vec<DesignPoint>,
-        best_t: &mut Option<DesignPoint>,
-        best_e: &mut Option<DesignPoint>,
-        best_edp: &mut Option<DesignPoint>,
-        sample: &mut Vec<DesignPoint>,
+        part: &mut Partial,
     ) {
         for &l1 in &self.space.l1_bytes {
-            if l1 < report.l1_per_pe_elems {
+            // The grid is in bytes, the requirement in elements.
+            if self.elements(l1) < report.l1_per_pe_elems {
                 continue; // capacity below the mapping's requirement
             }
             for &l2 in &self.space.l2_bytes {
-                if l2 < report.l2_staging_elems {
+                if self.elements(l2) < report.l2_staging_elems {
                     continue;
                 }
-                let acc = Accelerator::builder(pes)
-                    .noc_bandwidth(bw)
-                    .l1_bytes(l1)
-                    .l2_bytes(l2)
-                    .build();
+                let acc = self.accelerator(pes, bw, Some((l1, l2)));
                 let area = self.area_model.total_area(&acc);
                 let power = self.power_model.total_power(&acc);
-                if area > self.constraints.max_area_mm2
-                    || power > self.constraints.max_power_mw
-                {
+                if area > self.constraints.max_area_mm2 || power > self.constraints.max_power_mw {
                     continue;
                 }
-                stats.valid += 1;
+                part.stats.valid += 1;
                 let energy = self.placed_energy(report, l1, l2);
                 let point = DesignPoint {
                     pes,
@@ -248,21 +320,36 @@ impl Explorer {
                     energy,
                     edp: energy * report.runtime,
                 };
-                update_best(best_t, &point, |p| -p.throughput);
-                update_best(best_e, &point, |p| p.energy);
-                update_best(best_edp, &point, |p| p.edp);
-                insert_pareto(pareto, &point);
-                // Stratified subsample: every 61st valid point, so the
-                // scatter spans the whole space instead of its first corner.
-                if stats.valid % 61 == 0 && sample.len() < self.sample_cap {
-                    sample.push(point);
+                update_best(&mut part.best_throughput, &point, |p| -p.throughput);
+                update_best(&mut part.best_energy, &point, |p| p.energy);
+                update_best(&mut part.best_edp, &point, |p| p.edp);
+                insert_pareto(&mut part.pareto, &point);
+                // Stratified subsample: every 61st valid point *of this
+                // unit*, so the scatter spans the whole space instead of
+                // its first corner — and so unit samples concatenate
+                // deterministically (see `crate::parallel`).
+                if part.stats.valid.is_multiple_of(61) && part.sample.len() < self.sample_cap {
+                    part.sample.push(point);
                 }
             }
         }
     }
 }
 
-fn update_best(slot: &mut Option<DesignPoint>, p: &DesignPoint, key: impl Fn(&DesignPoint) -> f64) {
+/// Stamp wall-clock duration and effective rate onto merged statistics.
+fn finish_stats(stats: &mut DseStats, t0: Instant) {
+    stats.seconds = t0.elapsed().as_secs_f64().max(1e-9);
+    stats.rate = stats.explored as f64 / stats.seconds;
+}
+
+/// Replace `slot` when `key(p)` is strictly smaller — on ties the earlier
+/// point wins, which keeps the parallel merge identical to a sequential
+/// sweep.
+pub(crate) fn update_best(
+    slot: &mut Option<DesignPoint>,
+    p: &DesignPoint,
+    key: impl Fn(&DesignPoint) -> f64,
+) {
     let better = match slot {
         Some(cur) => key(p) < key(cur),
         None => true,
@@ -273,8 +360,10 @@ fn update_best(slot: &mut Option<DesignPoint>, p: &DesignPoint, key: impl Fn(&De
 }
 
 /// Insert into the (runtime, energy) Pareto front, dropping dominated
-/// points.
-fn insert_pareto(front: &mut Vec<DesignPoint>, p: &DesignPoint) {
+/// points. A point that ties an existing front member on both axes is
+/// dropped (first occurrence wins), so folding points in a fixed order
+/// yields a deterministic front.
+pub fn insert_pareto(front: &mut Vec<DesignPoint>, p: &DesignPoint) {
     if front
         .iter()
         .any(|q| q.runtime <= p.runtime && q.energy <= p.energy)
@@ -361,6 +450,73 @@ mod tests {
         assert!(t.throughput >= en.throughput);
         assert!(en.energy <= t.energy);
     }
+
+    /// Regression test for the capacity-unit bug: the sweep grids are in
+    /// **bytes** but the cost model reports requirements in **elements**.
+    /// With 2-byte elements, a grid entry equal to the element requirement
+    /// holds only half the data and must be rejected. (The old filter
+    /// compared bytes against elements directly, so precision never
+    /// mattered and the point below was wrongly accepted.)
+    #[test]
+    fn capacity_filter_converts_bytes_to_elements() {
+        let maps = variants::variants(Style::KCP);
+        let l = layer();
+        // Requirement (in elements) of this layer/mapping at one point.
+        let acc = Accelerator::builder(64).noc_bandwidth(16).build();
+        let report = maestro_core::analyze(&l, &maps[0], &acc).expect("analyzable");
+        assert!(report.l1_per_pe_elems > 0);
+
+        // A one-point space whose L1 grid equals the element requirement
+        // *in bytes* — enough at 1 byte/element, too small at 2.
+        let space = SweepSpace {
+            pes: vec![64],
+            noc_bw: vec![16],
+            l1_bytes: vec![report.l1_per_pe_elems],
+            l2_bytes: vec![2 * 1024 * 1024],
+        };
+        let mut e = Explorer::new(space);
+        e.precision_bytes = 1;
+        let one_byte = e.explore(&l, &maps[0..1]);
+        assert!(one_byte.stats.valid > 0, "{:?}", one_byte.stats);
+
+        e.precision_bytes = 2;
+        let two_byte = e.explore(&l, &maps[0..1]);
+        assert_eq!(
+            two_byte.stats.valid, 0,
+            "an L1 of {} bytes cannot hold {} two-byte elements",
+            report.l1_per_pe_elems, report.l1_per_pe_elems
+        );
+    }
+
+    /// Regression test for the bulk-skip minimum: the "smallest
+    /// configuration" must use the true grid minima, not the first
+    /// entries. With a descending L1 grid, first-entry selection builds an
+    /// oversized probe accelerator and wrongly skips every PE count.
+    #[test]
+    fn bulk_skip_uses_true_grid_minima() {
+        let maps = variants::variants(Style::KCP);
+        let l = layer();
+        let sorted = SweepSpace {
+            // Large-but-valid grid values alongside small ones.
+            l1_bytes: vec![512, 128 * 1024 * 1024],
+            ..SweepSpace::tiny()
+        };
+        let mut reversed = sorted.clone();
+        reversed.l1_bytes.reverse();
+        let a = Explorer::new(sorted).explore(&l, &maps);
+        let b = Explorer::new(reversed).explore(&l, &maps);
+        assert!(a.stats.valid > 0);
+        assert_eq!(a.stats.valid, b.stats.valid);
+        assert_eq!(a.best_throughput, b.best_throughput);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep grid `noc_bw` is empty")]
+    fn empty_grid_panics_with_clear_message() {
+        let mut space = SweepSpace::tiny();
+        space.noc_bw.clear();
+        let _ = Explorer::new(space).explore(&layer(), &variants::variants(Style::KCP));
+    }
 }
 
 impl Explorer {
@@ -370,175 +526,113 @@ impl Explorer {
     /// worst-case. Energy at each placed capacity sums the per-layer
     /// placed energies (so per-layer working sets drive DRAM misses).
     pub fn explore_model(&self, model: &maestro_dnn::Model, mappings: &[Dataflow]) -> DseResult {
-        let t0 = Instant::now();
-        let mut stats = DseStats {
-            explored: 0,
-            evaluated: 0,
-            valid: 0,
-            seconds: 0.0,
-            rate: 0.0,
-        };
-        let mut pareto: Vec<DesignPoint> = Vec::new();
-        let mut best_t: Option<DesignPoint> = None;
-        let mut best_e: Option<DesignPoint> = None;
-        let mut best_edp: Option<DesignPoint> = None;
-        let mut sample: Vec<DesignPoint> = Vec::new();
-        let caps_per_eval = (self.space.l1_bytes.len() * self.space.l2_bytes.len()) as u64;
-
-        for &pes in &self.space.pes {
-            for &bw in &self.space.noc_bw {
-                stats.explored += caps_per_eval;
-                let acc = Accelerator::builder(pes).noc_bandwidth(bw).build();
-                // Per-layer best-runtime mapping (embedded tuning).
-                let mut reports: Vec<LayerReport> = Vec::with_capacity(model.len());
-                let mut ok = true;
-                for layer in model.iter() {
-                    let best = mappings
-                        .iter()
-                        .filter_map(|m| {
-                            stats.evaluated += 1;
-                            analyze(layer, m, &acc).ok()
-                        })
-                        .min_by(|a, b| a.runtime.total_cmp(&b.runtime));
-                    match best {
-                        Some(r) => reports.push(r),
-                        None => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if !ok {
-                    continue;
-                }
-                let runtime: f64 = reports.iter().map(|r| r.runtime).sum();
-                let macs: f64 = reports.iter().map(|r| r.macs_effective).sum();
-                let l1_req = reports.iter().map(|r| r.l1_per_pe_elems).max().unwrap_or(0);
-                let l2_req = reports.iter().map(|r| r.l2_staging_elems).max().unwrap_or(0);
-                for &l1 in &self.space.l1_bytes {
-                    if l1 < l1_req {
-                        continue;
-                    }
-                    for &l2 in &self.space.l2_bytes {
-                        if l2 < l2_req {
-                            continue;
-                        }
-                        let placed = Accelerator::builder(pes)
-                            .noc_bandwidth(bw)
-                            .l1_bytes(l1)
-                            .l2_bytes(l2)
-                            .build();
-                        let area = self.area_model.total_area(&placed);
-                        let power = self.power_model.total_power(&placed);
-                        if area > self.constraints.max_area_mm2
-                            || power > self.constraints.max_power_mw
-                        {
-                            continue;
-                        }
-                        stats.valid += 1;
-                        let energy: f64 =
-                            reports.iter().map(|r| self.placed_energy(r, l1, l2)).sum();
-                        let point = DesignPoint {
-                            pes,
-                            noc_bw: bw,
-                            l1_bytes: l1,
-                            l2_bytes: l2,
-                            mapping: format!("per-layer best of {}", mappings.len()),
-                            area_mm2: area,
-                            power_mw: power,
-                            runtime,
-                            throughput: macs / runtime.max(1.0),
-                            energy,
-                            edp: energy * runtime,
-                        };
-                        update_best(&mut best_t, &point, |p| -p.throughput);
-                        update_best(&mut best_e, &point, |p| p.energy);
-                        update_best(&mut best_edp, &point, |p| p.edp);
-                        insert_pareto(&mut pareto, &point);
-                        if stats.valid % 61 == 0 && sample.len() < self.sample_cap {
-                            sample.push(point);
-                        }
-                    }
-                }
-            }
-        }
-        stats.seconds = t0.elapsed().as_secs_f64().max(1e-9);
-        stats.rate = stats.explored as f64 / stats.seconds;
-        DseResult {
-            pareto,
-            best_throughput: best_t,
-            best_energy: best_e,
-            best_edp,
-            sample,
-            stats,
-        }
+        self.explore_model_parallel(model, mappings, 1)
     }
 
-    /// [`Explorer::explore`] split across `threads` OS threads by PE
-    /// count, with the partial results merged (the paper runs four DSEs
-    /// concurrently on its workstation).
-    pub fn explore_parallel(
+    /// [`Explorer::explore_model`] sharded by PE count across `threads`
+    /// scoped worker threads (`0` = one per core), bit-identical to the
+    /// sequential result except `seconds`/`rate`. Repeated layer shapes
+    /// (VGG/ResNet blocks) hit the per-unit memo cache instead of
+    /// re-running the cost model; `stats.memo_hits` counts those.
+    pub fn explore_model_parallel(
         &self,
-        layer: &Layer,
+        model: &maestro_dnn::Model,
         mappings: &[Dataflow],
         threads: usize,
     ) -> DseResult {
-        let threads = threads.max(1).min(self.space.pes.len().max(1));
-        let chunks: Vec<Vec<u64>> = (0..threads)
-            .map(|t| {
-                self.space
-                    .pes
-                    .iter()
-                    .copied()
-                    .skip(t)
-                    .step_by(threads)
-                    .collect()
-            })
-            .collect();
         let t0 = Instant::now();
-        let results: Vec<DseResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|pes| {
-                    let mut sub = self.clone();
-                    sub.space.pes = pes.clone();
-                    scope.spawn(move || sub.explore(layer, mappings))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("DSE worker")).collect()
+        self.space.validate().expect("invalid sweep space");
+        let partials = run_units(self.space.pes.len(), threads, |i| {
+            self.model_unit(self.space.pes[i], model, mappings)
         });
-        let mut merged = DseResult {
-            pareto: Vec::new(),
-            best_throughput: None,
-            best_energy: None,
-            best_edp: None,
-            sample: Vec::new(),
-            stats: DseStats {
-                explored: 0,
-                evaluated: 0,
-                valid: 0,
-                seconds: 0.0,
-                rate: 0.0,
-            },
-        };
-        for r in results {
-            merged.stats.explored += r.stats.explored;
-            merged.stats.evaluated += r.stats.evaluated;
-            merged.stats.valid += r.stats.valid;
-            for p in &r.pareto {
-                insert_pareto(&mut merged.pareto, p);
+        let mut result = merge_partials(partials, self.sample_cap);
+        finish_stats(&mut result.stats, t0);
+        result
+    }
+
+    /// One whole-model work unit: the bandwidth × capacity sweep at a
+    /// single PE count, auto-tuning the mapping per layer.
+    fn model_unit(&self, pes: u64, model: &maestro_dnn::Model, mappings: &[Dataflow]) -> Partial {
+        let mut part = Partial::new();
+        let caps_per_eval = (self.space.l1_bytes.len() * self.space.l2_bytes.len()) as u64;
+        let mut memo = AnalysisCache::new();
+        for (b_idx, &bw) in self.space.noc_bw.iter().enumerate() {
+            part.stats.explored += caps_per_eval;
+            let acc = self.accelerator(pes, bw, None);
+            // Per-layer best-runtime mapping (embedded tuning).
+            let mut reports: Vec<LayerReport> = Vec::with_capacity(model.len());
+            let mut ok = true;
+            for layer in model.iter() {
+                let best = mappings
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(m_idx, m)| {
+                        let tag = (m_idx * self.space.noc_bw.len() + b_idx) as u64;
+                        memo.analyze(layer, m, &acc, tag).ok()
+                    })
+                    .min_by(|a, b| a.runtime.total_cmp(&b.runtime));
+                match best {
+                    Some(r) => reports.push(r),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
             }
-            for p in [&r.best_throughput, &r.best_energy, &r.best_edp].into_iter().flatten() {
-                update_best(&mut merged.best_throughput, p, |p| -p.throughput);
-                update_best(&mut merged.best_energy, p, |p| p.energy);
-                update_best(&mut merged.best_edp, p, |p| p.edp);
+            if !ok {
+                continue;
             }
-            let room = merged.sample.capacity().max(self.sample_cap) - merged.sample.len();
-            merged.sample.extend(r.sample.into_iter().take(room));
+            let runtime: f64 = reports.iter().map(|r| r.runtime).sum();
+            let macs: f64 = reports.iter().map(|r| r.macs_effective).sum();
+            let l1_req = reports.iter().map(|r| r.l1_per_pe_elems).max().unwrap_or(0);
+            let l2_req = reports
+                .iter()
+                .map(|r| r.l2_staging_elems)
+                .max()
+                .unwrap_or(0);
+            for &l1 in &self.space.l1_bytes {
+                if self.elements(l1) < l1_req {
+                    continue;
+                }
+                for &l2 in &self.space.l2_bytes {
+                    if self.elements(l2) < l2_req {
+                        continue;
+                    }
+                    let placed = self.accelerator(pes, bw, Some((l1, l2)));
+                    let area = self.area_model.total_area(&placed);
+                    let power = self.power_model.total_power(&placed);
+                    if area > self.constraints.max_area_mm2 || power > self.constraints.max_power_mw
+                    {
+                        continue;
+                    }
+                    part.stats.valid += 1;
+                    let energy: f64 = reports.iter().map(|r| self.placed_energy(r, l1, l2)).sum();
+                    let point = DesignPoint {
+                        pes,
+                        noc_bw: bw,
+                        l1_bytes: l1,
+                        l2_bytes: l2,
+                        mapping: format!("per-layer best of {}", mappings.len()),
+                        area_mm2: area,
+                        power_mw: power,
+                        runtime,
+                        throughput: macs / runtime.max(1.0),
+                        energy,
+                        edp: energy * runtime,
+                    };
+                    update_best(&mut part.best_throughput, &point, |p| -p.throughput);
+                    update_best(&mut part.best_energy, &point, |p| p.energy);
+                    update_best(&mut part.best_edp, &point, |p| p.edp);
+                    insert_pareto(&mut part.pareto, &point);
+                    if part.stats.valid.is_multiple_of(61) && part.sample.len() < self.sample_cap {
+                        part.sample.push(point);
+                    }
+                }
+            }
         }
-        merged.stats.seconds = t0.elapsed().as_secs_f64().max(1e-9);
-        merged.stats.rate = merged.stats.explored as f64 / merged.stats.seconds;
-        merged
+        part.stats.evaluated += memo.misses();
+        part.stats.memo_hits += memo.hits();
+        part
     }
 }
 
@@ -560,6 +654,22 @@ mod model_tests {
         let t = r.best_throughput.expect("some valid design");
         assert!(t.runtime > 0.0);
         assert!(t.mapping.contains("per-layer"));
+    }
+
+    #[test]
+    fn repeated_model_shapes_hit_the_memo_cache() {
+        // VGG-16 repeats convolution shapes, so the per-unit cache must
+        // serve a large share of the per-layer tuning lookups.
+        let e = Explorer::new(SweepSpace::tiny());
+        let model = zoo::vgg16(1);
+        let maps = variants::variants(Style::KCP);
+        let r = e.explore_model(&model, &maps);
+        assert!(r.stats.memo_hits > 0, "{:?}", r.stats);
+        // Hits + misses cannot exceed one lookup per
+        // (layer, mapping, bw, pes) combination (fewer when a hardware
+        // point fails early on an unresolvable layer).
+        let lookups = (model.len() * maps.len() * e.space.noc_bw.len() * e.space.pes.len()) as u64;
+        assert!(r.stats.memo_hits + r.stats.evaluated <= lookups);
     }
 
     #[test]

@@ -20,10 +20,12 @@
 //! ```
 
 pub mod explorer;
-pub mod tuner;
+pub mod parallel;
 pub mod space;
+pub mod tuner;
 pub mod variants;
 
-pub use explorer::{DesignPoint, DseResult, DseStats, Explorer};
-pub use tuner::{tune_layer, tune_model, Objective, TunedLayer, TunedModel};
+pub use explorer::{insert_pareto, DesignPoint, DseResult, DseStats, Explorer, Partial};
+pub use parallel::{merge_partials, resolve_threads, run_units};
 pub use space::{Constraints, SweepSpace};
+pub use tuner::{tune_layer, tune_model, Objective, TunedLayer, TunedModel};

@@ -1,0 +1,175 @@
+//! Sharded parallel execution with a deterministic merge.
+//!
+//! The explorer's sweep is decomposed into independent **work units**, one
+//! per PE-count index. A unit produces a [`Partial`] — private statistics,
+//! Pareto front, per-objective bests and scatter subsample for its slice
+//! of the space. [`run_units`] executes units either inline or on scoped
+//! worker threads pulling indices from a shared atomic counter, and always
+//! returns the partials **in unit-index order** regardless of which thread
+//! computed what. [`merge_partials`] then folds them in that fixed order.
+//!
+//! Because the sequential path (`threads == 1`) runs the *same* units
+//! through the *same* merge, the parallel result is bit-identical to the
+//! sequential one at any thread count — only the wall-clock fields
+//! (`seconds`, `rate`) differ:
+//!
+//! * **Pareto front** — re-inserting each unit's surviving points in
+//!   global unit order reproduces the sequential fold: a point eliminated
+//!   inside its unit is dominated by an in-unit survivor (dominance is
+//!   transitive, so it would also lose globally), and `insert_pareto`'s
+//!   first-wins tie rule sees candidates in the same relative order.
+//! * **Per-objective bests** — folded with strict `<`, so the earliest
+//!   unit's point wins ties, exactly as in a sequential sweep.
+//! * **Sample** — each unit samples every 61st of *its own* valid points;
+//!   the merge concatenates unit samples in order and truncates at the
+//!   cap. The rule is applied per-unit on the sequential path too, which
+//!   is what makes the subsample mergeable at all.
+//! * **Counters** — sums, which commute.
+
+use crate::explorer::{insert_pareto, update_best, DseResult, DseStats, Partial};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a thread-count request: `0` means "one per available core".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Run `units` work units on up to `threads` scoped worker threads
+/// (`0` = auto, one per core) and return the partials in unit-index order.
+///
+/// Units are claimed dynamically from an atomic counter, so uneven unit
+/// costs (bulk-skipped PE counts finish instantly) still load-balance.
+pub fn run_units<F>(units: usize, threads: usize, unit: F) -> Vec<Partial>
+where
+    F: Fn(usize) -> Partial + Sync,
+{
+    let threads = resolve_threads(threads).clamp(1, units.max(1));
+    if threads == 1 {
+        return (0..units).map(unit).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, Partial)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= units {
+                            break;
+                        }
+                        mine.push((i, unit(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("DSE worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<Partial>> = (0..units).map(|_| None).collect();
+    for (i, partial) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "unit {i} claimed twice");
+        slots[i] = Some(partial);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every unit claimed exactly once"))
+        .collect()
+}
+
+/// Fold unit partials — **in the given order** — into one result.
+///
+/// `seconds`/`rate` are left at zero; the caller stamps wall-clock time.
+pub fn merge_partials(partials: Vec<Partial>, sample_cap: usize) -> DseResult {
+    let mut out = DseResult {
+        pareto: Vec::new(),
+        best_throughput: None,
+        best_energy: None,
+        best_edp: None,
+        sample: Vec::new(),
+        stats: DseStats::empty(),
+    };
+    for part in partials {
+        out.stats.explored += part.stats.explored;
+        out.stats.evaluated += part.stats.evaluated;
+        out.stats.valid += part.stats.valid;
+        out.stats.memo_hits += part.stats.memo_hits;
+        for p in &part.pareto {
+            insert_pareto(&mut out.pareto, p);
+        }
+        if let Some(p) = &part.best_throughput {
+            update_best(&mut out.best_throughput, p, |p| -p.throughput);
+        }
+        if let Some(p) = &part.best_energy {
+            update_best(&mut out.best_energy, p, |p| p.energy);
+        }
+        if let Some(p) = &part.best_edp {
+            update_best(&mut out.best_edp, p, |p| p.edp);
+        }
+        let room = sample_cap.saturating_sub(out.sample.len());
+        out.sample.extend(part.sample.into_iter().take(room));
+    }
+    out
+}
+
+// The scoped workers share `&Explorer`, `&Layer`, `&Model` and
+// `&[Dataflow]`; fail at compile time (with a readable message, not a
+// trait-bound blizzard at the `scope.spawn` call) if any of them stops
+// being thread-shareable.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_sync::<crate::Explorer>();
+    assert_sync::<maestro_dnn::Layer>();
+    assert_sync::<maestro_dnn::Model>();
+    assert_sync::<maestro_ir::Dataflow>();
+    assert_send::<Partial>();
+    assert_send::<DseResult>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(i: usize) -> Partial {
+        let mut p = Partial::new();
+        p.stats.explored = 100 + i as u64;
+        p.stats.valid = i as u64;
+        p
+    }
+
+    #[test]
+    fn run_units_is_index_ordered_at_any_thread_count() {
+        let sequential = run_units(7, 1, unit);
+        for threads in [2, 3, 8, 64] {
+            let parallel = run_units(7, threads, unit);
+            let seq: Vec<u64> = sequential.iter().map(|p| p.stats.explored).collect();
+            let par: Vec<u64> = parallel.iter().map(|p| p.stats.explored).collect();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_units_and_auto_threads() {
+        assert!(run_units(0, 0, unit).is_empty());
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(5), 5);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let merged = merge_partials(run_units(4, 2, unit), 16);
+        assert_eq!(merged.stats.explored, 100 + 101 + 102 + 103);
+        assert_eq!(merged.stats.valid, 1 + 2 + 3);
+        assert!(merged.pareto.is_empty());
+    }
+}

@@ -70,6 +70,31 @@ impl SweepSpace {
     pub fn size(&self) -> u64 {
         (self.pes.len() * self.noc_bw.len() * self.l1_bytes.len() * self.l2_bytes.len()) as u64
     }
+
+    /// Check that every grid is non-empty and zero-free.
+    ///
+    /// Grids do **not** need to be sorted: the explorer takes true minima
+    /// wherever a "smallest configuration" is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending grid.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, grid) in [
+            ("pes", &self.pes),
+            ("noc_bw", &self.noc_bw),
+            ("l1_bytes", &self.l1_bytes),
+            ("l2_bytes", &self.l2_bytes),
+        ] {
+            if grid.is_empty() {
+                return Err(format!("sweep grid `{name}` is empty"));
+            }
+            if grid.contains(&0) {
+                return Err(format!("sweep grid `{name}` contains 0"));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// `n` geometrically spaced values from `lo` to `hi` (inclusive, rounded).
@@ -100,6 +125,22 @@ mod tests {
         let s = SweepSpace::tiny();
         assert_eq!(s.size(), 81);
         assert!(SweepSpace::standard().size() > 10_000);
+    }
+
+    #[test]
+    fn validate_flags_empty_and_zero_grids() {
+        assert!(SweepSpace::tiny().validate().is_ok());
+        assert!(SweepSpace::standard().validate().is_ok());
+        let mut s = SweepSpace::tiny();
+        s.l1_bytes.clear();
+        assert!(s.validate().unwrap_err().contains("l1_bytes"));
+        let mut s = SweepSpace::tiny();
+        s.noc_bw.push(0);
+        assert!(s.validate().unwrap_err().contains("noc_bw"));
+        // Unsorted grids are allowed.
+        let mut s = SweepSpace::tiny();
+        s.l2_bytes.reverse();
+        assert!(s.validate().is_ok());
     }
 
     #[test]

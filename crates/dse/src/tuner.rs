@@ -171,9 +171,8 @@ mod tests {
             let mut fixed = 0.0f64;
             for layer in model.iter() {
                 let df = style.dataflow();
-                let r = analyze(layer, &df, &acc).or_else(|_| {
-                    analyze(layer, &Style::XP.dataflow(), &acc)
-                });
+                let r = analyze(layer, &df, &acc)
+                    .or_else(|_| analyze(layer, &Style::XP.dataflow(), &acc));
                 fixed += r.expect("fallback maps").runtime;
             }
             assert!(
@@ -190,10 +189,7 @@ mod tests {
         let model = zoo::vgg16(1);
         let acc = Accelerator::paper_case_study();
         let tuned = tune_model(&model, &acc, Objective::Runtime);
-        let uses_variant = tuned
-            .layers
-            .iter()
-            .any(|l| l.dataflow.name().contains('['));
+        let uses_variant = tuned.layers.iter().any(|l| l.dataflow.name().contains('['));
         assert!(uses_variant, "expected some tile-size variant to win");
     }
 
@@ -226,7 +222,10 @@ mod tests {
         let model = zoo::mobilenet_v2(1);
         let acc = Accelerator::paper_case_study();
         let tuned = tune_model(&model, &acc, Objective::Runtime);
-        assert!(tuned.distinct_dataflows() >= 2, "MobileNet mixes operator types");
+        assert!(
+            tuned.distinct_dataflows() >= 2,
+            "MobileNet mixes operator types"
+        );
         assert!(tuned.layers.iter().all(|l| l.evaluated > 0));
     }
 }

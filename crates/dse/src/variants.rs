@@ -126,8 +126,7 @@ mod tests {
         let l = layer();
         for style in Style::ALL {
             for df in variants(style) {
-                resolve(&df, &l, 256)
-                    .unwrap_or_else(|e| panic!("{}: {e}", df.name()));
+                resolve(&df, &l, 256).unwrap_or_else(|e| panic!("{}: {e}", df.name()));
             }
         }
     }

@@ -1,0 +1,102 @@
+//! Golden tests: the sharded parallel explorer must be **bit-identical**
+//! to the sequential one at any thread count — same Pareto front (same
+//! order), same per-objective bests, same scatter sample, same counters.
+//! Only the wall-clock fields (`seconds`, `rate`) may differ.
+
+use maestro_dnn::{zoo, Layer, LayerDims, Operator};
+use maestro_dse::{variants, DseResult, Explorer, SweepSpace};
+use maestro_ir::Style;
+
+/// Strip the wall-clock fields so the rest can be compared exactly.
+fn canonical(mut r: DseResult) -> DseResult {
+    r.stats.seconds = 0.0;
+    r.stats.rate = 0.0;
+    r
+}
+
+fn assert_identical(seq: &DseResult, par: DseResult, what: &str) {
+    let par = canonical(par);
+    assert_eq!(seq.stats, par.stats, "{what}: stats differ");
+    assert_eq!(seq.pareto, par.pareto, "{what}: pareto fronts differ");
+    assert_eq!(
+        seq.best_throughput, par.best_throughput,
+        "{what}: best_throughput differs"
+    );
+    assert_eq!(
+        seq.best_energy, par.best_energy,
+        "{what}: best_energy differs"
+    );
+    assert_eq!(seq.best_edp, par.best_edp, "{what}: best_edp differs");
+    assert_eq!(seq.sample, par.sample, "{what}: samples differ");
+    assert_eq!(seq, &par, "{what}: results differ");
+}
+
+/// A slice of the standard space that keeps the test fast while still
+/// spanning several PE counts and triggering bulk skips.
+fn trimmed_standard() -> SweepSpace {
+    let full = SweepSpace::standard();
+    SweepSpace {
+        pes: full.pes.iter().copied().step_by(2).collect(),
+        noc_bw: full.noc_bw.iter().copied().step_by(3).collect(),
+        l1_bytes: full.l1_bytes.iter().copied().step_by(4).collect(),
+        l2_bytes: full.l2_bytes.iter().copied().step_by(4).collect(),
+    }
+}
+
+fn conv_layer() -> Layer {
+    Layer::new("c", Operator::conv2d(), LayerDims::square(1, 64, 32, 34, 3))
+}
+
+#[test]
+fn layer_explore_is_thread_count_invariant_on_tiny_space() {
+    let e = Explorer::new(SweepSpace::tiny());
+    let layer = conv_layer();
+    let maps = variants::variants(Style::KCP);
+    let seq = canonical(e.explore(&layer, &maps));
+    assert!(seq.stats.valid > 0, "{:?}", seq.stats);
+    for threads in [1, 2, 8] {
+        let par = e.explore_parallel(&layer, &maps, threads);
+        assert_identical(&seq, par, &format!("tiny space, {threads} threads"));
+    }
+}
+
+#[test]
+fn layer_explore_is_thread_count_invariant_on_trimmed_standard_space() {
+    let e = Explorer::new(trimmed_standard());
+    let layer = conv_layer();
+    let maps = variants::variants(Style::YRP);
+    let seq = canonical(e.explore(&layer, &maps));
+    assert!(seq.stats.valid > 0, "{:?}", seq.stats);
+    assert!(
+        !seq.sample.is_empty(),
+        "space too small to exercise sampling"
+    );
+    for threads in [1, 2, 8] {
+        let par = e.explore_parallel(&layer, &maps, threads);
+        assert_identical(&seq, par, &format!("trimmed standard, {threads} threads"));
+    }
+}
+
+#[test]
+fn model_explore_is_thread_count_invariant() {
+    let e = Explorer::new(SweepSpace::tiny());
+    let model = zoo::alexnet(1);
+    let maps = variants::variants(Style::KCP);
+    let seq = canonical(e.explore_model(&model, &maps));
+    assert!(seq.stats.valid > 0, "{:?}", seq.stats);
+    for threads in [1, 2, 8] {
+        let par = e.explore_model_parallel(&model, &maps, threads);
+        assert_identical(&seq, par, &format!("alexnet, {threads} threads"));
+    }
+}
+
+#[test]
+fn auto_thread_count_gives_the_same_result() {
+    let e = Explorer::new(SweepSpace::tiny());
+    let layer = conv_layer();
+    let maps = variants::variants(Style::KCP);
+    let seq = canonical(e.explore(&layer, &maps));
+    // threads == 0 resolves to the host's core count.
+    let auto = e.explore_parallel(&layer, &maps, 0);
+    assert_identical(&seq, auto, "auto thread count");
+}

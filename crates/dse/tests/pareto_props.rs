@@ -1,0 +1,128 @@
+//! Property tests for the Pareto-front fold used by both the sequential
+//! explorer and the parallel merge.
+
+use maestro_dse::{insert_pareto, DesignPoint};
+use proptest::prelude::*;
+
+/// A design point whose only meaningful coordinates are (runtime, energy).
+/// Small integer grids force plenty of exact ties and duplicates.
+fn point(runtime: u64, energy: u64) -> DesignPoint {
+    DesignPoint {
+        pes: 0,
+        noc_bw: 0,
+        l1_bytes: 0,
+        l2_bytes: 0,
+        mapping: String::new(),
+        area_mm2: 0.0,
+        power_mw: 0.0,
+        runtime: runtime as f64,
+        throughput: 0.0,
+        energy: energy as f64,
+        edp: 0.0,
+    }
+}
+
+fn fold(points: &[(u64, u64)]) -> Vec<DesignPoint> {
+    let mut front = Vec::new();
+    for &(r, e) in points {
+        insert_pareto(&mut front, &point(r, e));
+    }
+    front
+}
+
+/// The front as a sorted set of (runtime, energy) pairs.
+fn pairs(front: &[DesignPoint]) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = front
+        .iter()
+        .map(|p| (p.runtime as u64, p.energy as u64))
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Brute-force reference: the distinct pairs not strictly dominated by any
+/// input pair.
+fn reference_front(points: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = points
+        .iter()
+        .copied()
+        .filter(|&(r, e)| {
+            !points
+                .iter()
+                .any(|&(qr, qe)| qr <= r && qe <= e && (qr < r || qe < e))
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Eight points over a 5×5 grid: dense enough for dominance chains,
+/// duplicates, and ties on a single axis.
+#[allow(clippy::type_complexity)]
+fn points_strategy() -> impl Strategy<
+    Value = (
+        (u64, u64),
+        (u64, u64),
+        (u64, u64),
+        (u64, u64),
+        (u64, u64),
+        (u64, u64),
+        (u64, u64),
+        (u64, u64),
+    ),
+> {
+    let p = || (1u64..6, 1u64..6);
+    (p(), p(), p(), p(), p(), p(), p(), p())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn front_is_nondominated_and_minimal(pts in points_strategy(), rotation in 0usize..8) {
+        let (a, b, c, d, e, f, g, h) = pts;
+        let mut points = vec![a, b, c, d, e, f, g, h];
+
+        let front = fold(&points);
+        // No member strictly dominates another (equal pairs never coexist:
+        // insert_pareto drops exact ties on arrival).
+        for x in &front {
+            for y in &front {
+                if std::ptr::eq(x, y) {
+                    continue;
+                }
+                prop_assert!(
+                    !(x.runtime <= y.runtime && x.energy <= y.energy),
+                    "{}/{} dominates {}/{}",
+                    x.runtime, x.energy, y.runtime, y.energy
+                );
+            }
+        }
+        // As a set, the front is exactly the non-dominated subset.
+        prop_assert_eq!(pairs(&front), reference_front(&points));
+
+        // Insertion order must not change the front as a set.
+        points.rotate_left(rotation);
+        let rotated = fold(&points);
+        prop_assert_eq!(pairs(&rotated), pairs(&front));
+        points.reverse();
+        let reversed = fold(&points);
+        prop_assert_eq!(pairs(&reversed), pairs(&front));
+    }
+}
+
+#[test]
+fn duplicate_points_keep_first_occurrence_only() {
+    let front = fold(&[(2, 2), (2, 2), (2, 2)]);
+    assert_eq!(front.len(), 1);
+}
+
+#[test]
+fn dominated_then_dominating() {
+    let front = fold(&[(3, 3), (1, 1)]);
+    assert_eq!(pairs(&front), vec![(1, 1)]);
+    let front = fold(&[(1, 1), (3, 3)]);
+    assert_eq!(pairs(&front), vec![(1, 1)]);
+}

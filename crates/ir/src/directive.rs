@@ -43,12 +43,14 @@ impl SizeExpr {
 
     /// `self + rhs`.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // by-value builder, not ops::Add
     pub fn add(self, rhs: SizeExpr) -> Self {
         SizeExpr::Add(Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs` (saturating at zero on evaluation).
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // by-value builder, not ops::Sub
     pub fn sub(self, rhs: SizeExpr) -> Self {
         SizeExpr::Sub(Box::new(self), Box::new(rhs))
     }
@@ -172,7 +174,9 @@ mod tests {
         let dims = DimSizes::new(1, 2, 3, 4, 5, 6, 7);
         assert_eq!(SizeExpr::lit(9).eval(&dims), 9);
         assert_eq!(SizeExpr::size(Dim::R).eval(&dims), 6);
-        let e = SizeExpr::lit(8).add(SizeExpr::size(Dim::S)).sub(SizeExpr::lit(1));
+        let e = SizeExpr::lit(8)
+            .add(SizeExpr::size(Dim::S))
+            .sub(SizeExpr::lit(1));
         assert_eq!(e.eval(&dims), 14);
         // Saturating subtraction.
         assert_eq!(SizeExpr::lit(1).sub(SizeExpr::lit(5)).eval(&dims), 0);
@@ -180,7 +184,9 @@ mod tests {
 
     #[test]
     fn size_expr_display() {
-        let e = SizeExpr::lit(8).add(SizeExpr::size(Dim::S)).sub(SizeExpr::lit(1));
+        let e = SizeExpr::lit(8)
+            .add(SizeExpr::size(Dim::S))
+            .sub(SizeExpr::lit(1));
         assert_eq!(e.to_string(), "8+Sz(S)-1");
     }
 

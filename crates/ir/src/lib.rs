@@ -44,5 +44,5 @@ pub mod styles;
 pub use dataflow::{Dataflow, DataflowBuilder};
 pub use directive::{Directive, MapKind, SizeExpr};
 pub use parse::ParseError;
-pub use resolve::{resolve, Resolved, ResolvedLevel, ResolvedMap, ResolveError};
+pub use resolve::{resolve, ResolveError, Resolved, ResolvedLevel, ResolvedMap};
 pub use styles::Style;

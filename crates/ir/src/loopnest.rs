@@ -171,7 +171,11 @@ mod tests {
             .loop_(Loop::par_for(Dim::R, 1));
         let df = nest.to_dataflow();
         assert_eq!(df.num_levels(), 2);
-        assert_eq!(df.directives().len(), 7, "Level becomes a Cluster directive");
+        assert_eq!(
+            df.directives().len(),
+            7,
+            "Level becomes a Cluster directive"
+        );
         // Window steps survive the conversion.
         let s = df.to_string();
         assert!(s.contains("SpatialMap(3,1) Y"), "{s}");

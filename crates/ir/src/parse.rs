@@ -289,9 +289,7 @@ impl<'a> Parser<'a> {
             }
             other => Err(ParseError {
                 offset: off,
-                message: format!(
-                    "expected SpatialMap, TemporalMap or Cluster, found `{other}`"
-                ),
+                message: format!("expected SpatialMap, TemporalMap or Cluster, found `{other}`"),
             }),
         }
     }
@@ -391,8 +389,8 @@ mod tests {
         for s in Style::ALL {
             let df = s.dataflow();
             let printed = df.to_string();
-            let reparsed = parse_dataflow(&printed)
-                .unwrap_or_else(|e| panic!("{s}: {e}\n{printed}"));
+            let reparsed =
+                parse_dataflow(&printed).unwrap_or_else(|e| panic!("{s}: {e}\n{printed}"));
             // Names with `-` parse back identically thanks to ident rules.
             assert_eq!(df, reparsed, "{printed}");
         }

@@ -52,7 +52,11 @@ impl ResolvedMap {
 
 impl fmt::Display for ResolvedMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}({},{}) {}", self.kind, self.size, self.offset, self.dim)
+        write!(
+            f,
+            "{}({},{}) {}",
+            self.kind, self.size, self.offset, self.dim
+        )
     }
 }
 
@@ -155,7 +159,10 @@ impl fmt::Display for ResolveError {
             ResolveError::ZeroSize(d) => write!(f, "map size for {d} evaluates to zero"),
             ResolveError::ZeroOffset(d) => write!(f, "map offset for {d} evaluates to zero"),
             ResolveError::DuplicateDim(d) => {
-                write!(f, "dimension {d} is mapped more than once in a cluster level")
+                write!(
+                    f,
+                    "dimension {d} is mapped more than once in a cluster level"
+                )
             }
             ResolveError::ZeroClusterSize => write!(f, "cluster size evaluates to zero"),
             ResolveError::ClusterTooLarge { cluster, available } => write!(
@@ -363,12 +370,18 @@ mod tests {
         let inner = &r.levels[1];
         assert_eq!(inner.dims.get(Dim::Y), 3, "outer mapped Sz(R)=3 rows");
         assert_eq!(inner.dims.get(Dim::X), 4, "outer mapped 4 columns");
-        assert_eq!(inner.dims.get(Dim::K), 4, "unmapped dims pass through whole");
+        assert_eq!(
+            inner.dims.get(Dim::K),
+            4,
+            "unmapped dims pass through whole"
+        );
     }
 
     #[test]
     fn size_clamping() {
-        let df = Dataflow::builder("clamp").temporal(100, 100, Dim::C).build();
+        let df = Dataflow::builder("clamp")
+            .temporal(100, 100, Dim::C)
+            .build();
         let r = resolve(&df, &toy_layer(), 4).unwrap();
         assert_eq!(r.levels[0].map(Dim::C).size, 6);
     }
@@ -380,13 +393,19 @@ mod tests {
         assert_eq!(resolve(&df, &layer, 4), Err(ResolveError::ZeroSize(Dim::K)));
 
         let df = Dataflow::builder("z").temporal(1, 0u64, Dim::K).build();
-        assert_eq!(resolve(&df, &layer, 4), Err(ResolveError::ZeroOffset(Dim::K)));
+        assert_eq!(
+            resolve(&df, &layer, 4),
+            Err(ResolveError::ZeroOffset(Dim::K))
+        );
 
         let df = Dataflow::builder("d")
             .temporal(1, 1, Dim::K)
             .spatial(1, 1, Dim::K)
             .build();
-        assert_eq!(resolve(&df, &layer, 4), Err(ResolveError::DuplicateDim(Dim::K)));
+        assert_eq!(
+            resolve(&df, &layer, 4),
+            Err(ResolveError::DuplicateDim(Dim::K))
+        );
 
         let df = Dataflow::builder("c")
             .spatial(1, 1, Dim::K)
@@ -395,7 +414,10 @@ mod tests {
             .build();
         assert!(matches!(
             resolve(&df, &layer, 16),
-            Err(ResolveError::ClusterTooLarge { cluster: 32, available: 16 })
+            Err(ResolveError::ClusterTooLarge {
+                cluster: 32,
+                available: 16
+            })
         ));
 
         let df = Dataflow::builder("p").spatial(1, 1, Dim::K).build();

@@ -83,7 +83,11 @@ impl Style {
             Style::YXP => Dataflow::builder(self.short_name())
                 .temporal(1, 1, Dim::K)
                 .spatial(sz(Dim::R), 1, Dim::Y)
-                .temporal(SizeExpr::lit(8).add(sz(Dim::S)).sub(SizeExpr::lit(1)), 8, Dim::X)
+                .temporal(
+                    SizeExpr::lit(8).add(sz(Dim::S)).sub(SizeExpr::lit(1)),
+                    8,
+                    Dim::X,
+                )
                 .temporal(1, 1, Dim::C)
                 .temporal(sz(Dim::R), sz(Dim::R), Dim::R)
                 .temporal(sz(Dim::S), sz(Dim::S), Dim::S)
@@ -211,7 +215,11 @@ mod tests {
     use maestro_dnn::{Layer, LayerDims, Operator};
 
     fn vgg_conv2() -> Layer {
-        Layer::new("c2", Operator::conv2d(), LayerDims::square(1, 64, 64, 226, 3))
+        Layer::new(
+            "c2",
+            Operator::conv2d(),
+            LayerDims::square(1, 64, 64, 226, 3),
+        )
     }
 
     #[test]
@@ -219,8 +227,8 @@ mod tests {
         let layer = vgg_conv2();
         for s in Style::ALL {
             let df = s.dataflow();
-            let r = resolve(&df, &layer, 256)
-                .unwrap_or_else(|e| panic!("{s} failed to resolve: {e}"));
+            let r =
+                resolve(&df, &layer, 256).unwrap_or_else(|e| panic!("{s} failed to resolve: {e}"));
             assert!(!r.levels.is_empty());
             assert!(r.used_pes <= 256);
         }
@@ -282,11 +290,7 @@ mod tests {
 
     #[test]
     fn figure6_resolves_on_figure1_layer() {
-        let layer = Layer::new(
-            "fig1",
-            Operator::conv2d(),
-            LayerDims::square(2, 4, 6, 8, 3),
-        );
+        let layer = Layer::new("fig1", Operator::conv2d(), LayerDims::square(2, 4, 6, 8, 3));
         let r = resolve(&figure6_row_stationary(), &layer, 6).unwrap();
         assert_eq!(r.levels.len(), 2);
         assert_eq!(r.levels[0].num_units, 2, "two clusters");

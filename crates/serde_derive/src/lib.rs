@@ -1,0 +1,303 @@
+//! Offline stand-in for the `serde` derive macros.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the real `serde`/`serde_derive` cannot be fetched. This crate provides
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` with the same spelling
+//! and derive-site syntax, generating implementations of the traits in the
+//! sibling `serde` shim crate:
+//!
+//! * `Serialize` impls walk the type and emit JSON through
+//!   `serde::JsonWriter`, matching serde_json's externally-tagged enum
+//!   encoding (unit variant -> `"Name"`, newtype variant -> `{"Name": v}`,
+//!   tuple variant -> `{"Name": [..]}`, struct variant -> `{"Name": {..}}`).
+//! * `Deserialize` impls are empty markers — nothing in this workspace
+//!   deserializes, the derive only has to keep existing code compiling.
+//!
+//! The parser is deliberately small: it supports the shapes this workspace
+//! uses (non-generic structs with named fields, tuple structs, enums with
+//! unit/tuple/struct variants) and panics with a clear message on anything
+//! else, so a future type that needs more support fails loudly at compile
+//! time rather than serializing incorrectly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// A parsed `struct`/`enum` definition — just enough shape information to
+/// generate a field-by-field serializer.
+struct TypeDef {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    generate_serialize(&def)
+        .parse()
+        .expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    format!("impl ::serde::Deserialize for {} {{}}", def.name)
+        .parse()
+        .expect("serde_derive generated invalid Rust")
+}
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            let k = id.to_string();
+            i += 1;
+            k
+        }
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => {
+            i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic type `{name}`");
+    }
+    let body = if kind == "struct" {
+        match tokens.get(i) {
+            None => Body::Struct(Fields::Unit),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(other) => panic!("serde_derive: unexpected token after struct name: {other}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        }
+    };
+    TypeDef { name, body }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute's bracketed group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1; // optional restriction, e.g. pub(crate)
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body. Types are skipped by consuming until
+/// a comma outside any angle-bracket nesting (`<`/`>` are plain puncts in a
+/// token stream, so `Vec<(A, B)>`-style commas must not split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        }
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, found {other}"),
+        }
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && idx + 1 < tokens.len() =>
+            {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn generate_serialize(def: &TypeDef) -> String {
+    let mut body = String::new();
+    match &def.body {
+        Body::Struct(Fields::Unit) => body.push_str("__serde_w.write_null();"),
+        Body::Struct(Fields::Named(fields)) => {
+            body.push_str("__serde_w.begin_object();");
+            for f in fields {
+                let _ = write!(
+                    body,
+                    "__serde_w.field(\"{f}\"); ::serde::Serialize::serialize(&self.{f}, __serde_w);"
+                );
+            }
+            body.push_str("__serde_w.end_object();");
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            body.push_str("::serde::Serialize::serialize(&self.0, __serde_w);");
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            body.push_str("__serde_w.begin_array();");
+            for k in 0..*n {
+                let _ = write!(
+                    body,
+                    "__serde_w.element(); ::serde::Serialize::serialize(&self.{k}, __serde_w);"
+                );
+            }
+            body.push_str("__serde_w.end_array();");
+        }
+        Body::Enum(variants) => {
+            body.push_str("match self {");
+            for (v, fields) in variants {
+                let name = &def.name;
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(body, "{name}::{v} => __serde_w.write_str(\"{v}\"),");
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            body,
+                            "{name}::{v}(f0) => {{ __serde_w.begin_object(); __serde_w.field(\"{v}\"); \
+                             ::serde::Serialize::serialize(f0, __serde_w); __serde_w.end_object(); }}"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{v}({}) => {{ __serde_w.begin_object(); __serde_w.field(\"{v}\"); \
+                             __serde_w.begin_array();",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            let _ = write!(
+                                body,
+                                "__serde_w.element(); ::serde::Serialize::serialize({b}, __serde_w);"
+                            );
+                        }
+                        body.push_str("__serde_w.end_array(); __serde_w.end_object(); }");
+                    }
+                    Fields::Named(fs) => {
+                        let _ = write!(
+                            body,
+                            "{name}::{v} {{ {} }} => {{ __serde_w.begin_object(); __serde_w.field(\"{v}\"); \
+                             __serde_w.begin_object();",
+                            fs.join(", ")
+                        );
+                        for f in fs {
+                            let _ = write!(
+                                body,
+                                "__serde_w.field(\"{f}\"); ::serde::Serialize::serialize({f}, __serde_w);"
+                            );
+                        }
+                        body.push_str("__serde_w.end_object(); __serde_w.end_object(); }");
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn serialize(&self, __serde_w: &mut ::serde::JsonWriter) {{ {body} }}\n\
+         }}",
+        def.name
+    )
+}

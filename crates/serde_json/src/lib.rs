@@ -1,0 +1,104 @@
+//! Offline stand-in for `serde_json`: JSON output for types implementing
+//! the local `serde` shim's `Serialize`.
+//!
+//! Only the entry points this workspace calls are provided. Serialization
+//! is infallible (non-finite floats are written as `null`), so the
+//! `Result` return types exist purely for call-site compatibility.
+
+use std::fmt;
+
+/// Serialization error. Never produced by this shim; kept so call sites
+/// written against real `serde_json` compile unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real `serde_json` signature.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut w = serde::JsonWriter::new(false);
+    value.serialize(&mut w);
+    Ok(w.into_string())
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indentation).
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real `serde_json` signature.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut w = serde::JsonWriter::new(true);
+    value.serialize(&mut w);
+    Ok(w.into_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Point {
+        x: u64,
+        y: f64,
+        label: String,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Circle(f64),
+        Segment(f64, f64),
+        Rect { w: f64, h: f64 },
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Wrapper(Vec<u64>);
+
+    #[test]
+    fn derived_struct_roundtrip_text() {
+        let p = Point {
+            x: 3,
+            y: 1.5,
+            label: "origin".into(),
+        };
+        assert_eq!(
+            super::to_string(&p).unwrap(),
+            "{\"x\":3,\"y\":1.5,\"label\":\"origin\"}"
+        );
+        assert!(super::to_string_pretty(&p)
+            .unwrap()
+            .contains("\n  \"x\": 3"));
+    }
+
+    #[test]
+    fn derived_enum_external_tagging() {
+        assert_eq!(super::to_string(&Shape::Dot).unwrap(), "\"Dot\"");
+        assert_eq!(
+            super::to_string(&Shape::Circle(2.0)).unwrap(),
+            "{\"Circle\":2}"
+        );
+        assert_eq!(
+            super::to_string(&Shape::Segment(1.0, 2.0)).unwrap(),
+            "{\"Segment\":[1,2]}"
+        );
+        assert_eq!(
+            super::to_string(&Shape::Rect { w: 2.0, h: 3.0 }).unwrap(),
+            "{\"Rect\":{\"w\":2,\"h\":3}}"
+        );
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(super::to_string(&Wrapper(vec![1, 2])).unwrap(), "[1,2]");
+    }
+}

@@ -40,7 +40,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::Resolve(e) => write!(f, "cannot resolve dataflow: {e}"),
             SimError::TooManySteps { needed, limit } => {
-                write!(f, "schedule needs {needed} steps, over the limit of {limit}")
+                write!(
+                    f,
+                    "schedule needs {needed} steps, over the limit of {limit}"
+                )
             }
         }
     }
@@ -138,9 +141,7 @@ pub fn simulate(
         .iter()
         .map(|ctx| match ctx.output_spatial {
             OutputSpatial::Varies => ctx.active_units as f64,
-            OutputSpatial::Reduced => {
-                support.reduction.upstream_writes(ctx.active_units) as f64
-            }
+            OutputSpatial::Reduced => support.reduction.upstream_writes(ctx.active_units) as f64,
             OutputSpatial::NotParallel => 1.0,
         })
         .product();
@@ -179,9 +180,8 @@ pub fn simulate(
                 .collect()
         })
     };
-    let fp_of = |iv: &[Option<Interval>]| -> f64 {
-        iv.iter().flatten().map(|i| i.len as f64).product()
-    };
+    let fp_of =
+        |iv: &[Option<Interval>]| -> f64 { iv.iter().flatten().map(|i| i.len as f64).product() };
     let overlap_of = |a: &[Option<Interval>], b: &[Option<Interval>]| -> f64 {
         a.iter()
             .zip(b)
@@ -245,10 +245,10 @@ pub fn simulate(
         let mut egress = 0.0f64;
         let mut refetch = 0.0f64;
         if !first {
-            let leaving = (fp_of(&prev[oi]) - overlap_of(&prev[oi], &cur[oi])).max(0.0)
-                * density.output;
-            let entering = (fp_of(&cur[oi]) - overlap_of(&prev[oi], &cur[oi])).max(0.0)
-                * density.output;
+            let leaving =
+                (fp_of(&prev[oi]) - overlap_of(&prev[oi], &cur[oi])).max(0.0) * density.output;
+            let entering =
+                (fp_of(&cur[oi]) - overlap_of(&prev[oi], &cur[oi])).max(0.0) * density.output;
             if leaving > 0.0 || entering > 0.0 {
                 let j = advancing_loop(&sched);
                 let visited_before = sched.loops[..j]
@@ -326,8 +326,7 @@ pub fn simulate(
         maestro_core::report::offchip_traffic(&counts, tensor_elems, acc.l2_elements());
     counts.dram_read = dram_read;
     counts.dram_write = dram_write;
-    let dram_delay =
-        (dram_read.total() + dram_write.total()) / acc.offchip_bandwidth.max(1) as f64;
+    let dram_delay = (dram_read.total() + dram_write.total()) / acc.offchip_bandwidth.max(1) as f64;
     let cycles = cycles.max(dram_delay);
 
     let total_pes = acc.num_pes as f64;
@@ -373,11 +372,7 @@ pub fn exact_step_macs(
 
 /// Exact MACs across the whole unit grid in the current step, memoized by
 /// the per-level availability signature.
-fn exact_macs(
-    sched: &FlatSchedule,
-    coupling: &Coupling,
-    memo: &mut HashMap<Vec<u64>, u64>,
-) -> u64 {
+fn exact_macs(sched: &FlatSchedule, coupling: &Coupling, memo: &mut HashMap<Vec<u64>, u64>) -> u64 {
     fn rec(
         sched: &FlatSchedule,
         coupling: &Coupling,
@@ -440,9 +435,7 @@ fn exact_macs(
             .map(|(_, &c)| c)
             .unwrap_or(0);
         'units: for u in 0..units {
-            if fold * ctx.num_units + u >= driving_trips
-                && ctx.views.iter().any(|v| v.spatial)
-            {
+            if fold * ctx.num_units + u >= driving_trips && ctx.views.iter().any(|v| v.spatial) {
                 continue 'units;
             }
             let mut lens = [0u64; 7];

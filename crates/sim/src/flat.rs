@@ -8,8 +8,8 @@
 //! propagated through the levels — and closed-form sums/unions across the
 //! active PEs.
 
-use maestro_core::level::LevelCtx;
 use maestro_core::footprint::CouplingExt;
+use maestro_core::level::LevelCtx;
 use maestro_dnn::{Coupling, Dim, TensorKind};
 
 /// One flattened loop: a temporal loop or spatial fold of some level.
@@ -30,9 +30,7 @@ pub struct FlatLoop {
 
 /// A half-open interval `[start, start+len)` in some dimension's
 /// coordinates.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct Interval {
     /// Start position.
     pub start: u64,
@@ -74,9 +72,10 @@ impl FlatSchedule {
                 let is_reduction = node.dims.iter().all(|(d, _)| {
                     (d.is_filter_window() && coupling.has_window_on_partner(*d))
                         || !coupling.is_coupled(TensorKind::Output, *d)
-                }) && node.dims.iter().any(|(d, _)| {
-                    coupling.reduction.contains(*d) || d.is_filter_window()
-                });
+                }) && node
+                    .dims
+                    .iter()
+                    .any(|(d, _)| coupling.reduction.contains(*d) || d.is_filter_window());
                 loops.push(FlatLoop {
                     level: li,
                     dims: node.dims.clone(),

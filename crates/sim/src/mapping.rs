@@ -100,11 +100,7 @@ mod tests {
     /// The Figure 6 scenario: the Figure 1 layer (N2 K4 C6 Y8 X8 R3 S3) on
     /// six PEs in two clusters of three, row-stationary.
     fn figure6() -> (Layer, Dataflow) {
-        let layer = Layer::new(
-            "fig1",
-            Operator::conv2d(),
-            LayerDims::square(2, 4, 6, 8, 3),
-        );
+        let layer = Layer::new("fig1", Operator::conv2d(), LayerDims::square(2, 4, 6, 8, 3));
         (layer, styles::figure6_row_stationary())
     }
 

@@ -91,11 +91,7 @@ pub fn trace(
         let cur = axes(&sched);
         let active: u64 = (0..num_levels).map(|l| sched.active_units(l)).product();
         let macs = crate::engine::exact_step_macs(&sched, &coupling, &mut memo);
-        let footprint = [
-            fp(&cur[0]),
-            fp(&cur[1]),
-            fp(&cur[2]),
-        ];
+        let footprint = [fp(&cur[0]), fp(&cur[1]), fp(&cur[2])];
         let new_data = std::array::from_fn(|i| {
             if step == 0 {
                 footprint[i]

@@ -143,8 +143,7 @@ pub fn validate_network(
     let results: Vec<Option<ValidationPoint>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                let layers: Vec<&Layer> =
-                    model.iter().skip(t).step_by(threads).collect();
+                let layers: Vec<&Layer> = model.iter().skip(t).step_by(threads).collect();
                 scope.spawn(move || {
                     layers
                         .into_iter()
@@ -170,7 +169,11 @@ pub fn validate_network(
     let mean = if points.is_empty() {
         0.0
     } else {
-        points.iter().map(ValidationPoint::runtime_error_pct).sum::<f64>() / points.len() as f64
+        points
+            .iter()
+            .map(ValidationPoint::runtime_error_pct)
+            .sum::<f64>()
+            / points.len() as f64
     };
     (points, mean)
 }
@@ -189,7 +192,11 @@ mod tests {
             let p = validate_layer(&layer, &style.dataflow(), &acc, SimOptions::default())
                 .unwrap_or_else(|e| panic!("{style}: {e}"));
             assert_eq!(p.sim_macs, p.exact_macs, "{style}");
-            assert!(p.l1_error_pct() < 40.0, "{style}: L1 {:.1}%", p.l1_error_pct());
+            assert!(
+                p.l1_error_pct() < 40.0,
+                "{style}: L1 {:.1}%",
+                p.l1_error_pct()
+            );
             assert!(
                 (p.model_utilization - p.sim_utilization).abs() < 0.25,
                 "{style}: util {} vs {}",

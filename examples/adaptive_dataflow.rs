@@ -13,8 +13,12 @@ fn best_for(layer: &maestro::dnn::Layer, acc: &Accelerator) -> Dataflow {
         .iter()
         .map(|s| s.dataflow())
         .min_by(|a, b| {
-            let ra = analyze(layer, a, acc).map(|r| r.runtime).unwrap_or(f64::MAX);
-            let rb = analyze(layer, b, acc).map(|r| r.runtime).unwrap_or(f64::MAX);
+            let ra = analyze(layer, a, acc)
+                .map(|r| r.runtime)
+                .unwrap_or(f64::MAX);
+            let rb = analyze(layer, b, acc)
+                .map(|r| r.runtime)
+                .unwrap_or(f64::MAX);
             ra.total_cmp(&rb)
         })
         .expect("styles are non-empty")
@@ -31,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Skip layers a style cannot map by falling back to X-P.
         let r = analyze_model_with(&model, &acc, |l| {
             let df = style.dataflow();
-            if analyze(l, &df, &acc).is_ok() { df } else { Style::XP.dataflow() }
+            if analyze(l, &df, &acc).is_ok() {
+                df
+            } else {
+                Style::XP.dataflow()
+            }
         })?;
         best_fixed = best_fixed.min(r.runtime());
         println!(
@@ -45,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let adaptive = analyze_model_with(&model, &acc, |l| best_for(l, &acc))?;
     println!(
         "  {:<6} {:>12.3e} cycles  {:>12.3e} pJ",
-        "adapt", adaptive.runtime(), adaptive.energy(&em)
+        "adapt",
+        adaptive.runtime(),
+        adaptive.energy(&em)
     );
     println!(
         "\nadaptive runtime reduction vs best fixed: {:.1}%",
@@ -56,7 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nper-layer choices (first ten layers):");
     for l in model.iter().take(10) {
         let df = best_for(l, &acc);
-        println!("  {:<18} {:<22} -> {}", l.name, l.classify().to_string(), df.name());
+        println!(
+            "  {:<18} {:<22} -> {}",
+            l.name,
+            l.classify().to_string(),
+            df.name()
+        );
     }
     let _ = analyze_model(&model, &Style::KCP.dataflow(), &acc);
     Ok(())

@@ -12,7 +12,11 @@ fn main() {
     let acc = Accelerator::paper_case_study();
     let em = EnergyModel::cacti_28nm(acc.l1_bytes, acc.l2_bytes);
 
-    for objective in [Objective::Runtime, Objective::Energy(em), Objective::Edp(em)] {
+    for objective in [
+        Objective::Runtime,
+        Objective::Energy(em),
+        Objective::Edp(em),
+    ] {
         let tuned = tune_model(&model, &acc, objective);
         println!(
             "{objective:>8}-tuned {}: {:.3e} cycles, {:.3e} pJ, {} distinct dataflows",

@@ -4,11 +4,11 @@
 //! Run with: `cargo run --release --example custom_dataflow`
 
 use maestro::core::analyze;
+use maestro::dnn::Dim;
 use maestro::dnn::{Layer, LayerDims, Operator};
 use maestro::hw::Accelerator;
 use maestro::ir::loopnest::{Loop, LoopNest};
 use maestro::ir::{Dataflow, SizeExpr};
-use maestro::dnn::Dim;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A weight-stationary schedule with 4-row output tiles.
@@ -17,7 +17,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .temporal(1, 1, Dim::C)
         .temporal(SizeExpr::size(Dim::R), SizeExpr::size(Dim::R), Dim::R)
         .temporal(SizeExpr::size(Dim::S), SizeExpr::size(Dim::S), Dim::S)
-        .temporal(SizeExpr::lit(4).add(SizeExpr::size(Dim::R)).sub(SizeExpr::lit(1)), 4, Dim::Y)
+        .temporal(
+            SizeExpr::lit(4)
+                .add(SizeExpr::size(Dim::R))
+                .sub(SizeExpr::lit(1)),
+            4,
+            Dim::Y,
+        )
         .spatial(SizeExpr::size(Dim::S), 1, Dim::X)
         .build();
 
@@ -45,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("loop nest lowers to:\n{lowered}\n");
 
     // Use it.
-    let layer = Layer::new("conv", Operator::conv2d(), LayerDims::square(1, 64, 64, 58, 3));
+    let layer = Layer::new(
+        "conv",
+        Operator::conv2d(),
+        LayerDims::square(1, 64, 64, 58, 3),
+    );
     let acc = Accelerator::builder(64).build();
     let report = analyze(&layer, &built, &acc)?;
     println!("{report}");

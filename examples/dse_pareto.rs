@@ -34,8 +34,14 @@ fn main() {
     }
 
     if let (Some(t), Some(e)) = (&result.best_throughput, &result.best_energy) {
-        println!("\nthroughput-optimized: {} PEs, {:.1} MACs/cycle, {:.0} mW", t.pes, t.throughput, t.power_mw);
-        println!("energy-optimized:     {} PEs, {:.1} MACs/cycle, {:.0} mW", e.pes, e.throughput, e.power_mw);
+        println!(
+            "\nthroughput-optimized: {} PEs, {:.1} MACs/cycle, {:.0} mW",
+            t.pes, t.throughput, t.power_mw
+        );
+        println!(
+            "energy-optimized:     {} PEs, {:.1} MACs/cycle, {:.0} mW",
+            e.pes, e.throughput, e.power_mw
+        );
         println!(
             "energy-optimized design uses {:.1}x the SRAM at {:.0}% of the throughput",
             (e.l1_bytes * e.pes + e.l2_bytes) as f64 / (t.l1_bytes * t.pes + t.l2_bytes) as f64,

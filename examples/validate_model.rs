@@ -12,10 +12,14 @@ fn main() {
     let acc = Accelerator::maeri_like(64);
     let model = zoo::alexnet(1);
     println!("AlexNet under KC-P on a MAERI-like 64-PE accelerator:\n");
-    let (points, mean) = validate_network(&model, &Style::KCP.dataflow(), &acc, SimOptions::default());
+    let (points, mean) =
+        validate_network(&model, &Style::KCP.dataflow(), &acc, SimOptions::default());
     for p in &points {
         println!("{p}");
         assert_eq!(p.sim_macs, p.exact_macs, "simulator must conserve MACs");
     }
-    println!("\nmean absolute runtime error: {mean:.2}% over {} layers", points.len());
+    println!(
+        "\nmean absolute runtime error: {mean:.2}% over {} layers",
+        points.len()
+    );
 }

@@ -10,7 +10,9 @@ use std::fs;
 use std::path::Path;
 
 fn load(name: &str) -> Dataflow {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("dataflows").join(name);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("dataflows")
+        .join(name);
     let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
     parse_dataflow(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
 }

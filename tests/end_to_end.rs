@@ -242,9 +242,18 @@ fn three_level_hierarchies_analyze_and_conserve_macs() {
     assert_eq!(r.levels.len(), 3);
     assert_eq!(r.levels.iter().map(|l| l.units).product::<u64>(), 64);
     let s = simulate(&layer, &df, &acc, SimOptions::default()).unwrap();
-    assert_eq!(s.macs, layer.total_macs(), "exact MAC conservation at 3 levels");
+    assert_eq!(
+        s.macs,
+        layer.total_macs(),
+        "exact MAC conservation at 3 levels"
+    );
     let ratio = r.runtime / s.cycles.max(1.0);
-    assert!((0.3..=3.0).contains(&ratio), "model {} vs sim {}", r.runtime, s.cycles);
+    assert!(
+        (0.3..=3.0).contains(&ratio),
+        "model {} vs sim {}",
+        r.runtime,
+        s.cycles
+    );
 }
 
 #[test]
@@ -285,7 +294,11 @@ fn custom_coupling_overrides_the_operator() {
 #[test]
 fn extended_zoo_analyzes_under_adaptive_choice() {
     let acc = Accelerator::paper_case_study();
-    for model in [zoo::googlenet(1), zoo::efficientnet_b0(1), zoo::deepspeech2(1)] {
+    for model in [
+        zoo::googlenet(1),
+        zoo::efficientnet_b0(1),
+        zoo::deepspeech2(1),
+    ] {
         let report = analyze_model_with(&model, &acc, |l| {
             Style::ALL
                 .iter()

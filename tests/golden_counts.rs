@@ -89,5 +89,10 @@ fn model_and_simulator_agree_exactly_here() {
     assert_eq!(m.counts.l1_write, s.counts.l1_write);
     assert_eq!(m.counts.macs, s.counts.macs);
     // Runtime differs only by the init-step accounting (≤ a few cycles).
-    assert!((m.runtime - s.cycles).abs() <= 3.0, "{} vs {}", m.runtime, s.cycles);
+    assert!(
+        (m.runtime - s.cycles).abs() <= 3.0,
+        "{} vs {}",
+        m.runtime,
+        s.cycles
+    );
 }

@@ -74,10 +74,7 @@ fn pointwise_needs_more_bandwidth_than_standard_conv_under_yxp() {
     let df = Style::YXP.dataflow();
     let bw_pw = analyze(pw, &df, &acc).unwrap().peak_bw;
     let bw_conv = analyze(conv, &df, &acc).unwrap().peak_bw;
-    assert!(
-        bw_pw > bw_conv * 2.0,
-        "pointwise {bw_pw} vs 3x3 {bw_conv}"
-    );
+    assert!(bw_pw > bw_conv * 2.0, "pointwise {bw_pw} vs 3x3 {bw_conv}");
 }
 
 /// §5.1: adaptive (per-layer best) dataflow beats every fixed dataflow.
@@ -271,7 +268,10 @@ fn tuner_beats_style_level_adaptivity() {
     .unwrap()
     .runtime();
     let tuned = tune_model(&model, &acc, Objective::Runtime).runtime();
-    assert!(tuned <= adaptive * 1.0001, "tuned {tuned} vs adaptive {adaptive}");
+    assert!(
+        tuned <= adaptive * 1.0001,
+        "tuned {tuned} vs adaptive {adaptive}"
+    );
 }
 
 /// Vector (wide-MAC) PEs raise compute-bound throughput: a TPU-like

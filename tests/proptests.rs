@@ -3,7 +3,7 @@
 //! model-vs-simulator agreement.
 
 use maestro::core::analyze;
-use maestro::dnn::{Dim, Layer, LayerDims, Operator, TensorKind, ALL_DIMS};
+use maestro::dnn::{Dim, Layer, LayerDims, Operator, TensorKind};
 use maestro::hw::Accelerator;
 use maestro::ir::{Dataflow, DataflowBuilder, SizeExpr};
 use maestro::sim::{simulate, SimOptions};
@@ -32,14 +32,14 @@ fn arb_row_stationary(layer: &Layer) -> impl Strategy<Value = Dataflow> {
 /// A random, well-formed layer small enough to simulate exhaustively.
 fn arb_layer() -> impl Strategy<Value = Layer> {
     (
-        1u64..3,   // n
-        1u64..12,  // k
-        1u64..12,  // c
-        1u64..4,   // r
-        1u64..4,   // s
-        0u64..14,  // y slack beyond r
-        0u64..14,  // x slack beyond s
-        1u64..3,   // stride
+        1u64..3,  // n
+        1u64..12, // k
+        1u64..12, // c
+        1u64..4,  // r
+        1u64..4,  // s
+        0u64..14, // y slack beyond r
+        0u64..14, // x slack beyond s
+        1u64..3,  // stride
     )
         .prop_map(|(n, k, c, r, s, ys, xs, stride)| {
             let dims = LayerDims {
@@ -55,7 +55,9 @@ fn arb_layer() -> impl Strategy<Value = Layer> {
             };
             Layer::new("prop", Operator::conv2d(), dims)
         })
-        .prop_filter("window must fit", |l| l.validate().is_ok() && l.total_macs() > 0)
+        .prop_filter("window must fit", |l| {
+            l.validate().is_ok() && l.total_macs() > 0
+        })
 }
 
 /// A random gap-free dataflow for `layer`: each dimension is either fully
@@ -64,17 +66,15 @@ fn arb_layer() -> impl Strategy<Value = Layer> {
 /// cluster level.
 fn arb_dataflow(layer: &Layer) -> impl Strategy<Value = Dataflow> {
     let dims = layer.dims;
-    let tile = move |d: Dim, total: u64| {
-        (1u64..=total.max(1)).prop_map(move |t| (d, t))
-    };
+    let tile = move |d: Dim, total: u64| (1u64..=total.max(1)).prop_map(move |t| (d, t));
     (
         tile(Dim::K, dims.k),
         tile(Dim::C, dims.c),
         tile(Dim::Y, dims.out_y().max(1)),
         tile(Dim::X, dims.out_x().max(1)),
-        0usize..5, // which dim is spatial (of K, C, Y, X) — 4 means none
+        0usize..5,           // which dim is spatial (of K, C, Y, X) — 4 means none
         proptest::bool::ANY, // use a cluster level
-        1u64..4,   // cluster size exponent
+        1u64..4,             // cluster size exponent
     )
         .prop_map(move |(k, c, y, x, spatial_idx, use_cluster, csz_exp)| {
             let stride = dims.stride_y;
@@ -274,11 +274,7 @@ fn arb_op_layer() -> impl Strategy<Value = Layer> {
                 ),
                 1 => Layer::new("fc", Operator::FullyConnected, square(k, c, 1, 1)),
                 2 => Layer::new("pool", Operator::Pooling, square(1, c, rs + slack, rs)),
-                _ => Layer::new(
-                    "add",
-                    Operator::ElementwiseAdd,
-                    square(k, 1, 1 + slack, 1),
-                ),
+                _ => Layer::new("add", Operator::ElementwiseAdd, square(k, 1, 1 + slack, 1)),
             }
         })
         .prop_filter("valid", |l| l.validate().is_ok() && l.total_macs() > 0)
@@ -394,7 +390,6 @@ proptest! {
         prop_assert_eq!(model, back);
     }
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
