@@ -14,6 +14,13 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The analysis-pipeline crates are panic-free by policy (see DESIGN.md):
+# no unwrap()/expect() outside tests. Enforced both here and by
+# crate-level deny attributes in each lib.rs.
+echo "== cargo clippy (panic-free library crates)"
+cargo clippy -p maestro-core -p maestro-ir -p maestro-dse -p maestro-hw -p maestro-dnn --lib \
+  -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
+
 echo "== cargo build --release"
 cargo build --release --workspace
 

@@ -17,7 +17,9 @@ fn bench_dse(c: &mut Criterion) {
         g.bench_function(format!("{style}/{lname}/standard-space"), |b| {
             b.iter(|| {
                 let e = Explorer::new(SweepSpace::standard());
-                let r = e.explore(black_box(layer), black_box(&maps));
+                let r = e
+                    .explore(black_box(layer), black_box(&maps))
+                    .expect("valid sweep space");
                 assert!(r.stats.valid > 0);
                 r.stats.explored
             })
@@ -38,7 +40,9 @@ fn bench_dse_parallel(c: &mut Criterion) {
         g.bench_function(format!("threads-{threads}"), |b| {
             b.iter(|| {
                 let e = Explorer::new(SweepSpace::standard());
-                let r = e.explore_parallel(black_box(layer), black_box(&maps), threads);
+                let r = e
+                    .explore_parallel(black_box(layer), black_box(&maps), threads)
+                    .expect("valid sweep space");
                 assert!(r.stats.valid > 0);
                 r.stats.explored
             })

@@ -25,11 +25,19 @@ fn main() {
     let model = model_arg();
     let explorer = Explorer::new(SweepSpace::tiny());
     let candidates = default_candidates();
-    let r = explorer.explore_model_parallel(&model, &candidates, threads);
+    let r = explorer
+        .explore_model_parallel(&model, &candidates, threads)
+        .expect("valid sweep space");
     println!(
         "whole-model DSE over {}: {} designs explored, {} valid ({} memo hits), {:.2}s",
         model.name, r.stats.explored, r.stats.valid, r.stats.memo_hits, r.stats.seconds
     );
+    if !r.stats.quarantined.is_empty() {
+        eprintln!(
+            "warning: {} work unit(s) quarantined — results are incomplete",
+            r.stats.quarantined.len()
+        );
+    }
     let show = |tag: &str, p: &Option<maestro_dse::DesignPoint>| {
         if let Some(p) = p {
             println!(

@@ -17,8 +17,16 @@ fn main() {
         for lname in ["CONV2", "CONV11"] {
             let l = layer(&vgg, lname);
             let explorer = Explorer::new(SweepSpace::standard());
-            let r = explorer.explore_parallel(l, &variants::variants(style), threads);
+            let r = explorer
+                .explore_parallel(l, &variants::variants(style), threads)
+                .expect("valid sweep space");
             println!("== {} on VGG16 {lname} ==", style.short_name());
+            if !r.stats.quarantined.is_empty() {
+                eprintln!(
+                    "warning: {} work unit(s) quarantined — results are incomplete",
+                    r.stats.quarantined.len()
+                );
+            }
             let show = |tag: &str, p: &Option<DesignPoint>| {
                 if let Some(p) = p {
                     println!(

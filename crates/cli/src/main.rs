@@ -15,12 +15,85 @@
 mod args;
 
 use args::Args;
-use maestro_core::{analyze, analyze_model, analyze_model_with};
+use maestro_core::{analyze, analyze_model, analyze_model_with, AnalysisError};
 use maestro_dnn::{zoo, Layer, Model, TensorKind};
 use maestro_hw::{Accelerator, EnergyModel};
 use maestro_ir::{parse::parse_dataflow, Dataflow, Style};
 use maestro_sim::{mapping_at_step, validate_network, SimOptions};
 use std::process::ExitCode;
+
+/// What class of failure occurred. Each kind maps to a distinct process
+/// exit code so scripts can tell them apart without scraping stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrorKind {
+    /// Bad invocation: unknown command, bad flag value, unreadable input.
+    Usage,
+    /// A dataflow or network description failed to parse.
+    Parse,
+    /// The dataflow does not resolve onto the layer / accelerator.
+    Resolve,
+    /// The cost-model analysis itself failed.
+    Analysis,
+    /// Anything else.
+    Other,
+}
+
+/// A rendered diagnostic plus its failure class.
+#[derive(Debug)]
+struct CliError {
+    kind: ErrorKind,
+    message: String,
+}
+
+impl CliError {
+    fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        CliError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> Self {
+        CliError::new(ErrorKind::Usage, message)
+    }
+
+    fn parse(message: impl Into<String>) -> Self {
+        CliError::new(ErrorKind::Parse, message)
+    }
+
+    fn resolve(message: impl Into<String>) -> Self {
+        CliError::new(ErrorKind::Resolve, message)
+    }
+
+    fn analysis(message: impl Into<String>) -> Self {
+        CliError::new(ErrorKind::Analysis, message)
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(match self.kind {
+            ErrorKind::Usage => 2,
+            ErrorKind::Parse => 3,
+            ErrorKind::Resolve => 4,
+            ErrorKind::Analysis => 5,
+            ErrorKind::Other => 1,
+        })
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::new(ErrorKind::Other, message)
+    }
+}
+
+impl From<AnalysisError> for CliError {
+    fn from(e: AnalysisError) -> Self {
+        match e {
+            AnalysisError::Resolve(_) => CliError::resolve(e.to_string()),
+            _ => CliError::analysis(e.to_string()),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -39,13 +112,15 @@ fn main() -> ExitCode {
             print!("{}", USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            e.exit_code()
         }
     }
 }
@@ -69,42 +144,48 @@ Zoo models: vgg16 alexnet resnet50 resnext50 mobilenet_v2 unet dcgan deepspeech2
 Styles (Table 3): C-P X-P YX-P YR-P KC-P
 ";
 
-fn load_model(name: &str) -> Result<Model, String> {
+fn load_model(name: &str) -> Result<Model, CliError> {
     if let Some(m) = zoo::by_name(name, 1) {
         return Ok(m);
     }
     // Not a zoo name: try it as a network description file.
-    let text = std::fs::read_to_string(name)
-        .map_err(|e| format!("`{name}` is not a zoo model and reading it failed: {e}"))?;
-    maestro_dnn::parse_network(&text).map_err(|e| format!("parsing {name}: {e}"))
+    let text = std::fs::read_to_string(name).map_err(|e| {
+        CliError::usage(format!(
+            "`{name}` is not a zoo model and reading it failed: {e}"
+        ))
+    })?;
+    maestro_dnn::parse_network(&text).map_err(|e| CliError::parse(format!("parsing {name}: {e}")))
 }
 
-fn load_dataflow(spec: &str) -> Result<Dataflow, String> {
+fn load_dataflow(spec: &str) -> Result<Dataflow, CliError> {
     for s in Style::ALL {
         if s.short_name().eq_ignore_ascii_case(spec) || s.alias().eq_ignore_ascii_case(spec) {
             return Ok(s.dataflow());
         }
     }
-    let text = std::fs::read_to_string(spec)
-        .map_err(|e| format!("`{spec}` is not a style name and reading it failed: {e}"))?;
-    parse_dataflow(&text).map_err(|e| format!("parsing {spec}: {e}"))
+    let text = std::fs::read_to_string(spec).map_err(|e| {
+        CliError::usage(format!(
+            "`{spec}` is not a style name and reading it failed: {e}"
+        ))
+    })?;
+    parse_dataflow(&text).map_err(|e| CliError::parse(format!("parsing {spec}: {e}")))
 }
 
-fn pick_layer<'m>(model: &'m Model, args: &Args) -> Result<&'m Layer, String> {
+fn pick_layer<'m>(model: &'m Model, args: &Args) -> Result<&'m Layer, CliError> {
     let name = args.get("layer", "");
     if name.is_empty() {
-        return Err("missing --layer".into());
+        return Err(CliError::usage("missing --layer"));
     }
     model
         .layer(name)
-        .ok_or_else(|| format!("model {} has no layer `{name}`", model.name))
+        .ok_or_else(|| CliError::usage(format!("model {} has no layer `{name}`", model.name)))
 }
 
-fn accelerator(args: &Args) -> Result<Accelerator, String> {
-    let pes = args.get_u64("pes", 256)?;
-    let bw = args.get_u64("bw", 32)?;
-    let l1 = args.get_u64("l1", 2048)?;
-    let l2 = args.get_u64("l2", 1 << 20)?;
+fn accelerator(args: &Args) -> Result<Accelerator, CliError> {
+    let pes = args.get_u64("pes", 256).map_err(CliError::usage)?;
+    let bw = args.get_u64("bw", 32).map_err(CliError::usage)?;
+    let l1 = args.get_u64("l1", 2048).map_err(CliError::usage)?;
+    let l2 = args.get_u64("l2", 1 << 20).map_err(CliError::usage)?;
     Ok(Accelerator::builder(pes)
         .noc_bandwidth(bw)
         .l1_bytes(l1)
@@ -112,12 +193,12 @@ fn accelerator(args: &Args) -> Result<Accelerator, String> {
         .build())
 }
 
-fn cmd_analyze(args: &Args) -> Result<(), String> {
+fn cmd_analyze(args: &Args) -> Result<(), CliError> {
     let model = load_model(args.get("model", "vgg16"))?;
     let layer = pick_layer(&model, args)?;
     let df = load_dataflow(args.get("dataflow", "KC-P"))?;
     let acc = accelerator(args)?;
-    let report = analyze(layer, &df, &acc).map_err(|e| e.to_string())?;
+    let report = analyze(layer, &df, &acc)?;
     if args.flag("json") {
         println!(
             "{}",
@@ -141,7 +222,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_model(args: &Args) -> Result<(), String> {
+fn cmd_model(args: &Args) -> Result<(), CliError> {
     let model = load_model(args.get("model", "vgg16"))?;
     let acc = accelerator(args)?;
     let report = if args.flag("adaptive") {
@@ -165,7 +246,7 @@ fn cmd_model(args: &Args) -> Result<(), String> {
         let df = load_dataflow(args.get("dataflow", "KC-P"))?;
         analyze_model(&model, &df, &acc)
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(CliError::from)?;
     if args.flag("json") {
         println!(
             "{}",
@@ -183,19 +264,21 @@ fn cmd_model(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_dse(args: &Args) -> Result<(), String> {
+fn cmd_dse(args: &Args) -> Result<(), CliError> {
     let model = load_model(args.get("model", "vgg16"))?;
     let layer = pick_layer(&model, args)?;
     let style_name = args.get("style", "KC-P");
     let style = Style::ALL
         .into_iter()
         .find(|s| s.short_name().eq_ignore_ascii_case(style_name))
-        .ok_or_else(|| format!("unknown style `{style_name}`"))?;
+        .ok_or_else(|| CliError::usage(format!("unknown style `{style_name}`")))?;
     // 0 = one worker per core; results are identical at any thread count.
-    let threads = usize::try_from(args.get_u64("threads", 0)?)
-        .map_err(|_| "--threads is too large".to_string())?;
+    let threads = usize::try_from(args.get_u64("threads", 0).map_err(CliError::usage)?)
+        .map_err(|_| CliError::usage("--threads is too large"))?;
     let explorer = maestro_dse::Explorer::new(maestro_dse::SweepSpace::standard());
-    let result = explorer.explore_parallel(layer, &maestro_dse::variants::variants(style), threads);
+    let result = explorer
+        .explore_parallel(layer, &maestro_dse::variants::variants(style), threads)
+        .map_err(|e| CliError::analysis(e.to_string()))?;
     if args.flag("json") {
         println!(
             "{}",
@@ -212,6 +295,15 @@ fn cmd_dse(args: &Args) -> Result<(), String> {
         result.stats.seconds,
         result.stats.rate
     );
+    if !result.stats.quarantined.is_empty() {
+        eprintln!(
+            "warning: {} of the sweep's work units panicked and were quarantined — results are incomplete",
+            result.stats.quarantined.len()
+        );
+        for q in &result.stats.quarantined {
+            eprintln!("  unit {}: {}", q.unit, q.message);
+        }
+    }
     let show = |tag: &str, p: &Option<maestro_dse::DesignPoint>| {
         if let Some(p) = p {
             println!(
@@ -227,7 +319,7 @@ fn cmd_dse(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_validate(args: &Args) -> Result<(), String> {
+fn cmd_validate(args: &Args) -> Result<(), CliError> {
     let model = load_model(args.get("model", "vgg16"))?;
     let df = load_dataflow(args.get("dataflow", "KC-P"))?;
     let acc = accelerator(args)?;
@@ -242,13 +334,14 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mapping(args: &Args) -> Result<(), String> {
+fn cmd_mapping(args: &Args) -> Result<(), CliError> {
     let model = load_model(args.get("model", "vgg16"))?;
     let layer = pick_layer(&model, args)?;
     let df = load_dataflow(args.get("dataflow", "YR-P"))?;
-    let pes = args.get_u64("pes", 6)?;
-    let step = args.get_u64("step", 0)?;
-    let maps = mapping_at_step(layer, &df, pes, step).map_err(|e| e.to_string())?;
+    let pes = args.get_u64("pes", 6).map_err(CliError::usage)?;
+    let step = args.get_u64("step", 0).map_err(CliError::usage)?;
+    let maps =
+        mapping_at_step(layer, &df, pes, step).map_err(|e| CliError::analysis(e.to_string()))?;
     println!("{} / {} / {} PEs / t={step}", layer.name, df.name(), pes);
     for m in maps {
         print!("PE{:<3} [{:?}]", m.pe, m.unit_coords);
@@ -263,22 +356,24 @@ fn cmd_mapping(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explain(args: &Args) -> Result<(), String> {
+fn cmd_explain(args: &Args) -> Result<(), CliError> {
     let model = load_model(args.get("model", "vgg16"))?;
     let layer = pick_layer(&model, args)?;
     let df = load_dataflow(args.get("dataflow", "KC-P"))?;
     let acc = accelerator(args)?;
-    let explanation = maestro_core::explain(layer, &df, &acc).map_err(|e| e.to_string())?;
+    let explanation =
+        maestro_core::explain(layer, &df, &acc).map_err(|e| CliError::resolve(e.to_string()))?;
     print!("{explanation}");
     Ok(())
 }
 
-fn cmd_lint(args: &Args) -> Result<(), String> {
+fn cmd_lint(args: &Args) -> Result<(), CliError> {
     let model = load_model(args.get("model", "vgg16"))?;
     let layer = pick_layer(&model, args)?;
     let df = load_dataflow(args.get("dataflow", "KC-P"))?;
     let acc = accelerator(args)?;
-    let lints = maestro_core::lint(layer, &df, &acc).map_err(|e| e.to_string())?;
+    let lints =
+        maestro_core::lint(layer, &df, &acc).map_err(|e| CliError::resolve(e.to_string()))?;
     if lints.is_empty() {
         println!("no findings: {} maps cleanly onto {}", df.name(), acc.name);
     } else {
@@ -289,13 +384,14 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_trace(args: &Args) -> Result<(), String> {
+fn cmd_trace(args: &Args) -> Result<(), CliError> {
     let model = load_model(args.get("model", "vgg16"))?;
     let layer = pick_layer(&model, args)?;
     let df = load_dataflow(args.get("dataflow", "KC-P"))?;
-    let pes = args.get_u64("pes", 256)?;
-    let steps = args.get_u64("steps", 16)?;
-    let t = maestro_sim::trace(layer, &df, pes, steps).map_err(|e| e.to_string())?;
+    let pes = args.get_u64("pes", 256).map_err(CliError::usage)?;
+    let steps = args.get_u64("steps", 16).map_err(CliError::usage)?;
+    let t = maestro_sim::trace(layer, &df, pes, steps)
+        .map_err(|e| CliError::analysis(e.to_string()))?;
     println!(
         "{} / {} / {} PEs — showing {} of {} steps",
         layer.name,
@@ -323,7 +419,7 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_tune(args: &Args) -> Result<(), String> {
+fn cmd_tune(args: &Args) -> Result<(), CliError> {
     let model = load_model(args.get("model", "vgg16"))?;
     let acc = accelerator(args)?;
     let em = EnergyModel::cacti_28nm(acc.l1_bytes, acc.l2_bytes);
@@ -331,7 +427,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         "runtime" => maestro_dse::Objective::Runtime,
         "energy" => maestro_dse::Objective::Energy(em),
         "edp" => maestro_dse::Objective::Edp(em),
-        other => return Err(format!("unknown objective `{other}`")),
+        other => return Err(CliError::usage(format!("unknown objective `{other}`"))),
     };
     let tuned = maestro_dse::tune_model(&model, &acc, objective);
     if args.flag("json") {
@@ -364,7 +460,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_zoo() -> Result<(), String> {
+fn cmd_zoo() -> Result<(), CliError> {
     for name in [
         "vgg16",
         "alexnet",

@@ -10,12 +10,35 @@ use maestro_ir::{resolve, Dataflow, ResolveError};
 use std::fmt;
 
 /// Errors produced by the analysis entry points.
+///
+/// The library is panic-free by policy: conditions that would previously
+/// abort the process (violated internal invariants, non-finite arithmetic,
+/// degenerate resolutions) are reported through the [`Internal`],
+/// [`NonFinite`] and [`EmptyResolution`] variants instead, so a sweep can
+/// drop the offending configuration and continue.
+///
+/// [`Internal`]: AnalysisError::Internal
+/// [`NonFinite`]: AnalysisError::NonFinite
+/// [`EmptyResolution`]: AnalysisError::EmptyResolution
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnalysisError {
     /// The layer description is invalid.
     Layer(LayerError),
     /// The dataflow cannot be bound to the layer/accelerator.
     Resolve(ResolveError),
+    /// An internal invariant of the cost model was violated. This indicates
+    /// a bug in the analysis, reported as an error instead of a panic so
+    /// callers can quarantine the configuration.
+    Internal(&'static str),
+    /// The analysis produced a NaN or infinite value in the named report
+    /// field (e.g. from a non-finite density input).
+    NonFinite {
+        /// The report field that failed the finite-value gate.
+        field: &'static str,
+    },
+    /// Resolution produced no cluster levels, so there is nothing to
+    /// analyze.
+    EmptyResolution,
 }
 
 impl fmt::Display for AnalysisError {
@@ -23,6 +46,15 @@ impl fmt::Display for AnalysisError {
         match self {
             AnalysisError::Layer(e) => write!(f, "invalid layer: {e}"),
             AnalysisError::Resolve(e) => write!(f, "cannot resolve dataflow: {e}"),
+            AnalysisError::Internal(what) => {
+                write!(f, "internal invariant violated: {what}")
+            }
+            AnalysisError::NonFinite { field } => {
+                write!(f, "analysis produced a non-finite value in `{field}`")
+            }
+            AnalysisError::EmptyResolution => {
+                write!(f, "resolution produced no cluster levels")
+            }
         }
     }
 }
@@ -32,6 +64,7 @@ impl std::error::Error for AnalysisError {
         match self {
             AnalysisError::Layer(e) => Some(e),
             AnalysisError::Resolve(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -105,7 +138,14 @@ pub fn analyze(
         result = Some(r);
     }
     levels.reverse();
-    let mut top = result.expect("resolution produces at least one level");
+    let Some(mut top) = result else {
+        return Err(AnalysisError::EmptyResolution);
+    };
+    if resolved.used_pes == 0 || resolved.used_pes > acc.num_pes {
+        return Err(AnalysisError::Internal(
+            "resolved PE usage is outside the accelerator's PE array",
+        ));
+    }
 
     // Without spatial-reduction hardware, partial sums from spatially
     // reduced levels are combined by read-modify-write at the L2: every
@@ -142,7 +182,7 @@ pub fn analyze(
         0.0
     };
 
-    Ok(LayerReport {
+    let report = LayerReport {
         layer: layer.name.clone(),
         dataflow: dataflow.name().to_string(),
         runtime,
@@ -158,7 +198,9 @@ pub fn analyze(
         num_pes: acc.num_pes,
         tensor_elems,
         levels,
-    })
+    };
+    report.validate()?;
+    Ok(report)
 }
 
 /// Analyze every layer of `model` under a per-layer dataflow choice.

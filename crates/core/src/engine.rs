@@ -119,7 +119,9 @@ fn new_data(
         // The input's receptive field along Y/X depends on both halves of
         // the window pair; handle the pair on the Y/X visit and skip R/S.
         if kind == TensorKind::Input && d.is_input_spatial() && coupling.has_window_on(d) {
-            let p = d.window_partner().expect("Y/X have partners");
+            let Some(p) = d.window_partner() else {
+                continue;
+            };
             let f = ctx.views.fp_factor(coupling, kind, d) as f64;
             let ov = match (st(d), st(p)) {
                 (DimState::Reset, _) | (_, DimState::Reset) => 0.0,

@@ -144,8 +144,9 @@ impl LevelViews {
             // along the *partner* axis; the returned value is the partner
             // axis' surviving extent (callers must not also multiply the
             // partner's own factor for the same transition).
-            let axis = d.window_partner().expect("filter dims have partners");
-            return self.fp_factor(coupling, kind, axis).saturating_sub(advance);
+            if let Some(axis) = d.window_partner() {
+                return self.fp_factor(coupling, kind, axis).saturating_sub(advance);
+            }
         }
         if !coupling.is_coupled(kind, d) {
             return 1;

@@ -108,15 +108,16 @@ impl LevelCtx {
         let num_units = level.num_units;
         let spatial: Vec<&DimView> = views.iter().filter(|v| v.spatial).collect();
         let max_chunks = spatial.iter().map(|v| v.trips).max().unwrap_or(0);
-        let (folds, active_units, utilization, first_spatial_pos) = if spatial.is_empty() {
-            (1, 1, 1.0 / num_units as f64, usize::MAX)
-        } else {
-            let folds = max_chunks.div_ceil(num_units);
-            let active = max_chunks.min(num_units);
-            let util = max_chunks as f64 / (folds * num_units) as f64;
-            let pos = spatial.iter().map(|v| v.pos).min().expect("non-empty");
-            (folds, active, util, pos)
-        };
+        let (folds, active_units, utilization, first_spatial_pos) =
+            match spatial.iter().map(|v| v.pos).min() {
+                None => (1, 1, 1.0 / num_units as f64, usize::MAX),
+                Some(pos) => {
+                    let folds = max_chunks.div_ceil(num_units);
+                    let active = max_chunks.min(num_units);
+                    let util = max_chunks as f64 / (folds * num_units) as f64;
+                    (folds, active, util, pos)
+                }
+            };
 
         // Odometer: temporal loops in directive order, the spatial fold (if
         // any) at the first spatial map's position.
@@ -210,7 +211,9 @@ impl LevelCtx {
                     && d.is_filter_window()
                     && coupling.has_window_on_partner(d)
                 {
-                    let axis = d.window_partner().expect("filter dims have partners");
+                    let Some(axis) = d.window_partner() else {
+                        continue;
+                    };
                     (self.views.fp_factor(coupling, kind, axis), v.step)
                 } else if coupling.is_coupled(kind, d) {
                     (v.chunk, v.step)
@@ -246,7 +249,9 @@ fn classify_output_spatial(
             continue;
         }
         if d.is_input_spatial() && coupling.has_window_on(d) {
-            let partner = d.window_partner().expect("Y/X have partners");
+            let Some(partner) = d.window_partner() else {
+                continue;
+            };
             let pv = views.view(partner);
             let shift = v.step as i64 - if pv.spatial { pv.step as i64 } else { 0 };
             if shift != 0 {

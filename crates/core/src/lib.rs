@@ -27,6 +27,11 @@
 //! # }
 //! ```
 
+// Library code is panic-free by policy: fallible paths return
+// `AnalysisError` instead of unwrapping. Tests are exempt (the attribute
+// is compiled out under `cfg(test)`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod analysis;
 pub mod counts;
 pub mod engine;

@@ -65,6 +65,52 @@ pub struct LayerReport {
 }
 
 impl LayerReport {
+    /// Finite-value gate: reject any NaN or infinite scalar in the report
+    /// before it can reach Pareto/best-point comparisons, where NaN fails
+    /// every strict ordering and would silently corrupt the front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NonFinite`] naming the first offending
+    /// field.
+    ///
+    /// [`AnalysisError::NonFinite`]: crate::AnalysisError::NonFinite
+    pub fn validate(&self) -> Result<(), crate::AnalysisError> {
+        let scalars: [(&'static str, f64); 6] = [
+            ("runtime", self.runtime),
+            ("macs_dense", self.macs_dense),
+            ("macs_effective", self.macs_effective),
+            ("peak_bw", self.peak_bw),
+            ("avg_bw", self.avg_bw),
+            ("utilization", self.utilization),
+        ];
+        for (field, v) in scalars {
+            if !v.is_finite() {
+                return Err(crate::AnalysisError::NonFinite { field });
+            }
+        }
+        if !self.counts.macs.is_finite() {
+            return Err(crate::AnalysisError::NonFinite {
+                field: "counts.macs",
+            });
+        }
+        let tensors: [(&'static str, &PerTensor); 7] = [
+            ("counts.l1_read", &self.counts.l1_read),
+            ("counts.l1_write", &self.counts.l1_write),
+            ("counts.l2_read", &self.counts.l2_read),
+            ("counts.l2_write", &self.counts.l2_write),
+            ("counts.noc", &self.counts.noc),
+            ("counts.dram_read", &self.counts.dram_read),
+            ("counts.dram_write", &self.counts.dram_write),
+        ];
+        for (field, t) in tensors {
+            if !t.0.iter().all(|v| v.is_finite()) {
+                return Err(crate::AnalysisError::NonFinite { field });
+            }
+        }
+        Ok(())
+    }
+
     /// Total energy under an energy table.
     pub fn energy(&self, e: &EnergyModel) -> f64 {
         self.counts.energy(e)
@@ -324,6 +370,19 @@ mod tests {
         assert!(r.edp(&e) > 0.0);
         let acc = Accelerator::builder(4).build();
         assert!(r.buffers_fit(&acc));
+    }
+
+    #[test]
+    fn validate_accepts_finite_and_names_nonfinite_fields() {
+        let mut r = dummy_report(1000.0, 4000.0);
+        assert!(r.validate().is_ok());
+        r.runtime = f64::NAN;
+        let err = r.validate().unwrap_err();
+        assert!(err.to_string().contains("runtime"), "{err}");
+        r.runtime = 1000.0;
+        r.counts.l2_read[TensorKind::Weight] = f64::INFINITY;
+        let err = r.validate().unwrap_err();
+        assert!(err.to_string().contains("l2_read"), "{err}");
     }
 
     #[test]

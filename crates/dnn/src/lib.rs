@@ -21,6 +21,10 @@
 //! assert_eq!(conv2.total_macs(), 64 * 64 * 224 * 224 * 9);
 //! ```
 
+// Library code is panic-free by policy: fallible paths return typed errors
+// instead of unwrapping. Tests are exempt (compiled out under `cfg(test)`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod coupling;
 pub mod dim;
 pub mod layer;

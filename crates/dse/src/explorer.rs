@@ -17,8 +17,8 @@
 //! [`maestro_core::AnalysisCache`] instead of re-running the cost model.
 
 use crate::parallel::{merge_partials, run_units};
-use crate::space::{Constraints, SweepSpace};
-use maestro_core::{AnalysisCache, LayerReport};
+use crate::space::{Constraints, SpaceError, SweepSpace};
+use maestro_core::{AnalysisCache, AnalysisError, LayerReport};
 use maestro_dnn::Layer;
 use maestro_hw::{Accelerator, AreaModel, EnergyModel, PowerModel};
 use maestro_ir::Dataflow;
@@ -52,8 +52,36 @@ pub struct DesignPoint {
     pub edp: f64,
 }
 
+impl DesignPoint {
+    /// `true` when every objective and cost scalar is finite. Non-finite
+    /// points must never reach the Pareto front or the best-point slots:
+    /// NaN fails every strict comparison and would silently corrupt both.
+    pub fn is_finite(&self) -> bool {
+        [
+            self.area_mm2,
+            self.power_mw,
+            self.runtime,
+            self.throughput,
+            self.energy,
+            self.edp,
+        ]
+        .iter()
+        .all(|v| v.is_finite())
+    }
+}
+
+/// A work unit that panicked during a sweep and was dropped from the
+/// merged result (see [`crate::parallel::merge_partials`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedUnit {
+    /// Index of the failing unit (its position in [`SweepSpace::pes`]).
+    pub unit: usize,
+    /// The panic payload, rendered as a string.
+    pub message: String,
+}
+
 /// Aggregate statistics of one exploration run (paper Figure 13(c)).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DseStats {
     /// Design points covered (including bulk-skipped ones).
     pub explored: u64,
@@ -64,6 +92,13 @@ pub struct DseStats {
     pub valid: u64,
     /// Cost-model invocations served from the memo cache.
     pub memo_hits: u64,
+    /// Design points dropped because an objective evaluated to NaN or
+    /// infinity (the finite-value gate).
+    pub nonfinite_dropped: u64,
+    /// Work units that panicked and contributed nothing to the merged
+    /// result, in unit-index order. A non-empty list means the sweep
+    /// *degraded* (its coverage is incomplete) but completed.
+    pub quarantined: Vec<QuarantinedUnit>,
     /// Wall-clock seconds.
     pub seconds: f64,
     /// Effective exploration rate (designs/second).
@@ -78,6 +113,8 @@ impl DseStats {
             evaluated: 0,
             valid: 0,
             memo_hits: 0,
+            nonfinite_dropped: 0,
+            quarantined: Vec::new(),
             seconds: 0.0,
             rate: 0.0,
         }
@@ -164,6 +201,10 @@ pub struct Explorer {
     /// `capacity / precision_bytes` against the requirement (exactly as
     /// [`Accelerator::l1_elements`] does).
     pub precision_bytes: u64,
+    /// **Test-only fault-injection hook**: when set, the work unit for this
+    /// PE count panics, exercising the quarantine path end to end. Leave
+    /// `None` in production use.
+    pub fail_unit_pes: Option<u64>,
 }
 
 impl Explorer {
@@ -178,6 +219,7 @@ impl Explorer {
             sample_cap: 4096,
             dram_pj: 100.0,
             precision_bytes: 1,
+            fail_unit_pes: None,
         }
     }
 
@@ -217,7 +259,12 @@ impl Explorer {
     }
 
     /// Explore `layer` across the hardware space × `mappings`.
-    pub fn explore(&self, layer: &Layer, mappings: &[Dataflow]) -> DseResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] when the sweep space has an empty or
+    /// zero-containing grid.
+    pub fn explore(&self, layer: &Layer, mappings: &[Dataflow]) -> Result<DseResult, SpaceError> {
         self.explore_parallel(layer, mappings, 1)
     }
 
@@ -226,30 +273,48 @@ impl Explorer {
     /// `explore` at any thread count, except the wall-clock `seconds` and
     /// `rate` fields. (The paper runs four DSEs concurrently on its
     /// workstation; this parallelizes *within* one DSE.)
+    ///
+    /// A panicking work unit does not abort the sweep: it is quarantined
+    /// (see [`DseStats::quarantined`]) and the remaining units complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] when the sweep space has an empty or
+    /// zero-containing grid.
     pub fn explore_parallel(
         &self,
         layer: &Layer,
         mappings: &[Dataflow],
         threads: usize,
-    ) -> DseResult {
+    ) -> Result<DseResult, SpaceError> {
         let t0 = Instant::now();
-        self.space.validate().expect("invalid sweep space");
+        self.space.validate()?;
         let partials = run_units(self.space.pes.len(), threads, |i| {
             self.explore_unit(self.space.pes[i], layer, mappings)
         });
         let mut result = merge_partials(partials, self.sample_cap);
         finish_stats(&mut result.stats, t0);
-        result
+        Ok(result)
     }
 
     /// One work unit: the full mapping × bandwidth × capacity sweep at a
     /// single PE count.
     fn explore_unit(&self, pes: u64, layer: &Layer, mappings: &[Dataflow]) -> Partial {
+        if self.fail_unit_pes == Some(pes) {
+            panic!("injected failure for PE count {pes}");
+        }
         let mut part = Partial::new();
         let caps_per_eval = (self.space.l1_bytes.len() * self.space.l2_bytes.len()) as u64;
-        let min_l1 = *self.space.l1_bytes.iter().min().expect("non-empty l1 grid");
-        let min_l2 = *self.space.l2_bytes.iter().min().expect("non-empty l2 grid");
-        let min_bw = *self.space.noc_bw.iter().min().expect("non-empty bw grid");
+        // The space is validated at the `explore*` boundary; an empty grid
+        // here would mean a caller bypassed it, so degrade to an empty
+        // partial instead of panicking.
+        let (Some(&min_l1), Some(&min_l2), Some(&min_bw)) = (
+            self.space.l1_bytes.iter().min(),
+            self.space.l2_bytes.iter().min(),
+            self.space.noc_bw.iter().min(),
+        ) else {
+            return part;
+        };
 
         // Bulk skip: if even the smallest configuration at this PE count
         // blows the budget, the whole subtree is invalid.
@@ -269,8 +334,13 @@ impl Explorer {
                 // runs at the reference capacities and is expanded below.
                 let acc = self.accelerator(pes, bw, None);
                 let tag = (m_idx * self.space.noc_bw.len() + b_idx) as u64;
-                let Ok(report) = memo.analyze(layer, mapping, &acc, tag) else {
-                    continue;
+                let report = match memo.analyze(layer, mapping, &acc, tag) {
+                    Ok(r) => r,
+                    Err(AnalysisError::NonFinite { .. }) => {
+                        part.stats.nonfinite_dropped += caps_per_eval;
+                        continue;
+                    }
+                    Err(_) => continue,
                 };
                 self.expand_capacities(pes, bw, mapping.name(), &report, &mut part);
             }
@@ -305,7 +375,6 @@ impl Explorer {
                 if area > self.constraints.max_area_mm2 || power > self.constraints.max_power_mw {
                     continue;
                 }
-                part.stats.valid += 1;
                 let energy = self.placed_energy(report, l1, l2);
                 let point = DesignPoint {
                     pes,
@@ -320,6 +389,13 @@ impl Explorer {
                     energy,
                     edp: energy * report.runtime,
                 };
+                // Finite-value gate: drop-and-count rather than let a NaN
+                // objective corrupt the front or the best slots.
+                if !point.is_finite() {
+                    part.stats.nonfinite_dropped += 1;
+                    continue;
+                }
+                part.stats.valid += 1;
                 update_best(&mut part.best_throughput, &point, |p| -p.throughput);
                 update_best(&mut part.best_energy, &point, |p| p.energy);
                 update_best(&mut part.best_edp, &point, |p| p.edp);
@@ -344,14 +420,15 @@ fn finish_stats(stats: &mut DseStats, t0: Instant) {
 
 /// Replace `slot` when `key(p)` is strictly smaller — on ties the earlier
 /// point wins, which keeps the parallel merge identical to a sequential
-/// sweep.
+/// sweep. Comparison is `total_cmp`, so a NaN key (which sorts above every
+/// finite value) can never displace a finite incumbent.
 pub(crate) fn update_best(
     slot: &mut Option<DesignPoint>,
     p: &DesignPoint,
     key: impl Fn(&DesignPoint) -> f64,
 ) {
     let better = match slot {
-        Some(cur) => key(p) < key(cur),
+        Some(cur) => key(p).total_cmp(&key(cur)) == std::cmp::Ordering::Less,
         None => true,
     };
     if better {
@@ -363,7 +440,15 @@ pub(crate) fn update_best(
 /// points. A point that ties an existing front member on both axes is
 /// dropped (first occurrence wins), so folding points in a fixed order
 /// yields a deterministic front.
+///
+/// Points with a NaN or infinite objective are rejected outright: NaN
+/// fails every `<=` comparison, so without this gate such a point would
+/// look "non-dominated" and enter the front while never evicting anything
+/// honestly.
 pub fn insert_pareto(front: &mut Vec<DesignPoint>, p: &DesignPoint) {
+    if !(p.runtime.is_finite() && p.energy.is_finite()) {
+        return;
+    }
     if front
         .iter()
         .any(|q| q.runtime <= p.runtime && q.energy <= p.energy)
@@ -389,7 +474,9 @@ mod tests {
     #[test]
     fn exploration_finds_valid_points() {
         let e = Explorer::new(SweepSpace::tiny());
-        let r = e.explore(&layer(), &variants::variants(Style::KCP));
+        let r = e
+            .explore(&layer(), &variants::variants(Style::KCP))
+            .expect("valid space");
         assert!(r.stats.valid > 0, "{:?}", r.stats);
         assert!(r.stats.explored >= r.stats.valid);
         assert!(r.best_throughput.is_some());
@@ -400,7 +487,9 @@ mod tests {
     #[test]
     fn pareto_front_is_nondominated() {
         let e = Explorer::new(SweepSpace::tiny());
-        let r = e.explore(&layer(), &variants::variants(Style::KCP));
+        let r = e
+            .explore(&layer(), &variants::variants(Style::KCP))
+            .expect("valid space");
         for a in &r.pareto {
             for b in &r.pareto {
                 if std::ptr::eq(a, b) {
@@ -418,7 +507,9 @@ mod tests {
     #[test]
     fn constraints_bound_every_valid_point() {
         let e = Explorer::new(SweepSpace::tiny());
-        let r = e.explore(&layer(), &variants::variants(Style::YRP));
+        let r = e
+            .explore(&layer(), &variants::variants(Style::YRP))
+            .expect("valid space");
         for p in &r.sample {
             assert!(p.area_mm2 <= e.constraints.max_area_mm2);
             assert!(p.power_mw <= e.constraints.max_power_mw);
@@ -436,15 +527,17 @@ mod tests {
         };
         let maps = variants::variants(Style::KCP);
         let l = layer();
-        let a = loose.explore(&l, &maps);
-        let b = tight.explore(&l, &maps);
+        let a = loose.explore(&l, &maps).expect("valid space");
+        let b = tight.explore(&l, &maps).expect("valid space");
         assert!(b.stats.valid <= a.stats.valid);
     }
 
     #[test]
     fn throughput_and_energy_optima_differ_in_general() {
         let e = Explorer::new(SweepSpace::tiny());
-        let r = e.explore(&layer(), &variants::variants(Style::KCP));
+        let r = e
+            .explore(&layer(), &variants::variants(Style::KCP))
+            .expect("valid space");
         let t = r.best_throughput.unwrap();
         let en = r.best_energy.unwrap();
         assert!(t.throughput >= en.throughput);
@@ -476,11 +569,11 @@ mod tests {
         };
         let mut e = Explorer::new(space);
         e.precision_bytes = 1;
-        let one_byte = e.explore(&l, &maps[0..1]);
+        let one_byte = e.explore(&l, &maps[0..1]).expect("valid space");
         assert!(one_byte.stats.valid > 0, "{:?}", one_byte.stats);
 
         e.precision_bytes = 2;
-        let two_byte = e.explore(&l, &maps[0..1]);
+        let two_byte = e.explore(&l, &maps[0..1]).expect("valid space");
         assert_eq!(
             two_byte.stats.valid, 0,
             "an L1 of {} bytes cannot hold {} two-byte elements",
@@ -503,19 +596,26 @@ mod tests {
         };
         let mut reversed = sorted.clone();
         reversed.l1_bytes.reverse();
-        let a = Explorer::new(sorted).explore(&l, &maps);
-        let b = Explorer::new(reversed).explore(&l, &maps);
+        let a = Explorer::new(sorted)
+            .explore(&l, &maps)
+            .expect("valid space");
+        let b = Explorer::new(reversed)
+            .explore(&l, &maps)
+            .expect("valid space");
         assert!(a.stats.valid > 0);
         assert_eq!(a.stats.valid, b.stats.valid);
         assert_eq!(a.best_throughput, b.best_throughput);
     }
 
     #[test]
-    #[should_panic(expected = "sweep grid `noc_bw` is empty")]
-    fn empty_grid_panics_with_clear_message() {
+    fn empty_grid_is_a_typed_error_not_a_panic() {
         let mut space = SweepSpace::tiny();
         space.noc_bw.clear();
-        let _ = Explorer::new(space).explore(&layer(), &variants::variants(Style::KCP));
+        let err = Explorer::new(space)
+            .explore(&layer(), &variants::variants(Style::KCP))
+            .unwrap_err();
+        assert_eq!(err, crate::space::SpaceError::EmptyGrid { grid: "noc_bw" });
+        assert!(err.to_string().contains("noc_bw"), "{err}");
     }
 }
 
@@ -525,7 +625,16 @@ impl Explorer {
     /// activity counts summed across layers, buffer requirements taken as
     /// worst-case. Energy at each placed capacity sums the per-layer
     /// placed energies (so per-layer working sets drive DRAM misses).
-    pub fn explore_model(&self, model: &maestro_dnn::Model, mappings: &[Dataflow]) -> DseResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] when the sweep space has an empty or
+    /// zero-containing grid.
+    pub fn explore_model(
+        &self,
+        model: &maestro_dnn::Model,
+        mappings: &[Dataflow],
+    ) -> Result<DseResult, SpaceError> {
         self.explore_model_parallel(model, mappings, 1)
     }
 
@@ -534,25 +643,36 @@ impl Explorer {
     /// sequential result except `seconds`/`rate`. Repeated layer shapes
     /// (VGG/ResNet blocks) hit the per-unit memo cache instead of
     /// re-running the cost model; `stats.memo_hits` counts those.
+    ///
+    /// A panicking work unit does not abort the sweep: it is quarantined
+    /// (see [`DseStats::quarantined`]) and the remaining units complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] when the sweep space has an empty or
+    /// zero-containing grid.
     pub fn explore_model_parallel(
         &self,
         model: &maestro_dnn::Model,
         mappings: &[Dataflow],
         threads: usize,
-    ) -> DseResult {
+    ) -> Result<DseResult, SpaceError> {
         let t0 = Instant::now();
-        self.space.validate().expect("invalid sweep space");
+        self.space.validate()?;
         let partials = run_units(self.space.pes.len(), threads, |i| {
             self.model_unit(self.space.pes[i], model, mappings)
         });
         let mut result = merge_partials(partials, self.sample_cap);
         finish_stats(&mut result.stats, t0);
-        result
+        Ok(result)
     }
 
     /// One whole-model work unit: the bandwidth × capacity sweep at a
     /// single PE count, auto-tuning the mapping per layer.
     fn model_unit(&self, pes: u64, model: &maestro_dnn::Model, mappings: &[Dataflow]) -> Partial {
+        if self.fail_unit_pes == Some(pes) {
+            panic!("injected failure for PE count {pes}");
+        }
         let mut part = Partial::new();
         let caps_per_eval = (self.space.l1_bytes.len() * self.space.l2_bytes.len()) as u64;
         let mut memo = AnalysisCache::new();
@@ -605,7 +725,6 @@ impl Explorer {
                     {
                         continue;
                     }
-                    part.stats.valid += 1;
                     let energy: f64 = reports.iter().map(|r| self.placed_energy(r, l1, l2)).sum();
                     let point = DesignPoint {
                         pes,
@@ -620,6 +739,11 @@ impl Explorer {
                         energy,
                         edp: energy * runtime,
                     };
+                    if !point.is_finite() {
+                        part.stats.nonfinite_dropped += 1;
+                        continue;
+                    }
+                    part.stats.valid += 1;
                     update_best(&mut part.best_throughput, &point, |p| -p.throughput);
                     update_best(&mut part.best_energy, &point, |p| p.energy);
                     update_best(&mut part.best_edp, &point, |p| p.edp);
@@ -649,7 +773,7 @@ mod model_tests {
         let e = Explorer::new(SweepSpace::tiny());
         let model = zoo::alexnet(1);
         let maps = variants::variants(Style::KCP);
-        let r = e.explore_model(&model, &maps);
+        let r = e.explore_model(&model, &maps).expect("valid space");
         assert!(r.stats.valid > 0);
         let t = r.best_throughput.expect("some valid design");
         assert!(t.runtime > 0.0);
@@ -663,7 +787,7 @@ mod model_tests {
         let e = Explorer::new(SweepSpace::tiny());
         let model = zoo::vgg16(1);
         let maps = variants::variants(Style::KCP);
-        let r = e.explore_model(&model, &maps);
+        let r = e.explore_model(&model, &maps).expect("valid space");
         assert!(r.stats.memo_hits > 0, "{:?}", r.stats);
         // Hits + misses cannot exceed one lookup per
         // (layer, mapping, bw, pes) combination (fewer when a hardware
@@ -678,8 +802,8 @@ mod model_tests {
         let model = zoo::vgg16(1);
         let layer = model.layer("CONV5").expect("zoo layer");
         let maps = variants::variants(Style::KCP);
-        let serial = e.explore(layer, &maps);
-        let parallel = e.explore_parallel(layer, &maps, 3);
+        let serial = e.explore(layer, &maps).expect("valid space");
+        let parallel = e.explore_parallel(layer, &maps, 3).expect("valid space");
         assert_eq!(serial.stats.valid, parallel.stats.valid);
         let (s, p) = (
             serial.best_throughput.expect("serial optimum"),

@@ -15,9 +15,17 @@
 //!
 //! let layer = Layer::new("c", Operator::conv2d(), LayerDims::square(1, 32, 32, 34, 3));
 //! let explorer = Explorer::new(SweepSpace::tiny());
-//! let result = explorer.explore(&layer, &variants::variants(Style::KCP));
+//! let result = explorer
+//!     .explore(&layer, &variants::variants(Style::KCP))
+//!     .expect("valid sweep space");
 //! assert!(result.stats.valid > 0);
+//! assert!(result.stats.quarantined.is_empty());
 //! ```
+
+// Library code is panic-free by policy: fallible paths return typed errors
+// instead of unwrapping, and panicking work units are quarantined rather
+// than fatal. Tests are exempt (compiled out under `cfg(test)`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod explorer;
 pub mod parallel;
@@ -25,7 +33,9 @@ pub mod space;
 pub mod tuner;
 pub mod variants;
 
-pub use explorer::{insert_pareto, DesignPoint, DseResult, DseStats, Explorer, Partial};
-pub use parallel::{merge_partials, resolve_threads, run_units};
-pub use space::{Constraints, SweepSpace};
+pub use explorer::{
+    insert_pareto, DesignPoint, DseResult, DseStats, Explorer, Partial, QuarantinedUnit,
+};
+pub use parallel::{merge_partials, resolve_threads, run_units, UnitOutcome};
+pub use space::{Constraints, SpaceError, SweepSpace};
 pub use tuner::{tune_layer, tune_model, Objective, TunedLayer, TunedModel};

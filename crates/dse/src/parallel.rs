@@ -25,9 +25,36 @@
 //!   cap. The rule is applied per-unit on the sequential path too, which
 //!   is what makes the subsample mergeable at all.
 //! * **Counters** — sums, which commute.
+//!
+//! # Fault isolation
+//!
+//! Each work unit runs under [`std::panic::catch_unwind`], on the inline
+//! path and on the workers alike. A panicking unit yields an `Err` at its
+//! fixed index instead of aborting the sweep; [`merge_partials`] records it
+//! in [`DseStats::quarantined`] (unit index + panic payload) and folds the
+//! remaining units unchanged. Because the failed unit contributes nothing
+//! at the same position on every path, results stay bit-identical at any
+//! thread count even in the presence of failures.
 
-use crate::explorer::{insert_pareto, update_best, DseResult, DseStats, Partial};
+use crate::explorer::{insert_pareto, update_best, DseResult, DseStats, Partial, QuarantinedUnit};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// What one work unit produced: its [`Partial`], or the panic payload
+/// (rendered as a string) if it panicked.
+pub type UnitOutcome = Result<Partial, String>;
+
+/// Render a panic payload as a string (`&str` and `String` payloads pass
+/// through; anything else gets a placeholder).
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Resolve a thread-count request: `0` means "one per available core".
 pub fn resolve_threads(requested: usize) -> usize {
@@ -41,20 +68,28 @@ pub fn resolve_threads(requested: usize) -> usize {
 }
 
 /// Run `units` work units on up to `threads` scoped worker threads
-/// (`0` = auto, one per core) and return the partials in unit-index order.
+/// (`0` = auto, one per core) and return their outcomes in unit-index
+/// order.
 ///
 /// Units are claimed dynamically from an atomic counter, so uneven unit
 /// costs (bulk-skipped PE counts finish instantly) still load-balance.
-pub fn run_units<F>(units: usize, threads: usize, unit: F) -> Vec<Partial>
+///
+/// A panicking unit becomes an `Err` at its index — on the sequential and
+/// parallel paths alike — so a single poisoned configuration degrades that
+/// slice instead of aborting the whole sweep.
+pub fn run_units<F>(units: usize, threads: usize, unit: F) -> Vec<UnitOutcome>
 where
     F: Fn(usize) -> Partial + Sync,
 {
+    let run_one = |i: usize| -> UnitOutcome {
+        catch_unwind(AssertUnwindSafe(|| unit(i))).map_err(payload_to_string)
+    };
     let threads = resolve_threads(threads).clamp(1, units.max(1));
     if threads == 1 {
-        return (0..units).map(unit).collect();
+        return (0..units).map(run_one).collect();
     }
     let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, Partial)>> = std::thread::scope(|scope| {
+    let per_worker: Vec<Vec<(usize, UnitOutcome)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -64,32 +99,36 @@ where
                         if i >= units {
                             break;
                         }
-                        mine.push((i, unit(i)));
+                        mine.push((i, run_one(i)));
                     }
                     mine
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("DSE worker panicked"))
-            .collect()
+        handles.into_iter().filter_map(|h| h.join().ok()).collect()
     });
-    let mut slots: Vec<Option<Partial>> = (0..units).map(|_| None).collect();
-    for (i, partial) in per_worker.into_iter().flatten() {
+    let mut slots: Vec<Option<UnitOutcome>> = (0..units).map(|_| None).collect();
+    for (i, outcome) in per_worker.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "unit {i} claimed twice");
-        slots[i] = Some(partial);
+        slots[i] = Some(outcome);
     }
+    // Unit panics are caught inside the worker loop, so a worker thread
+    // dying (join error) should be impossible — but if it happens, its
+    // claimed units are quarantined rather than crashing the merge.
     slots
         .into_iter()
-        .map(|s| s.expect("every unit claimed exactly once"))
+        .map(|s| s.unwrap_or_else(|| Err("work unit result lost (worker thread died)".to_string())))
         .collect()
 }
 
-/// Fold unit partials — **in the given order** — into one result.
+/// Fold unit outcomes — **in the given order** — into one result.
+///
+/// Failed units are quarantined into [`DseStats::quarantined`] (in
+/// unit-index order) and contribute nothing else, which preserves the
+/// bit-identical-at-any-thread-count guarantee even when units fail.
 ///
 /// `seconds`/`rate` are left at zero; the caller stamps wall-clock time.
-pub fn merge_partials(partials: Vec<Partial>, sample_cap: usize) -> DseResult {
+pub fn merge_partials(outcomes: Vec<UnitOutcome>, sample_cap: usize) -> DseResult {
     let mut out = DseResult {
         pareto: Vec::new(),
         best_throughput: None,
@@ -98,11 +137,21 @@ pub fn merge_partials(partials: Vec<Partial>, sample_cap: usize) -> DseResult {
         sample: Vec::new(),
         stats: DseStats::empty(),
     };
-    for part in partials {
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        let part = match outcome {
+            Ok(p) => p,
+            Err(message) => {
+                out.stats
+                    .quarantined
+                    .push(QuarantinedUnit { unit: i, message });
+                continue;
+            }
+        };
         out.stats.explored += part.stats.explored;
         out.stats.evaluated += part.stats.evaluated;
         out.stats.valid += part.stats.valid;
         out.stats.memo_hits += part.stats.memo_hits;
+        out.stats.nonfinite_dropped += part.stats.nonfinite_dropped;
         for p in &part.pareto {
             insert_pareto(&mut out.pareto, p);
         }
@@ -147,14 +196,23 @@ mod tests {
         p
     }
 
+    fn explored(outcomes: &[UnitOutcome]) -> Vec<u64> {
+        outcomes
+            .iter()
+            .map(|o| o.as_ref().expect("unit ok").stats.explored)
+            .collect()
+    }
+
     #[test]
     fn run_units_is_index_ordered_at_any_thread_count() {
         let sequential = run_units(7, 1, unit);
         for threads in [2, 3, 8, 64] {
             let parallel = run_units(7, threads, unit);
-            let seq: Vec<u64> = sequential.iter().map(|p| p.stats.explored).collect();
-            let par: Vec<u64> = parallel.iter().map(|p| p.stats.explored).collect();
-            assert_eq!(seq, par, "threads={threads}");
+            assert_eq!(
+                explored(&sequential),
+                explored(&parallel),
+                "threads={threads}"
+            );
         }
     }
 
@@ -171,5 +229,39 @@ mod tests {
         assert_eq!(merged.stats.explored, 100 + 101 + 102 + 103);
         assert_eq!(merged.stats.valid, 1 + 2 + 3);
         assert!(merged.pareto.is_empty());
+        assert!(merged.stats.quarantined.is_empty());
+    }
+
+    fn faulty(i: usize) -> Partial {
+        if i == 2 {
+            panic!("unit {i} is poisoned");
+        }
+        unit(i)
+    }
+
+    #[test]
+    fn panicking_unit_is_quarantined_not_fatal() {
+        for threads in [1, 2, 8, 0] {
+            let outcomes = run_units(5, threads, faulty);
+            assert_eq!(outcomes.len(), 5);
+            assert!(outcomes[2].is_err(), "threads={threads}");
+            let merged = merge_partials(outcomes, 16);
+            assert_eq!(merged.stats.quarantined.len(), 1);
+            let q = &merged.stats.quarantined[0];
+            assert_eq!(q.unit, 2);
+            assert!(q.message.contains("unit 2 is poisoned"), "{}", q.message);
+            // The surviving units' counters are all present.
+            assert_eq!(merged.stats.explored, 100 + 101 + 103 + 104);
+            assert_eq!(merged.stats.valid, 1 + 3 + 4);
+        }
+    }
+
+    #[test]
+    fn quarantine_preserves_merge_determinism() {
+        let reference = merge_partials(run_units(5, 1, faulty), 16);
+        for threads in [2, 8, 0] {
+            let merged = merge_partials(run_units(5, threads, faulty), 16);
+            assert_eq!(merged.stats, reference.stats, "threads={threads}");
+        }
     }
 }

@@ -1,6 +1,33 @@
 //! The hardware design space and its constraints.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structurally invalid [`SweepSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceError {
+    /// The named grid has no entries.
+    EmptyGrid {
+        /// The offending grid (`pes`, `noc_bw`, `l1_bytes` or `l2_bytes`).
+        grid: &'static str,
+    },
+    /// The named grid contains a zero entry.
+    ZeroEntry {
+        /// The offending grid (`pes`, `noc_bw`, `l1_bytes` or `l2_bytes`).
+        grid: &'static str,
+    },
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::EmptyGrid { grid } => write!(f, "sweep grid `{grid}` is empty"),
+            SpaceError::ZeroEntry { grid } => write!(f, "sweep grid `{grid}` contains 0"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
 
 /// Area/power budget for valid designs (the paper uses Eyeriss' reported
 /// envelope: 16 mm², 450 mW).
@@ -78,8 +105,8 @@ impl SweepSpace {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first offending grid.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`SpaceError`] naming the first offending grid.
+    pub fn validate(&self) -> Result<(), SpaceError> {
         for (name, grid) in [
             ("pes", &self.pes),
             ("noc_bw", &self.noc_bw),
@@ -87,10 +114,10 @@ impl SweepSpace {
             ("l2_bytes", &self.l2_bytes),
         ] {
             if grid.is_empty() {
-                return Err(format!("sweep grid `{name}` is empty"));
+                return Err(SpaceError::EmptyGrid { grid: name });
             }
             if grid.contains(&0) {
-                return Err(format!("sweep grid `{name}` contains 0"));
+                return Err(SpaceError::ZeroEntry { grid: name });
             }
         }
         Ok(())
@@ -133,10 +160,14 @@ mod tests {
         assert!(SweepSpace::standard().validate().is_ok());
         let mut s = SweepSpace::tiny();
         s.l1_bytes.clear();
-        assert!(s.validate().unwrap_err().contains("l1_bytes"));
+        let err = s.validate().unwrap_err();
+        assert_eq!(err, SpaceError::EmptyGrid { grid: "l1_bytes" });
+        assert!(err.to_string().contains("l1_bytes"));
         let mut s = SweepSpace::tiny();
         s.noc_bw.push(0);
-        assert!(s.validate().unwrap_err().contains("noc_bw"));
+        let err = s.validate().unwrap_err();
+        assert_eq!(err, SpaceError::ZeroEntry { grid: "noc_bw" });
+        assert!(err.to_string().contains("noc_bw"));
         // Unsorted grids are allowed.
         let mut s = SweepSpace::tiny();
         s.l2_bytes.reverse();

@@ -52,10 +52,12 @@ fn layer_explore_is_thread_count_invariant_on_tiny_space() {
     let e = Explorer::new(SweepSpace::tiny());
     let layer = conv_layer();
     let maps = variants::variants(Style::KCP);
-    let seq = canonical(e.explore(&layer, &maps));
+    let seq = canonical(e.explore(&layer, &maps).expect("valid space"));
     assert!(seq.stats.valid > 0, "{:?}", seq.stats);
     for threads in [1, 2, 8] {
-        let par = e.explore_parallel(&layer, &maps, threads);
+        let par = e
+            .explore_parallel(&layer, &maps, threads)
+            .expect("valid space");
         assert_identical(&seq, par, &format!("tiny space, {threads} threads"));
     }
 }
@@ -65,14 +67,16 @@ fn layer_explore_is_thread_count_invariant_on_trimmed_standard_space() {
     let e = Explorer::new(trimmed_standard());
     let layer = conv_layer();
     let maps = variants::variants(Style::YRP);
-    let seq = canonical(e.explore(&layer, &maps));
+    let seq = canonical(e.explore(&layer, &maps).expect("valid space"));
     assert!(seq.stats.valid > 0, "{:?}", seq.stats);
     assert!(
         !seq.sample.is_empty(),
         "space too small to exercise sampling"
     );
     for threads in [1, 2, 8] {
-        let par = e.explore_parallel(&layer, &maps, threads);
+        let par = e
+            .explore_parallel(&layer, &maps, threads)
+            .expect("valid space");
         assert_identical(&seq, par, &format!("trimmed standard, {threads} threads"));
     }
 }
@@ -82,11 +86,77 @@ fn model_explore_is_thread_count_invariant() {
     let e = Explorer::new(SweepSpace::tiny());
     let model = zoo::alexnet(1);
     let maps = variants::variants(Style::KCP);
-    let seq = canonical(e.explore_model(&model, &maps));
+    let seq = canonical(e.explore_model(&model, &maps).expect("valid space"));
     assert!(seq.stats.valid > 0, "{:?}", seq.stats);
     for threads in [1, 2, 8] {
-        let par = e.explore_model_parallel(&model, &maps, threads);
+        let par = e
+            .explore_model_parallel(&model, &maps, threads)
+            .expect("valid space");
         assert_identical(&seq, par, &format!("alexnet, {threads} threads"));
+    }
+}
+
+/// Fault isolation: a panicking work unit (injected via the test hook)
+/// must not abort the sweep. The run completes, the failed unit is
+/// reported in `stats.quarantined`, and the merged result stays
+/// bit-identical at 1/2/8/auto threads.
+#[test]
+fn quarantined_unit_degrades_without_aborting_and_stays_deterministic() {
+    let mut e = Explorer::new(SweepSpace::tiny());
+    let poisoned_pes = e.space.pes[1];
+    e.fail_unit_pes = Some(poisoned_pes);
+    let layer = conv_layer();
+    let maps = variants::variants(Style::KCP);
+
+    let seq = canonical(e.explore(&layer, &maps).expect("valid space"));
+    assert_eq!(
+        seq.stats.quarantined.len(),
+        1,
+        "{:?}",
+        seq.stats.quarantined
+    );
+    assert_eq!(seq.stats.quarantined[0].unit, 1);
+    assert!(
+        seq.stats.quarantined[0]
+            .message
+            .contains(&format!("injected failure for PE count {poisoned_pes}")),
+        "{}",
+        seq.stats.quarantined[0].message
+    );
+    // The surviving units still produce results.
+    assert!(seq.stats.valid > 0, "{:?}", seq.stats);
+
+    for threads in [1, 2, 8, 0] {
+        let par = e
+            .explore_parallel(&layer, &maps, threads)
+            .expect("valid space");
+        assert_identical(&seq, par, &format!("quarantine, {threads} threads"));
+    }
+
+    // The degraded run found strictly fewer (or equal) points than a
+    // healthy one, and a healthy run quarantines nothing.
+    let mut healthy = e.clone();
+    healthy.fail_unit_pes = None;
+    let full = canonical(healthy.explore(&layer, &maps).expect("valid space"));
+    assert!(full.stats.quarantined.is_empty());
+    assert!(seq.stats.valid <= full.stats.valid);
+    assert!(seq.stats.explored < full.stats.explored);
+}
+
+#[test]
+fn model_explore_quarantines_panicking_units_too() {
+    let mut e = Explorer::new(SweepSpace::tiny());
+    e.fail_unit_pes = Some(e.space.pes[0]);
+    let model = zoo::alexnet(1);
+    let maps = variants::variants(Style::KCP);
+    let seq = canonical(e.explore_model(&model, &maps).expect("valid space"));
+    assert_eq!(seq.stats.quarantined.len(), 1);
+    assert_eq!(seq.stats.quarantined[0].unit, 0);
+    for threads in [2, 8] {
+        let par = e
+            .explore_model_parallel(&model, &maps, threads)
+            .expect("valid space");
+        assert_identical(&seq, par, &format!("model quarantine, {threads} threads"));
     }
 }
 
@@ -95,8 +165,8 @@ fn auto_thread_count_gives_the_same_result() {
     let e = Explorer::new(SweepSpace::tiny());
     let layer = conv_layer();
     let maps = variants::variants(Style::KCP);
-    let seq = canonical(e.explore(&layer, &maps));
+    let seq = canonical(e.explore(&layer, &maps).expect("valid space"));
     // threads == 0 resolves to the host's core count.
-    let auto = e.explore_parallel(&layer, &maps, 0);
+    let auto = e.explore_parallel(&layer, &maps, 0).expect("valid space");
     assert_identical(&seq, auto, "auto thread count");
 }

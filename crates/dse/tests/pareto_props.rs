@@ -113,6 +113,50 @@ proptest! {
     }
 }
 
+/// A point with raw float coordinates, for non-finite inputs.
+fn fpoint(runtime: f64, energy: f64) -> DesignPoint {
+    DesignPoint {
+        runtime,
+        energy,
+        ..point(0, 0)
+    }
+}
+
+/// Non-finite objectives must neither enter the front nor evict finite
+/// incumbents (regression test for the NaN-safety gate: a NaN compares
+/// "not dominated" against everything, so an ungated fold would both
+/// admit it and let it survive all later dominance checks).
+#[test]
+fn non_finite_points_never_enter_the_front() {
+    let mut front = Vec::new();
+    for bad in [
+        fpoint(f64::NAN, 1.0),
+        fpoint(1.0, f64::NAN),
+        fpoint(f64::NAN, f64::NAN),
+        fpoint(f64::INFINITY, 1.0),
+        fpoint(1.0, f64::NEG_INFINITY),
+    ] {
+        insert_pareto(&mut front, &bad);
+        assert!(front.is_empty(), "{bad:?} entered an empty front");
+    }
+
+    // Establish a finite front, then attack it with NaN points.
+    insert_pareto(&mut front, &fpoint(2.0, 3.0));
+    insert_pareto(&mut front, &fpoint(3.0, 2.0));
+    assert_eq!(front.len(), 2);
+    insert_pareto(&mut front, &fpoint(f64::NAN, 0.0));
+    insert_pareto(&mut front, &fpoint(0.0, f64::NAN));
+    assert_eq!(front.len(), 2, "NaN point evicted a finite incumbent");
+    assert!(front
+        .iter()
+        .all(|p| p.runtime.is_finite() && p.energy.is_finite()));
+
+    // A finite dominating point still works after the NaN attacks.
+    insert_pareto(&mut front, &fpoint(1.0, 1.0));
+    assert_eq!(front.len(), 1);
+    assert_eq!((front[0].runtime, front[0].energy), (1.0, 1.0));
+}
+
 #[test]
 fn duplicate_points_keep_first_occurrence_only() {
     let front = fold(&[(2, 2), (2, 2), (2, 2)]);

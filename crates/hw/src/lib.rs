@@ -27,6 +27,10 @@
 //! assert_eq!(acc.peak_macs_per_cycle(), 256);
 //! ```
 
+// Library code is panic-free by policy: fallible paths return typed errors
+// instead of unwrapping. Tests are exempt (compiled out under `cfg(test)`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod area;
 pub mod config;
 pub mod energy;

@@ -34,6 +34,10 @@
 //! assert_eq!(df, reparsed);
 //! ```
 
+// Library code is panic-free by policy: fallible paths return typed errors
+// instead of unwrapping. Tests are exempt (compiled out under `cfg(test)`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod dataflow;
 pub mod directive;
 pub mod loopnest;

@@ -19,18 +19,62 @@ use crate::directive::{Directive, SizeExpr};
 use maestro_dnn::Dim;
 use std::fmt;
 
-/// A parse failure, with a byte offset into the source and a message.
+/// A parse failure, with source position information and a message.
+///
+/// Errors returned by [`parse_dataflow`] carry line/column coordinates and
+/// the offending source line; `Display` renders a caret snippet pointing at
+/// the error. The raw byte `offset` is kept for compatibility.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset where the error was detected.
     pub offset: usize,
+    /// 1-based line number of the error (0 when no source was attached).
+    pub line: usize,
+    /// 1-based byte column within the line (0 when no source was attached).
+    pub column: usize,
+    /// The offending source line (empty when no source was attached).
+    pub snippet: String,
     /// Human-readable description of what went wrong.
     pub message: String,
 }
 
+impl ParseError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            line: 0,
+            column: 0,
+            snippet: String::new(),
+            message: message.into(),
+        }
+    }
+
+    /// Attach source context: computes the 1-based line/column of `offset`
+    /// and captures the offending source line for caret rendering.
+    #[must_use]
+    pub fn with_source(mut self, src: &str) -> Self {
+        let offset = self.offset.min(src.len());
+        let line_start = src[..offset].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[offset..].find('\n').map_or(src.len(), |i| offset + i);
+        self.line = src[..offset].matches('\n').count() + 1;
+        self.column = offset - line_start + 1;
+        self.snippet = src[line_start..line_end].to_string();
+        self
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+        if self.line == 0 {
+            return write!(f, "parse error at byte {}: {}", self.offset, self.message);
+        }
+        writeln!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )?;
+        writeln!(f, "  {}", self.snippet)?;
+        write!(f, "  {}^", " ".repeat(self.column.saturating_sub(1)))
     }
 }
 
@@ -141,10 +185,9 @@ impl<'a> Lexer<'a> {
                 while end < bytes.len() && bytes[end].is_ascii_digit() {
                     end += 1;
                 }
-                let v: u64 = self.src[self.pos..end].parse().map_err(|_| ParseError {
-                    offset: start,
-                    message: "integer literal out of range".into(),
-                })?;
+                let v: u64 = self.src[self.pos..end]
+                    .parse()
+                    .map_err(|_| ParseError::new(start, "integer literal out of range"))?;
                 self.pos = end;
                 Tok::Int(v)
             }
@@ -163,10 +206,10 @@ impl<'a> Lexer<'a> {
                 Tok::Ident(s)
             }
             other => {
-                return Err(ParseError {
-                    offset: start,
-                    message: format!("unexpected character `{}`", other as char),
-                })
+                return Err(ParseError::new(
+                    start,
+                    format!("unexpected character `{}`", other as char),
+                ))
             }
         };
         Ok((start, tok))
@@ -190,7 +233,12 @@ impl<'a> Parser<'a> {
         if self.peeked.is_none() {
             self.peeked = Some(self.lexer.next()?);
         }
-        Ok(self.peeked.as_ref().expect("just filled"))
+        match self.peeked.as_ref() {
+            Some(t) => Ok(t),
+            // Unreachable (just filled above), but reported as an error
+            // rather than a panic: the library is panic-free by policy.
+            None => Err(ParseError::new(self.lexer.pos, "internal lexer error")),
+        }
     }
 
     fn bump(&mut self) -> Result<(usize, Tok), ParseError> {
@@ -205,24 +253,23 @@ impl<'a> Parser<'a> {
         if &got == want {
             Ok(())
         } else {
-            Err(ParseError {
-                offset: off,
-                message: format!("expected {want}, found {got}"),
-            })
+            Err(ParseError::new(
+                off,
+                format!("expected {want}, found {got}"),
+            ))
         }
     }
 
     fn dim(&mut self) -> Result<Dim, ParseError> {
         let (off, tok) = self.bump()?;
         match tok {
-            Tok::Ident(name) => name.parse().map_err(|_| ParseError {
-                offset: off,
-                message: format!("`{name}` is not a dimension name"),
-            }),
-            other => Err(ParseError {
-                offset: off,
-                message: format!("expected a dimension name, found {other}"),
-            }),
+            Tok::Ident(name) => name
+                .parse()
+                .map_err(|_| ParseError::new(off, format!("`{name}` is not a dimension name"))),
+            other => Err(ParseError::new(
+                off,
+                format!("expected a dimension name, found {other}"),
+            )),
         }
     }
 
@@ -236,10 +283,10 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::RParen)?;
                 Ok(SizeExpr::Size(d))
             }
-            other => Err(ParseError {
-                offset: off,
-                message: format!("expected an integer or Sz(dim), found {other}"),
-            }),
+            other => Err(ParseError::new(
+                off,
+                format!("expected an integer or Sz(dim), found {other}"),
+            )),
         }
     }
 
@@ -287,10 +334,10 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::RParen)?;
                 Ok(Directive::Cluster(size))
             }
-            other => Err(ParseError {
-                offset: off,
-                message: format!("expected SpatialMap, TemporalMap or Cluster, found `{other}`"),
-            }),
+            other => Err(ParseError::new(
+                off,
+                format!("expected SpatialMap, TemporalMap or Cluster, found `{other}`"),
+            )),
         }
     }
 
@@ -308,10 +355,10 @@ impl<'a> Parser<'a> {
                     }
                 }
                 other => {
-                    return Err(ParseError {
-                        offset: off,
-                        message: format!("expected a directive or {terminator}, found {other}"),
-                    })
+                    return Err(ParseError::new(
+                        off,
+                        format!("expected a directive or {terminator}, found {other}"),
+                    ))
                 }
             }
         }
@@ -322,7 +369,8 @@ impl<'a> Parser<'a> {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] with a byte offset on malformed input.
+/// Returns a [`ParseError`] with line/column coordinates and a caret
+/// snippet on malformed input.
 ///
 /// ```
 /// use maestro_ir::parse::parse_dataflow;
@@ -333,6 +381,10 @@ impl<'a> Parser<'a> {
 /// assert_eq!(df.directives().len(), 2);
 /// ```
 pub fn parse_dataflow(src: &str) -> Result<Dataflow, ParseError> {
+    parse_toplevel(src).map_err(|e| e.with_source(src))
+}
+
+fn parse_toplevel(src: &str) -> Result<Dataflow, ParseError> {
     let mut p = Parser::new(src);
     let (off, tok) = p.bump()?;
     match tok {
@@ -341,20 +393,20 @@ pub fn parse_dataflow(src: &str) -> Result<Dataflow, ParseError> {
             let name = match ntok {
                 Tok::Ident(n) => n,
                 other => {
-                    return Err(ParseError {
-                        offset: noff,
-                        message: format!("expected a dataflow name, found {other}"),
-                    })
+                    return Err(ParseError::new(
+                        noff,
+                        format!("expected a dataflow name, found {other}"),
+                    ))
                 }
             };
             p.expect(&Tok::LBrace)?;
             let directives = p.directives_until(&Tok::RBrace)?;
             let (eoff, etok) = p.bump()?;
             if etok != Tok::Eof {
-                return Err(ParseError {
-                    offset: eoff,
-                    message: format!("trailing input after dataflow body: {etok}"),
-                });
+                return Err(ParseError::new(
+                    eoff,
+                    format!("trailing input after dataflow body: {etok}"),
+                ));
             }
             Ok(Dataflow::new(name, directives))
         }
@@ -368,14 +420,11 @@ pub fn parse_dataflow(src: &str) -> Result<Dataflow, ParseError> {
             first.extend(rest);
             Ok(Dataflow::new("anonymous", first))
         }
-        Tok::Eof => Err(ParseError {
-            offset: off,
-            message: "empty input".into(),
-        }),
-        other => Err(ParseError {
-            offset: off,
-            message: format!("expected `Dataflow` or a directive, found {other}"),
-        }),
+        Tok::Eof => Err(ParseError::new(off, "empty input")),
+        other => Err(ParseError::new(
+            off,
+            format!("expected `Dataflow` or a directive, found {other}"),
+        )),
     }
 }
 
@@ -454,5 +503,37 @@ mod tests {
         let src = "Dataflow x { TemporalMap(1,1) Q; }";
         let err = parse_dataflow(src).unwrap_err();
         assert_eq!(&src[err.offset..err.offset + 1], "Q");
+    }
+
+    #[test]
+    fn errors_carry_line_column_and_snippet() {
+        let src = "Dataflow x {\n  TemporalMap(1,1) K;\n  TemporalMap(1,1) Q;\n}";
+        let err = parse_dataflow(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.column, 20);
+        assert_eq!(err.snippet, "  TemporalMap(1,1) Q;");
+        assert_eq!(&src[err.offset..err.offset + 1], "Q");
+    }
+
+    #[test]
+    fn display_renders_a_caret_under_the_error() {
+        let err = parse_dataflow("TemporalMap(1,1) Q").unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 1, column 18"), "{rendered}");
+        assert!(rendered.contains("TemporalMap(1,1) Q"), "{rendered}");
+        let caret_line = rendered.lines().last().unwrap();
+        assert_eq!(
+            caret_line.find('^'),
+            Some(2 + 17),
+            "caret under column 18 with 2-space indent:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn errors_at_end_of_input_stay_in_bounds() {
+        let err = parse_dataflow("Dataflow x {").unwrap_err();
+        assert!(err.line >= 1);
+        assert!(err.offset <= "Dataflow x {".len());
+        let _ = err.to_string();
     }
 }

@@ -75,12 +75,11 @@ pub struct ResolvedLevel {
 }
 
 impl ResolvedLevel {
-    /// The map for dimension `d` (always present after resolution).
-    pub fn map(&self, d: Dim) -> &ResolvedMap {
-        self.maps
-            .iter()
-            .find(|m| m.dim == d)
-            .expect("resolution guarantees every dimension is mapped")
+    /// The map for dimension `d`. Resolution guarantees every dimension is
+    /// mapped, so this is `Some` for any `ResolvedLevel` produced by
+    /// [`resolve`]; hand-built levels may omit dimensions.
+    pub fn map(&self, d: Dim) -> Option<&ResolvedMap> {
+        self.maps.iter().find(|m| m.dim == d)
     }
 
     /// Maps that are spatial at this level, in order.
@@ -115,9 +114,10 @@ pub struct Resolved {
 }
 
 impl Resolved {
-    /// The innermost (PE) level.
-    pub fn innermost(&self) -> &ResolvedLevel {
-        self.levels.last().expect("at least one level")
+    /// The innermost (PE) level. [`resolve`] always produces at least one
+    /// level, so this is `Some` for any resolver output.
+    pub fn innermost(&self) -> Option<&ResolvedLevel> {
+        self.levels.last()
     }
 
     /// Stride along `d` (1 except for Y/X).
@@ -190,7 +190,8 @@ pub fn resolve(dataflow: &Dataflow, layer: &Layer, num_pes: u64) -> Result<Resol
     let layer_dims = layer.dims.sizes();
 
     // Split directives into per-level map lists and collect cluster sizes.
-    let mut level_dirs: Vec<Vec<&Directive>> = vec![Vec::new()];
+    let mut level_dirs: Vec<Vec<&Directive>> = Vec::new();
+    let mut current: Vec<&Directive> = Vec::new();
     let mut cluster_sizes: Vec<u64> = Vec::new();
     for d in dataflow.directives() {
         match d {
@@ -200,11 +201,12 @@ pub fn resolve(dataflow: &Dataflow, layer: &Layer, num_pes: u64) -> Result<Resol
                     return Err(ResolveError::ZeroClusterSize);
                 }
                 cluster_sizes.push(v);
-                level_dirs.push(Vec::new());
+                level_dirs.push(std::mem::take(&mut current));
             }
-            _ => level_dirs.last_mut().expect("non-empty").push(d),
+            _ => current.push(d),
         }
     }
+    level_dirs.push(current);
 
     // Units per level: level 0 divides the PEs into clusters of
     // cluster_sizes[0]; level i divides cluster_sizes[i-1] into clusters of
@@ -318,11 +320,11 @@ mod tests {
         assert_eq!(r.levels.len(), 1);
         let l = &r.levels[0];
         assert_eq!(l.num_units, 16);
-        assert_eq!(l.map(Dim::X).size, 3);
-        assert_eq!(l.map(Dim::X).kind, MapKind::Spatial);
+        assert_eq!(l.map(Dim::X).unwrap().size, 3);
+        assert_eq!(l.map(Dim::X).unwrap().kind, MapKind::Spatial);
         // All 7 dims present; unmapped are inferred full coverage.
         assert_eq!(l.maps.len(), 7);
-        let k = l.map(Dim::K);
+        let k = l.map(Dim::K).unwrap();
         assert!(k.inferred);
         assert_eq!(k.size, 4);
         assert_eq!(k.offset, 4);
@@ -383,7 +385,7 @@ mod tests {
             .temporal(100, 100, Dim::C)
             .build();
         let r = resolve(&df, &toy_layer(), 4).unwrap();
-        assert_eq!(r.levels[0].map(Dim::C).size, 6);
+        assert_eq!(r.levels[0].map(Dim::C).unwrap().size, 6);
     }
 
     #[test]

@@ -207,6 +207,46 @@ pub mod bool {
     }
 }
 
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// `Vec`s of `elem`-generated values with a length drawn uniformly
+    /// from `len` (half-open, like the real crate's `SizeRange`).
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(
+            len.start < len.end,
+            "empty length range for collection::vec"
+        );
+        VecStrategy {
+            elem,
+            lo: len.start,
+            hi: len.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = (self.hi - self.lo) as u64;
+            let n = self.lo + rng.below(span.max(1)) as usize;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.elem.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident),+))*) => {$(
         #[allow(non_snake_case)]

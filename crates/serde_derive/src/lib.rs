@@ -45,7 +45,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let def = parse_type(input);
     generate_serialize(&def)
         .parse()
-        .expect("serde_derive generated invalid Rust")
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}"))
 }
 
 #[proc_macro_derive(Deserialize)]
@@ -53,7 +53,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let def = parse_type(input);
     format!("impl ::serde::Deserialize for {} {{}}", def.name)
         .parse()
-        .expect("serde_derive generated invalid Rust")
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}"))
 }
 
 fn parse_type(input: TokenStream) -> TypeDef {

@@ -12,7 +12,15 @@ fn main() {
     let vgg = zoo::vgg16(1);
     let layer = vgg.layer("CONV2").expect("zoo layer");
     let explorer = Explorer::new(SweepSpace::standard());
-    let result = explorer.explore(layer, &variants::variants(Style::KCP));
+    let result = explorer
+        .explore(layer, &variants::variants(Style::KCP))
+        .expect("valid sweep space");
+    if !result.stats.quarantined.is_empty() {
+        eprintln!(
+            "warning: {} work unit(s) quarantined — results are incomplete",
+            result.stats.quarantined.len()
+        );
+    }
 
     println!(
         "explored {:.2e} designs ({} model evaluations, {:.2e} valid) in {:.2}s -> {:.2e} designs/s",

@@ -1,0 +1,141 @@
+//! Robustness properties for the panic-free pipeline: the DSL parsers
+//! must reject (not panic on) arbitrary byte soup, and `analyze` must
+//! return `Ok`/`Err` (never panic) across randomized layer × style ×
+//! accelerator combinations.
+
+use maestro::core::analyze;
+use maestro::dnn::{Layer, LayerDims, Operator};
+use maestro::hw::Accelerator;
+use maestro::ir::{parse::parse_dataflow, Style};
+use proptest::prelude::*;
+
+/// A seed corpus of near-valid sources: corrupting these reaches much
+/// deeper into the parser than uniform random bytes, which almost always
+/// die at the first token.
+const SEEDS: &[&str] = &[
+    "Dataflow ODP {\n  TemporalMap(1,1) K;\n  SpatialMap(1,1) C;\n}\n",
+    "Dataflow ODP {\n  SpatialMap(Sz(R),1) Y;\n  Cluster(Sz(R));\n  SpatialMap(1,1) R;\n}\n",
+    "Network net {\n  Layer L1 { type: CONV; dimensions { K: 4, C: 3, Y: 8, X: 8, R: 3, S: 3 } }\n}\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes never panic either parser — they parse or they
+    /// return a typed error.
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..96),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_dataflow(&text);
+        let _ = maestro::dnn::parse_network(&text);
+    }
+
+    /// Single-byte corruptions of valid sources never panic either parser.
+    #[test]
+    fn parsers_never_panic_on_corrupted_sources(
+        seed in 0usize..3,
+        pos in 0usize..200,
+        byte in 0u8..=255,
+    ) {
+        let mut bytes = SEEDS[seed].as_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_dataflow(&text);
+        let _ = maestro::dnn::parse_network(&text);
+    }
+
+    /// Parse errors that do surface always carry in-bounds line/column
+    /// coordinates and a snippet taken from the offending line.
+    #[test]
+    fn parse_errors_point_into_the_source(
+        seed in 0usize..3,
+        pos in 0usize..200,
+        byte in 0u8..=255,
+    ) {
+        let mut bytes = SEEDS[seed].as_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if let Err(e) = parse_dataflow(&text) {
+            prop_assert!(e.offset <= text.len(), "offset {} > len {}", e.offset, text.len());
+            prop_assert!(e.line >= 1 && e.line <= text.lines().count().max(1), "line {}", e.line);
+            prop_assert!(e.column >= 1, "column {}", e.column);
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+/// Small but irregular layer shapes, including degenerate 1×1 cases.
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    (
+        1u64..3,  // n
+        1u64..24, // k
+        1u64..24, // c
+        1u64..5,  // r
+        1u64..5,  // s
+        0u64..20, // y slack
+        0u64..20, // x slack
+        1u64..4,  // stride
+        0usize..5,
+    )
+        .prop_map(|(n, k, c, r, s, ys, xs, stride, op)| {
+            let dims = LayerDims {
+                n,
+                k,
+                c,
+                y: r + ys,
+                x: s + xs,
+                r,
+                s,
+                stride_y: stride,
+                stride_x: stride,
+            };
+            let op = match op {
+                0 => Operator::DepthwiseConv2d,
+                1 => Operator::FullyConnected,
+                2 => Operator::Pooling,
+                3 => Operator::ElementwiseAdd,
+                _ => Operator::conv2d(),
+            };
+            Layer::new("prop", op, dims)
+        })
+        .prop_filter("well-formed", |l| l.validate().is_ok())
+}
+
+/// Accelerators across several orders of magnitude, including tiny and
+/// mismatched configurations (1 PE, 1 B/cycle NoC, minimal scratchpads).
+fn arb_accelerator() -> impl Strategy<Value = Accelerator> {
+    (1u64..=512, 1u64..=64, 6u64..=14, 10u64..=21).prop_map(|(pes, bw, l1_exp, l2_exp)| {
+        Accelerator::builder(pes)
+            .noc_bandwidth(bw)
+            .l1_bytes(1 << l1_exp)
+            .l2_bytes(1 << l2_exp)
+            .build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `analyze` is total over layer × style × accelerator: every
+    /// combination returns `Ok` or a typed `AnalysisError`, and every
+    /// `Ok` report passes its own finite-value gate.
+    #[test]
+    fn analyze_never_panics(
+        (layer, acc) in (arb_layer(), arb_accelerator()),
+        style_idx in 0usize..5,
+    ) {
+        let style = Style::ALL[style_idx];
+        match analyze(&layer, &style.dataflow(), &acc) {
+            Ok(r) => {
+                prop_assert!(r.runtime.is_finite() && r.runtime > 0.0);
+                prop_assert!(r.utilization.is_finite());
+                prop_assert!(r.peak_bw.is_finite() && r.avg_bw.is_finite());
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
