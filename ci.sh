@@ -18,13 +18,33 @@ cargo clippy --workspace --all-targets -- -D warnings
 # no unwrap()/expect() outside tests. Enforced both here and by
 # crate-level deny attributes in each lib.rs.
 echo "== cargo clippy (panic-free library crates)"
-cargo clippy -p maestro-core -p maestro-ir -p maestro-dse -p maestro-hw -p maestro-dnn --lib \
+cargo clippy -p maestro-core -p maestro-ir -p maestro-dse -p maestro-hw -p maestro-dnn -p maestro-obs --lib \
   -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
+
+# Library crates never write to stderr directly: diagnostics go through
+# the maestro-obs leveled logger (MAESTRO_LOG, off by default), whose
+# emit() is the one sanctioned egress point.
+echo "== cargo clippy (no stray stderr prints in library crates)"
+cargo clippy -p maestro-core -p maestro-ir -p maestro-dse -p maestro-hw -p maestro-dnn \
+  -p maestro-sim -p maestro-obs --lib \
+  -- -D warnings -D clippy::print-stderr
 
 echo "== cargo build --release"
 cargo build --release --workspace
 
 echo "== cargo test"
 cargo test -q --workspace
+
+# The observability surface stays wired end to end: a real DSE run must
+# expose the documented metrics in Prometheus text format.
+echo "== observability smoke (dse --metrics -)"
+metrics_out=$(target/release/maestro dse --model vgg16 --layer CONV5 --style KC-P --threads 2 --metrics -)
+for name in maestro_cache_hits maestro_cache_misses maestro_dse_unit_rate \
+            maestro_dse_pareto_inserted maestro_dse_units_quarantined; do
+  if ! grep -q "# TYPE ${name}" <<<"${metrics_out}"; then
+    echo "missing metric ${name} in --metrics output" >&2
+    exit 1
+  fi
+done
 
 echo "CI OK"

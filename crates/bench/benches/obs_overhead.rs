@@ -1,0 +1,77 @@
+//! Guard: observability must be near-free when no sink is installed.
+//!
+//! The spans and metrics wired through `analyze` and the DSE sweep are
+//! compiled in unconditionally, so their *disabled* cost is what every
+//! un-instrumented user pays. This bench measures that cost directly —
+//! nanoseconds per disabled span guard and per gated log macro — then
+//! runs a real DSE sweep (no trace sink, logging off) and bounds the
+//! implied instrumentation share of the sweep's wall time. The build
+//! fails the guard if that share reaches 2%.
+
+use maestro_dnn::zoo;
+use maestro_dse::{variants, Explorer, SweepSpace};
+use maestro_ir::Style;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Spans inside one `analyze` call: the root plus the four engine stages.
+const SPANS_PER_ANALYZE: u64 = 5;
+
+fn main() {
+    maestro_obs::log::set_level(maestro_obs::Level::Off);
+    assert!(
+        !maestro_obs::span::is_enabled(),
+        "span collection must start disabled"
+    );
+
+    // Per-call cost of a disabled span guard (one relaxed atomic load).
+    let n: u64 = 20_000_000;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let _ = black_box(maestro_obs::span::span(black_box("bench.disabled")));
+    }
+    let span_ns = t0.elapsed().as_secs_f64() * 1e9 / n as f64;
+
+    // Per-call cost of a gated-off log macro (one relaxed load, no format).
+    let t0 = Instant::now();
+    for i in 0..n {
+        maestro_obs::debug!("disabled {}", black_box(i));
+    }
+    let log_ns = t0.elapsed().as_secs_f64() * 1e9 / n as f64;
+
+    // A real sweep with everything disabled — the production configuration.
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV2").expect("zoo layer");
+    let maps = variants::variants(Style::KCP);
+    let t0 = Instant::now();
+    let e = Explorer::new(SweepSpace::standard());
+    let r = e
+        .explore(black_box(layer), black_box(&maps))
+        .expect("valid sweep space");
+    let sweep_s = t0.elapsed().as_secs_f64();
+    assert!(r.stats.valid > 0);
+
+    // Instrumentation touch points in that sweep: five span guards per
+    // cost-model call, one span guard plus one batched metric flush
+    // (~10 atomic adds, costed here at one span each for headroom) per
+    // work unit, and one cache-drop flush per unit.
+    let units = e.space.pes.len() as u64;
+    let touches = SPANS_PER_ANALYZE * r.stats.evaluated + units * 12;
+    let implied_s = touches as f64 * span_ns * 1e-9;
+    let share = 100.0 * implied_s / sweep_s;
+
+    println!("obs-overhead guard (no sink installed)");
+    println!("  disabled span guard   {span_ns:>8.2} ns/call");
+    println!("  gated-off log macro   {log_ns:>8.2} ns/call");
+    println!(
+        "  DSE sweep             {sweep_s:>8.3} s wall, {} cost-model calls, {units} units",
+        r.stats.evaluated
+    );
+    println!("  instrumentation share {share:>8.4} % of sweep wall time ({touches} touch points)");
+
+    assert!(
+        share < 2.0,
+        "disabled instrumentation costs {share:.3}% of the sweep — over the 2% budget"
+    );
+    println!("PASS: under the 2% overhead budget");
+}

@@ -23,6 +23,8 @@ fn model_arg() -> maestro_dnn::Model {
 fn main() {
     let threads = threads_arg();
     let model = model_arg();
+    // Collect spans for the per-stage time breakdown printed at the end.
+    maestro_obs::span::enable();
     let explorer = Explorer::new(SweepSpace::tiny());
     let candidates = default_candidates();
     let r = explorer
@@ -33,8 +35,8 @@ fn main() {
         model.name, r.stats.explored, r.stats.valid, r.stats.memo_hits, r.stats.seconds
     );
     if !r.stats.quarantined.is_empty() {
-        eprintln!(
-            "warning: {} work unit(s) quarantined — results are incomplete",
+        maestro_obs::warn!(
+            "{} work unit(s) quarantined — results are incomplete",
             r.stats.quarantined.len()
         );
     }
@@ -50,4 +52,9 @@ fn main() {
     show("energy-opt    ", &r.best_energy);
     show("EDP-opt       ", &r.best_edp);
     println!("  Pareto front: {} points", r.pareto.len());
+
+    maestro_obs::span::disable();
+    let events = maestro_obs::span::drain();
+    println!("\nPer-stage time breakdown");
+    print!("{}", maestro_obs::span::breakdown_table(&events));
 }

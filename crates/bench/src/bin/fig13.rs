@@ -11,6 +11,8 @@ use maestro_ir::Style;
 fn main() {
     let threads = threads_arg();
     let vgg = zoo::vgg16(1);
+    // Collect spans for the per-stage time breakdown printed at the end.
+    maestro_obs::span::enable();
     println!("Figure 13 — design-space exploration (area<=16mm2, power<=450mW)\n");
     let mut stats_rows = Vec::new();
     for style in [Style::KCP, Style::YRP] {
@@ -22,8 +24,8 @@ fn main() {
                 .expect("valid sweep space");
             println!("== {} on VGG16 {lname} ==", style.short_name());
             if !r.stats.quarantined.is_empty() {
-                eprintln!(
-                    "warning: {} work unit(s) quarantined — results are incomplete",
+                maestro_obs::warn!(
+                    "{} work unit(s) quarantined — results are incomplete",
                     r.stats.quarantined.len()
                 );
             }
@@ -78,4 +80,9 @@ fn main() {
             flow, layer, s.valid, s.explored, s.seconds, s.rate
         );
     }
+
+    maestro_obs::span::disable();
+    let events = maestro_obs::span::drain();
+    println!("\nPer-stage time breakdown");
+    print!("{}", maestro_obs::span::breakdown_table(&events));
 }

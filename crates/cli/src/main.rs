@@ -97,6 +97,11 @@ impl From<AnalysisError> for CliError {
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
+    // Span collection is off (one relaxed load per call site) unless the
+    // user asked for a trace artifact.
+    if !args.get("trace-json", "").is_empty() {
+        maestro_obs::span::enable();
+    }
     let result = match args.command.as_str() {
         "analyze" => cmd_analyze(&args),
         "model" => cmd_model(&args),
@@ -116,13 +121,45 @@ fn main() -> ExitCode {
             "unknown command `{other}`\n{USAGE}"
         ))),
     };
-    match result {
+    match result.and_then(|()| write_observability(&args)) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {}", e.message);
             e.exit_code()
         }
     }
+}
+
+/// Emit the observability artifacts the user asked for: `--metrics
+/// <path|->` dumps the global registry in Prometheus text exposition
+/// format, `--trace-json <path|->` dumps collected spans as JSONL. `-`
+/// writes to stdout. Runs after the command succeeds, so the artifacts
+/// describe a complete run.
+fn write_observability(args: &Args) -> Result<(), CliError> {
+    let write = |dest: &str, what: &str, text: String| -> Result<(), CliError> {
+        if dest == "-" {
+            print!("{text}");
+            Ok(())
+        } else {
+            std::fs::write(dest, text)
+                .map_err(|e| CliError::usage(format!("writing {what} to {dest}: {e}")))
+        }
+    };
+    let metrics_dest = args.get("metrics", "");
+    if !metrics_dest.is_empty() {
+        write(
+            metrics_dest,
+            "metrics",
+            maestro_obs::registry().render_prometheus(),
+        )?;
+    }
+    let trace_dest = args.get("trace-json", "");
+    if !trace_dest.is_empty() {
+        maestro_obs::span::disable();
+        let events = maestro_obs::span::drain();
+        write(trace_dest, "trace", maestro_obs::span::to_jsonl(&events))?;
+    }
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -142,6 +179,11 @@ USAGE:
 
 Zoo models: vgg16 alexnet resnet50 resnext50 mobilenet_v2 unet dcgan deepspeech2 googlenet efficientnet_b0\n(--model also accepts a path to a Network description file)
 Styles (Table 3): C-P X-P YX-P YR-P KC-P
+
+Observability (any command):
+  --metrics <path|->     dump the metrics registry (Prometheus text format)
+  --trace-json <path|->  collect spans and dump them as JSON lines
+  MAESTRO_LOG=<level>    stderr diagnostics: error|warn|info|debug|trace (default off)
 ";
 
 fn load_model(name: &str) -> Result<Model, CliError> {
@@ -286,23 +328,35 @@ fn cmd_dse(args: &Args) -> Result<(), CliError> {
         );
         return Ok(());
     }
+    let s = &result.stats;
     println!(
-        "explored {} designs ({} evaluated, {} memo hits, {} valid) in {:.2}s — {:.2e} designs/s",
-        result.stats.explored,
-        result.stats.evaluated,
-        result.stats.memo_hits,
-        result.stats.valid,
-        result.stats.seconds,
-        result.stats.rate
+        "explored {} designs in {:.2}s — {:.2e} designs/s",
+        s.explored, s.seconds, s.rate
     );
-    if !result.stats.quarantined.is_empty() {
-        eprintln!(
-            "warning: {} of the sweep's work units panicked and were quarantined — results are incomplete",
-            result.stats.quarantined.len()
+    println!(
+        "  cost model      {} evaluated, {} memo hits ({:.1}% hit rate)",
+        s.evaluated,
+        s.memo_hits,
+        100.0 * s.memo_hit_rate()
+    );
+    println!(
+        "  filtered        {} capacity-skipped, {} non-finite dropped",
+        s.capacity_skipped, s.nonfinite_dropped
+    );
+    println!(
+        "  valid           {} points ({} Pareto insertions, {} rejections)",
+        s.valid, s.pareto_inserted, s.pareto_rejected
+    );
+    if s.quarantined.is_empty() {
+        println!("  quarantined     0 work units");
+    } else {
+        // Degraded coverage is always surfaced in the summary; the
+        // per-unit panic payloads were already logged (at warn level)
+        // by the merge, so they are not repeated here.
+        println!(
+            "  quarantined     {} work units — coverage is incomplete",
+            s.quarantined.len()
         );
-        for q in &result.stats.quarantined {
-            eprintln!("  unit {}: {}", q.unit, q.message);
-        }
     }
     let show = |tag: &str, p: &Option<maestro_dse::DesignPoint>| {
         if let Some(p) = p {

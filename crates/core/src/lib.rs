@@ -30,7 +30,10 @@
 // Library code is panic-free by policy: fallible paths return
 // `AnalysisError` instead of unwrapping. Tests are exempt (the attribute
 // is compiled out under `cfg(test)`).
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::print_stderr)
+)]
 
 pub mod analysis;
 pub mod counts;

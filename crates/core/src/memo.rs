@@ -57,11 +57,43 @@ impl ShapeKey {
 /// The cache is a plain single-threaded map: parallel explorers keep one
 /// per worker (keys never cross shard boundaries there), which avoids any
 /// locking and keeps results deterministic.
+///
+/// On drop, accumulated hit/miss/insert totals are flushed to the global
+/// metrics registry (`maestro.cache.{hits,misses,inserts}`): one batched
+/// atomic add per counter per cache lifetime, so the lookup hot path never
+/// touches shared state.
 #[derive(Debug, Default)]
 pub struct AnalysisCache {
     map: HashMap<(ShapeKey, u64), Result<LayerReport, AnalysisError>>,
     hits: u64,
     misses: u64,
+    inserts: u64,
+}
+
+/// `OnceLock`-cached handles for the cache counters: the registry lock is
+/// taken once per process, not once per cache drop.
+fn cache_counters() -> &'static [maestro_obs::Counter; 3] {
+    static C: std::sync::OnceLock<[maestro_obs::Counter; 3]> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        let r = maestro_obs::registry();
+        [
+            r.counter("maestro.cache.hits"),
+            r.counter("maestro.cache.misses"),
+            r.counter("maestro.cache.inserts"),
+        ]
+    })
+}
+
+impl Drop for AnalysisCache {
+    fn drop(&mut self) {
+        if self.hits == 0 && self.misses == 0 && self.inserts == 0 {
+            return;
+        }
+        let [hits, misses, inserts] = cache_counters();
+        hits.add(self.hits);
+        misses.add(self.misses);
+        inserts.add(self.inserts);
+    }
 }
 
 impl AnalysisCache {
@@ -78,6 +110,11 @@ impl AnalysisCache {
     /// Lookups that ran the cost model (including uncacheable layers).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries added to the table (misses on cacheable layers).
+    pub fn inserts(&self) -> u64 {
+        self.inserts
     }
 
     /// [`analyze`] through the cache. `tag` must encode every varying
@@ -106,6 +143,7 @@ impl AnalysisCache {
         self.misses += 1;
         let result = analyze(layer, dataflow, acc);
         self.map.insert((key, tag), result.clone());
+        self.inserts += 1;
         result
     }
 }

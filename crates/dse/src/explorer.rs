@@ -95,6 +95,16 @@ pub struct DseStats {
     /// Design points dropped because an objective evaluated to NaN or
     /// infinity (the finite-value gate).
     pub nonfinite_dropped: u64,
+    /// Design points rejected by the capacity filter (placed L1 or L2 too
+    /// small for the mapping's buffer requirement), before any cost was
+    /// computed.
+    pub capacity_skipped: u64,
+    /// Points accepted into a per-unit Pareto front during the sweep
+    /// (some are later displaced by dominating points).
+    pub pareto_inserted: u64,
+    /// Points rejected from a per-unit Pareto front on arrival (dominated
+    /// by or tying an existing member).
+    pub pareto_rejected: u64,
     /// Work units that panicked and contributed nothing to the merged
     /// result, in unit-index order. A non-empty list means the sweep
     /// *degraded* (its coverage is incomplete) but completed.
@@ -114,9 +124,22 @@ impl DseStats {
             valid: 0,
             memo_hits: 0,
             nonfinite_dropped: 0,
+            capacity_skipped: 0,
+            pareto_inserted: 0,
+            pareto_rejected: 0,
             quarantined: Vec::new(),
             seconds: 0.0,
             rate: 0.0,
+        }
+    }
+
+    /// Memo-cache hit rate in `[0, 1]` (zero when no lookups happened).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let lookups = self.memo_hits + self.evaluated;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / lookups as f64
         }
     }
 }
@@ -298,8 +321,19 @@ impl Explorer {
     }
 
     /// One work unit: the full mapping × bandwidth × capacity sweep at a
-    /// single PE count.
+    /// single PE count. A thin shell around [`Explorer::explore_unit_inner`]
+    /// that times the unit and batch-flushes its counters to the global
+    /// metrics registry — wall-clock throughput goes to metrics *only*,
+    /// never into [`DseStats`], which must stay deterministic.
     fn explore_unit(&self, pes: u64, layer: &Layer, mappings: &[Dataflow]) -> Partial {
+        let _span = maestro_obs::span::span("maestro.dse.unit");
+        let t0 = Instant::now();
+        let part = self.explore_unit_inner(pes, layer, mappings);
+        flush_unit_metrics(&part, t0.elapsed());
+        part
+    }
+
+    fn explore_unit_inner(&self, pes: u64, layer: &Layer, mappings: &[Dataflow]) -> Partial {
         if self.fail_unit_pes == Some(pes) {
             panic!("injected failure for PE count {pes}");
         }
@@ -363,10 +397,14 @@ impl Explorer {
         for &l1 in &self.space.l1_bytes {
             // The grid is in bytes, the requirement in elements.
             if self.elements(l1) < report.l1_per_pe_elems {
-                continue; // capacity below the mapping's requirement
+                // Capacity below the mapping's requirement: the whole L2
+                // row of the grid is skipped without costing.
+                part.stats.capacity_skipped += self.space.l2_bytes.len() as u64;
+                continue;
             }
             for &l2 in &self.space.l2_bytes {
                 if self.elements(l2) < report.l2_staging_elems {
+                    part.stats.capacity_skipped += 1;
                     continue;
                 }
                 let acc = self.accelerator(pes, bw, Some((l1, l2)));
@@ -399,7 +437,11 @@ impl Explorer {
                 update_best(&mut part.best_throughput, &point, |p| -p.throughput);
                 update_best(&mut part.best_energy, &point, |p| p.energy);
                 update_best(&mut part.best_edp, &point, |p| p.edp);
-                insert_pareto(&mut part.pareto, &point);
+                if insert_pareto(&mut part.pareto, &point) {
+                    part.stats.pareto_inserted += 1;
+                } else {
+                    part.stats.pareto_rejected += 1;
+                }
                 // Stratified subsample: every 61st valid point *of this
                 // unit*, so the scatter spans the whole space instead of
                 // its first corner — and so unit samples concatenate
@@ -416,6 +458,57 @@ impl Explorer {
 fn finish_stats(stats: &mut DseStats, t0: Instant) {
     stats.seconds = t0.elapsed().as_secs_f64().max(1e-9);
     stats.rate = stats.explored as f64 / stats.seconds;
+}
+
+/// `OnceLock`-cached handles for the per-unit DSE metrics: one registry
+/// lookup per process, one batched flush per work unit.
+struct UnitMetrics {
+    units: maestro_obs::Counter,
+    explored: maestro_obs::Counter,
+    valid: maestro_obs::Counter,
+    capacity_skipped: maestro_obs::Counter,
+    pareto_inserted: maestro_obs::Counter,
+    pareto_rejected: maestro_obs::Counter,
+    unit_seconds: maestro_obs::Histogram,
+    unit_rate: maestro_obs::Histogram,
+}
+
+fn unit_metrics() -> &'static UnitMetrics {
+    static M: std::sync::OnceLock<UnitMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let r = maestro_obs::registry();
+        UnitMetrics {
+            units: r.counter("maestro.dse.units_completed"),
+            explored: r.counter("maestro.dse.points_explored"),
+            valid: r.counter("maestro.dse.points_valid"),
+            capacity_skipped: r.counter("maestro.dse.capacity_skipped"),
+            pareto_inserted: r.counter("maestro.dse.pareto_inserted"),
+            pareto_rejected: r.counter("maestro.dse.pareto_rejected"),
+            unit_seconds: r.histogram(
+                "maestro.dse.unit_seconds",
+                &[1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 60.0],
+            ),
+            // Designs/second per shard; the paper reports sweeps north of
+            // 0.1M designs/s, hence the decade buckets up to 1e8.
+            unit_rate: r.histogram("maestro.dse.unit_rate", &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8]),
+        }
+    })
+}
+
+/// One batched flush of a finished work unit's counters and wall-clock
+/// throughput into the global registry. The sweep hot loop touches only
+/// the unit-private [`Partial`]; shared atomics are hit once per unit.
+fn flush_unit_metrics(part: &Partial, elapsed: std::time::Duration) {
+    let m = unit_metrics();
+    m.units.inc();
+    m.explored.add(part.stats.explored);
+    m.valid.add(part.stats.valid);
+    m.capacity_skipped.add(part.stats.capacity_skipped);
+    m.pareto_inserted.add(part.stats.pareto_inserted);
+    m.pareto_rejected.add(part.stats.pareto_rejected);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    m.unit_seconds.observe(secs);
+    m.unit_rate.observe(part.stats.explored as f64 / secs);
 }
 
 /// Replace `slot` when `key(p)` is strictly smaller — on ties the earlier
@@ -445,18 +538,23 @@ pub(crate) fn update_best(
 /// fails every `<=` comparison, so without this gate such a point would
 /// look "non-dominated" and enter the front while never evicting anything
 /// honestly.
-pub fn insert_pareto(front: &mut Vec<DesignPoint>, p: &DesignPoint) {
+///
+/// Returns `true` when the point entered the front, `false` when it was
+/// rejected (dominated, tying, or non-finite) — callers feed the
+/// insertion/rejection tallies in [`DseStats`] from this.
+pub fn insert_pareto(front: &mut Vec<DesignPoint>, p: &DesignPoint) -> bool {
     if !(p.runtime.is_finite() && p.energy.is_finite()) {
-        return;
+        return false;
     }
     if front
         .iter()
         .any(|q| q.runtime <= p.runtime && q.energy <= p.energy)
     {
-        return;
+        return false;
     }
     front.retain(|q| !(p.runtime <= q.runtime && p.energy <= q.energy));
     front.push(p.clone());
+    true
 }
 
 #[cfg(test)]
@@ -668,8 +766,22 @@ impl Explorer {
     }
 
     /// One whole-model work unit: the bandwidth × capacity sweep at a
-    /// single PE count, auto-tuning the mapping per layer.
+    /// single PE count, auto-tuning the mapping per layer. Timed and
+    /// metric-flushed like [`Explorer::explore_unit`].
     fn model_unit(&self, pes: u64, model: &maestro_dnn::Model, mappings: &[Dataflow]) -> Partial {
+        let _span = maestro_obs::span::span("maestro.dse.unit");
+        let t0 = Instant::now();
+        let part = self.model_unit_inner(pes, model, mappings);
+        flush_unit_metrics(&part, t0.elapsed());
+        part
+    }
+
+    fn model_unit_inner(
+        &self,
+        pes: u64,
+        model: &maestro_dnn::Model,
+        mappings: &[Dataflow],
+    ) -> Partial {
         if self.fail_unit_pes == Some(pes) {
             panic!("injected failure for PE count {pes}");
         }
@@ -712,10 +824,12 @@ impl Explorer {
                 .unwrap_or(0);
             for &l1 in &self.space.l1_bytes {
                 if self.elements(l1) < l1_req {
+                    part.stats.capacity_skipped += self.space.l2_bytes.len() as u64;
                     continue;
                 }
                 for &l2 in &self.space.l2_bytes {
                     if self.elements(l2) < l2_req {
+                        part.stats.capacity_skipped += 1;
                         continue;
                     }
                     let placed = self.accelerator(pes, bw, Some((l1, l2)));
@@ -747,7 +861,11 @@ impl Explorer {
                     update_best(&mut part.best_throughput, &point, |p| -p.throughput);
                     update_best(&mut part.best_energy, &point, |p| p.energy);
                     update_best(&mut part.best_edp, &point, |p| p.edp);
-                    insert_pareto(&mut part.pareto, &point);
+                    if insert_pareto(&mut part.pareto, &point) {
+                        part.stats.pareto_inserted += 1;
+                    } else {
+                        part.stats.pareto_rejected += 1;
+                    }
                     if part.stats.valid.is_multiple_of(61) && part.sample.len() < self.sample_cap {
                         part.sample.push(point);
                     }

@@ -25,7 +25,10 @@
 // Library code is panic-free by policy: fallible paths return typed errors
 // instead of unwrapping, and panicking work units are quarantined rather
 // than fatal. Tests are exempt (compiled out under `cfg(test)`).
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::print_stderr)
+)]
 
 pub mod explorer;
 pub mod parallel;

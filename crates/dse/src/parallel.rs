@@ -44,6 +44,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// (rendered as a string) if it panicked.
 pub type UnitOutcome = Result<Partial, String>;
 
+/// Counter of quarantined work units (`maestro.dse.units_quarantined`),
+/// with the registry lookup cached behind a `OnceLock`.
+fn quarantine_counter() -> &'static maestro_obs::Counter {
+    static C: std::sync::OnceLock<maestro_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| maestro_obs::registry().counter("maestro.dse.units_quarantined"))
+}
+
 /// Render a panic payload as a string (`&str` and `String` payloads pass
 /// through; anything else gets a placeholder).
 fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -129,6 +136,10 @@ where
 ///
 /// `seconds`/`rate` are left at zero; the caller stamps wall-clock time.
 pub fn merge_partials(outcomes: Vec<UnitOutcome>, sample_cap: usize) -> DseResult {
+    // Touch the counter up front so `maestro.dse.units_quarantined` shows
+    // up (at zero) in every exposition, not only after the first failure —
+    // dashboards and the CI grep rely on its presence.
+    let quarantined_units = quarantine_counter();
     let mut out = DseResult {
         pareto: Vec::new(),
         best_throughput: None,
@@ -141,6 +152,8 @@ pub fn merge_partials(outcomes: Vec<UnitOutcome>, sample_cap: usize) -> DseResul
         let part = match outcome {
             Ok(p) => p,
             Err(message) => {
+                maestro_obs::warn!("DSE work unit {i} quarantined: {message}");
+                quarantined_units.inc();
                 out.stats
                     .quarantined
                     .push(QuarantinedUnit { unit: i, message });
@@ -152,6 +165,9 @@ pub fn merge_partials(outcomes: Vec<UnitOutcome>, sample_cap: usize) -> DseResul
         out.stats.valid += part.stats.valid;
         out.stats.memo_hits += part.stats.memo_hits;
         out.stats.nonfinite_dropped += part.stats.nonfinite_dropped;
+        out.stats.capacity_skipped += part.stats.capacity_skipped;
+        out.stats.pareto_inserted += part.stats.pareto_inserted;
+        out.stats.pareto_rejected += part.stats.pareto_rejected;
         for p in &part.pareto {
             insert_pareto(&mut out.pareto, p);
         }

@@ -170,3 +170,49 @@ fn auto_thread_count_gives_the_same_result() {
     let auto = e.explore_parallel(&layer, &maps, 0).expect("valid space");
     assert_identical(&seq, auto, "auto thread count");
 }
+
+/// Observability must not perturb results: with span collection *enabled*
+/// (the most invasive configuration — every analyze call and work unit
+/// records timing into thread-local buffers flushed to a global sink),
+/// the explorer stays bit-identical to an uninstrumented sequential run
+/// at 1/2/8/auto threads, and the trace actually covers the run.
+#[test]
+fn tracing_enabled_preserves_bit_identical_results() {
+    let e = Explorer::new(SweepSpace::tiny());
+    let layer = conv_layer();
+    let maps = variants::variants(Style::KCP);
+
+    // Reference run with collection off.
+    let seq = canonical(e.explore(&layer, &maps).expect("valid space"));
+    assert!(seq.stats.valid > 0, "{:?}", seq.stats);
+
+    maestro_obs::span::enable();
+    let traced = std::panic::catch_unwind(|| {
+        let mut runs = Vec::new();
+        for threads in [1, 2, 8, 0] {
+            runs.push((
+                threads,
+                e.explore_parallel(&layer, &maps, threads)
+                    .expect("valid space"),
+            ));
+        }
+        runs
+    });
+    maestro_obs::span::disable();
+    let events = maestro_obs::span::drain();
+
+    for (threads, par) in traced.expect("traced sweeps completed") {
+        assert_identical(&seq, par, &format!("tracing on, {threads} threads"));
+    }
+    // The trace covered the sweeps: unit spans with nested analyze spans.
+    assert!(
+        events.iter().any(|ev| ev.name == "maestro.dse.unit"),
+        "no unit spans collected"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|ev| ev.name == "maestro.analysis.analyze" && ev.parent.is_some()),
+        "no nested analyze spans collected"
+    );
+}

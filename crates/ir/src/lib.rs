@@ -36,7 +36,10 @@
 
 // Library code is panic-free by policy: fallible paths return typed errors
 // instead of unwrapping. Tests are exempt (compiled out under `cfg(test)`).
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::print_stderr)
+)]
 
 pub mod dataflow;
 pub mod directive;

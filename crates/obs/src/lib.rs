@@ -1,0 +1,51 @@
+//! Structured observability for the MAESTRO pipeline — hand-rolled and
+//! dependency-free because this workspace builds offline (no registry
+//! access: `tracing`/`metrics`/`log` cannot be pulled in; see DESIGN.md's
+//! dependency policy).
+//!
+//! Three cooperating facilities:
+//!
+//! * [`log`] — a tiny leveled logger, env-controlled via `MAESTRO_LOG`
+//!   and **off by default**, so library diagnostics go through one
+//!   redirectable path instead of ad-hoc `eprintln!` call sites.
+//! * [`metrics`] — a process-global registry of named counters, gauges
+//!   and fixed-bucket histograms with atomic updates, rendered in the
+//!   Prometheus text exposition format.
+//! * [`span`] — lightweight hierarchical tracing spans: RAII guards,
+//!   monotonic timing, per-thread buffers flushed at root-scope exit so
+//!   the parallel DSE hot path never contends on a global lock. Exported
+//!   as JSONL events.
+//!
+//! # Zero cost when disabled
+//!
+//! Spans are gated on one process-global atomic flag: when no sink is
+//! installed (the default), [`span::span`] is a relaxed load plus an
+//! inert guard — no thread-local access, no allocation, no clock read.
+//! The logger is the same: one relaxed load against the level. Metric
+//! handles are pre-registered atomics; the instrumented hot paths batch
+//! their updates (one flush per DSE work unit, one per memo-cache drop),
+//! so steady-state cost is zero loads per design point. The
+//! `obs_overhead` bench in `maestro-bench` pins the disabled-path cost.
+//!
+//! # Naming scheme
+//!
+//! Dotted, hierarchical names: `maestro.analysis.*` for the cost-model
+//! engines, `maestro.cache.*` for the analysis memo cache,
+//! `maestro.dse.*` for the explorer, `maestro.sim.*` for the reference
+//! simulator. Prometheus exposition sanitizes `.`/`-` to `_`.
+
+// Library code is panic-free by policy, and all diagnostics must flow
+// through the logger (the logger's own emitter writes to the raw stderr
+// handle, which the lint does not cover).
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::print_stderr)
+)]
+
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use log::Level;
+pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
+pub use span::{SpanEvent, SpanGuard};

@@ -1,0 +1,418 @@
+//! A process-global registry of named counters, gauges and fixed-bucket
+//! histograms, rendered in the Prometheus text exposition format.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`-backed
+//! atomics: register once (a mutex-guarded name lookup), then update
+//! lock-free from any thread. The instrumented hot paths batch their
+//! local tallies and flush once per unit of work, so the steady-state
+//! cost of metrics on the DSE hot loop is zero.
+//!
+//! Rendering sanitizes the dotted naming scheme (`maestro.dse.valid` →
+//! `maestro_dse_valid`) and emits `# TYPE` headers, histogram
+//! `_bucket{le=...}` / `_sum` / `_count` series, and bare samples for
+//! counters and gauges. [`parse_exposition`] reads that format back —
+//! used by the round-trip tests and available to downstream tooling.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. Stored as `f64` bits.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over fixed, cumulative-style bucket upper bounds.
+///
+/// Bounds are set at first registration and never change afterwards —
+/// stable boundaries are part of the exposition contract (dashboards and
+/// the round-trip tests rely on them). Values are recorded into the first
+/// bucket whose bound is `>= value`; everything overflows into the
+/// implicit `+Inf` bucket. The sum is accumulated in micro-units
+/// (`value * 1e6` rounded) so it can live in an atomic without locking.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    bounds: Vec<f64>,
+    /// One per bound, plus the `+Inf` overflow bucket last. Non-cumulative
+    /// internally; rendering accumulates.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Σ observed values, in micro-units.
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation. Negative and NaN values clamp into the
+    /// first bucket (they still count toward `_count`), so a buggy
+    /// observation can never panic or vanish silently.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .inner
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.inner.bounds.len());
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        let micros = if v.is_finite() && v > 0.0 {
+            (v * 1e6).round() as u64
+        } else {
+            0
+        };
+        self.inner.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Σ of observed values.
+    pub fn sum(&self) -> f64 {
+        self.inner.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// The configured bucket upper bounds (excluding `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.inner.bounds
+    }
+
+    /// Cumulative bucket counts, one per bound plus the final `+Inf`.
+    pub fn cumulative_buckets(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| {
+                acc += b.load(Ordering::Relaxed);
+                acc
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The metrics registry: a name → metric table.
+#[derive(Debug, Default)]
+pub struct Registry {
+    // BTreeMap so the exposition is deterministically ordered.
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// A fresh, private registry (tests; production code uses
+    /// [`registry`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            // Same name registered as a different kind: a programming
+            // error, but panicking in a metrics path is worse than
+            // handing back a detached handle.
+            _ => Counter(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))),
+        }
+    }
+
+    /// Get or create the histogram `name` with the given bucket upper
+    /// bounds (ascending; the `+Inf` bucket is implicit). If `name`
+    /// already exists, the *existing* boundaries win — they are fixed for
+    /// the life of the process.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut m = self.lock();
+        match m.entry(name.to_string()).or_insert_with(|| {
+            let mut sorted: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+            sorted.sort_by(f64::total_cmp);
+            sorted.dedup();
+            let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+            Metric::Histogram(Histogram {
+                inner: Arc::new(HistogramInner {
+                    bounds: sorted,
+                    buckets,
+                    count: AtomicU64::new(0),
+                    sum_micros: AtomicU64::new(0),
+                }),
+            })
+        }) {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram {
+                inner: Arc::new(HistogramInner {
+                    bounds: Vec::new(),
+                    buckets: vec![AtomicU64::new(0)],
+                    count: AtomicU64::new(0),
+                    sum_micros: AtomicU64::new(0),
+                }),
+            },
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        // A poisoned registry mutex means some other thread panicked
+        // mid-registration; the map itself is still structurally sound.
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Render every metric in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let m = self.lock();
+        let mut out = String::new();
+        for (name, metric) in m.iter() {
+            let pname = sanitize(name);
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {pname} counter");
+                    let _ = writeln!(out, "{pname} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {pname} gauge");
+                    let _ = writeln!(out, "{pname} {}", fmt_f64(g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {pname} histogram");
+                    let cumulative = h.cumulative_buckets();
+                    for (bound, count) in h.bounds().iter().zip(&cumulative) {
+                        let _ =
+                            writeln!(out, "{pname}_bucket{{le=\"{}\"}} {count}", fmt_f64(*bound));
+                    }
+                    let total = cumulative.last().copied().unwrap_or(0);
+                    let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {total}");
+                    let _ = writeln!(out, "{pname}_sum {}", fmt_f64(h.sum()));
+                    let _ = writeln!(out, "{pname}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; map the dotted scheme
+/// (and any stray `-`) onto `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Format a float the way Prometheus expects: integral values without a
+/// trailing `.0`, everything else in shortest-roundtrip form.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One parsed sample of an exposition: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sanitized metric name (including `_bucket`/`_sum`/`_count`
+    /// suffixes for histogram series).
+    pub name: String,
+    /// The `le` label for histogram buckets, if present.
+    pub le: Option<String>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Parse a Prometheus text exposition back into samples (comments and
+/// `# TYPE` lines are skipped). Supports the subset this module renders:
+/// bare samples and a single optional `le` label.
+pub fn parse_exposition(text: &str) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((head, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        let (name, le) = match head.split_once('{') {
+            None => (head.to_string(), None),
+            Some((n, rest)) => {
+                let le = rest
+                    .trim_end_matches('}')
+                    .split(',')
+                    .find_map(|kv| kv.trim().strip_prefix("le="))
+                    .map(|v| v.trim_matches('"').to_string());
+                (n.to_string(), le)
+            }
+        };
+        samples.push(Sample { name, le, value });
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_accumulate() {
+        let r = Registry::new();
+        let a = r.counter("maestro.test.ops");
+        let b = r.counter("maestro.test.ops");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4, "handles share the same cell");
+        let g = r.gauge("maestro.test.level");
+        g.set(2.5);
+        assert!((r.gauge("maestro.test.level").get() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_stable() {
+        let r = Registry::new();
+        let h = r.histogram("maestro.test.lat", &[0.1, 1.0, 10.0]);
+        // Re-registration with different bounds must NOT change them.
+        let h2 = r.histogram("maestro.test.lat", &[99.0]);
+        assert_eq!(h.bounds(), &[0.1, 1.0, 10.0]);
+        assert_eq!(h2.bounds(), &[0.1, 1.0, 10.0]);
+
+        h.observe(0.05); // -> le 0.1
+        h.observe(0.5); // -> le 1.0
+        h.observe(0.7); // -> le 1.0
+        h.observe(5.0); // -> le 10.0
+        h.observe(100.0); // -> +Inf
+        assert_eq!(h.cumulative_buckets(), vec![1, 3, 4, 5]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 106.25).abs() < 1e-6, "{}", h.sum());
+    }
+
+    #[test]
+    fn histogram_clamps_degenerate_observations() {
+        let r = Registry::new();
+        let h = r.histogram("maestro.test.weird", &[1.0]);
+        h.observe(-3.0);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 2);
+        // NaN fails every `<=`, so it lands in +Inf; negatives land in
+        // the first bucket. Neither panics, both count.
+        assert_eq!(h.cumulative_buckets(), vec![1, 2]);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn exposition_round_trips() {
+        let r = Registry::new();
+        r.counter("maestro.rt.hits").add(42);
+        r.gauge("maestro.rt.threads").set(8.0);
+        let h = r.histogram("maestro.rt.seconds", &[0.001, 0.01, 0.1]);
+        h.observe(0.0005);
+        h.observe(0.05);
+        h.observe(3.0);
+
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE maestro_rt_hits counter"), "{text}");
+        assert!(text.contains("maestro_rt_hits 42"), "{text}");
+        assert!(
+            text.contains("# TYPE maestro_rt_seconds histogram"),
+            "{text}"
+        );
+
+        let samples = parse_exposition(&text);
+        let find = |name: &str, le: Option<&str>| -> f64 {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.le.as_deref() == le)
+                .unwrap_or_else(|| panic!("missing {name} le={le:?} in:\n{text}"))
+                .value
+        };
+        assert_eq!(find("maestro_rt_hits", None), 42.0);
+        assert_eq!(find("maestro_rt_threads", None), 8.0);
+        assert_eq!(find("maestro_rt_seconds_bucket", Some("0.001")), 1.0);
+        assert_eq!(find("maestro_rt_seconds_bucket", Some("0.1")), 2.0);
+        assert_eq!(find("maestro_rt_seconds_bucket", Some("+Inf")), 3.0);
+        assert_eq!(find("maestro_rt_seconds_count", None), 3.0);
+        assert!((find("maestro_rt_seconds_sum", None) - 3.0505).abs() < 1e-4);
+
+        // Render → parse → the same bucket counts the handles report.
+        assert_eq!(h.cumulative_buckets(), vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sanitize_maps_dots_and_dashes() {
+        assert_eq!(sanitize("maestro.dse.unit-rate"), "maestro_dse_unit_rate");
+    }
+}

@@ -99,6 +99,7 @@ pub fn simulate(
     acc: &Accelerator,
     opts: SimOptions,
 ) -> Result<SimReport, SimError> {
+    let _span = maestro_obs::span::span("maestro.sim.simulate");
     let coupling = layer.coupling();
     let resolved = resolve(dataflow, layer, acc.num_pes)?;
     let levels: Vec<LevelCtx> = resolved
@@ -107,7 +108,21 @@ pub fn simulate(
         .map(|l| LevelCtx::build(&resolved, l, &coupling))
         .collect();
     let mut sched = FlatSchedule::new(levels, &coupling);
+    maestro_obs::debug!(
+        "simulating {}/{}: {} steps on {} PEs",
+        layer.name,
+        dataflow.name(),
+        sched.total_steps,
+        acc.num_pes
+    );
     if sched.total_steps > opts.max_steps {
+        maestro_obs::warn!(
+            "simulation of {}/{} aborted: schedule needs {} steps, over the limit of {}",
+            layer.name,
+            dataflow.name(),
+            sched.total_steps,
+            opts.max_steps
+        );
         return Err(SimError::TooManySteps {
             needed: sched.total_steps,
             limit: opts.max_steps,

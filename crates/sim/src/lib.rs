@@ -28,6 +28,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::print_stderr, clippy::print_stdout))]
+
 pub mod engine;
 pub mod flat;
 pub mod mapping;

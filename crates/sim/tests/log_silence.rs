@@ -1,0 +1,42 @@
+//! Regression: the simulator routes its diagnostics through the
+//! `maestro-obs` leveled logger, so at the default level (`MAESTRO_LOG`
+//! unset → off) a simulation run emits nothing at all — and at `debug`
+//! the same run does.
+
+use maestro_dnn::{Layer, LayerDims, Operator};
+use maestro_hw::Accelerator;
+use maestro_ir::Style;
+use maestro_sim::{simulate, SimOptions};
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn simulator_is_silent_at_default_level_and_chatty_at_debug() {
+    // Capture instead of stderr so the assertion sees every record.
+    let lines: Arc<Mutex<Vec<String>>> = Arc::default();
+    let sink_lines = Arc::clone(&lines);
+    maestro_obs::log::set_capture(Some(Box::new(move |_lvl, s| {
+        if let Ok(mut v) = sink_lines.lock() {
+            v.push(s.to_string());
+        }
+    })));
+    maestro_obs::log::set_level(maestro_obs::Level::Off);
+
+    let layer = Layer::new("c", Operator::conv2d(), LayerDims::square(1, 8, 8, 10, 3));
+    let acc = Accelerator::builder(64).build();
+    simulate(&layer, &Style::KCP.dataflow(), &acc, SimOptions::default()).expect("simulatable");
+    assert!(
+        lines.lock().expect("sink lock").is_empty(),
+        "simulator logged at the default (off) level: {:?}",
+        lines.lock().expect("sink lock")
+    );
+
+    maestro_obs::log::set_level(maestro_obs::Level::Debug);
+    simulate(&layer, &Style::KCP.dataflow(), &acc, SimOptions::default()).expect("simulatable");
+    assert!(
+        !lines.lock().expect("sink lock").is_empty(),
+        "simulator emitted nothing at debug level"
+    );
+
+    maestro_obs::log::set_level(maestro_obs::Level::Off);
+    maestro_obs::log::set_capture(None);
+}
