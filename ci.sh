@@ -47,4 +47,15 @@ for name in maestro_cache_hits maestro_cache_misses maestro_dse_unit_rate \
   fi
 done
 
+# The closed-form model and the step simulator must agree on a fixed
+# fuzz corpus: any divergence beyond the calibrated tolerances exits 6
+# and prints a minimized, ready-to-paste reproducer.
+echo "== differential conformance smoke (conform --seed 1)"
+conform_out=$(target/release/maestro conform --seed 1 --cases 200 --metrics -)
+if ! grep -q "maestro_conform_diverged 0" <<<"${conform_out}"; then
+  echo "conformance divergence (or missing counter) in conform output" >&2
+  grep -m1 "diverged" <<<"${conform_out}" >&2 || true
+  exit 1
+fi
+
 echo "CI OK"

@@ -58,6 +58,20 @@ impl Args {
         }
     }
 
+    /// Floating-point option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when the value is not a number.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        }
+    }
+
     /// Boolean flag.
     pub fn flag(&self, key: &str) -> bool {
         self.options.get(key).is_some_and(|v| v == "true")
@@ -93,6 +107,16 @@ mod tests {
     fn bad_integer_reports_error() {
         let a = parse("x --pes lots");
         assert!(a.get_u64("pes", 1).is_err());
+    }
+
+    #[test]
+    fn float_options() {
+        let a = parse("x --tol-runtime 12.5");
+        assert_eq!(a.get_f64("tol-runtime", 1.0).unwrap(), 12.5);
+        assert_eq!(a.get_f64("missing", 2.5).unwrap(), 2.5);
+        assert!(a.get_f64("tol-runtime", 1.0).is_ok());
+        let b = parse("x --tol-l1 wide");
+        assert!(b.get_f64("tol-l1", 1.0).is_err());
     }
 
     #[test]

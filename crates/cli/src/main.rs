@@ -34,6 +34,8 @@ enum ErrorKind {
     Resolve,
     /// The cost-model analysis itself failed.
     Analysis,
+    /// The conformance harness found model-vs-simulator divergences.
+    Conformance,
     /// Anything else.
     Other,
 }
@@ -75,6 +77,7 @@ impl CliError {
             ErrorKind::Parse => 3,
             ErrorKind::Resolve => 4,
             ErrorKind::Analysis => 5,
+            ErrorKind::Conformance => 6,
             ErrorKind::Other => 1,
         })
     }
@@ -107,6 +110,7 @@ fn main() -> ExitCode {
         "model" => cmd_model(&args),
         "dse" => cmd_dse(&args),
         "validate" => cmd_validate(&args),
+        "conform" => cmd_conform(&args),
         "mapping" => cmd_mapping(&args),
         "explain" => cmd_explain(&args),
         "lint" => cmd_lint(&args),
@@ -121,7 +125,11 @@ fn main() -> ExitCode {
             "unknown command `{other}`\n{USAGE}"
         ))),
     };
-    match result.and_then(|()| write_observability(&args)) {
+    // Observability artifacts are written even when the command fails
+    // (e.g. `conform` exiting non-zero on divergences still dumps its
+    // counters); the command's own error decides the exit code.
+    let obs = write_observability(&args);
+    match result.and(obs) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {}", e.message);
@@ -133,8 +141,8 @@ fn main() -> ExitCode {
 /// Emit the observability artifacts the user asked for: `--metrics
 /// <path|->` dumps the global registry in Prometheus text exposition
 /// format, `--trace-json <path|->` dumps collected spans as JSONL. `-`
-/// writes to stdout. Runs after the command succeeds, so the artifacts
-/// describe a complete run.
+/// writes to stdout. Runs after the command finishes — success or not —
+/// so the artifacts always describe the run that happened.
 fn write_observability(args: &Args) -> Result<(), CliError> {
     let write = |dest: &str, what: &str, text: String| -> Result<(), CliError> {
         if dest == "-" {
@@ -170,6 +178,7 @@ USAGE:
   maestro model    --model <zoo> --dataflow <style|file> --pes <n> [--adaptive] [--json]
   maestro dse      --model <zoo> --layer <name> --style <style> [--threads <n>] [--json]
   maestro validate --model <zoo> --dataflow <style|file> --pes <n>
+  maestro conform  [--seed <n>] [--cases <n>] [--max-steps <n>] [--tol-runtime <pct>] [--tol-l1 <pct>] [--tol-l2 <pct>] [--tol-util <abs>] [--tol-macs <pct>] [--json]
   maestro mapping  --model <zoo> --layer <name> --dataflow <style|file> --pes <n> --step <t>
   maestro explain  --model <zoo> --layer <name> --dataflow <style|file> --pes <n>
   maestro lint     --model <zoo> --layer <name> --dataflow <style|file> --pes <n>
@@ -386,6 +395,82 @@ fn cmd_validate(args: &Args) -> Result<(), CliError> {
         points.len()
     );
     Ok(())
+}
+
+fn cmd_conform(args: &Args) -> Result<(), CliError> {
+    let d = maestro_sim::ConformConfig::default();
+    let cfg = maestro_sim::ConformConfig {
+        seed: args.get_u64("seed", d.seed).map_err(CliError::usage)?,
+        cases: args.get_u64("cases", d.cases).map_err(CliError::usage)?,
+        max_steps: args
+            .get_u64("max-steps", d.max_steps)
+            .map_err(CliError::usage)?,
+        tol: maestro_sim::Tolerances {
+            runtime_pct: args
+                .get_f64("tol-runtime", d.tol.runtime_pct)
+                .map_err(CliError::usage)?,
+            l1_pct: args
+                .get_f64("tol-l1", d.tol.l1_pct)
+                .map_err(CliError::usage)?,
+            l2_pct: args
+                .get_f64("tol-l2", d.tol.l2_pct)
+                .map_err(CliError::usage)?,
+            utilization_abs: args
+                .get_f64("tol-util", d.tol.utilization_abs)
+                .map_err(CliError::usage)?,
+            model_macs_pct: args
+                .get_f64("tol-macs", d.tol.model_macs_pct)
+                .map_err(CliError::usage)?,
+        },
+    };
+    let report = maestro_sim::run_conform(&cfg);
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "conform: seed {} — {} cases, {} compared, {} diverged",
+            report.seed,
+            report.cases,
+            report.compared,
+            report.diverged.len()
+        );
+        println!(
+            "  skipped         {} unresolvable, {} model errors, {} over step budget",
+            report.skipped_resolve, report.skipped_analysis, report.skipped_steps
+        );
+        println!(
+            "  tolerances      runtime {}%, L1 {}%, L2 {}%, |util| {}, model-MACs {}%",
+            cfg.tol.runtime_pct,
+            cfg.tol.l1_pct,
+            cfg.tol.l2_pct,
+            cfg.tol.utilization_abs,
+            cfg.tol.model_macs_pct
+        );
+        for dc in &report.diverged {
+            println!("\ncase {} diverged — original: {}", dc.index, dc.original);
+            println!("shrunk to: {}", dc.shrunk);
+            for div in &dc.divergences {
+                println!("  {div}");
+            }
+            println!("--- reproducer ---\n{}", dc.reproducer);
+        }
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::new(
+            ErrorKind::Conformance,
+            format!(
+                "{} of {} compared cases diverged beyond tolerance (seed {})",
+                report.diverged.len(),
+                report.compared,
+                report.seed
+            ),
+        ))
+    }
 }
 
 fn cmd_mapping(args: &Args) -> Result<(), CliError> {

@@ -2,10 +2,11 @@
 //! user error maps to its documented exit code with a rendered diagnostic
 //! on stderr (never a panic backtrace):
 //!
-//! - 2 `Usage`    — unknown command, bad flag value, unreadable input
-//! - 3 `Parse`    — malformed dataflow (`.m`/`.df`) or network file
-//! - 4 `Resolve`  — dataflow does not resolve onto the layer/accelerator
-//! - 5 `Analysis` — the cost model itself rejected the configuration
+//! - 2 `Usage`       — unknown command, bad flag value, unreadable input
+//! - 3 `Parse`       — malformed dataflow (`.m`/`.df`) or network file
+//! - 4 `Resolve`     — dataflow does not resolve onto the layer/accelerator
+//! - 5 `Analysis`    — the cost model itself rejected the configuration
+//! - 6 `Conformance` — `conform` found model-vs-simulator divergences
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -152,4 +153,45 @@ fn healthy_invocations_exit_0() {
     assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
     let out = maestro(&["help"]);
     assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+}
+
+#[test]
+fn conform_divergence_exits_6() {
+    // Zero tolerance turns any nonzero model-vs-sim delta into a reported
+    // divergence; a handful of cases is guaranteed to contain one.
+    let out = maestro(&[
+        "conform",
+        "--seed",
+        "1",
+        "--cases",
+        "5",
+        "--tol-runtime",
+        "0",
+        "--tol-l1",
+        "0",
+        "--tol-l2",
+        "0",
+        "--tol-util",
+        "0",
+        "--tol-macs",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(6), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("diverged beyond tolerance"),
+        "{}",
+        stderr(&out)
+    );
+    // The report prints a ready-to-paste reproducer for the first failure.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("#[test]"), "{stdout}");
+    assert!(stdout.contains("validate_layer"), "{stdout}");
+}
+
+#[test]
+fn conform_clean_run_exits_0() {
+    let out = maestro(&["conform", "--seed", "1", "--cases", "25"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 diverged"), "{stdout}");
 }

@@ -216,3 +216,19 @@ fn maestro_log_enables_stderr_diagnostics() {
     assert_eq!(out.status.code(), Some(0));
     assert!(out.stderr.is_empty());
 }
+
+#[test]
+fn conform_metrics_report_harness_counters() {
+    let out = maestro(&["conform", "--seed", "3", "--cases", "10", "--metrics", "-"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let expo = exposition_lines(&stdout).join("\n");
+    assert!(expo.contains("maestro_conform_cases 10"), "{expo}");
+    for name in [
+        "maestro_conform_diverged",
+        "maestro_conform_shrunk",
+        "maestro_conform_skipped",
+    ] {
+        assert!(expo.contains(name), "missing {name}: {expo}");
+    }
+}

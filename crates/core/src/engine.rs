@@ -44,6 +44,13 @@ pub struct LevelResult {
     /// unit's L1, data distributed spatially splits. Used by the top level
     /// to charge L1 fills and NoC deliveries.
     pub fanout: [f64; 2],
+    /// Output elements committed upstream across one pass of this level
+    /// (in boundary elements, edge-coverage scaled). The parent uses this
+    /// to spill partial sums its own output loops never see turn over.
+    pub out_egress: f64,
+    /// Output elements still resident in the units at the end of a pass —
+    /// the part an outer reduction loop can revisit without a refetch.
+    pub out_resident: f64,
 }
 
 /// Whether a tensor's footprint depends on a dimension's position (i.e.
@@ -115,6 +122,18 @@ fn new_data(
             s
         }
     };
+    // A reset is a *negative* advance: the dim jumps from its last chunk
+    // position back to the first, a span of adv × (trips − 1) view
+    // positions per inner loop it appears in. Short sliding windows wrap
+    // to a nearby position and keep most of their footprint resident.
+    let reset_span = |d: Dim| -> u64 {
+        ctx.loops[j + 1..]
+            .iter()
+            .flat_map(|l| l.dims.iter().map(move |(ld, a)| (*ld, *a, l.trips)))
+            .filter(|(ld, _, _)| *ld == d)
+            .map(|(_, a, trips)| a * trips.saturating_sub(1))
+            .sum()
+    };
     for d in maestro_dnn::ALL_DIMS {
         // The input's receptive field along Y/X depends on both halves of
         // the window pair; handle the pair on the Y/X visit and skip R/S.
@@ -123,18 +142,16 @@ fn new_data(
                 continue;
             };
             let f = ctx.views.fp_factor(coupling, kind, d) as f64;
-            let ov = match (st(d), st(p)) {
-                (DimState::Reset, _) | (_, DimState::Reset) => 0.0,
-                (sy, sp) => {
-                    let adv = |s| match s {
-                        DimState::Advance(a) => a,
-                        _ => 0,
-                    };
-                    let shift = ctx.views.strides.of(d) * adv(sy) + adv(sp);
-                    (f - shift as f64).max(0.0)
+            let disp = |s: DimState, dd: Dim| -> i64 {
+                match s {
+                    DimState::Advance(a) => a as i64,
+                    DimState::Reset => -(reset_span(dd) as i64),
+                    DimState::Hold => 0,
                 }
             };
-            overlap *= ov;
+            let shift =
+                (ctx.views.strides.of(d) as i64 * disp(st(d), d) + disp(st(p), p)).unsigned_abs();
+            overlap *= (f - shift as f64).max(0.0);
             continue;
         }
         if kind == TensorKind::Input && d.is_filter_window() && coupling.has_window_on_partner(d) {
@@ -152,8 +169,7 @@ fn new_data(
                 overlap *= ctx.views.overlap_factor(coupling, kind, d, a) as f64;
             }
             DimState::Reset => {
-                overlap = 0.0;
-                break;
+                overlap *= ctx.views.overlap_factor(coupling, kind, d, reset_span(d)) as f64;
             }
         }
         if overlap == 0.0 {
@@ -257,6 +273,19 @@ pub fn analyze_level(
         .filter(|v| !v.spatial)
         .map(|v| v.total as f64 / (v.trips as f64 * v.chunk as f64))
         .product();
+    // Traffic shrinks only along dimensions the tensor's footprint actually
+    // depends on: a K edge chunk moves fewer weights and outputs but the
+    // same inputs.
+    let coverage_of = |kind: TensorKind| -> f64 {
+        ctx.views
+            .iter()
+            .filter(|v| depends(coupling, kind, v.dim))
+            .map(|v| v.total as f64 / (v.trips as f64 * v.chunk as f64))
+            .product()
+    };
+    let cov_in = coverage_of(TensorKind::Input);
+    let cov_w = coverage_of(TensorKind::Weight);
+    let cov_out = coverage_of(TensorKind::Output);
 
     // Transition classes.
     let mut counts = ActivityCounts::new();
@@ -323,16 +352,43 @@ pub fn analyze_level(
                 .iter()
                 .any(|(d, _)| coupling.reduction.contains(*d) || d.is_filter_window())
         {
+            // A reduction revisit recomputes the same outputs. This level's
+            // output loops see no turnover, but outputs the levels *below*
+            // could not keep resident (folded through the PEs mid-pass)
+            // were already committed upstream as partials: each revisit
+            // fetches them back, replicated across this level's units. The
+            // matching writes are already part of the commit stream below.
+            if let Some(r) = inner {
+                let nonresident = (r.out_egress - r.out_resident).max(0.0);
+                spill_read += nonresident * out_mult * occurrences;
+            }
             outer_red *= l.trips as f64;
         }
     }
 
-    // Init transition: everything fetched, nothing overlapped.
+    // Init transition: everything fetched, nothing overlapped. The fill is
+    // one stream from the L2 down through the level hierarchy, so its
+    // serialization is charged once, at the top boundary; inner levels see
+    // data already in flight and add only their network's pipeline-fill
+    // latency (the multicast/reduction depths charged above and below).
     let init_ingress = fp_in * in_mult * d_in + fp_w * w_mult * d_w;
-    let init_delay = transfer(acc, init_ingress) + multicast_latency + compute_first;
+    let init_transfer = if is_top {
+        transfer(acc, init_ingress)
+    } else {
+        0.0
+    };
+    let init_delay = init_transfer + multicast_latency + compute_first;
     peak_bw = peak_bw.max(init_ingress / (compute_delay - acc.noc.avg_latency as f64).max(1.0));
 
-    let runtime_first = init_delay + runtime_accum * coverage_temporal;
+    // Final drain of the last resident outputs, serialized at the L2
+    // boundary after the last step (matches the simulator's epilogue).
+    let final_drain = if is_top {
+        (fp_out * out_mult * d_out / acc.noc.bandwidth as f64).ceil()
+    } else {
+        0.0
+    };
+
+    let runtime_first = init_delay + runtime_accum * coverage_temporal + final_drain;
     let runtime_steady = runtime_accum * coverage_temporal + last_outstanding;
 
     // ---- Activity counts ----
@@ -354,9 +410,12 @@ pub fn analyze_level(
         counts.l1_read[TensorKind::Output] += macs_effective;
         counts.l1_write[TensorKind::Output] += macs_effective;
         // Output drains and their NoC traversals happen once per pass at
-        // the PEs, whatever level commits them upstream.
-        counts.l1_read[TensorKind::Output] += per_unit_out * d_out * activef;
-        counts.noc[TensorKind::Output] += final_write + spill_write + spill_read;
+        // the PEs, whatever level commits them upstream. Per-unit totals
+        // replicate by the *average* spatial occupancy: with folds the last
+        // wrap runs fewer units, which `utilization` already measures.
+        let avg_active = ctx.num_units as f64 * ctx.utilization;
+        counts.l1_read[TensorKind::Output] += per_unit_out * d_out * avg_active * cov_out;
+        counts.noc[TensorKind::Output] += (final_write + spill_write + spill_read) * cov_out;
     }
     // Replication fanout from this level's boundary to PE L1s: multicast
     // tensors land in every sub-unit's L1, distributed tensors split.
@@ -372,20 +431,32 @@ pub fn analyze_level(
         step_fanout(TensorKind::Input, child_fanout[0]),
         step_fanout(TensorKind::Weight, child_fanout[1]),
     ];
+    // When the inner level folds outputs through its units mid-pass it
+    // cannot hold them resident: every pass streams its full egress across
+    // this boundary (there is no intermediate output buffer between the
+    // PE array and the L2). Otherwise outputs accumulate in place and only
+    // this level's own turnover commits.
+    let out_commit = match inner {
+        Some(r) if r.out_egress > r.out_resident => {
+            r.out_egress * out_mult * ctx.total_steps as f64
+        }
+        _ => final_write,
+    };
     // Partial-sum spills always reach the L2, regardless of level.
-    counts.l2_write[TensorKind::Output] += spill_write;
-    counts.l2_read[TensorKind::Output] += spill_read;
+    counts.l2_write[TensorKind::Output] += spill_write * cov_out;
+    counts.l2_read[TensorKind::Output] += spill_read * cov_out;
     if is_top {
         // Operand fetches and completed-output commits are charged once,
         // at the boundary that actually touches the L2. L1 fills and their
         // NoC deliveries are the same stream, replicated by the multicast
         // fanout of the levels below (data held stationary by outer loops
         // is *not* re-filled every inner pass).
-        counts.l2_read[TensorKind::Input] += l2_in;
-        counts.l2_read[TensorKind::Weight] += l2_w;
-        counts.l2_write[TensorKind::Output] += final_write;
-        let fill_in = per_unit_in * d_in * activef * child_fanout[0];
-        let fill_w = per_unit_w * d_w * activef * child_fanout[1];
+        counts.l2_read[TensorKind::Input] += l2_in * cov_in;
+        counts.l2_read[TensorKind::Weight] += l2_w * cov_w;
+        counts.l2_write[TensorKind::Output] += out_commit * cov_out;
+        let avg_active = ctx.num_units as f64 * ctx.utilization;
+        let fill_in = per_unit_in * d_in * avg_active * child_fanout[0] * cov_in;
+        let fill_w = per_unit_w * d_w * avg_active * child_fanout[1] * cov_w;
         counts.l1_write[TensorKind::Input] += fill_in;
         counts.l1_write[TensorKind::Weight] += fill_w;
         counts.noc[TensorKind::Input] += fill_in;
@@ -420,6 +491,10 @@ pub fn analyze_level(
         peak_bw,
         compute_delay,
         fanout,
+        out_egress: out_commit * cov_out,
+        out_resident: inner
+            .map(|r| r.out_resident)
+            .unwrap_or(fp_out * out_mult * d_out),
     }
 }
 

@@ -106,8 +106,12 @@ impl LevelViews {
         let v = self.view(d);
         match kind {
             TensorKind::Input if d.is_input_spatial() && coupling.has_window_on(d) => {
-                // Receptive field of the output chunk.
-                self.strides.of(d) * (v.chunk - 1) + self.partner_chunk(d)
+                // Receptive field of the output chunk. When the stride
+                // exceeds the filter chunk, the rows between consecutive
+                // output anchors are never touched, so each extra output
+                // adds only `filter` rows, not `stride`.
+                let f = self.partner_chunk(d);
+                self.strides.of(d).min(f) * (v.chunk - 1) + f
             }
             TensorKind::Output => {
                 if d.is_filter_window() && coupling.has_window_on_partner(d) {
@@ -143,9 +147,16 @@ impl LevelViews {
             // Advancing the filter chunk slides the input receptive field
             // along the *partner* axis; the returned value is the partner
             // axis' surviving extent (callers must not also multiply the
-            // partner's own factor for the same transition).
+            // partner's own factor for the same transition). With a gapped
+            // window every output's disjoint field slides at once.
             if let Some(axis) = d.window_partner() {
-                return self.fp_factor(coupling, kind, axis).saturating_sub(advance);
+                let v = self.view(axis);
+                let slide = if self.strides.of(axis) > self.partner_chunk(axis) {
+                    v.chunk * advance
+                } else {
+                    advance
+                };
+                return self.fp_factor(coupling, kind, axis).saturating_sub(slide);
             }
         }
         if !coupling.is_coupled(kind, d) {
@@ -154,8 +165,11 @@ impl LevelViews {
         let f = self.fp_factor(coupling, kind, d);
         match kind {
             TensorKind::Input if d.is_input_spatial() && coupling.has_window_on(d) => {
-                // The input window slides by stride × out-positions.
-                f.saturating_sub(self.strides.of(d) * advance)
+                // The input window slides by stride × out-positions; with a
+                // gapped window (stride > filter chunk) each advanced
+                // output retires only its own `filter` rows.
+                let per = self.strides.of(d).min(self.partner_chunk(d));
+                f.saturating_sub(per * advance)
             }
             TensorKind::Output if d.is_filter_window() && coupling.has_window_on_partner(d) => {
                 // Pure reduction: outputs unchanged.
@@ -214,7 +228,11 @@ pub fn to_view_coords(
         let chunk = out_extent(map_size, level_filter_size, stride)
             .max(1)
             .min(total);
-        let step = (map_offset / stride).max(1);
+        // An input-space advance of `map_offset` rows moves the first output
+        // whose window is fully resident by ceil(offset/stride): rounding
+        // down would overlap adjacent output chunks and double-count outputs
+        // whose input rows the next chunk does not actually hold.
+        let step = map_offset.div_ceil(stride).max(1);
         (chunk, step, total)
     } else {
         let chunk = map_size.min(level_dim_size);

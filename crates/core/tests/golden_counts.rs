@@ -1,0 +1,128 @@
+//! Golden activity-count pins for conformance-harness reproducers.
+//!
+//! These cases were minimized by `maestro conform` while hunting
+//! divergences between the closed-form model and the step simulator. The
+//! values below are the *post-fix* model outputs, verified against the
+//! simulator in `maestro-sim/tests/conform_repros.rs`; they are pinned
+//! here exactly so regressions in the engine's edge-padding, coverage,
+//! and transition-overlap math are caught without running the simulator.
+
+use maestro_core::analyze;
+use maestro_dnn::{Layer, LayerDims, Operator, TensorKind};
+use maestro_hw::Accelerator;
+use maestro_ir::Style;
+
+#[allow(clippy::too_many_arguments)]
+fn dims(n: u64, k: u64, c: u64, y: u64, x: u64, r: u64, s: u64, sy: u64, sx: u64) -> LayerDims {
+    LayerDims {
+        n,
+        k,
+        c,
+        y,
+        x,
+        r,
+        s,
+        stride_y: sy,
+        stride_x: sx,
+    }
+}
+
+/// Strided edge chunks must not double-count overlap with their
+/// predecessor: Y=3/X=4 under stride 3 has exactly 3×2 outputs and every
+/// MAC touches a distinct input element.
+#[test]
+fn strided_edge_chunks_exact_macs() {
+    let layer = Layer::new("g", Operator::conv2d(), dims(1, 1, 1, 3, 4, 1, 1, 1, 3));
+    let acc = Accelerator::builder(8).noc_bandwidth(1).build();
+    let r = analyze(&layer, &Style::YXP.dataflow(), &acc).unwrap();
+    assert_eq!(r.counts.macs, layer.total_macs() as f64);
+    assert_eq!(r.counts.macs, 6.0);
+    assert_eq!(r.runtime, 16.0);
+    // Each of the 6 outputs reads a distinct input element once.
+    assert_eq!(r.counts.l2_read[TensorKind::Input], 6.0);
+    assert_eq!(r.counts.l2_write[TensorKind::Output], 6.0);
+}
+
+/// Edge-padded K grid (9 over chunk-8 folds): weight traffic must cover
+/// exactly the 9 real filters, not the 16 padded grid slots.
+#[test]
+fn edge_coverage_scales_traffic() {
+    let layer = Layer::new("g", Operator::conv2d(), dims(1, 9, 1, 4, 4, 1, 1, 1, 1));
+    let acc = Accelerator::builder(64).noc_bandwidth(1).build();
+    let r = analyze(&layer, &Style::KCP.dataflow(), &acc).unwrap();
+    assert_eq!(r.counts.macs, layer.total_macs() as f64);
+    // 9 real filters, not the 16 slots of the padded 2x8 grid.
+    assert_eq!(r.counts.l2_read[TensorKind::Weight], 9.0);
+    assert_eq!(r.counts.l2_write[TensorKind::Output], 144.0);
+}
+
+/// Sliding-window resets keep their overlap: one PE sweeping a 4×4 window
+/// over a 10×5 input refetches only the uncovered border on each row
+/// advance.
+#[test]
+fn reset_window_overlap_input_traffic() {
+    let layer = Layer::new("g", Operator::conv2d(), dims(1, 1, 1, 10, 5, 4, 4, 1, 1));
+    let acc = Accelerator::builder(1).noc_bandwidth(1).build();
+    let r = analyze(&layer, &Style::CP.dataflow(), &acc).unwrap();
+    assert_eq!(r.counts.macs, 224.0); // 7x2 outputs x 16-tap window
+                                      // First window 16, +4 per column slide, +7 per row advance (the reset
+                                      // wraps the window back with a 3x3 overlap): 20 + 6x11 = 86 exactly.
+    assert_eq!(r.counts.l2_read[TensorKind::Input], 86.0);
+    assert_eq!(r.counts.l2_read[TensorKind::Weight], 16.0);
+    assert_eq!(r.counts.l2_write[TensorKind::Output], 14.0);
+}
+
+/// Inner spatial folds stream their output egress across the L2 boundary
+/// every pass; outer reduction revisits refetch the partials.
+#[test]
+fn inner_fold_output_commit_stream() {
+    let layer = Layer::new("g", Operator::conv2d(), dims(1, 1, 3, 4, 7, 1, 1, 1, 1));
+    let acc = Accelerator::builder(12).noc_bandwidth(1).build();
+    // YX-P[p3,x8]: Y spatial at the top, X folded across a 3-PE cluster.
+    let sz = maestro_ir::SizeExpr::size;
+    let df = maestro_ir::Dataflow::builder("YX-P[p3,x8]")
+        .temporal(1, 1, maestro_dnn::Dim::K)
+        .spatial(sz(maestro_dnn::Dim::R), 1, maestro_dnn::Dim::Y)
+        .temporal(
+            maestro_ir::SizeExpr::lit(8)
+                .add(sz(maestro_dnn::Dim::S))
+                .sub(maestro_ir::SizeExpr::lit(1)),
+            8,
+            maestro_dnn::Dim::X,
+        )
+        .temporal(1, 1, maestro_dnn::Dim::C)
+        .temporal(
+            sz(maestro_dnn::Dim::R),
+            sz(maestro_dnn::Dim::R),
+            maestro_dnn::Dim::R,
+        )
+        .temporal(
+            sz(maestro_dnn::Dim::S),
+            sz(maestro_dnn::Dim::S),
+            maestro_dnn::Dim::S,
+        )
+        .cluster(maestro_ir::SizeExpr::lit(3))
+        .spatial(sz(maestro_dnn::Dim::S), 1, maestro_dnn::Dim::X)
+        .build();
+    let r = analyze(&layer, &df, &acc).unwrap();
+    assert_eq!(r.counts.macs, 84.0); // 28 outputs x C=3 reduction
+                                     // 3 egress events per pass x 12-way replication x 3 C-passes, with
+                                     // the 2 mid-pass events refetched on each of the 2 revisits.
+    assert_eq!(r.counts.l2_write[TensorKind::Output], 108.0);
+    assert_eq!(r.counts.l2_read[TensorKind::Output], 48.0);
+}
+
+/// Uncoupled dims degenerate instead of multiplying the schedule: a
+/// depthwise layer under a K-spatial dataflow does the same MACs as the
+/// layer itself.
+#[test]
+fn uncoupled_dims_do_not_replicate() {
+    let layer = Layer::new(
+        "g",
+        Operator::DepthwiseConv2d,
+        dims(1, 4, 8, 6, 6, 3, 3, 1, 1),
+    );
+    let acc = Accelerator::builder(64).noc_bandwidth(1).build();
+    let r = analyze(&layer, &Style::KCP.dataflow(), &acc).unwrap();
+    assert_eq!(r.counts.macs, layer.total_macs() as f64);
+}

@@ -343,7 +343,10 @@ impl Layer {
     pub fn total_macs(&self) -> u64 {
         let d = &self.dims;
         let coupling = self.coupling();
-        let mut macs = d.n * d.out_y() * d.out_x();
+        let mut macs = d.n;
+        if coupling.input.contains(Dim::Y) || coupling.output.contains(Dim::Y) {
+            macs *= d.out_y() * d.out_x();
+        }
         if coupling.is_coupled(TensorKind::Weight, Dim::K)
             || coupling.is_coupled(TensorKind::Output, Dim::K)
         {

@@ -187,7 +187,20 @@ pub fn resolve(dataflow: &Dataflow, layer: &Layer, num_pes: u64) -> Result<Resol
     if num_pes == 0 {
         return Err(ResolveError::NoPes);
     }
-    let layer_dims = layer.dims.sizes();
+    let mut layer_dims = layer.dims.sizes();
+    // A dimension no tensor of this layer indexes (e.g. K for depthwise,
+    // Y/X/R/S for a GEMM coupling) has no data axis to tile: iterating it
+    // would replicate identical work. Clamp its extent to one trip so maps
+    // over uncoupled dims degenerate instead of multiplying the schedule.
+    let coupling = layer.coupling();
+    for d in ALL_DIMS {
+        let coupled = coupling.input.contains(d)
+            || coupling.weight.contains(d)
+            || coupling.output.contains(d);
+        if !coupled {
+            layer_dims.set(d, 1);
+        }
+    }
 
     // Split directives into per-level map lists and collect cluster sizes.
     let mut level_dirs: Vec<Vec<&Directive>> = Vec::new();

@@ -232,9 +232,12 @@ pub fn tensor_axis_interval(
             let p = d.window_partner().expect("Y/X have partners");
             let f = sched.dim_interval(p, units);
             let s = stride(d);
+            // With a gapped window (stride > filter chunk) the rows between
+            // consecutive output anchors are never resident; count only the
+            // touched rows so fills match what actually moves.
             Some(Interval {
                 start: s * out.start + f.start,
-                len: s * (out.len.saturating_sub(1)) + f.len,
+                len: s.min(f.len) * (out.len.saturating_sub(1)) + f.len,
             })
         }
         TensorKind::Input if d.is_filter_window() && coupling.has_window_on_partner(d) => {

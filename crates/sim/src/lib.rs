@@ -30,12 +30,17 @@
 
 #![cfg_attr(not(test), deny(clippy::print_stderr, clippy::print_stdout))]
 
+pub mod conform;
 pub mod engine;
 pub mod flat;
 pub mod mapping;
 pub mod trace;
 pub mod validate;
 
+pub use conform::{
+    check_case, run_conform, shrink, Case, CaseOutcome, ConformConfig, ConformReport, Divergence,
+    DivergentCase, Metric, SkipReason, Tolerances,
+};
 pub use engine::{simulate, SimError, SimOptions, SimReport};
 pub use mapping::{mapping_at_step, PeMapping};
 pub use trace::{trace, StepTrace, Trace};

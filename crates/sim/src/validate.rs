@@ -35,32 +35,33 @@ pub struct ValidationPoint {
     pub sim_utilization: f64,
 }
 
+/// Relative error in percent with a divergence-preserving zero case: when
+/// the reference (`sim`) side is zero, a non-zero model value is infinite
+/// error, not zero — a zero denominator must never mask disagreement.
+pub(crate) fn error_pct(model: f64, sim: f64) -> f64 {
+    if sim > 0.0 {
+        100.0 * (model - sim).abs() / sim
+    } else if model == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY
+    }
+}
+
 impl ValidationPoint {
     /// Absolute runtime error of the model vs the simulator, in percent.
     pub fn runtime_error_pct(&self) -> f64 {
-        if self.sim_runtime > 0.0 {
-            100.0 * (self.model_runtime - self.sim_runtime).abs() / self.sim_runtime
-        } else {
-            0.0
-        }
+        error_pct(self.model_runtime, self.sim_runtime)
     }
 
     /// Absolute L1-fill error of the model vs the simulator, percent.
     pub fn l1_error_pct(&self) -> f64 {
-        if self.sim_l1_fill > 0.0 {
-            100.0 * (self.model_l1_fill - self.sim_l1_fill).abs() / self.sim_l1_fill
-        } else {
-            0.0
-        }
+        error_pct(self.model_l1_fill, self.sim_l1_fill)
     }
 
     /// Absolute L2-traffic error of the model vs the simulator, percent.
     pub fn l2_error_pct(&self) -> f64 {
-        if self.sim_l2 > 0.0 {
-            100.0 * (self.model_l2 - self.sim_l2).abs() / self.sim_l2
-        } else {
-            0.0
-        }
+        error_pct(self.model_l2, self.sim_l2)
     }
 }
 
@@ -183,6 +184,37 @@ mod tests {
     use super::*;
     use maestro_dnn::{LayerDims, Operator};
     use maestro_ir::Style;
+
+    /// Regression: a zero simulator-side denominator used to report 0%
+    /// error even when the model side was non-zero, silently masking total
+    /// divergence. It must read as infinite error (and 0% only when both
+    /// sides are zero).
+    #[test]
+    fn zero_sim_denominator_reports_infinite_error() {
+        let mut p = ValidationPoint {
+            layer: "z".into(),
+            model_runtime: 100.0,
+            sim_runtime: 0.0,
+            model_l2: 5.0,
+            sim_l2: 0.0,
+            sim_macs: 0,
+            exact_macs: 0,
+            model_l1_fill: 1.0,
+            sim_l1_fill: 0.0,
+            model_utilization: 0.0,
+            sim_utilization: 0.0,
+        };
+        assert_eq!(p.runtime_error_pct(), f64::INFINITY);
+        assert_eq!(p.l1_error_pct(), f64::INFINITY);
+        assert_eq!(p.l2_error_pct(), f64::INFINITY);
+        // Both sides zero: genuinely no disagreement.
+        p.model_runtime = 0.0;
+        p.model_l1_fill = 0.0;
+        p.model_l2 = 0.0;
+        assert_eq!(p.runtime_error_pct(), 0.0);
+        assert_eq!(p.l1_error_pct(), 0.0);
+        assert_eq!(p.l2_error_pct(), 0.0);
+    }
 
     #[test]
     fn model_tracks_simulator_on_small_conv() {

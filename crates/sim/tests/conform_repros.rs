@@ -1,0 +1,222 @@
+//! Pinned reproducers from the differential conformance harness.
+//!
+//! Each test is a case that `maestro conform` found diverging between
+//! `analyze()` and `simulate()`, minimized by the built-in shrinker, and
+//! fixed in the model (or the simulator). They are kept here verbatim so
+//! the divergence classes cannot silently reopen. The tolerances mirror
+//! the harness defaults ([`Tolerances::default`]).
+
+use maestro_dnn::{Layer, LayerDims, Operator};
+use maestro_hw::Accelerator;
+use maestro_ir::Style;
+use maestro_sim::{validate_layer, SimOptions, Tolerances, ValidationPoint};
+
+#[allow(clippy::too_many_arguments)]
+fn dims(n: u64, k: u64, c: u64, y: u64, x: u64, r: u64, s: u64, sy: u64, sx: u64) -> LayerDims {
+    LayerDims {
+        n,
+        k,
+        c,
+        y,
+        x,
+        r,
+        s,
+        stride_y: sy,
+        stride_x: sx,
+    }
+}
+
+/// Run both engines and assert every harness metric is within the default
+/// tolerances, with MAC accounting exact.
+fn assert_conforms(layer: &Layer, df: &maestro_ir::Dataflow, acc: &Accelerator) -> ValidationPoint {
+    let p = validate_layer(layer, df, acc, SimOptions::default()).expect("both engines run");
+    let tol = Tolerances::default();
+    assert_eq!(p.sim_macs, p.exact_macs, "sim MACs must be exact");
+    assert!(
+        p.runtime_error_pct() <= tol.runtime_pct,
+        "runtime: model {} vs sim {} ({:.1}%)",
+        p.model_runtime,
+        p.sim_runtime,
+        p.runtime_error_pct()
+    );
+    assert!(
+        p.l1_error_pct() <= tol.l1_pct,
+        "L1 fill: model {} vs sim {} ({:.1}%)",
+        p.model_l1_fill,
+        p.sim_l1_fill,
+        p.l1_error_pct()
+    );
+    assert!(
+        p.l2_error_pct() <= tol.l2_pct,
+        "L2 traffic: model {} vs sim {} ({:.1}%)",
+        p.model_l2,
+        p.sim_l2,
+        p.l2_error_pct()
+    );
+    assert!(
+        (p.model_utilization - p.sim_utilization).abs() <= tol.utilization_abs,
+        "utilization: model {} vs sim {}",
+        p.model_utilization,
+        p.sim_utilization
+    );
+    p
+}
+
+/// Uncoupled dims used to multiply the schedule: a map over a dimension no
+/// tensor of the layer indexes (K for depthwise) replicated identical work
+/// across trips and spatial units. Fixed in `resolve()` (clamp uncoupled
+/// extents to one trip) and `total_macs()`.
+#[test]
+fn conform_repro_uncoupled_dim_replication() {
+    let layer = Layer::new(
+        "repro",
+        Operator::DepthwiseConv2d,
+        dims(1, 4, 8, 6, 6, 3, 3, 1, 1),
+    );
+    let acc = Accelerator::builder(64).noc_bandwidth(1).build();
+    assert_conforms(&layer, &Style::KCP.dataflow(), &acc);
+}
+
+/// Strided edge chunks overlapped their predecessors: `to_view_coords`
+/// floored the output-space step, double-counting the last partial chunk.
+/// Fixed with a ceiling division (seed 1, case 138).
+#[test]
+fn conform_repro_seed1_case138_strided_edge_chunk() {
+    let layer = Layer::new("repro", Operator::conv2d(), dims(1, 1, 1, 3, 4, 1, 1, 1, 3));
+    let acc = Accelerator::builder(8).noc_bandwidth(1).build();
+    assert_conforms(&layer, &Style::YXP.dataflow(), &acc);
+}
+
+/// A gapped window (stride larger than the filter chunk) never touches the
+/// input rows between output anchors; the footprint previously charged
+/// them as moved data on both sides.
+#[test]
+fn conform_repro_gapped_window_footprint() {
+    let layer = Layer::new("repro", Operator::conv2d(), dims(1, 1, 1, 1, 9, 1, 1, 1, 3));
+    let acc = Accelerator::builder(4).noc_bandwidth(1).build();
+    assert_conforms(&layer, &Style::XP.dataflow(), &acc);
+}
+
+/// Edge-padded chunk grids (K=9 over chunk-8 folds) scaled MACs by the
+/// coverage ratio but not the traffic accumulators, over-reporting weight
+/// and output L2 traffic by the padding fraction.
+#[test]
+fn conform_repro_edge_coverage_traffic() {
+    let layer = Layer::new("repro", Operator::conv2d(), dims(1, 9, 1, 4, 4, 1, 1, 1, 1));
+    let acc = Accelerator::builder(64).noc_bandwidth(1).build();
+    assert_conforms(&layer, &Style::KCP.dataflow(), &acc);
+}
+
+/// The model charged the initial operand fill at every level of the
+/// hierarchy (store-and-forward), while the simulator charges the single
+/// stream once; the final output drain was missing entirely. On a trivial
+/// one-step schedule both engines must now agree exactly.
+#[test]
+fn conform_repro_init_fill_single_charge() {
+    let layer = Layer::new("repro", Operator::conv2d(), dims(1, 1, 1, 1, 1, 1, 1, 1, 1));
+    let acc = Accelerator::builder(1).noc_bandwidth(1).build();
+    let p = assert_conforms(&layer, &Style::CP.dataflow(), &acc);
+    assert_eq!(p.model_runtime, p.sim_runtime);
+}
+
+/// L1 fills replicated by the *peak* active-unit count; with spatial edge
+/// folds the last wrap runs fewer units, which the average occupancy
+/// (`num_units × utilization`) captures (seed 1, case 389).
+#[test]
+fn conform_repro_seed1_case389_fill_occupancy() {
+    let layer = Layer::new(
+        "repro",
+        Operator::DepthwiseConv2d,
+        dims(1, 1, 2, 9, 1, 1, 1, 1, 1),
+    );
+    let acc = Accelerator::builder(64).noc_bandwidth(1).build();
+    assert_conforms(&layer, &Style::YXP.dataflow(), &acc);
+}
+
+/// An inner level that folds outputs through its units mid-pass cannot
+/// hold them resident: every pass streams its full egress across the L2
+/// boundary. The model previously assumed top-level residency and only
+/// charged the final commit (seed 1, case 341).
+#[test]
+fn conform_repro_seed1_case341_inner_fold_commit_stream() {
+    let layer = Layer::new("repro", Operator::conv2d(), dims(1, 1, 3, 4, 7, 1, 1, 1, 1));
+    let acc = Accelerator::builder(12).noc_bandwidth(1).build();
+    assert_conforms(&layer, &maestro_dse::variants::yxp_variant(3, 8), &acc);
+}
+
+/// Partial sums committed upstream by an inner fold are refetched on every
+/// outer reduction revisit, replicated across this level's units (seed 1,
+/// case 60).
+#[test]
+fn conform_repro_seed1_case60_reduction_refetch() {
+    let layer = Layer::new("repro", Operator::conv2d(), dims(1, 1, 3, 1, 3, 1, 1, 1, 1));
+    let acc = Accelerator::builder(2).noc_bandwidth(1).build();
+    assert_conforms(&layer, &maestro_dse::variants::yxp_variant(2, 8), &acc);
+}
+
+/// An inner-loop reset is a *negative* advance: a short sliding window
+/// wraps back next to its origin and keeps most of its footprint
+/// resident. `new_data` previously zeroed the overlap on any reset,
+/// refetching the full input window on every row advance (seed 2,
+/// case 200).
+#[test]
+fn conform_repro_seed2_case200_reset_window_overlap() {
+    let layer = Layer::new(
+        "repro",
+        Operator::conv2d(),
+        dims(1, 1, 1, 10, 5, 4, 4, 1, 1),
+    );
+    let acc = Accelerator::builder(1).noc_bandwidth(1).build();
+    assert_conforms(&layer, &Style::CP.dataflow(), &acc);
+}
+
+/// Satellite: per-style tolerance table over small representative layers.
+/// For every (style, layer) pair the simulator MAC count must equal the
+/// closed-form exact count, and the model's runtime must stay within a
+/// Figure-9-style validation bound of the simulator.
+#[test]
+fn per_style_tolerance_table() {
+    let layers = [
+        Layer::new(
+            "conv",
+            Operator::conv2d(),
+            dims(1, 8, 4, 10, 10, 3, 3, 1, 1),
+        ),
+        Layer::new(
+            "strided",
+            Operator::conv2d(),
+            dims(1, 4, 2, 9, 9, 3, 3, 2, 2),
+        ),
+        Layer::new(
+            "depthwise",
+            Operator::DepthwiseConv2d,
+            dims(1, 1, 8, 8, 8, 3, 3, 1, 1),
+        ),
+        Layer::new(
+            "fc",
+            Operator::FullyConnected,
+            dims(2, 12, 16, 1, 1, 1, 1, 1, 1),
+        ),
+    ];
+    let acc = Accelerator::builder(256).noc_bandwidth(4).build();
+    let tol = Tolerances::default();
+    for style in Style::ALL {
+        for layer in &layers {
+            let p = validate_layer(layer, &style.dataflow(), &acc, SimOptions::default())
+                .expect("both engines run");
+            assert_eq!(
+                p.sim_macs, p.exact_macs,
+                "{style}/{}: sim MACs {} vs exact {}",
+                layer.name, p.sim_macs, p.exact_macs
+            );
+            assert!(
+                p.runtime_error_pct() <= tol.runtime_pct,
+                "{style}/{}: model {} vs sim {} ({:.1}%)",
+                layer.name,
+                p.model_runtime,
+                p.sim_runtime,
+                p.runtime_error_pct()
+            );
+        }
+    }
+}
