@@ -29,6 +29,15 @@ cargo clippy -p maestro-core -p maestro-ir -p maestro-dse -p maestro-hw -p maest
   -p maestro-sim -p maestro-obs --lib \
   -- -D warnings -D clippy::print-stderr
 
+# No library code may call std::process::exit: every shutdown path goes
+# through the CLI's single graceful-exit function (main's ExitCode), which
+# flushes the observability sinks first. Enforced here and by the
+# crate-level deny attributes in each lib.rs.
+echo "== cargo clippy (no process::exit outside main)"
+cargo clippy -p maestro-core -p maestro-ir -p maestro-dse -p maestro-hw -p maestro-dnn \
+  -p maestro-sim -p maestro-obs --lib \
+  -- -D warnings -D clippy::exit
+
 echo "== cargo build --release"
 cargo build --release --workspace
 
@@ -36,9 +45,11 @@ echo "== cargo test"
 cargo test -q --workspace
 
 # The observability surface stays wired end to end: a real DSE run must
-# expose the documented metrics in Prometheus text format.
+# expose the documented metrics in Prometheus text format. --max-seconds
+# bounds the smoke so a regression hangs CI for minutes, not forever (a
+# tripped deadline exits 7, which set -e turns into a failure).
 echo "== observability smoke (dse --metrics -)"
-metrics_out=$(target/release/maestro dse --model vgg16 --layer CONV5 --style KC-P --threads 2 --metrics -)
+metrics_out=$(target/release/maestro dse --model vgg16 --layer CONV5 --style KC-P --threads 2 --max-seconds 300 --metrics -)
 for name in maestro_cache_hits maestro_cache_misses maestro_dse_unit_rate \
             maestro_dse_pareto_inserted maestro_dse_units_quarantined; do
   if ! grep -q "# TYPE ${name}" <<<"${metrics_out}"; then
@@ -51,10 +62,45 @@ done
 # fuzz corpus: any divergence beyond the calibrated tolerances exits 6
 # and prints a minimized, ready-to-paste reproducer.
 echo "== differential conformance smoke (conform --seed 1)"
-conform_out=$(target/release/maestro conform --seed 1 --cases 200 --metrics -)
+conform_out=$(target/release/maestro conform --seed 1 --cases 200 --max-seconds 300 --metrics -)
 if ! grep -q "maestro_conform_diverged 0" <<<"${conform_out}"; then
   echo "conformance divergence (or missing counter) in conform output" >&2
   grep -m1 "diverged" <<<"${conform_out}" >&2 || true
+  exit 1
+fi
+
+# Interruption-proofing smoke: SIGTERM a sweep mid-flight (stretched by
+# injected delays so the signal reliably lands between units), expect a
+# graceful exit 7 plus a checkpoint, resume it without injection, and
+# demand the resumed frontier is bit-identical to an uninterrupted run
+# (only the wall-clock `seconds`/`rate` stats and the `partial` marker
+# may differ).
+echo "== kill-and-resume smoke (dse SIGTERM + --resume)"
+smokedir=$(mktemp -d)
+trap 'rm -rf "${smokedir}"' EXIT
+dse_args=(dse --model vgg16 --layer CONV5 --style KC-P --threads 2 --json)
+target/release/maestro "${dse_args[@]}" --max-seconds 300 > "${smokedir}/golden.json"
+target/release/maestro "${dse_args[@]}" \
+  --checkpoint "${smokedir}/smoke.ckpt" --inject delay:300ms:1.0 \
+  > "${smokedir}/partial.json" 2> "${smokedir}/partial.err" &
+dse_pid=$!
+sleep 0.8
+kill -TERM "${dse_pid}" 2>/dev/null || true
+rc=0; wait "${dse_pid}" || rc=$?
+if [ "${rc}" -ne 7 ]; then
+  echo "interrupted dse exited ${rc}, expected 7" >&2
+  cat "${smokedir}/partial.err" >&2 || true
+  exit 1
+fi
+if ! grep -q '"partial": true' "${smokedir}/partial.json"; then
+  echo "interrupted dse output lacks the partial marker" >&2
+  exit 1
+fi
+target/release/maestro "${dse_args[@]}" --max-seconds 300 \
+  --resume "${smokedir}/smoke.ckpt" > "${smokedir}/resumed.json" 2>/dev/null
+strip_clock() { grep -v '"seconds"\|"rate"' "$1"; }
+if ! diff <(strip_clock "${smokedir}/golden.json") <(strip_clock "${smokedir}/resumed.json") >/dev/null; then
+  echo "resumed frontier differs from the uninterrupted golden run" >&2
   exit 1
 fi
 

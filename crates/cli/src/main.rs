@@ -13,6 +13,7 @@
 //! or a path to a `.df` file in the textual DSL.
 
 mod args;
+mod signal;
 
 use args::Args;
 use maestro_core::{analyze, analyze_model, analyze_model_with, AnalysisError};
@@ -20,7 +21,9 @@ use maestro_dnn::{zoo, Layer, Model, TensorKind};
 use maestro_hw::{Accelerator, EnergyModel};
 use maestro_ir::{parse::parse_dataflow, Dataflow, Style};
 use maestro_sim::{mapping_at_step, validate_network, SimOptions};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// What class of failure occurred. Each kind maps to a distinct process
 /// exit code so scripts can tell them apart without scraping stderr.
@@ -36,6 +39,9 @@ enum ErrorKind {
     Analysis,
     /// The conformance harness found model-vs-simulator divergences.
     Conformance,
+    /// A signal or deadline cut the run short. Partial results (and a
+    /// resumable checkpoint, when requested) were still written.
+    Interrupted,
     /// Anything else.
     Other,
 }
@@ -78,6 +84,7 @@ impl CliError {
             ErrorKind::Resolve => 4,
             ErrorKind::Analysis => 5,
             ErrorKind::Conformance => 6,
+            ErrorKind::Interrupted => 7,
             ErrorKind::Other => 1,
         })
     }
@@ -178,7 +185,7 @@ USAGE:
   maestro model    --model <zoo> --dataflow <style|file> --pes <n> [--adaptive] [--json]
   maestro dse      --model <zoo> --layer <name> --style <style> [--threads <n>] [--json]
   maestro validate --model <zoo> --dataflow <style|file> --pes <n>
-  maestro conform  [--seed <n>] [--cases <n>] [--max-steps <n>] [--tol-runtime <pct>] [--tol-l1 <pct>] [--tol-l2 <pct>] [--tol-util <abs>] [--tol-macs <pct>] [--json]
+  maestro conform  [--seed <n>] [--cases <n>] [--max-steps <n>] [--max-seconds <s>] [--tol-runtime <pct>] [--tol-l1 <pct>] [--tol-l2 <pct>] [--tol-util <abs>] [--tol-macs <pct>] [--json]
   maestro mapping  --model <zoo> --layer <name> --dataflow <style|file> --pes <n> --step <t>
   maestro explain  --model <zoo> --layer <name> --dataflow <style|file> --pes <n>
   maestro lint     --model <zoo> --layer <name> --dataflow <style|file> --pes <n>
@@ -189,10 +196,28 @@ USAGE:
 Zoo models: vgg16 alexnet resnet50 resnext50 mobilenet_v2 unet dcgan deepspeech2 googlenet efficientnet_b0\n(--model also accepts a path to a Network description file)
 Styles (Table 3): C-P X-P YX-P YR-P KC-P
 
+Long-running sweeps (dse):
+  --checkpoint <path>        write a resumable checkpoint (atomic temp-file + rename)
+  --checkpoint-interval <n>  also checkpoint every n completed units (default 0 = off)
+  --checkpoint-secs <s>      checkpoint every s seconds (default 5; 0 = off; a final
+                             checkpoint is always written on graceful shutdown)
+  --resume <path>            resume from a checkpoint; completed units are skipped
+  --deadline <s>             stop gracefully after s seconds with partial results
+  --max-seconds <s>          alias for --deadline (conform honors it too)
+  --inject <spec>            deterministic fault injection, e.g. panic:0.01,delay:50ms:0.05,nofinite:0.001
+  --inject-seed <n>          seed for the fault plan (default 0)
+  --retries <n>              re-attempts for a failed unit before quarantine (default 1)
+  --unit-timeout <ms>        per-unit watchdog budget (trips only on injected stalls)
+  --progress                 stderr progress line with units/s and ETA
+
 Observability (any command):
   --metrics <path|->     dump the metrics registry (Prometheus text format)
   --trace-json <path|->  collect spans and dump them as JSON lines
   MAESTRO_LOG=<level>    stderr diagnostics: error|warn|info|debug|trace (default off)
+
+Exit codes:
+  0 ok   1 other   2 usage   3 parse error / corrupt checkpoint   4 unresolvable mapping
+  5 analysis failure   6 conformance divergence   7 interrupted (partial results written)
 ";
 
 fn load_model(name: &str) -> Result<Model, CliError> {
@@ -315,6 +340,112 @@ fn cmd_model(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Map a checkpoint failure onto the documented exit-code families:
+/// unreadable/unwritable files are usage errors (2); corruption, version
+/// or fingerprint mismatches are parse-class errors (3).
+fn checkpoint_error(e: &maestro_dse::CheckpointError) -> CliError {
+    match e {
+        maestro_dse::CheckpointError::Io { .. } => CliError::usage(e.to_string()),
+        _ => CliError::parse(e.to_string()),
+    }
+}
+
+fn session_error(e: &maestro_dse::SessionError) -> CliError {
+    match e {
+        maestro_dse::SessionError::Space(e) => CliError::analysis(e.to_string()),
+        maestro_dse::SessionError::Checkpoint(e) => checkpoint_error(e),
+    }
+}
+
+/// Build the interruption-proofing controls for `dse` from its flags.
+/// Returns the controls plus whether `--resume` was given. Also installs
+/// the SIGINT/SIGTERM handler: the returned token heeds the process-wide
+/// interrupt flag, so a signal drains in-flight units and the command
+/// exits 7 with partial results instead of dying mid-write.
+fn session_ctl(args: &Args, threads: usize) -> Result<(maestro_dse::SessionCtl, bool), CliError> {
+    signal::install_interrupt_handlers();
+    let mut ctl = maestro_dse::SessionCtl {
+        token: maestro_dse::CancelToken::new(),
+        ..Default::default()
+    };
+    // --deadline and --max-seconds are aliases; the latter exists so CI
+    // can pass one uniform guard to both `dse` and `conform`.
+    let deadline = args.get_f64("deadline", 0.0).map_err(CliError::usage)?;
+    let max_seconds = args.get_f64("max-seconds", 0.0).map_err(CliError::usage)?;
+    let budget = if deadline > 0.0 {
+        deadline
+    } else {
+        max_seconds
+    };
+    if budget > 0.0 {
+        ctl.token.set_deadline_in(Duration::from_secs_f64(budget));
+    }
+    let ckpt = args.get("checkpoint", "");
+    if !ckpt.is_empty() {
+        ctl.checkpoint_path = Some(PathBuf::from(ckpt));
+    }
+    // Cadence: by default, periodic checkpoints are time-based (every 5s,
+    // bounding overhead on any workload); --checkpoint-interval N adds a
+    // unit-count trigger on top. The final checkpoint on shutdown is
+    // unconditional either way.
+    ctl.checkpoint_every_units = usize::try_from(
+        args.get_u64("checkpoint-interval", 0)
+            .map_err(CliError::usage)?,
+    )
+    .map_err(|_| CliError::usage("--checkpoint-interval is too large"))?;
+    let ckpt_secs = args
+        .get_f64("checkpoint-secs", 5.0)
+        .map_err(CliError::usage)?;
+    ctl.checkpoint_every = (ckpt_secs > 0.0).then(|| Duration::from_secs_f64(ckpt_secs));
+    let resume = args.get("resume", "");
+    let resumed = !resume.is_empty();
+    if resumed {
+        let cp =
+            maestro_dse::Checkpoint::load(Path::new(resume)).map_err(|e| checkpoint_error(&e))?;
+        // Keep checkpointing the file we resumed from (unless the user
+        // pointed --checkpoint elsewhere) so repeated interrupt/resume
+        // cycles keep accumulating progress in one place.
+        if ctl.checkpoint_path.is_none() {
+            ctl.checkpoint_path = Some(PathBuf::from(resume));
+        }
+        ctl.resume = Some(cp);
+    }
+    let inject = args.get("inject", "");
+    if !inject.is_empty() {
+        let seed = args.get_u64("inject-seed", 0).map_err(CliError::usage)?;
+        ctl.faults = maestro_dse::FaultPlan::parse(inject, seed)
+            .map_err(|e| CliError::usage(e.to_string()))?;
+    }
+    ctl.retries = u32::try_from(args.get_u64("retries", 1).map_err(CliError::usage)?)
+        .map_err(|_| CliError::usage("--retries is too large"))?;
+    let timeout_ms = args.get_u64("unit-timeout", 0).map_err(CliError::usage)?;
+    if timeout_ms > 0 {
+        ctl.unit_timeout = Some(Duration::from_millis(timeout_ms));
+    }
+    if args.flag("progress") {
+        let workers = maestro_dse::resolve_threads(threads);
+        ctl.on_progress = Some(Box::new(move |done, total| {
+            // Same histogram handle the workers feed (the bounds must
+            // match the registration inside maestro-dse); its mean gives
+            // seconds per unit per worker.
+            let h = maestro_obs::registry().histogram(
+                "maestro.dse.unit_seconds",
+                &[1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 60.0],
+            );
+            let (count, sum) = (h.count(), h.sum());
+            if count == 0 || sum <= 0.0 {
+                eprintln!("progress: {done}/{total} units");
+            } else {
+                let mean = sum / count as f64;
+                let rate = workers as f64 / mean;
+                let eta = (total.saturating_sub(done)) as f64 * mean / workers as f64;
+                eprintln!("progress: {done}/{total} units — {rate:.1} units/s, ETA {eta:.0}s");
+            }
+        }));
+    }
+    Ok((ctl, resumed))
+}
+
 fn cmd_dse(args: &Args) -> Result<(), CliError> {
     let model = load_model(args.get("model", "vgg16"))?;
     let layer = pick_layer(&model, args)?;
@@ -326,16 +457,45 @@ fn cmd_dse(args: &Args) -> Result<(), CliError> {
     // 0 = one worker per core; results are identical at any thread count.
     let threads = usize::try_from(args.get_u64("threads", 0).map_err(CliError::usage)?)
         .map_err(|_| CliError::usage("--threads is too large"))?;
+    let (ctl, resumed) = session_ctl(args, threads)?;
     let explorer = maestro_dse::Explorer::new(maestro_dse::SweepSpace::standard());
-    let result = explorer
-        .explore_parallel(layer, &maestro_dse::variants::variants(style), threads)
-        .map_err(|e| CliError::analysis(e.to_string()))?;
+    let (result, session) = explorer
+        .explore_session(
+            layer,
+            &maestro_dse::variants::variants(style),
+            threads,
+            &ctl,
+        )
+        .map_err(|e| session_error(&e))?;
+    if resumed {
+        // stderr so `--json` stdout stays machine-parseable.
+        eprintln!("resumed: {} units skipped", session.resumed_skipped);
+    }
+    // An interrupted session still prints everything it has — the partial
+    // frontier is the whole point of graceful shutdown — and then exits 7.
+    let interrupted_err = session.interrupted.then(|| {
+        let resume_hint = ctl
+            .checkpoint_path
+            .as_ref()
+            .map(|p| format!(" (resume with --resume {})", p.display()))
+            .unwrap_or_default();
+        CliError::new(
+            ErrorKind::Interrupted,
+            format!(
+                "interrupted after {} of {} units — partial results emitted{resume_hint}",
+                session.completed_units, session.total_units
+            ),
+        )
+    });
     if args.flag("json") {
         println!(
             "{}",
             serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?
         );
-        return Ok(());
+        return match interrupted_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        };
     }
     let s = &result.stats;
     println!(
@@ -375,11 +535,36 @@ fn cmd_dse(args: &Args) -> Result<(), CliError> {
             );
         }
     };
+    if session.checkpoint_writes > 0
+        || session.units_retried > 0
+        || session.units_timed_out > 0
+        || session.faults_injected > 0
+    {
+        println!(
+            "  session         {} checkpoint writes, {} retries, {} timeouts, {} faults injected",
+            session.checkpoint_writes,
+            session.units_retried,
+            session.units_timed_out,
+            session.faults_injected
+        );
+    }
     show("throughput-optimized", &result.best_throughput);
     show("energy-optimized    ", &result.best_energy);
     show("EDP-optimized       ", &result.best_edp);
-    println!("Pareto front: {} points", result.pareto.len());
-    Ok(())
+    if result.partial {
+        println!(
+            "Pareto front: {} points (PARTIAL — {} of {} units completed)",
+            result.pareto.len(),
+            session.completed_units,
+            session.total_units
+        );
+    } else {
+        println!("Pareto front: {} points", result.pareto.len());
+    }
+    match interrupted_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 fn cmd_validate(args: &Args) -> Result<(), CliError> {
@@ -423,7 +608,16 @@ fn cmd_conform(args: &Args) -> Result<(), CliError> {
                 .map_err(CliError::usage)?,
         },
     };
-    let report = maestro_sim::run_conform(&cfg);
+    // `conform` is the other long-running command: it honors the same
+    // --max-seconds guard and SIGINT/SIGTERM semantics as `dse`, exiting 7
+    // with a partial (but fully reported) sweep when cut short.
+    signal::install_interrupt_handlers();
+    let token = maestro_obs::CancelToken::new();
+    let max_seconds = args.get_f64("max-seconds", 0.0).map_err(CliError::usage)?;
+    if max_seconds > 0.0 {
+        token.set_deadline_in(Duration::from_secs_f64(max_seconds));
+    }
+    let report = maestro_sim::run_conform_cancellable(&cfg, &token);
     if args.flag("json") {
         println!(
             "{}",
@@ -441,6 +635,12 @@ fn cmd_conform(args: &Args) -> Result<(), CliError> {
             "  skipped         {} unresolvable, {} model errors, {} over step budget",
             report.skipped_resolve, report.skipped_analysis, report.skipped_steps
         );
+        if report.interrupted {
+            println!(
+                "  interrupted     after {} of {} cases — partial report",
+                report.cases, cfg.cases
+            );
+        }
         println!(
             "  tolerances      runtime {}%, L1 {}%, L2 {}%, |util| {}, model-MACs {}%",
             cfg.tol.runtime_pct,
@@ -458,9 +658,9 @@ fn cmd_conform(args: &Args) -> Result<(), CliError> {
             println!("--- reproducer ---\n{}", dc.reproducer);
         }
     }
-    if report.is_clean() {
-        Ok(())
-    } else {
+    if !report.is_clean() {
+        // Divergence outranks interruption: a failed conformance check
+        // must fail loudly even when the run was also cut short.
         Err(CliError::new(
             ErrorKind::Conformance,
             format!(
@@ -470,6 +670,16 @@ fn cmd_conform(args: &Args) -> Result<(), CliError> {
                 report.seed
             ),
         ))
+    } else if report.interrupted {
+        Err(CliError::new(
+            ErrorKind::Interrupted,
+            format!(
+                "interrupted after {} of {} cases — partial conformance report (seed {})",
+                report.cases, cfg.cases, report.seed
+            ),
+        ))
+    } else {
+        Ok(())
     }
 }
 

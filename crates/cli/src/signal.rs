@@ -1,0 +1,37 @@
+//! Zero-dependency POSIX signal hookup for graceful shutdown.
+//!
+//! The handler does exactly one async-signal-safe thing: it flips the
+//! process-wide interrupt flag ([`maestro_obs::raise_interrupt`] is a
+//! single atomic store). Long-running commands (`dse`, `conform`) poll
+//! that flag through their [`maestro_obs::CancelToken`] at work-unit /
+//! case boundaries, drain in-flight work, write their final artifacts,
+//! and exit with code 7 (interrupted-with-partial-results). Nothing is
+//! torn down from inside the handler itself.
+
+/// `SIGINT` (Ctrl-C).
+const SIGINT: i32 = 2;
+/// `SIGTERM` (polite kill, e.g. from a job scheduler).
+const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+extern "C" {
+    /// `signal(2)`. We use the raw libc binding (no crates) and install a
+    /// plain function pointer; the previous disposition is ignored.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    maestro_obs::raise_interrupt();
+}
+
+/// Route `SIGINT`/`SIGTERM` to the interrupt flag. Idempotent; installed
+/// only by the long-running commands so short commands keep the default
+/// kill-me-now disposition.
+pub fn install_interrupt_handlers() {
+    #[cfg(unix)]
+    unsafe {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}

@@ -32,7 +32,12 @@
 // is compiled out under `cfg(test)`).
 #![cfg_attr(
     not(test),
-    deny(clippy::unwrap_used, clippy::expect_used, clippy::print_stderr)
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stderr,
+        clippy::exit
+    )
 )]
 
 pub mod analysis;

@@ -16,7 +16,11 @@
 //! Repeated layer shapes are served from a per-unit
 //! [`maestro_core::AnalysisCache`] instead of re-running the cost model.
 
-use crate::parallel::{merge_partials, run_units};
+use crate::cancel::{SessionCtl, SessionError, SessionReport};
+use crate::checkpoint::{sweep_fingerprint, Checkpoint};
+use crate::parallel::{
+    merge_indexed_partials, merge_partials, run_units, run_units_ctl, CheckpointSink, RunCtl,
+};
 use crate::space::{Constraints, SpaceError, SweepSpace};
 use maestro_core::{AnalysisCache, AnalysisError, LayerReport};
 use maestro_dnn::Layer;
@@ -160,6 +164,11 @@ pub struct DseResult {
     pub sample: Vec<DesignPoint>,
     /// Run statistics.
     pub stats: DseStats,
+    /// `true` when the sweep was interrupted (signal, deadline, explicit
+    /// cancel) before every work unit completed: the frontier and stats
+    /// cover only the completed units. Always `false` for uninterrupted
+    /// runs.
+    pub partial: bool,
 }
 
 /// The result of one work unit (one PE count's slice of the sweep),
@@ -513,13 +522,20 @@ fn flush_unit_metrics(part: &Partial, elapsed: std::time::Duration) {
 
 /// Replace `slot` when `key(p)` is strictly smaller — on ties the earlier
 /// point wins, which keeps the parallel merge identical to a sequential
-/// sweep. Comparison is `total_cmp`, so a NaN key (which sorts above every
-/// finite value) can never displace a finite incumbent.
+/// sweep. A non-finite key is rejected outright, whether the slot is empty
+/// or occupied: `total_cmp` alone is not enough, because a *negative* NaN
+/// (which the `-throughput` key produces from a NaN throughput) sorts
+/// below every finite value and would displace a finite incumbent. The
+/// gate keeps poisoned candidates (fault-harness injections, damaged
+/// checkpoints) out of the best-point slots.
 pub(crate) fn update_best(
     slot: &mut Option<DesignPoint>,
     p: &DesignPoint,
     key: impl Fn(&DesignPoint) -> f64,
 ) {
+    if !key(p).is_finite() {
+        return;
+    }
     let better = match slot {
         Some(cur) => key(p).total_cmp(&key(cur)) == std::cmp::Ordering::Less,
         None => true,
@@ -705,6 +721,59 @@ mod tests {
         assert_eq!(a.best_throughput, b.best_throughput);
     }
 
+    /// Ratio helpers must degrade to 0.0 — never NaN — when no events of
+    /// the denominating kind occurred (e.g. a fully bulk-skipped sweep
+    /// performs zero cache lookups).
+    #[test]
+    fn memo_hit_rate_is_zero_not_nan_without_lookups() {
+        let empty = DseStats::empty();
+        assert_eq!(empty.memo_hit_rate(), 0.0);
+        assert!(!empty.memo_hit_rate().is_nan());
+        let mut some = DseStats::empty();
+        some.memo_hits = 3;
+        some.evaluated = 1;
+        assert!((some.memo_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    /// A NaN-keyed candidate must not seed an empty best slot (it used to:
+    /// the `None` arm accepted unconditionally). With the fault harness
+    /// appending NaN-poisoned points to partials, this hole would let an
+    /// injected point become `best_throughput` on an otherwise-empty unit.
+    #[test]
+    fn update_best_rejects_nan_into_empty_slot() {
+        let mut nan_point = point_for_tests();
+        nan_point.throughput = f64::NAN;
+        let mut slot: Option<DesignPoint> = None;
+        update_best(&mut slot, &nan_point, |p| -p.throughput);
+        assert!(slot.is_none(), "NaN key must not seed an empty slot");
+
+        let finite = point_for_tests();
+        update_best(&mut slot, &finite, |p| -p.throughput);
+        assert!(slot.is_some(), "finite key seeds the slot");
+        update_best(&mut slot, &nan_point, |p| -p.throughput);
+        assert_eq!(
+            slot.as_ref().map(|p| p.throughput),
+            Some(finite.throughput),
+            "NaN key must not displace a finite incumbent"
+        );
+    }
+
+    fn point_for_tests() -> DesignPoint {
+        DesignPoint {
+            pes: 64,
+            noc_bw: 16,
+            l1_bytes: 512,
+            l2_bytes: 1 << 20,
+            mapping: "kcp".to_string(),
+            area_mm2: 3.0,
+            power_mw: 400.0,
+            runtime: 1e6,
+            throughput: 100.0,
+            energy: 1e9,
+            edp: 1e15,
+        }
+    }
+
     #[test]
     fn empty_grid_is_a_typed_error_not_a_panic() {
         let mut space = SweepSpace::tiny();
@@ -875,6 +944,131 @@ impl Explorer {
         part.stats.evaluated += memo.misses();
         part.stats.memo_hits += memo.hits();
         part
+    }
+}
+
+impl Explorer {
+    /// [`Explorer::explore_parallel`] as an interruption-proof **session**:
+    /// resumable from a checkpoint, periodically checkpointed,
+    /// deadline/signal-cancellable, and optionally fault-injected — all
+    /// per [`SessionCtl`]. The scientific result stays bit-identical to a
+    /// plain uninterrupted `explore_parallel` run (at any thread count,
+    /// across any interrupt/resume split, with or without injected
+    /// transient faults) except the wall-clock `seconds`/`rate` fields and
+    /// the [`DseResult::partial`] marker on interrupted runs.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Space`] for an invalid sweep space;
+    /// [`SessionError::Checkpoint`] when the resume checkpoint does not
+    /// match this sweep or a checkpoint cannot be written. Being
+    /// *interrupted* is not an error: the result comes back with
+    /// `partial: true` and [`SessionReport::interrupted`] set.
+    pub fn explore_session(
+        &self,
+        layer: &Layer,
+        mappings: &[Dataflow],
+        threads: usize,
+        ctl: &SessionCtl,
+    ) -> Result<(DseResult, SessionReport), SessionError> {
+        let t0 = Instant::now();
+        self.space.validate()?;
+        let fingerprint = sweep_fingerprint(self, &format!("layer:{layer:?}"), mappings);
+        self.run_session(fingerprint, threads, ctl, t0, |i| {
+            self.explore_unit(self.space.pes[i], layer, mappings)
+        })
+    }
+
+    /// [`Explorer::explore_model_parallel`] as an interruption-proof
+    /// session. See [`Explorer::explore_session`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Explorer::explore_session`].
+    pub fn explore_model_session(
+        &self,
+        model: &maestro_dnn::Model,
+        mappings: &[Dataflow],
+        threads: usize,
+        ctl: &SessionCtl,
+    ) -> Result<(DseResult, SessionReport), SessionError> {
+        let t0 = Instant::now();
+        self.space.validate()?;
+        let fingerprint = sweep_fingerprint(self, &format!("model:{model:?}"), mappings);
+        self.run_session(fingerprint, threads, ctl, t0, |i| {
+            self.model_unit(self.space.pes[i], model, mappings)
+        })
+    }
+
+    /// Shared session driver: validate the resume checkpoint, run the
+    /// controlled unit loop, write the final checkpoint, merge whatever
+    /// completed, and assemble the control report.
+    fn run_session<F>(
+        &self,
+        fingerprint: u64,
+        threads: usize,
+        ctl: &SessionCtl,
+        t0: Instant,
+        unit: F,
+    ) -> Result<(DseResult, SessionReport), SessionError>
+    where
+        F: Fn(usize) -> Partial + Sync,
+    {
+        let total = self.space.pes.len();
+        if let Some(resume) = &ctl.resume {
+            resume.validate_against(fingerprint, total)?;
+        }
+        let run_ctl = RunCtl {
+            token: &ctl.token,
+            resume: ctl.resume.as_ref(),
+            faults: &ctl.faults,
+            retries: ctl.retries,
+            unit_timeout: ctl.unit_timeout,
+            checkpoint: ctl.checkpoint_path.as_deref().map(|path| CheckpointSink {
+                path,
+                fingerprint,
+                every_units: ctl.checkpoint_every_units,
+                every: ctl.checkpoint_every,
+            }),
+            on_progress: ctl.on_progress.as_deref(),
+        };
+        let run = run_units_ctl(total, threads, &run_ctl, unit);
+
+        // Final checkpoint: always current as of the last completed unit,
+        // whether the run finished or was cut short.
+        let mut checkpoint_writes = run.checkpoint_writes;
+        if let Some(path) = &ctl.checkpoint_path {
+            Checkpoint::from_outcomes(fingerprint, &run.slots).save(path)?;
+            checkpoint_writes += 1;
+        }
+
+        let complete = run.complete();
+        let completed_units = run.completed();
+        let report = SessionReport {
+            interrupted: run.cancelled && !complete,
+            deadline_hit: ctl.token.deadline_exceeded(),
+            resumed_skipped: run.resumed_skipped,
+            checkpoint_writes,
+            completed_units,
+            total_units: total,
+            units_retried: run.units_retried,
+            units_timed_out: run.units_timed_out,
+            faults_injected: run.faults_injected,
+        };
+        if report.deadline_hit {
+            crate::parallel::note_deadline_exceeded();
+        }
+        let mut result = merge_indexed_partials(
+            run.slots
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.map(|o| (i, o)))
+                .collect(),
+            self.sample_cap,
+        );
+        result.partial = !complete;
+        finish_stats(&mut result.stats, t0);
+        Ok((result, report))
     }
 }
 

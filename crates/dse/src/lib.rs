@@ -27,18 +27,29 @@
 // than fatal. Tests are exempt (compiled out under `cfg(test)`).
 #![cfg_attr(
     not(test),
-    deny(clippy::unwrap_used, clippy::expect_used, clippy::print_stderr)
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stderr,
+        clippy::exit
+    )
 )]
 
+pub mod cancel;
+pub mod checkpoint;
 pub mod explorer;
+pub mod fault;
 pub mod parallel;
 pub mod space;
 pub mod tuner;
 pub mod variants;
 
+pub use cancel::{CancelToken, SessionCtl, SessionError, SessionReport};
+pub use checkpoint::{sweep_fingerprint, Checkpoint, CheckpointError, UnitEntry};
 pub use explorer::{
     insert_pareto, DesignPoint, DseResult, DseStats, Explorer, Partial, QuarantinedUnit,
 };
+pub use fault::{Fault, FaultPlan, FaultSpecError};
 pub use parallel::{merge_partials, resolve_threads, run_units, UnitOutcome};
 pub use space::{Constraints, SpaceError, SweepSpace};
 pub use tuner::{tune_layer, tune_model, Objective, TunedLayer, TunedModel};

@@ -31,7 +31,12 @@
 // instead of unwrapping. Tests are exempt (compiled out under `cfg(test)`).
 #![cfg_attr(
     not(test),
-    deny(clippy::unwrap_used, clippy::expect_used, clippy::print_stderr)
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stderr,
+        clippy::exit
+    )
 )]
 
 pub mod area;

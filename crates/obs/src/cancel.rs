@@ -1,0 +1,206 @@
+//! Cooperative cancellation: a cheap, cloneable token checked at work
+//! boundaries, with an optional wall-clock deadline and a process-global
+//! interrupt flag that an (async-signal-safe) signal handler can raise.
+//!
+//! Long-running pipelines (the DSE explorer's work units, the conformance
+//! harness's case loop) poll [`CancelToken::is_cancelled`] between units of
+//! work and drain gracefully when it trips. Three independent sources can
+//! trip a token:
+//!
+//! * an explicit [`CancelToken::cancel`] call (tests, embedders);
+//! * a deadline set via [`CancelToken::set_deadline_in`] (`--deadline`);
+//! * the process-wide interrupt flag raised by [`raise_interrupt`] —
+//!   designed to be called from a `SIGINT`/`SIGTERM` handler, since it is
+//!   nothing but one relaxed atomic store.
+//!
+//! The token is an `Arc` over two atomics: cloning is cheap, checking is
+//! two relaxed loads (plus one `Instant::now()` only when a deadline is
+//! armed), and no locks are ever taken — safe to poll from any number of
+//! worker threads at unit-boundary granularity.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Process-wide interrupt flag (set by signal handlers via
+/// [`raise_interrupt`]).
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Raise the process-wide interrupt flag. Async-signal-safe: a single
+/// relaxed atomic store, no allocation, no locks — callable directly from
+/// a `SIGINT`/`SIGTERM` handler.
+pub fn raise_interrupt() {
+    INTERRUPTED.store(true, Ordering::Relaxed);
+}
+
+/// Whether [`raise_interrupt`] has been called in this process.
+pub fn interrupt_raised() -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+}
+
+/// Clear the process-wide interrupt flag (tests and multi-run embedders).
+pub fn clear_interrupt() {
+    INTERRUPTED.store(false, Ordering::Relaxed);
+}
+
+/// Monotonic epoch for deadline arithmetic: deadlines are stored as
+/// microseconds since the first token was created, so they fit in one
+/// atomic `u64` (0 = no deadline armed).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    /// Deadline in µs since [`epoch`]; 0 means "none".
+    deadline_micros: AtomicU64,
+    /// Whether this token also observes the process-wide interrupt flag.
+    heed_interrupt: bool,
+}
+
+/// A cloneable cancellation token. See the module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct CancelToken(Arc<Inner>);
+
+impl CancelToken {
+    /// A token that observes explicit cancellation, its own deadline, and
+    /// the process-wide interrupt flag.
+    pub fn new() -> Self {
+        epoch(); // arm the epoch before any deadline arithmetic
+        CancelToken(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline_micros: AtomicU64::new(0),
+            heed_interrupt: true,
+        }))
+    }
+
+    /// A token that never observes the process interrupt flag and has no
+    /// deadline: it trips only on an explicit [`CancelToken::cancel`].
+    /// Library entry points that take no token use one of these, so plain
+    /// API calls keep their run-to-completion semantics.
+    pub fn detached() -> Self {
+        CancelToken(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline_micros: AtomicU64::new(0),
+            heed_interrupt: false,
+        }))
+    }
+
+    /// Trip the token explicitly.
+    pub fn cancel(&self) {
+        self.0.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Arm a deadline `budget` from now. A zero budget trips immediately.
+    pub fn set_deadline_in(&self, budget: Duration) {
+        let at = epoch().elapsed() + budget;
+        // Stored +1 so an exactly-zero elapsed time still arms (0 = none).
+        self.0
+            .deadline_micros
+            .store(at.as_micros() as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// Whether the armed deadline (if any) has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        let d = self.0.deadline_micros.load(Ordering::Relaxed);
+        d != 0 && epoch().elapsed().as_micros() as u64 + 1 >= d
+    }
+
+    /// Whether any cancellation source has tripped: explicit cancel, the
+    /// process interrupt flag (unless detached), or the deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.flag.load(Ordering::Relaxed)
+            || (self.0.heed_interrupt && interrupt_raised())
+            || self.deadline_exceeded()
+    }
+
+    /// Sleep for `total`, waking early (returning `false`) if the token
+    /// trips. Sleeps in small slices so cancellation latency stays in the
+    /// low milliseconds regardless of `total` — this is what keeps
+    /// injected stalls and long waits responsive to signals.
+    pub fn sleep_cooperatively(&self, total: Duration) -> bool {
+        const SLICE: Duration = Duration::from_millis(5);
+        let t0 = Instant::now();
+        while t0.elapsed() < total {
+            if self.is_cancelled() {
+                return false;
+            }
+            std::thread::sleep(SLICE.min(total - t0.elapsed()));
+        }
+        !self.is_cancelled()
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_trips_all_clones() {
+        let t = CancelToken::detached();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+        assert!(!t.deadline_exceeded(), "no deadline was armed");
+    }
+
+    #[test]
+    fn deadline_trips_after_budget() {
+        let t = CancelToken::detached();
+        t.set_deadline_in(Duration::from_millis(20));
+        assert!(!t.is_cancelled());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(t.deadline_exceeded());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let t = CancelToken::detached();
+        t.set_deadline_in(Duration::ZERO);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn interrupt_flag_reaches_heeding_tokens_only() {
+        clear_interrupt();
+        let heeding = CancelToken::new();
+        let detached = CancelToken::detached();
+        raise_interrupt();
+        assert!(interrupt_raised());
+        assert!(heeding.is_cancelled());
+        assert!(!detached.is_cancelled());
+        clear_interrupt();
+        assert!(!heeding.is_cancelled());
+    }
+
+    #[test]
+    fn cooperative_sleep_wakes_early_on_cancel() {
+        let t = CancelToken::detached();
+        let u = t.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(15));
+            u.cancel();
+        });
+        let t0 = Instant::now();
+        let completed = t.sleep_cooperatively(Duration::from_secs(30));
+        assert!(!completed);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        h.join().expect("canceller thread");
+    }
+
+    #[test]
+    fn cooperative_sleep_completes_when_uncancelled() {
+        let t = CancelToken::detached();
+        assert!(t.sleep_cooperatively(Duration::from_millis(10)));
+    }
+}

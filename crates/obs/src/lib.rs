@@ -3,8 +3,12 @@
 //! access: `tracing`/`metrics`/`log` cannot be pulled in; see DESIGN.md's
 //! dependency policy).
 //!
-//! Three cooperating facilities:
+//! Four cooperating facilities:
 //!
+//! * [`cancel`] — a cloneable cooperative [`CancelToken`] (explicit
+//!   cancel, wall-clock deadline, process-wide interrupt flag raisable
+//!   from a signal handler), polled by long-running pipelines at
+//!   work-unit boundaries.
 //! * [`log`] — a tiny leveled logger, env-controlled via `MAESTRO_LOG`
 //!   and **off by default**, so library diagnostics go through one
 //!   redirectable path instead of ad-hoc `eprintln!` call sites.
@@ -39,13 +43,20 @@
 // handle, which the lint does not cover).
 #![cfg_attr(
     not(test),
-    deny(clippy::unwrap_used, clippy::expect_used, clippy::print_stderr)
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stderr,
+        clippy::exit
+    )
 )]
 
+pub mod cancel;
 pub mod log;
 pub mod metrics;
 pub mod span;
 
+pub use cancel::{interrupt_raised, raise_interrupt, CancelToken};
 pub use log::Level;
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
 pub use span::{SpanEvent, SpanGuard};

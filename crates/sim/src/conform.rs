@@ -256,6 +256,10 @@ pub struct ConformReport {
     pub skipped_analysis: u64,
     /// Skipped because the schedule exceeded the step budget.
     pub skipped_steps: u64,
+    /// `true` when the run was cancelled (signal or `--max-seconds`
+    /// deadline) before every case was checked: the counts above cover
+    /// only the cases reached. Always `false` for completed runs.
+    pub interrupted: bool,
     /// Every diverging case with its shrunk reproducer.
     pub diverged: Vec<DivergentCase>,
 }
@@ -623,6 +627,20 @@ pub fn reproducer(case: &Case, divs: &[Divergence], seed: u64, index: u64) -> St
 /// divergence to a minimal reproducer. Deterministic: the same config
 /// always produces an identical report.
 pub fn run_conform(cfg: &ConformConfig) -> ConformReport {
+    run_conform_cancellable(cfg, &maestro_obs::CancelToken::detached())
+}
+
+/// [`run_conform`] polling a cooperative cancellation token at each case
+/// boundary — the same token the DSE sessions use, so `SIGINT`/`SIGTERM`
+/// or a `--max-seconds` deadline drains the current case and returns the
+/// partial report with [`ConformReport::interrupted`] set instead of
+/// throwing the finished cases away. Up to the point of interruption the
+/// case sequence is identical to an uncancelled run's (the generator RNG
+/// does not observe the token).
+pub fn run_conform_cancellable(
+    cfg: &ConformConfig,
+    token: &maestro_obs::CancelToken,
+) -> ConformReport {
     let _span = maestro_obs::span::span("maestro.conform.run");
     // Touch every counter up front so a clean run still exposes them.
     let (c_cases, c_div, c_shrunk, c_skip) = (
@@ -639,9 +657,15 @@ pub fn run_conform(cfg: &ConformConfig) -> ConformReport {
         skipped_resolve: 0,
         skipped_analysis: 0,
         skipped_steps: 0,
+        interrupted: false,
         diverged: Vec::new(),
     };
     for index in 0..cfg.cases {
+        if token.is_cancelled() {
+            report.interrupted = true;
+            report.cases = index;
+            break;
+        }
         let case = gen_case(&mut rng);
         c_cases.inc();
         match check_case(&case, &cfg.tol, cfg.max_steps) {
@@ -707,6 +731,24 @@ mod tests {
                 .validate()
                 .expect("generated layer must be valid");
         }
+    }
+
+    #[test]
+    fn cancelled_conform_returns_partial_report() {
+        let cfg = ConformConfig {
+            cases: 50,
+            ..ConformConfig::default()
+        };
+        let token = maestro_obs::CancelToken::detached();
+        token.cancel();
+        let report = run_conform_cancellable(&cfg, &token);
+        assert!(report.interrupted);
+        assert_eq!(report.cases, 0, "cancelled before the first case");
+
+        let full = run_conform_cancellable(&cfg, &maestro_obs::CancelToken::detached());
+        assert!(!full.interrupted);
+        assert_eq!(full.cases, 50);
+        assert_eq!(full, run_conform(&cfg), "detached token ≡ plain run");
     }
 
     #[test]

@@ -28,7 +28,10 @@
 //! # }
 //! ```
 
-#![cfg_attr(not(test), deny(clippy::print_stderr, clippy::print_stdout))]
+#![cfg_attr(
+    not(test),
+    deny(clippy::print_stderr, clippy::print_stdout, clippy::exit)
+)]
 
 pub mod conform;
 pub mod engine;
@@ -38,8 +41,8 @@ pub mod trace;
 pub mod validate;
 
 pub use conform::{
-    check_case, run_conform, shrink, Case, CaseOutcome, ConformConfig, ConformReport, Divergence,
-    DivergentCase, Metric, SkipReason, Tolerances,
+    check_case, run_conform, run_conform_cancellable, shrink, Case, CaseOutcome, ConformConfig,
+    ConformReport, Divergence, DivergentCase, Metric, SkipReason, Tolerances,
 };
 pub use engine::{simulate, SimError, SimOptions, SimReport};
 pub use mapping::{mapping_at_step, PeMapping};
