@@ -58,6 +58,22 @@ for name in maestro_cache_hits maestro_cache_misses maestro_dse_unit_rate \
   fi
 done
 
+# Staged evaluation is a pure refactor of analyze(): the golden suite
+# must prove the staged DSE bit-identical to full evaluation at 1/2/8/
+# auto threads, with checkpoints and under fault injection, before any
+# rate number is trusted.
+echo "== staged-equivalence goldens"
+cargo test -q --release -p maestro-dse --test staged_equivalence
+cargo test -q --release -p maestro-sim --test staged_conform_smoke
+
+# DSE-rate smoke: times full vs staged on the standard VGG16 CONV2 /
+# KC-P sweep and refreshes the BENCH_dse_rate.json baseline tracked in
+# the repo, so perf regressions show up as a diff in review. The binary
+# itself asserts the two modes' results are bit-identical.
+echo "== dse_rate smoke (BENCH_dse_rate.json)"
+target/release/dse_rate_smoke --repeats 5 --out BENCH_dse_rate.json
+grep -q '"bit_identical": true' BENCH_dse_rate.json
+
 # The closed-form model and the step simulator must agree on a fixed
 # fuzz corpus: any divergence beyond the calibrated tolerances exits 6
 # and prints a minimized, ready-to-paste reproducer.

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use maestro_dnn::zoo;
-use maestro_dse::{variants, Explorer, SweepSpace};
+use maestro_dse::{variants, EvalMode, Explorer, SweepSpace};
 use maestro_ir::Style;
 use std::hint::black_box;
 
@@ -51,5 +51,31 @@ fn bench_dse_parallel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dse, bench_dse_parallel);
+fn bench_dse_eval_modes(c: &mut Criterion) {
+    // Ablation: staged evaluation (NoC-independent stages shared across
+    // the bandwidth axis) vs. the fused cost model per grid point. Both
+    // are bit-identical; this group tracks how much of the sweep the
+    // staged split actually saves.
+    let vgg = zoo::vgg16(1);
+    let layer = vgg.layer("CONV2").expect("zoo layer");
+    let maps = variants::variants(Style::KCP);
+    let mut g = c.benchmark_group("dse-eval-mode-ablation");
+    g.sample_size(10);
+    for eval in [EvalMode::Full, EvalMode::Staged] {
+        g.bench_function(format!("{eval}"), |b| {
+            b.iter(|| {
+                let mut e = Explorer::new(SweepSpace::standard());
+                e.eval = eval;
+                let r = e
+                    .explore(black_box(layer), black_box(&maps))
+                    .expect("valid sweep space");
+                assert!(r.stats.valid > 0);
+                r.stats.explored
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dse, bench_dse_parallel, bench_dse_eval_modes);
 criterion_main!(benches);

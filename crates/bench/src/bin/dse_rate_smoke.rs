@@ -1,0 +1,127 @@
+//! DSE-rate smoke benchmark: staged vs. full evaluation on the standard
+//! space (VGG16 CONV2 under the KC-P variants, single thread — the
+//! configuration behind EXPERIMENTS.md's dse_rate numbers).
+//!
+//! Verifies the two modes stay bit-identical on this workload, then times
+//! both (best of N repeats) and writes `BENCH_dse_rate.json` so CI can
+//! track the effective exploration rate and the staged/full speedup.
+//!
+//! Usage: `dse_rate_smoke [--out <path>] [--repeats <n>]`
+
+use maestro_bench::layer;
+use maestro_dnn::zoo;
+use maestro_dse::{variants, DseResult, EvalMode, Explorer, SweepSpace};
+use maestro_ir::Style;
+use serde::Serialize;
+use std::hint::black_box;
+
+/// The machine-readable record CI archives as `BENCH_dse_rate.json`.
+#[derive(Serialize)]
+struct RateReport {
+    bench: &'static str,
+    workload: &'static str,
+    style: &'static str,
+    space: &'static str,
+    threads: u32,
+    repeats: u32,
+    explored: u64,
+    valid: u64,
+    full_seconds: f64,
+    full_rate: f64,
+    staged_seconds: f64,
+    staged_rate: f64,
+    /// The headline number: effective designs/second in the default mode.
+    dse_rate: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+fn arg(name: &str) -> Option<String> {
+    let mut argv = std::env::args();
+    while let Some(a) = argv.next() {
+        if a == name {
+            return argv.next();
+        }
+    }
+    None
+}
+
+fn canonical(mut r: DseResult) -> DseResult {
+    r.stats.seconds = 0.0;
+    r.stats.rate = 0.0;
+    r
+}
+
+/// Best-of-`repeats` sweep under `eval`; returns (result, best seconds).
+fn run(eval: EvalMode, repeats: u32) -> (DseResult, f64) {
+    let vgg = zoo::vgg16(1);
+    let l = layer(&vgg, "CONV2");
+    let maps = variants::variants(Style::KCP);
+    let mut e = Explorer::new(SweepSpace::standard());
+    e.eval = eval;
+    let mut best = f64::MAX;
+    let mut result = None;
+    for _ in 0..repeats.max(1) {
+        let r = e
+            .explore(black_box(l), black_box(&maps))
+            .expect("valid sweep space");
+        assert!(r.stats.valid > 0, "{eval}: empty sweep");
+        best = best.min(r.stats.seconds);
+        result = Some(r);
+    }
+    let r = result.expect("at least one repeat ran");
+    (r, best)
+}
+
+fn main() {
+    let out = arg("--out").unwrap_or_else(|| "BENCH_dse_rate.json".to_string());
+    let repeats: u32 = arg("--repeats")
+        .map(|v| v.parse().expect("--repeats expects an integer"))
+        .unwrap_or(3);
+
+    let (full, full_secs) = run(EvalMode::Full, repeats);
+    let (staged, staged_secs) = run(EvalMode::Staged, repeats);
+    assert_eq!(
+        canonical(full.clone()),
+        canonical(staged.clone()),
+        "staged and full sweeps diverged — rates are meaningless"
+    );
+
+    let explored = staged.stats.explored;
+    let full_rate = explored as f64 / full_secs;
+    let staged_rate = explored as f64 / staged_secs;
+    let speedup = staged_rate / full_rate;
+    println!("DSE rate smoke — VGG16 CONV2 / KC-P variants / standard space (1 thread)");
+    println!(
+        "  full    {:>9.3} ms  {:>10.3e} designs/s",
+        1e3 * full_secs,
+        full_rate
+    );
+    println!(
+        "  staged  {:>9.3} ms  {:>10.3e} designs/s",
+        1e3 * staged_secs,
+        staged_rate
+    );
+    println!("  speedup {speedup:.2}x (staged over full), results bit-identical");
+
+    let report = RateReport {
+        bench: "dse_rate_smoke",
+        workload: "vgg16/CONV2",
+        style: "KC-P",
+        space: "standard",
+        threads: 1,
+        repeats,
+        explored,
+        valid: staged.stats.valid,
+        full_seconds: full_secs,
+        full_rate,
+        staged_seconds: staged_secs,
+        staged_rate,
+        dse_rate: staged_rate,
+        speedup,
+        bit_identical: true,
+    };
+    let rendered = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&out, rendered + "\n").expect("write benchmark report");
+    println!("  wrote {out}");
+}

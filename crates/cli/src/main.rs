@@ -209,6 +209,9 @@ Long-running sweeps (dse):
   --retries <n>              re-attempts for a failed unit before quarantine (default 1)
   --unit-timeout <ms>        per-unit watchdog budget (trips only on injected stalls)
   --progress                 stderr progress line with units/s and ETA
+  --eval <staged|full>       cost-model evaluation mode (default staged; bit-identical,
+                             staged shares NoC-independent stages across the bw axis)
+  --memo-cap <n>             per-unit analysis-cache entry cap (default 4096; 0 = unbounded)
 
 Observability (any command):
   --metrics <path|->     dump the metrics registry (Prometheus text format)
@@ -458,7 +461,16 @@ fn cmd_dse(args: &Args) -> Result<(), CliError> {
     let threads = usize::try_from(args.get_u64("threads", 0).map_err(CliError::usage)?)
         .map_err(|_| CliError::usage("--threads is too large"))?;
     let (ctl, resumed) = session_ctl(args, threads)?;
-    let explorer = maestro_dse::Explorer::new(maestro_dse::SweepSpace::standard());
+    let mut explorer = maestro_dse::Explorer::new(maestro_dse::SweepSpace::standard());
+    explorer.eval = args
+        .get("eval", "staged")
+        .parse::<maestro_dse::EvalMode>()
+        .map_err(CliError::usage)?;
+    explorer.memo_cap = usize::try_from(
+        args.get_u64("memo-cap", maestro_core::DEFAULT_CACHE_CAP as u64)
+            .map_err(CliError::usage)?,
+    )
+    .map_err(|_| CliError::usage("--memo-cap is too large"))?;
     let (result, session) = explorer
         .explore_session(
             layer,

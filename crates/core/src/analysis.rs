@@ -1,28 +1,12 @@
 //! Public entry points: analyze a layer or a whole model.
 
-use crate::engine::{analyze_level, LevelResult};
-use crate::level::LevelCtx;
 use crate::report::{LayerReport, ModelReport};
+use crate::stages::StagedAnalysis;
 use maestro_dnn::layer::LayerError;
-use maestro_dnn::{Layer, Model, TensorKind};
+use maestro_dnn::{Layer, Model};
 use maestro_hw::Accelerator;
-use maestro_ir::{resolve, Dataflow, ResolveError};
+use maestro_ir::{Dataflow, ResolveError};
 use std::fmt;
-use std::sync::OnceLock;
-
-/// Counter of [`LayerReport::validate`] rejections inside [`analyze`]
-/// (`maestro.analysis.validation_failures`). A `OnceLock`-cached handle:
-/// the registry lookup happens once, increments are lock-free.
-fn validation_failures() -> &'static maestro_obs::Counter {
-    static C: OnceLock<maestro_obs::Counter> = OnceLock::new();
-    C.get_or_init(|| maestro_obs::registry().counter("maestro.analysis.validation_failures"))
-}
-
-/// Counter of [`analyze`] invocations (`maestro.analysis.calls`).
-fn analysis_calls() -> &'static maestro_obs::Counter {
-    static C: OnceLock<maestro_obs::Counter> = OnceLock::new();
-    C.get_or_init(|| maestro_obs::registry().counter("maestro.analysis.calls"))
-}
 
 /// Errors produced by the analysis entry points.
 ///
@@ -123,132 +107,10 @@ pub fn analyze(
     acc: &Accelerator,
 ) -> Result<LayerReport, AnalysisError> {
     let _span = maestro_obs::span::span("maestro.analysis.analyze");
-    analysis_calls().inc();
-
-    // Tensor + cluster analysis: bind the dataflow to the layer, derive
-    // the per-level data views (paper §4.1–§4.2).
-    let (resolved, coupling, ctxs) = {
-        let _s = maestro_obs::span::span("maestro.analysis.tensor");
-        layer.validate()?;
-        let resolved = resolve(dataflow, layer, acc.num_pes)?;
-        let coupling = layer.coupling();
-        let ctxs: Vec<LevelCtx> = resolved
-            .levels
-            .iter()
-            .map(|l| LevelCtx::build(&resolved, l, &coupling))
-            .collect();
-        (resolved, coupling, ctxs)
-    };
-
-    // Reuse + performance analysis: the per-level transition-class engine
-    // (paper §4.2–§4.4), innermost level first.
-    let (result, mut levels) = {
-        let _s = maestro_obs::span::span("maestro.analysis.reuse");
-        let mut result: Option<LevelResult> = None;
-        let mut levels: Vec<crate::report::LevelSummary> = Vec::with_capacity(ctxs.len());
-        for (i, ctx) in ctxs.iter().enumerate().rev() {
-            let r = analyze_level(ctx, result.as_ref(), acc, &coupling, layer.density, i == 0);
-            levels.push(crate::report::LevelSummary {
-                level: i,
-                units: ctx.num_units,
-                active_units: ctx.active_units,
-                utilization: ctx.utilization,
-                steps: ctx.total_steps,
-                pass_cycles: r.runtime_steady,
-                footprint: [
-                    ctx.views.footprint(&coupling, TensorKind::Input),
-                    ctx.views.footprint(&coupling, TensorKind::Weight),
-                    ctx.views.footprint(&coupling, TensorKind::Output),
-                ],
-                output_spatial: ctx.output_spatial,
-            });
-            result = Some(r);
-        }
-        (result, levels)
-    };
-    levels.reverse();
-    let Some(mut top) = result else {
-        return Err(AnalysisError::EmptyResolution);
-    };
-    if resolved.used_pes == 0 || resolved.used_pes > acc.num_pes {
-        return Err(AnalysisError::Internal(
-            "resolved PE usage is outside the accelerator's PE array",
-        ));
-    }
-
-    // Buffer analysis: L2 read-modify-write correction and utilization
-    // (the capacity side of the cost model).
-    let utilization = {
-        let _s = maestro_obs::span::span("maestro.analysis.buffer");
-        // Without spatial-reduction hardware, partial sums from spatially
-        // reduced levels are combined by read-modify-write at the L2:
-        // every output write implies one extra read (paper Table 2 /
-        // Table 5).
-        if acc.support.reduction == maestro_hw::SpatialReduction::None
-            && ctxs
-                .iter()
-                .any(|c| c.output_spatial == crate::level::OutputSpatial::Reduced)
-        {
-            let writes = top.counts.l2_write[TensorKind::Output];
-            top.counts.l2_read[TensorKind::Output] += writes;
-        }
-        ctxs.iter().map(|c| c.utilization).product::<f64>()
-            * (resolved.used_pes as f64 / acc.num_pes as f64)
-    };
-
-    // NoC + off-chip analysis: DRAM traffic (Figure 2 lists DRAM
-    // bandwidth among the model's hardware parameters) — compulsory moves
-    // plus capacity misses, overlapped against on-chip execution
-    // (double-buffered) — and average NoC bandwidth.
-    let (runtime, avg_bw, tensor_elems) = {
-        let _s = maestro_obs::span::span("maestro.analysis.noc");
-        let tensor_elems = [
-            layer.tensor_elements(TensorKind::Input),
-            layer.tensor_elements(TensorKind::Weight),
-            layer.tensor_elements(TensorKind::Output),
-        ];
-        let (dram_read, dram_write) =
-            crate::report::offchip_traffic(&top.counts, tensor_elems, acc.l2_elements());
-        top.counts.dram_read = dram_read;
-        top.counts.dram_write = dram_write;
-        let dram_delay =
-            (dram_read.total() + dram_write.total()) / acc.offchip_bandwidth.max(1) as f64;
-        let runtime = top.runtime_first.max(dram_delay);
-        let avg_bw = if runtime > 0.0 {
-            (top.counts.l2_read.total() + top.counts.l2_write.total()) / runtime
-        } else {
-            0.0
-        };
-        (runtime, avg_bw, tensor_elems)
-    };
-
-    let report = LayerReport {
-        layer: layer.name.clone(),
-        dataflow: dataflow.name().to_string(),
-        runtime,
-        counts: top.counts,
-        macs_dense: top.macs_dense,
-        macs_effective: top.macs_effective,
-        l1_per_pe_elems: top.l1_per_pe,
-        l2_staging_elems: top.staging,
-        peak_bw: top.peak_bw,
-        avg_bw,
-        utilization,
-        used_pes: resolved.used_pes,
-        num_pes: acc.num_pes,
-        tensor_elems,
-        levels,
-    };
-    if let Err(e) = report.validate() {
-        validation_failures().inc();
-        maestro_obs::debug!(
-            "analysis of {}/{} rejected by the finite-value gate: {e}",
-            layer.name,
-            dataflow.name()
-        );
-        return Err(e);
-    }
-    Ok(report)
+    // The staged pipeline IS the implementation: the fused entry point
+    // builds the NoC-independent stages and immediately prices them under
+    // this accelerator's NoC, so staged and fused evaluation cannot drift.
+    StagedAnalysis::build(layer, dataflow, acc)?.finish(acc.noc.bandwidth, acc.noc.avg_latency)
 }
 
 /// Analyze every layer of `model` under a per-layer dataflow choice.

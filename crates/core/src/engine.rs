@@ -179,12 +179,202 @@ fn new_data(
     (fp - overlap).max(0.0)
 }
 
-/// Per-occurrence NoC transfer delay for `elements`.
-fn transfer(acc: &Accelerator, elements: f64) -> f64 {
+/// Per-occurrence NoC transfer delay for `elements` through a
+/// (bandwidth, latency) pipe.
+fn transfer_bw(bandwidth: f64, avg_latency: f64, elements: f64) -> f64 {
     if elements <= 0.0 {
         0.0
     } else {
-        (elements / acc.noc.bandwidth as f64).ceil() + acc.noc.avg_latency as f64
+        (elements / bandwidth).ceil() + avg_latency
+    }
+}
+
+/// One non-Init odometer transition class of a level: how often a loop
+/// advances across one pass, and how many elements cross the level
+/// boundary when it does. Pure data-volume quantities — NoC-independent —
+/// computed once by [`analyze_level_static`] and re-priced for every NoC
+/// configuration by [`level_perf`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// Occurrences of this transition across one pass of the level.
+    pub occurrences: f64,
+    /// Elements entering the level per occurrence (operands + psum
+    /// refetches).
+    pub ingress: f64,
+    /// Elements leaving the level per occurrence (outputs + psum spills).
+    pub egress: f64,
+}
+
+/// The NoC-independent analysis of one cluster level (inner levels
+/// included): reuse and buffer results — activity counts, MACs, capacity
+/// requirements — plus the transition table that [`level_perf`] prices
+/// under a concrete NoC pipe. Everything here is a pure function of
+/// (layer, dataflow, PE count, reuse support, vector width); nothing
+/// depends on NoC bandwidth or latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStatic {
+    /// Per-loop transition classes, in loop order.
+    pub transitions: Vec<Transition>,
+    /// Elements fetched on the Init transition.
+    pub init_ingress: f64,
+    /// Resident output elements drained at the boundary after the last
+    /// step (priced only at the top level).
+    pub drain_elems: f64,
+    /// Temporal edge-padding correction applied to the pass runtime.
+    pub coverage_temporal: f64,
+    /// Pipeline-fill latency of the reduction network (charged on Init).
+    pub reduction_latency: f64,
+    /// Pipeline-fill latency of the multicast network (charged on Init).
+    pub multicast_latency: f64,
+    /// Per-step compute delay at the leaf (vector-width-quantized MACs);
+    /// zero above the leaf, where the inner level's steady pass runtime
+    /// takes its place.
+    pub leaf_delay: f64,
+    /// Whether this is the innermost level.
+    pub is_leaf: bool,
+    /// Whether this is the outermost level.
+    pub is_top: bool,
+    /// Activity counts for one pass, inner levels included.
+    pub counts: ActivityCounts,
+    /// Dense MACs per pass.
+    pub macs_dense: f64,
+    /// Density-scaled MACs per pass.
+    pub macs_effective: f64,
+    /// Required L1 capacity per PE, in elements (double-buffered).
+    pub l1_per_pe: u64,
+    /// Data staged per steady step across this level's units, in elements.
+    pub staging: u64,
+    /// Replication fanout of (input, weight) data down to PE L1s.
+    pub fanout: [f64; 2],
+    /// Output elements committed upstream across one pass.
+    pub out_egress: f64,
+    /// Output elements still resident in the units at the end of a pass.
+    pub out_resident: f64,
+}
+
+/// The NoC-dependent results of one level under a concrete (bandwidth,
+/// latency) pipe, derived from a [`LevelStatic`] by [`level_perf`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelPerf {
+    /// Pass runtime assuming the pipeline is already warm.
+    pub runtime_steady: f64,
+    /// Pass runtime including the initial fill.
+    pub runtime_first: f64,
+    /// Peak NoC bandwidth demand (elements/cycle) to avoid stalls.
+    pub peak_bw: f64,
+    /// Steady-state per-step compute delay at this level.
+    pub compute_delay: f64,
+}
+
+/// The slice of an inner level's results its parent reads during *static*
+/// analysis: the NoC-independent quantities that cross the level boundary.
+/// Both [`LevelStatic`] and a full [`LevelResult`] can produce one.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelCarry<'a> {
+    /// Inner pass activity counts.
+    pub counts: &'a ActivityCounts,
+    /// Dense MACs per inner pass.
+    pub macs_dense: f64,
+    /// Density-scaled MACs per inner pass.
+    pub macs_effective: f64,
+    /// Inner L1 requirement, in elements.
+    pub l1_per_pe: u64,
+    /// Inner (input, weight) replication fanout.
+    pub fanout: [f64; 2],
+    /// Inner per-pass output egress, in boundary elements.
+    pub out_egress: f64,
+    /// Inner resident outputs at end of pass.
+    pub out_resident: f64,
+}
+
+impl LevelStatic {
+    /// The boundary view a parent level's static analysis reads.
+    pub fn carry(&self) -> LevelCarry<'_> {
+        LevelCarry {
+            counts: &self.counts,
+            macs_dense: self.macs_dense,
+            macs_effective: self.macs_effective,
+            l1_per_pe: self.l1_per_pe,
+            fanout: self.fanout,
+            out_egress: self.out_egress,
+            out_resident: self.out_resident,
+        }
+    }
+}
+
+impl LevelResult {
+    /// The boundary view a parent level's static analysis reads.
+    pub fn carry(&self) -> LevelCarry<'_> {
+        LevelCarry {
+            counts: &self.counts,
+            macs_dense: self.macs_dense,
+            macs_effective: self.macs_effective,
+            l1_per_pe: self.l1_per_pe,
+            fanout: self.fanout,
+            out_egress: self.out_egress,
+            out_resident: self.out_resident,
+        }
+    }
+}
+
+/// Price a level's static analysis under a concrete NoC pipe.
+///
+/// This is the performance half of [`analyze_level`]: the f64 operations
+/// run in exactly the order the fused analysis ran them, so composing
+/// [`analyze_level_static`] with `level_perf` is bit-identical to the
+/// original single pass — which is what lets a sweep re-price one static
+/// analysis across a whole NoC-bandwidth grid.
+pub fn level_perf(
+    st: &LevelStatic,
+    inner: Option<&LevelPerf>,
+    bandwidth: u64,
+    avg_latency: u64,
+) -> LevelPerf {
+    let bw = bandwidth as f64;
+    let lat = avg_latency as f64;
+    let (compute_delay, compute_first) = match inner {
+        Some(p) => (p.runtime_steady, p.runtime_first + st.reduction_latency),
+        None => (st.leaf_delay, st.leaf_delay + st.reduction_latency),
+    };
+    let mut runtime_accum = 0.0f64;
+    let mut peak_bw = 0.0f64;
+    let mut last_outstanding = compute_delay; // steady stand-in when loop-free
+    for t in &st.transitions {
+        let ingress_delay = transfer_bw(bw, lat, t.ingress);
+        let egress_delay = transfer_bw(bw, lat, t.egress);
+        let outstanding = compute_delay.max(ingress_delay).max(egress_delay);
+        runtime_accum += t.occurrences * outstanding;
+        last_outstanding = outstanding;
+        let headroom = (compute_delay - lat).max(1.0);
+        peak_bw = peak_bw.max((t.ingress + t.egress) / headroom);
+    }
+    // Init transition: everything fetched, nothing overlapped. The fill is
+    // one stream from the L2 down through the level hierarchy, so its
+    // serialization is charged once, at the top boundary; inner levels see
+    // data already in flight and add only their network's pipeline-fill
+    // latency.
+    let init_transfer = if st.is_top {
+        transfer_bw(bw, lat, st.init_ingress)
+    } else {
+        0.0
+    };
+    let init_delay = init_transfer + st.multicast_latency + compute_first;
+    peak_bw = peak_bw.max(st.init_ingress / (compute_delay - lat).max(1.0));
+    // Final drain of the last resident outputs, serialized at the L2
+    // boundary after the last step (matches the simulator's epilogue).
+    let final_drain = if st.is_top {
+        (st.drain_elems / bw).ceil()
+    } else {
+        0.0
+    };
+    let runtime_first = init_delay + runtime_accum * st.coverage_temporal + final_drain;
+    let runtime_steady = runtime_accum * st.coverage_temporal + last_outstanding;
+    let peak_bw = peak_bw.max(inner.map(|p| p.peak_bw).unwrap_or(0.0));
+    LevelPerf {
+        runtime_steady,
+        runtime_first,
+        peak_bw,
+        compute_delay,
     }
 }
 
@@ -193,7 +383,11 @@ fn transfer(acc: &Accelerator, elements: f64) -> f64 {
 /// `is_top` marks the outermost level (its ingress/egress is charged to the
 /// L2 scratchpad); the innermost level (when `inner` is `None`) charges L1
 /// fills and per-MAC operand accesses.
-#[allow(clippy::too_many_lines)]
+///
+/// This is the fused convenience form: it runs [`analyze_level_static`]
+/// and prices the result with [`level_perf`] under `acc`'s NoC, which is
+/// exactly what the staged pipeline does — so fused and staged analysis
+/// are the same code path and cannot drift.
 pub fn analyze_level(
     ctx: &LevelCtx,
     inner: Option<&LevelResult>,
@@ -202,10 +396,61 @@ pub fn analyze_level(
     density: Density,
     is_top: bool,
 ) -> LevelResult {
+    let st = analyze_level_static(
+        ctx,
+        inner.map(LevelResult::carry),
+        acc.support,
+        acc.vector_width,
+        coupling,
+        density,
+        is_top,
+    );
+    let inner_perf = inner.map(|r| LevelPerf {
+        runtime_steady: r.runtime_steady,
+        runtime_first: r.runtime_first,
+        peak_bw: r.peak_bw,
+        compute_delay: r.compute_delay,
+    });
+    let pf = level_perf(
+        &st,
+        inner_perf.as_ref(),
+        acc.noc.bandwidth,
+        acc.noc.avg_latency,
+    );
+    LevelResult {
+        runtime_steady: pf.runtime_steady,
+        runtime_first: pf.runtime_first,
+        counts: st.counts,
+        macs_dense: st.macs_dense,
+        macs_effective: st.macs_effective,
+        l1_per_pe: st.l1_per_pe,
+        staging: st.staging,
+        peak_bw: pf.peak_bw,
+        compute_delay: pf.compute_delay,
+        fanout: st.fanout,
+        out_egress: st.out_egress,
+        out_resident: st.out_resident,
+    }
+}
+
+/// The NoC-independent half of [`analyze_level`]: reuse/buffer analysis
+/// plus the transition table. `support` and `vector_width` are the only
+/// accelerator inputs this half reads — deliberately *not* the whole
+/// [`Accelerator`], so the signature itself proves the result cannot
+/// depend on the NoC configuration.
+#[allow(clippy::too_many_lines)]
+pub fn analyze_level_static(
+    ctx: &LevelCtx,
+    inner: Option<LevelCarry<'_>>,
+    support: maestro_hw::ReuseSupport,
+    vector_width: u64,
+    coupling: &Coupling,
+    density: Density,
+    is_top: bool,
+) -> LevelStatic {
     let is_leaf = inner.is_none();
     let active = ctx.active_units;
     let activef = active as f64;
-    let support = acc.support;
 
     // Footprints per unit per step.
     let fp = |k: TensorKind| ctx.views.footprint(coupling, k) as f64;
@@ -244,13 +489,11 @@ pub fn analyze_level(
         0.0
     };
     let multicast_latency = support.multicast.extra_latency(active) as f64;
-    let (compute_delay, compute_first) = match inner {
-        Some(r) => (r.runtime_steady, r.runtime_first + reduction_latency),
-        None => {
-            let macs = ctx.macs_per_unit_step() as f64 * density.mac_fraction();
-            let d = (macs / acc.vector_width as f64).ceil().max(1.0);
-            (d, d + reduction_latency)
-        }
+    let leaf_delay = if is_leaf {
+        let macs = ctx.macs_per_unit_step() as f64 * density.mac_fraction();
+        (macs / vector_width as f64).ceil().max(1.0)
+    } else {
+        0.0
     };
 
     // Coverage corrects for edge padding: each dimension's chunk grid
@@ -289,10 +532,8 @@ pub fn analyze_level(
 
     // Transition classes.
     let mut counts = ActivityCounts::new();
-    let mut runtime_accum = 0.0f64; // Σ over non-init transitions
-    let mut peak_bw = 0.0f64;
-    let mut last_outstanding = compute_delay; // steady stand-in when loop-free
-                                              // Per-unit ingress totals for one pass, per tensor (for L1 fills).
+    let mut transitions = Vec::with_capacity(ctx.loops.len());
+    // Per-unit ingress totals for one pass, per tensor (for L1 fills).
     let mut per_unit_in = fp_in;
     let mut per_unit_w = fp_w;
     // Per-unit egress totals (for L1 drains).
@@ -332,14 +573,11 @@ pub fn analyze_level(
             per_unit_out += out_new * occurrences;
         }
 
-        let ingress_delay = transfer(acc, ingress);
-        let egress_delay = transfer(acc, egress);
-        let outstanding = compute_delay.max(ingress_delay).max(egress_delay);
-        runtime_accum += occurrences * outstanding;
-        last_outstanding = outstanding;
-
-        let headroom = (compute_delay - acc.noc.avg_latency as f64).max(1.0);
-        peak_bw = peak_bw.max((ingress + egress) / headroom);
+        transitions.push(Transition {
+            occurrences,
+            ingress,
+            egress,
+        });
 
         per_unit_in += new_in * occurrences;
         per_unit_w += new_w * occurrences;
@@ -366,30 +604,9 @@ pub fn analyze_level(
         }
     }
 
-    // Init transition: everything fetched, nothing overlapped. The fill is
-    // one stream from the L2 down through the level hierarchy, so its
-    // serialization is charged once, at the top boundary; inner levels see
-    // data already in flight and add only their network's pipeline-fill
-    // latency (the multicast/reduction depths charged above and below).
+    // Init-transition fetch volume; [`level_perf`] prices it (and the
+    // final output drain) under the concrete NoC.
     let init_ingress = fp_in * in_mult * d_in + fp_w * w_mult * d_w;
-    let init_transfer = if is_top {
-        transfer(acc, init_ingress)
-    } else {
-        0.0
-    };
-    let init_delay = init_transfer + multicast_latency + compute_first;
-    peak_bw = peak_bw.max(init_ingress / (compute_delay - acc.noc.avg_latency as f64).max(1.0));
-
-    // Final drain of the last resident outputs, serialized at the L2
-    // boundary after the last step (matches the simulator's epilogue).
-    let final_drain = if is_top {
-        (fp_out * out_mult * d_out / acc.noc.bandwidth as f64).ceil()
-    } else {
-        0.0
-    };
-
-    let runtime_first = init_delay + runtime_accum * coverage_temporal + final_drain;
-    let runtime_steady = runtime_accum * coverage_temporal + last_outstanding;
 
     // ---- Activity counts ----
     let passes_per_step =
@@ -397,7 +614,7 @@ pub fn analyze_level(
     let macs_dense;
     let macs_effective;
     if let Some(r) = inner {
-        counts.add_scaled(&r.counts, passes_per_step);
+        counts.add_scaled(r.counts, passes_per_step);
         macs_dense = r.macs_dense * passes_per_step;
         macs_effective = r.macs_effective * passes_per_step;
     } else {
@@ -478,18 +695,21 @@ pub fn analyze_level(
             + fp_w * activef * ctx.spatial_sharing_ratio(coupling, TensorKind::Weight)
             + out_staged)) as u64;
 
-    let peak_bw = peak_bw.max(inner.map(|r| r.peak_bw).unwrap_or(0.0));
-
-    LevelResult {
-        runtime_steady,
-        runtime_first,
+    LevelStatic {
+        transitions,
+        init_ingress,
+        drain_elems: fp_out * out_mult * d_out,
+        coverage_temporal,
+        reduction_latency,
+        multicast_latency,
+        leaf_delay,
+        is_leaf,
+        is_top,
         counts,
         macs_dense,
         macs_effective,
         l1_per_pe,
         staging,
-        peak_bw,
-        compute_delay,
         fanout,
         out_egress: out_commit * cov_out,
         out_resident: inner

@@ -47,16 +47,19 @@ pub mod explain;
 pub mod footprint;
 pub mod level;
 pub mod lint;
+pub mod lru;
 pub mod memo;
 pub mod report;
 pub mod reuse;
+pub mod stages;
 
 pub use analysis::{analyze, analyze_model, analyze_model_with, AnalysisError};
 pub use counts::{ActivityCounts, EnergyBreakdown, PerTensor};
-pub use engine::LevelResult;
+pub use engine::{LevelPerf, LevelResult, LevelStatic};
 pub use explain::{explain, Explanation, Observation};
 pub use level::{LevelCtx, OutputSpatial};
 pub use lint::{lint, Lint};
-pub use memo::{AnalysisCache, ShapeKey};
+pub use memo::{AnalysisCache, PreparedContext, ShapeKey, DEFAULT_CACHE_CAP};
 pub use report::{LayerReport, ModelReport};
 pub use reuse::{opportunity_table, spatial_opportunity, temporal_opportunity, ReuseForm};
+pub use stages::StagedAnalysis;

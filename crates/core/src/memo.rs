@@ -9,16 +9,36 @@
 //!
 //! [`ShapeKey`] is the hashable identity of a layer as the cost model sees
 //! it — dimensions, operator, and tensor densities, but *not* the name.
-//! [`AnalysisCache`] pairs a key with a caller-supplied `tag` encoding
-//! whatever dataflow/accelerator context the caller varies, and memoizes
-//! both successful reports and analysis errors.
+//! [`AnalysisCache`] derives the rest of the key *internally* by
+//! fingerprinting the (dataflow, accelerator) pair, so no caller mistake
+//! can alias two different contexts onto one entry (the old caller-supplied
+//! `tag: u64` contract silently returned stale reports when a tag was
+//! reused across dataflows or accelerators). Both successful reports and
+//! analysis errors are memoized, and both tiers are LRU-bounded so long
+//! sweeps cannot grow memory without limit.
+//!
+//! The cache is two-tier:
+//!
+//! * a **report tier** keyed by (shape, full-context fingerprint) holding
+//!   finished [`LayerReport`]s;
+//! * a **stage tier** keyed by (shape, NoC-independent fingerprint)
+//!   holding [`StagedAnalysis`] builds, shared across every NoC
+//!   configuration of the same accelerator — this is what makes a sweep
+//!   over NoC bandwidths run the expensive stages once
+//!   ([`AnalysisCache::analyze_staged`]).
 
 use crate::analysis::{analyze, AnalysisError};
+use crate::lru::Lru;
 use crate::report::LayerReport;
+use crate::stages::StagedAnalysis;
 use maestro_dnn::{Layer, LayerDims, Operator};
 use maestro_hw::Accelerator;
 use maestro_ir::Dataflow;
-use std::collections::HashMap;
+
+/// Default per-tier LRU capacity: comfortably above any workload the repo
+/// sweeps today (a whole-model sweep touches ~10³ distinct entries per
+/// worker) while bounding a pathological sweep to a few tens of MB.
+pub const DEFAULT_CACHE_CAP: usize = 4096;
 
 /// The identity of a layer under the cost model: everything `analyze`
 /// reads from a [`Layer`] except its name. Two layers with equal keys
@@ -52,34 +72,193 @@ impl ShapeKey {
     }
 }
 
+/// Incremental FNV-1a over bytes, exposed as a [`std::hash::Hasher`] so
+/// structured keys (`Dataflow`, `ReuseSupport`) hash field-by-field
+/// through their `Hash` impls — no `Display`/`Debug` formatting in the
+/// fingerprint path, which sweeps hit hundreds of times per work unit.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        // Word-at-a-time FNV-1a: one xor-multiply per 8 input bytes
+        // instead of per byte. The fingerprint values never leave the
+        // process (checkpoint fingerprints are derived separately), so
+        // only dispersion matters, not any canonical FNV test vector.
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let w = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            // Length-tagged tail so `"ab" + [0]` and `"ab"` stay distinct.
+            let mut w = rest.len() as u64;
+            for &b in rest {
+                w = (w << 8) | u64::from(b);
+            }
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn u64(&mut self, v: u64) {
+        // One full little-endian word: identical to `bytes(&v.to_le_bytes())`.
+        self.word(v);
+    }
+
+    /// Absorb one 64-bit word (one xor-multiply round).
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.0 = (self.0 ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.bytes(bytes);
+    }
+
+    // Fixed-width field writes from derived `Hash` impls absorb as one
+    // word each, skipping the byte-slice machinery.
+
+    fn write_u8(&mut self, v: u8) {
+        self.word(u64::from(v));
+    }
+
+    fn write_u16(&mut self, v: u16) {
+        self.word(u64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.word(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.word(v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.word(v as u64);
+    }
+}
+
+/// Fingerprints of everything the cost model reads besides the layer
+/// shape: `(static, full)` where `static` covers the NoC-independent
+/// inputs (dataflow structure, PE count, vector width, reuse support, L2
+/// capacity, precision, off-chip bandwidth) and `full` additionally covers
+/// the NoC pipe. `static` is the stage-tier key; `full` the report-tier
+/// key. Derived internally so no caller can alias two contexts.
+fn context_fingerprints(dataflow: &Dataflow, acc: &Accelerator) -> (u64, u64) {
+    use std::hash::Hash;
+    let mut h = Fnv::new();
+    // Structural hash: equal fingerprint inputs ⇔ equal (name, directive
+    // list), the same equivalence the canonical text used to encode, at a
+    // fraction of the formatting cost.
+    dataflow.hash(&mut h);
+    h.u64(acc.num_pes);
+    h.u64(acc.vector_width);
+    h.u64(acc.precision_bytes);
+    h.u64(acc.l2_bytes);
+    h.u64(acc.offchip_bandwidth);
+    acc.support.hash(&mut h);
+    let stat = h.0;
+    h.u64(acc.noc.bandwidth);
+    h.u64(acc.noc.avg_latency);
+    (stat, h.0)
+}
+
+/// A cache context prepared once per (layer, dataflow, static accelerator
+/// configuration) and reused across a sweep's NoC axis: the shape key and
+/// the NoC-independent fingerprint state are computed up front, so each
+/// per-NoC call hashes only the two NoC words
+/// ([`AnalysisCache::analyze_staged_prepared`]).
+///
+/// The layer and dataflow are captured by reference, so a prepared
+/// context can never be replayed against different model inputs — the
+/// no-aliasing guarantee of the internal fingerprint survives the
+/// amortization. The static accelerator fields are captured by value and
+/// re-checked on every use; a mismatch silently falls back to the
+/// unprepared (full-fingerprint) path rather than aliasing an entry.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedContext<'a> {
+    layer: &'a Layer,
+    dataflow: &'a Dataflow,
+    key: Option<ShapeKey>,
+    /// FNV state after absorbing the NoC-independent context.
+    stat: u64,
+    num_pes: u64,
+    vector_width: u64,
+    precision_bytes: u64,
+    l2_bytes: u64,
+    offchip_bandwidth: u64,
+    support: maestro_hw::ReuseSupport,
+}
+
+impl PreparedContext<'_> {
+    /// Whether `acc` matches the static configuration this context was
+    /// prepared with (its NoC pipe is free to differ).
+    fn statics_match(&self, acc: &Accelerator) -> bool {
+        self.num_pes == acc.num_pes
+            && self.vector_width == acc.vector_width
+            && self.precision_bytes == acc.precision_bytes
+            && self.l2_bytes == acc.l2_bytes
+            && self.offchip_bandwidth == acc.offchip_bandwidth
+            && self.support == acc.support
+    }
+}
+
 /// A memo table in front of [`analyze`].
 ///
 /// The cache is a plain single-threaded map: parallel explorers keep one
 /// per worker (keys never cross shard boundaries there), which avoids any
 /// locking and keeps results deterministic.
 ///
-/// On drop, accumulated hit/miss/insert totals are flushed to the global
-/// metrics registry (`maestro.cache.{hits,misses,inserts}`): one batched
-/// atomic add per counter per cache lifetime, so the lookup hot path never
-/// touches shared state.
-#[derive(Debug, Default)]
+/// On drop, accumulated counters are flushed to the global metrics
+/// registry (`maestro.cache.{hits,misses,inserts,evictions,stage_hits,
+/// stage_misses}`): one batched atomic add per counter per cache lifetime,
+/// so the lookup hot path never touches shared state.
+#[derive(Debug)]
 pub struct AnalysisCache {
-    map: HashMap<(ShapeKey, u64), Result<LayerReport, AnalysisError>>,
+    reports: Lru<(ShapeKey, u64), Result<LayerReport, AnalysisError>>,
+    stages: Lru<(ShapeKey, u64), Result<StagedAnalysis, AnalysisError>>,
     hits: u64,
     misses: u64,
     inserts: u64,
+    evictions: u64,
+    stage_hits: u64,
+    stage_misses: u64,
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        AnalysisCache::with_capacity(DEFAULT_CACHE_CAP)
+    }
 }
 
 /// `OnceLock`-cached handles for the cache counters: the registry lock is
 /// taken once per process, not once per cache drop.
-fn cache_counters() -> &'static [maestro_obs::Counter; 3] {
-    static C: std::sync::OnceLock<[maestro_obs::Counter; 3]> = std::sync::OnceLock::new();
+fn cache_counters() -> &'static [maestro_obs::Counter; 6] {
+    static C: std::sync::OnceLock<[maestro_obs::Counter; 6]> = std::sync::OnceLock::new();
     C.get_or_init(|| {
         let r = maestro_obs::registry();
         [
             r.counter("maestro.cache.hits"),
             r.counter("maestro.cache.misses"),
             r.counter("maestro.cache.inserts"),
+            r.counter("maestro.cache.evictions"),
+            r.counter("maestro.cache.stage_hits"),
+            r.counter("maestro.cache.stage_misses"),
         ]
     })
 }
@@ -89,38 +268,95 @@ impl Drop for AnalysisCache {
         if self.hits == 0 && self.misses == 0 && self.inserts == 0 {
             return;
         }
-        let [hits, misses, inserts] = cache_counters();
+        let [hits, misses, inserts, evictions, stage_hits, stage_misses] = cache_counters();
         hits.add(self.hits);
         misses.add(self.misses);
         inserts.add(self.inserts);
+        evictions.add(self.evictions);
+        stage_hits.add(self.stage_hits);
+        stage_misses.add(self.stage_misses);
     }
 }
 
 impl AnalysisCache {
-    /// An empty cache.
+    /// An empty cache with the default per-tier capacity
+    /// ([`DEFAULT_CACHE_CAP`]).
     pub fn new() -> Self {
         AnalysisCache::default()
     }
 
-    /// Lookups served from the table.
+    /// An empty cache holding at most `cap` entries per tier (`0` =
+    /// unbounded).
+    pub fn with_capacity(cap: usize) -> Self {
+        AnalysisCache {
+            reports: Lru::new(cap),
+            stages: Lru::new(cap),
+            hits: 0,
+            misses: 0,
+            inserts: 0,
+            evictions: 0,
+            stage_hits: 0,
+            stage_misses: 0,
+        }
+    }
+
+    /// Report-tier lookups served from the table.
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
-    /// Lookups that ran the cost model (including uncacheable layers).
+    /// Report-tier lookups that ran the cost model (including uncacheable
+    /// layers).
     pub fn misses(&self) -> u64 {
         self.misses
     }
 
-    /// Entries added to the table (misses on cacheable layers).
+    /// Entries added to the report tier (misses on cacheable layers).
     pub fn inserts(&self) -> u64 {
         self.inserts
     }
 
-    /// [`analyze`] through the cache. `tag` must encode every varying
-    /// input other than the layer shape — typically an index over
-    /// (dataflow, accelerator configuration) pairs; reusing a tag across
-    /// different dataflows or accelerators returns stale reports.
+    /// Entries displaced from either tier by the LRU bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Stage-tier lookups served from the table (staged path only).
+    pub fn stage_hits(&self) -> u64 {
+        self.stage_hits
+    }
+
+    /// Stage-tier lookups that ran the expensive static stages.
+    pub fn stage_misses(&self) -> u64 {
+        self.stage_misses
+    }
+
+    /// Prepare a reusable context for `layer` under `dataflow` on `acc`'s
+    /// static configuration (see [`PreparedContext`]). `acc`'s NoC fields
+    /// are ignored — any accelerator of the sweep's static shape works.
+    pub fn prepare<'a>(
+        layer: &'a Layer,
+        dataflow: &'a Dataflow,
+        acc: &Accelerator,
+    ) -> PreparedContext<'a> {
+        let (stat, _) = context_fingerprints(dataflow, acc);
+        PreparedContext {
+            layer,
+            dataflow,
+            key: ShapeKey::of(layer),
+            stat,
+            num_pes: acc.num_pes,
+            vector_width: acc.vector_width,
+            precision_bytes: acc.precision_bytes,
+            l2_bytes: acc.l2_bytes,
+            offchip_bandwidth: acc.offchip_bandwidth,
+            support: acc.support,
+        }
+    }
+
+    /// [`analyze`] through the cache. The cache key is derived internally
+    /// from the layer shape and a fingerprint of (dataflow, accelerator):
+    /// two different contexts can never alias one entry.
     ///
     /// # Errors
     ///
@@ -130,19 +366,119 @@ impl AnalysisCache {
         layer: &Layer,
         dataflow: &Dataflow,
         acc: &Accelerator,
-        tag: u64,
     ) -> Result<LayerReport, AnalysisError> {
         let Some(key) = ShapeKey::of(layer) else {
             self.misses += 1;
             return analyze(layer, dataflow, acc);
         };
-        if let Some(cached) = self.map.get(&(key, tag)) {
+        let (_, full) = context_fingerprints(dataflow, acc);
+        if let Some(cached) = self.reports.get(&(key, full)) {
             self.hits += 1;
             return cached.clone();
         }
         self.misses += 1;
         let result = analyze(layer, dataflow, acc);
-        self.map.insert((key, tag), result.clone());
+        self.evictions += self.reports.insert((key, full), result.clone());
+        self.inserts += 1;
+        result
+    }
+
+    /// [`analyze`] through the cache via the staged pipeline: on a report
+    /// miss, the NoC-independent stages are fetched from (or built into)
+    /// the stage tier, then priced for this accelerator's NoC. Results are
+    /// bit-identical to [`AnalysisCache::analyze`] — both paths run
+    /// [`StagedAnalysis::build`] + [`StagedAnalysis::finish`] — but a sweep
+    /// that varies only the NoC pipe re-runs just the cheap pricing stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and memoizes) [`AnalysisError`] from the cost model.
+    pub fn analyze_staged(
+        &mut self,
+        layer: &Layer,
+        dataflow: &Dataflow,
+        acc: &Accelerator,
+    ) -> Result<LayerReport, AnalysisError> {
+        let Some(key) = ShapeKey::of(layer) else {
+            self.misses += 1;
+            return analyze(layer, dataflow, acc);
+        };
+        let (stat, full) = context_fingerprints(dataflow, acc);
+        self.staged_lookup(key, stat, full, layer, dataflow, acc)
+    }
+
+    /// [`AnalysisCache::analyze_staged`] against a [`PreparedContext`]:
+    /// the shape key and the NoC-independent fingerprint come from the
+    /// preparation, so a sweep over NoC configurations hashes only the
+    /// two NoC words per call. Falls back to the unprepared path when
+    /// `acc` does not match the prepared static configuration, so the
+    /// result (and every counter) is always exactly what
+    /// [`AnalysisCache::analyze_staged`] would produce.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and memoizes) [`AnalysisError`] from the cost model.
+    pub fn analyze_staged_prepared(
+        &mut self,
+        prepared: &PreparedContext<'_>,
+        acc: &Accelerator,
+    ) -> Result<LayerReport, AnalysisError> {
+        if !prepared.statics_match(acc) {
+            return self.analyze_staged(prepared.layer, prepared.dataflow, acc);
+        }
+        let Some(key) = prepared.key else {
+            self.misses += 1;
+            return analyze(prepared.layer, prepared.dataflow, acc);
+        };
+        let mut h = Fnv(prepared.stat);
+        h.u64(acc.noc.bandwidth);
+        h.u64(acc.noc.avg_latency);
+        self.staged_lookup(
+            key,
+            prepared.stat,
+            h.0,
+            prepared.layer,
+            prepared.dataflow,
+            acc,
+        )
+    }
+
+    /// Shared staged-path body behind both fingerprint entry points.
+    fn staged_lookup(
+        &mut self,
+        key: ShapeKey,
+        stat: u64,
+        full: u64,
+        layer: &Layer,
+        dataflow: &Dataflow,
+        acc: &Accelerator,
+    ) -> Result<LayerReport, AnalysisError> {
+        if let Some(cached) = self.reports.get(&(key, full)) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let result = match self.stages.get(&(key, stat)) {
+            Some(Ok(staged)) => {
+                self.stage_hits += 1;
+                staged.finish(acc.noc.bandwidth, acc.noc.avg_latency)
+            }
+            Some(Err(e)) => {
+                self.stage_hits += 1;
+                Err(e.clone())
+            }
+            None => {
+                self.stage_misses += 1;
+                let built = StagedAnalysis::build(layer, dataflow, acc);
+                let out = match &built {
+                    Ok(staged) => staged.finish(acc.noc.bandwidth, acc.noc.avg_latency),
+                    Err(e) => Err(e.clone()),
+                };
+                self.evictions += self.stages.insert((key, stat), built);
+                out
+            }
+        };
+        self.evictions += self.reports.insert((key, full), result.clone());
         self.inserts += 1;
         result
     }
@@ -152,6 +488,7 @@ impl AnalysisCache {
 mod tests {
     use super::*;
     use maestro_dnn::{Density, Layer, LayerDims, Operator};
+    use maestro_hw::NocConfig;
     use maestro_ir::Style;
 
     fn layer(name: &str) -> Layer {
@@ -193,9 +530,9 @@ mod tests {
         let df = Style::KCP.dataflow();
         let direct = analyze(&l, &df, &acc).expect("analyzable");
         let mut cache = AnalysisCache::new();
-        let first = cache.analyze(&l, &df, &acc, 0).expect("analyzable");
+        let first = cache.analyze(&l, &df, &acc).expect("analyzable");
         let second = cache
-            .analyze(&layer("renamed"), &df, &acc, 0)
+            .analyze(&layer("renamed"), &df, &acc)
             .expect("analyzable");
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
@@ -203,15 +540,83 @@ mod tests {
         assert_eq!(second, direct);
     }
 
+    /// Regression for the stale-report footgun: under the old API a caller
+    /// reusing `tag = 0` for two different dataflows (or accelerators) got
+    /// the first context's report back for the second. The fingerprint is
+    /// derived internally now, so the same call sequence must produce two
+    /// distinct, correct entries.
     #[test]
-    fn tags_separate_contexts() {
+    fn contexts_separate_automatically() {
         let acc = Accelerator::builder(64).build();
+        let l = layer("x");
+        let kcp = Style::KCP.dataflow();
+        let ycp = Style::YXP.dataflow();
+        let mut cache = AnalysisCache::new();
+        let a = cache.analyze(&l, &kcp, &acc).expect("analyzable");
+        let b = cache.analyze(&l, &ycp, &acc).expect("analyzable");
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(a, analyze(&l, &kcp, &acc).unwrap());
+        assert_eq!(b, analyze(&l, &ycp, &acc).unwrap());
+        // Same dataflow, different accelerator: also distinct.
+        let wider = Accelerator::builder(64).noc(NocConfig::new(256, 1)).build();
+        let c = cache.analyze(&l, &kcp, &wider).expect("analyzable");
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(c, analyze(&l, &kcp, &wider).unwrap());
+        // And every context replays from the table.
+        let _ = cache.analyze(&l, &kcp, &acc);
+        let _ = cache.analyze(&l, &ycp, &acc);
+        let _ = cache.analyze(&l, &kcp, &wider);
+        assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn staged_path_matches_full_path() {
+        let l = layer("x");
+        for style in [Style::KCP, Style::YXP, Style::YRP] {
+            let df = style.dataflow();
+            for bw in [1u64, 32, 256] {
+                let acc = Accelerator::builder(64).noc(NocConfig::new(bw, 2)).build();
+                let mut full = AnalysisCache::new();
+                let mut staged = AnalysisCache::new();
+                let a = full.analyze(&l, &df, &acc);
+                let b = staged.analyze_staged(&l, &df, &acc);
+                assert_eq!(a, b, "{style} bw={bw}");
+            }
+        }
+    }
+
+    #[test]
+    fn staged_shares_static_stages_across_noc_points() {
         let l = layer("x");
         let df = Style::KCP.dataflow();
         let mut cache = AnalysisCache::new();
-        let _ = cache.analyze(&l, &df, &acc, 0);
-        let _ = cache.analyze(&l, &df, &acc, 1);
-        assert_eq!(cache.misses(), 2);
+        for bw in [1u64, 2, 4, 8, 16, 32] {
+            let acc = Accelerator::builder(64).noc(NocConfig::new(bw, 2)).build();
+            cache.analyze_staged(&l, &df, &acc).expect("analyzable");
+        }
+        // Six report-tier misses, but the expensive stages ran once.
+        assert_eq!(cache.misses(), 6);
+        assert_eq!(cache.stage_misses(), 1);
+        assert_eq!(cache.stage_hits(), 5);
+    }
+
+    #[test]
+    fn lru_bound_evicts_and_counts() {
+        let l = layer("x");
+        let df = Style::KCP.dataflow();
+        let mut cache = AnalysisCache::with_capacity(2);
+        for bw in [1u64, 2, 3] {
+            let acc = Accelerator::builder(64).noc(NocConfig::new(bw, 2)).build();
+            cache.analyze(&l, &df, &acc).expect("analyzable");
+        }
+        assert_eq!(cache.evictions(), 1);
+        // bw=1 was evicted: re-analyzing it is a miss, evicting bw=2.
+        let acc1 = Accelerator::builder(64).noc(NocConfig::new(1, 2)).build();
+        let direct = analyze(&l, &df, &acc1).unwrap();
+        assert_eq!(cache.analyze(&l, &df, &acc1).unwrap(), direct);
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.evictions(), 2);
         assert_eq!(cache.hits(), 0);
     }
 

@@ -406,14 +406,18 @@ fn checkpoint_writes() -> &'static maestro_obs::Counter {
 /// full mapping DSL. Two sweeps with equal fingerprints produce equal
 /// results, so a checkpoint is resumable exactly when fingerprints match.
 /// `threads`, checkpoint cadence and fault plans are deliberately *not*
-/// fingerprinted: they do not change results.
+/// fingerprinted: they do not change results. The evaluation mode
+/// ([`crate::EvalMode`]) *is* fingerprinted even though staged and full
+/// evaluation are bit-identical by construction: a mode mismatch between
+/// the run that wrote a checkpoint and the run resuming it is evidence of
+/// a configuration drift worth rejecting loudly rather than papering over.
 pub fn sweep_fingerprint(explorer: &Explorer, workload: &str, mappings: &[Dataflow]) -> u64 {
     let mut s = String::new();
     let sp = &explorer.space;
     let c: &Constraints = &explorer.constraints;
     let _ = write!(
         s,
-        "pes{:?};bw{:?};l1{:?};l2{:?};area{:016x};power{:016x};dram{:016x};prec{};cap{};wl={workload};",
+        "pes{:?};bw{:?};l1{:?};l2{:?};area{:016x};power{:016x};dram{:016x};prec{};cap{};eval={};wl={workload};",
         sp.pes,
         sp.noc_bw,
         sp.l1_bytes,
@@ -423,6 +427,7 @@ pub fn sweep_fingerprint(explorer: &Explorer, workload: &str, mappings: &[Datafl
         explorer.dram_pj.to_bits(),
         explorer.precision_bytes,
         explorer.sample_cap,
+        explorer.eval,
     );
     for m in mappings {
         let _ = write!(s, "map={m};");
@@ -793,6 +798,12 @@ mod tests {
         assert_ne!(reference, fp(&other, "layer:c", &maps));
         let mut other = base.clone();
         other.space.pes.push(4096);
+        assert_ne!(reference, fp(&other, "layer:c", &maps));
+        // Evaluation mode: a staged checkpoint must not resume a full
+        // sweep (or vice versa), even though the two modes agree
+        // bit-for-bit on results.
+        let mut other = base.clone();
+        other.eval = crate::EvalMode::Full;
         assert_ne!(reference, fp(&other, "layer:c", &maps));
         assert_ne!(reference, fp(&base, "layer:d", &maps));
         assert_ne!(reference, fp(&base, "layer:c", &maps[..1]));

@@ -29,6 +29,47 @@ use maestro_ir::Dataflow;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+/// How the sweep invokes the cost model.
+///
+/// Both modes produce bit-identical results (they share one analysis
+/// implementation — see [`maestro_core::StagedAnalysis`]); `Staged` is an
+/// order of magnitude faster on bandwidth-heavy sweeps and is the default.
+/// The mode is folded into the checkpoint sweep fingerprint, so a
+/// checkpoint written under one mode cannot silently resume under the
+/// other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EvalMode {
+    /// One fused `analyze()` per (mapping, bandwidth) grid point.
+    Full,
+    /// Staged evaluation: the NoC-independent stages (tensor, reuse,
+    /// buffer, off-chip) are computed once per mapping and shared across
+    /// the whole NoC-bandwidth axis; only the cheap performance stage
+    /// re-runs per bandwidth.
+    #[default]
+    Staged,
+}
+
+impl std::fmt::Display for EvalMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalMode::Full => write!(f, "full"),
+            EvalMode::Staged => write!(f, "staged"),
+        }
+    }
+}
+
+impl std::str::FromStr for EvalMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(EvalMode::Full),
+            "staged" => Ok(EvalMode::Staged),
+            other => Err(format!("unknown eval mode `{other}` (full|staged)")),
+        }
+    }
+}
+
 /// One valid design point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DesignPoint {
@@ -237,6 +278,12 @@ pub struct Explorer {
     /// PE count panics, exercising the quarantine path end to end. Leave
     /// `None` in production use.
     pub fail_unit_pes: Option<u64>,
+    /// How the cost model is invoked (staged delta-evaluation vs. fused
+    /// full analysis). Results are bit-identical either way.
+    pub eval: EvalMode,
+    /// Per-tier LRU capacity of each work unit's [`AnalysisCache`]
+    /// (`0` = unbounded).
+    pub memo_cap: usize,
 }
 
 impl Explorer {
@@ -252,6 +299,22 @@ impl Explorer {
             dram_pj: 100.0,
             precision_bytes: 1,
             fail_unit_pes: None,
+            eval: EvalMode::default(),
+            memo_cap: maestro_core::DEFAULT_CACHE_CAP,
+        }
+    }
+
+    /// Dispatch one cost-model invocation according to [`Explorer::eval`].
+    fn memo_analyze(
+        &self,
+        memo: &mut AnalysisCache,
+        layer: &Layer,
+        mapping: &Dataflow,
+        acc: &Accelerator,
+    ) -> Result<LayerReport, AnalysisError> {
+        match self.eval {
+            EvalMode::Full => memo.analyze(layer, mapping, acc),
+            EvalMode::Staged => memo.analyze_staged(layer, mapping, acc),
         }
     }
 
@@ -347,7 +410,7 @@ impl Explorer {
             panic!("injected failure for PE count {pes}");
         }
         let mut part = Partial::new();
-        let caps_per_eval = (self.space.l1_bytes.len() * self.space.l2_bytes.len()) as u64;
+        let caps_per_eval = self.space.capacity_cells() as u64;
         // The space is validated at the `explore*` boundary; an empty grid
         // here would mean a caller bypassed it, so degrade to an empty
         // partial instead of panicking.
@@ -369,15 +432,37 @@ impl Explorer {
             part.stats.explored += subtree;
             return part;
         }
-        let mut memo = AnalysisCache::new();
-        for (m_idx, mapping) in mappings.iter().enumerate() {
+        let mut memo = AnalysisCache::with_capacity(self.memo_cap);
+        let ctx = UnitCtx::new(self, pes);
+        let mut front = ParetoFront::new();
+        // Placed energy depends only on (mapping, L1, L2): activity counts
+        // and tensor sizes are NoC-independent, so one decomposed energy
+        // table per mapping is shared across the whole bandwidth axis
+        // (filled lazily from the first analyzable bandwidth's report).
+        let mut ecells = EnergyCells::new(self.space.l1_bytes.len(), self.space.l2_bytes.len());
+        let mut best = BestKeys::new();
+        for mapping in mappings.iter() {
+            ecells.reset();
+            // Staged mode amortizes the context fingerprint across the
+            // NoC axis: prepared once here, each per-bandwidth call below
+            // hashes only the two NoC words (`analyze_staged_prepared`).
+            let prepared = match self.eval {
+                EvalMode::Staged => {
+                    let acc0 = self.accelerator(pes, self.space.noc_bw[0], None);
+                    Some(AnalysisCache::prepare(layer, mapping, &acc0))
+                }
+                EvalMode::Full => None,
+            };
             for (b_idx, &bw) in self.space.noc_bw.iter().enumerate() {
                 part.stats.explored += caps_per_eval;
                 // Capacities do not change the schedule, so the analysis
                 // runs at the reference capacities and is expanded below.
                 let acc = self.accelerator(pes, bw, None);
-                let tag = (m_idx * self.space.noc_bw.len() + b_idx) as u64;
-                let report = match memo.analyze(layer, mapping, &acc, tag) {
+                let analyzed = match &prepared {
+                    Some(p) => memo.analyze_staged_prepared(p, &acc),
+                    None => memo.analyze(layer, mapping, &acc),
+                };
+                let report = match analyzed {
                     Ok(r) => r,
                     Err(AnalysisError::NonFinite { .. }) => {
                         part.stats.nonfinite_dropped += caps_per_eval;
@@ -385,81 +470,623 @@ impl Explorer {
                     }
                     Err(_) => continue,
                 };
-                self.expand_capacities(pes, bw, mapping.name(), &report, &mut part);
+                self.expand_capacities(
+                    pes,
+                    b_idx,
+                    mapping.name(),
+                    &report,
+                    &mut part,
+                    &mut front,
+                    &ctx,
+                    &mut ecells,
+                    &mut best,
+                );
             }
         }
+        part.pareto = front.into_points();
         part.stats.evaluated += memo.misses();
         part.stats.memo_hits += memo.hits();
         part
     }
 
     /// Expand one (PE count, bandwidth, mapping) evaluation across the
-    /// L1/L2 capacity grid, accumulating into `part`.
+    /// L1/L2 capacity grid, accumulating into `part` and `front`.
+    ///
+    /// The capacity loop is the sweep's hot path (hundreds of iterations
+    /// per evaluation), so everything that does not vary inside it is
+    /// precomputed: the budget/finiteness verdict is one byte load from
+    /// `ctx.mask`, placed energy one load from the per-mapping `ecells`
+    /// table (both bit-identical to the full model calls — see `UnitCtx`),
+    /// the best-objective comparisons hit register-resident keys, and the
+    /// dominance scan collapses to one scalar compare because runtime is
+    /// constant across this whole expansion. The `DesignPoint` (with its
+    /// owned mapping string) — and the recomposed area/power it carries —
+    /// is only materialized for points that actually enter a best slot,
+    /// the front, or the sample.
+    #[allow(clippy::too_many_arguments)]
     fn expand_capacities(
         &self,
         pes: u64,
-        bw: u64,
+        b_idx: usize,
         mapping: &str,
         report: &LayerReport,
         part: &mut Partial,
+        front: &mut ParetoFront,
+        ctx: &UnitCtx,
+        ecells: &mut EnergyCells,
+        best: &mut BestKeys,
     ) {
-        for &l1 in &self.space.l1_bytes {
+        let bw = self.space.noc_bw[b_idx];
+        let l2_len = self.space.l2_bytes.len();
+        ecells.fill_once(self, report, ctx);
+        let runtime = report.runtime;
+        let throughput = report.throughput();
+        let neg_tp = -throughput;
+        let rt_tp_ok = runtime.is_finite() && throughput.is_finite();
+        let l1_req = report.l1_per_pe_elems;
+        let l2_req = report.l2_staging_elems;
+        let cells = ctx.l1_elems.len() * l2_len;
+        let mask = &ctx.mask[b_idx * cells..(b_idx + 1) * cells];
+        // `min_en <= e` is exactly the dominance verdict for a candidate
+        // at this expansion's (constant) runtime; an accepted candidate
+        // becomes the new minimum (see `ParetoFront::min_energy_leq_runtime`).
+        let mut min_en = front.min_energy_leq_runtime(runtime);
+        // Stats accumulate in locals (flushed below) so the dense loop
+        // does not read-modify-write `part.stats` fields per cell.
+        let mut valid = part.stats.valid;
+        let mut rejected = 0u64;
+        let mut skipped = 0u64;
+        let mut dropped = 0u64;
+        let l1_len = self.space.l1_bytes.len();
+        let l1_elems = &ctx.l1_elems[..l1_len];
+        let l2_elems = &ctx.l2_elems[..l2_len];
+        let row_fast = &ctx.row_fast[b_idx * l1_len..(b_idx + 1) * l1_len];
+        let row_any = &ctx.row_any[b_idx * l1_len..(b_idx + 1) * l1_len];
+        let l2_all_fit = l2_req <= ctx.l2_min_elems;
+        // Cells below the L2 requirement — the same subset for every L1
+        // row, so one count serves every dead row's capacity skips.
+        let l2_skip_count = l2_elems.iter().filter(|&&c| c < l2_req).count() as u64;
+        for (i1, &l1_cap) in l1_elems.iter().enumerate() {
             // The grid is in bytes, the requirement in elements.
-            if self.elements(l1) < report.l1_per_pe_elems {
+            if l1_cap < l1_req {
                 // Capacity below the mapping's requirement: the whole L2
                 // row of the grid is skipped without costing.
-                part.stats.capacity_skipped += self.space.l2_bytes.len() as u64;
+                skipped += l2_len as u64;
                 continue;
             }
-            for &l2 in &self.space.l2_bytes {
-                if self.elements(l2) < report.l2_staging_elems {
-                    part.stats.capacity_skipped += 1;
+            // Dead row: no cell passes the budget, so the scalar loop
+            // would only count the capacity skips (budget-rejected cells
+            // are uncounted, exactly as in the fused filter).
+            if row_any[i1] == 0 {
+                skipped += l2_skip_count;
+                continue;
+            }
+            // Whole-row reject: when provably no cell of this L2 row can
+            // be skipped, dropped, win an objective, or enter the front,
+            // the scalar loop below would only count — all cells valid,
+            // all rejected — plus push any every-61st-valid samples. Each
+            // clause certifies one scalar-path outcome: row uniformly
+            // within budget and finite; runtime/throughput and every
+            // placed energy finite (EDP spans [rowmin, rowmax]·runtime,
+            // both finite, and runtime > 0 under `rt_tp_ok`, so EDP is
+            // monotone in energy); no objective beaten by the row's best
+            // case (a NaN empty best fails its `>=`, forcing the scalar
+            // path); and the front's minimum at or below the row minimum.
+            if row_fast[i1] != 0
+                && l2_all_fit
+                && rt_tp_ok
+                && ecells.row_finite[i1] != 0
+                && (ecells.rowmax[i1] * runtime).is_finite()
+                && neg_tp >= best.neg_throughput
+                && ecells.rowmin[i1] >= best.energy
+                && ecells.rowmin[i1] * runtime >= best.edp
+                && min_en <= ecells.rowmin[i1]
+            {
+                let row_start = valid;
+                valid += l2_len as u64;
+                rejected += l2_len as u64;
+                // Samples landing in this row (valid counts row_start+1
+                // ..=valid): materialize exactly the cells the scalar
+                // loop would have pushed, in the same order.
+                let mut m = row_start - row_start % 61 + 61;
+                while m <= valid && part.sample.len() < self.sample_cap {
+                    let i2 = (m - row_start - 1) as usize;
+                    let e = ecells.e[i1 * l2_len + i2];
+                    let (area, power) = ctx.area_power(b_idx, i1, i2);
+                    part.sample.push(
+                        Cand {
+                            pes,
+                            bw,
+                            l1: self.space.l1_bytes[i1],
+                            l2: self.space.l2_bytes[i2],
+                            mapping,
+                            area,
+                            power,
+                            runtime,
+                            throughput,
+                            energy: e,
+                            edp: e * runtime,
+                        }
+                        .to_point(),
+                    );
+                    m += 61;
+                }
+                continue;
+            }
+            let mrow = &mask[i1 * l2_len..i1 * l2_len + l2_len];
+            let erow = &ecells.e[i1 * l2_len..i1 * l2_len + l2_len];
+            for (i2, &l2_cap) in l2_elems.iter().enumerate() {
+                if l2_cap < l2_req {
+                    skipped += 1;
                     continue;
                 }
-                let acc = self.accelerator(pes, bw, Some((l1, l2)));
-                let area = self.area_model.total_area(&acc);
-                let power = self.power_model.total_power(&acc);
-                if area > self.constraints.max_area_mm2 || power > self.constraints.max_power_mw {
+                let flags = mrow[i2];
+                if flags & MASK_BUDGET_OK == 0 {
                     continue;
                 }
-                let energy = self.placed_energy(report, l1, l2);
-                let point = DesignPoint {
-                    pes,
-                    noc_bw: bw,
-                    l1_bytes: l1,
-                    l2_bytes: l2,
-                    mapping: mapping.to_string(),
-                    area_mm2: area,
-                    power_mw: power,
-                    runtime: report.runtime,
-                    throughput: report.throughput(),
-                    energy,
-                    edp: energy * report.runtime,
-                };
+                let e = erow[i2];
+                let edp = e * runtime;
                 // Finite-value gate: drop-and-count rather than let a NaN
                 // objective corrupt the front or the best slots.
-                if !point.is_finite() {
-                    part.stats.nonfinite_dropped += 1;
+                if flags & MASK_AP_FINITE == 0 || !rt_tp_ok || !e.is_finite() || !edp.is_finite() {
+                    dropped += 1;
                     continue;
                 }
-                part.stats.valid += 1;
-                update_best(&mut part.best_throughput, &point, |p| -p.throughput);
-                update_best(&mut part.best_energy, &point, |p| p.energy);
-                update_best(&mut part.best_edp, &point, |p| p.edp);
-                if insert_pareto(&mut part.pareto, &point) {
+                valid += 1;
+                // `!(k >= best)` is exactly `k.total_cmp(&best) == Less`
+                // here: the candidate key is finite, an empty (NaN) best
+                // loses every `>=`, and within each key family zeros share
+                // one sign (energy/EDP are sums/products of non-negatives,
+                // so +0; negated throughput of a non-negative is -0), so
+                // the `-0 < +0` case of the total order cannot arise.
+                // The negated form is deliberate (NaN must land on the
+                // "wins" side), hence the lint allowance.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                let wins_tp = !(neg_tp >= best.neg_throughput);
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                let wins_en = !(e >= best.energy);
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                let wins_edp = !(edp >= best.edp);
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                let accepted = !(min_en <= e);
+                let sampled = valid.is_multiple_of(61) && part.sample.len() < self.sample_cap;
+                if !(wins_tp | wins_en | wins_edp | accepted | sampled) {
+                    rejected += 1;
+                    continue;
+                }
+                // Slow path: the point matters — materialize it once.
+                let (area, power) = ctx.area_power(b_idx, i1, i2);
+                let point = Cand {
+                    pes,
+                    bw,
+                    l1: self.space.l1_bytes[i1],
+                    l2: self.space.l2_bytes[i2],
+                    mapping,
+                    area,
+                    power,
+                    runtime,
+                    throughput,
+                    energy: e,
+                    edp,
+                }
+                .to_point();
+                if wins_tp {
+                    best.neg_throughput = neg_tp;
+                    part.best_throughput = Some(point.clone());
+                }
+                if wins_en {
+                    best.energy = e;
+                    part.best_energy = Some(point.clone());
+                }
+                if wins_edp {
+                    best.edp = edp;
+                    part.best_edp = Some(point.clone());
+                }
+                if accepted {
+                    front.accept(runtime, e, point.clone());
+                    min_en = e;
                     part.stats.pareto_inserted += 1;
                 } else {
-                    part.stats.pareto_rejected += 1;
+                    rejected += 1;
                 }
                 // Stratified subsample: every 61st valid point *of this
                 // unit*, so the scatter spans the whole space instead of
                 // its first corner — and so unit samples concatenate
                 // deterministically (see `crate::parallel`).
-                if part.stats.valid.is_multiple_of(61) && part.sample.len() < self.sample_cap {
+                if sampled {
                     part.sample.push(point);
                 }
             }
         }
+        part.stats.valid = valid;
+        part.stats.pareto_rejected += rejected;
+        part.stats.capacity_skipped += skipped;
+        part.stats.nonfinite_dropped += dropped;
+    }
+}
+
+/// Per-unit expansion context: the capacity grids converted to elements
+/// once, plus the area/power/energy models decomposed into per-axis
+/// component tables.
+///
+/// Area and power are sums of four independent components — PE array (L1
+/// axis), shared L2, NoC (bandwidth axis), and reuse support — so one
+/// table per axis replaces a full model evaluation (with its `powf`/`sqrt`
+/// calls and `Accelerator` construction) per grid point. The component
+/// values come from the *same* public model methods `total_area`/
+/// `total_power` are built from, summed in the same order, so the
+/// recomposed scalars are bit-identical to the per-point calls they
+/// replace (pinned by `cost_decomposition_matches_full_model_calls`
+/// below).
+struct UnitCtx {
+    l1_elems: Vec<u64>,
+    l2_elems: Vec<u64>,
+    /// `num_pes as f64 * pe_area(..)` per L1 grid entry.
+    a_l1: Vec<f64>,
+    a_l2: Vec<f64>,
+    a_bw: Vec<f64>,
+    a_sup: f64,
+    p_l1: Vec<f64>,
+    p_l2: Vec<f64>,
+    p_bw: Vec<f64>,
+    p_sup: f64,
+    /// CACTI-style per-access energies along the capacity axes:
+    /// (l1_read, l1_write) per L1 entry, (l2_read, l2_write) per L2 entry.
+    e_l1: Vec<(f64, f64)>,
+    e_l2: Vec<(f64, f64)>,
+    /// Capacity-independent per-access energies.
+    e_mac: f64,
+    e_noc: f64,
+    /// Per-(bandwidth, capacity cell) verdict flags, `b_idx * cells +
+    /// i1 * l2_len + i2`: see [`MASK_BUDGET_OK`] / [`MASK_AP_FINITE`].
+    mask: Vec<u8>,
+    /// Per-(bandwidth, L1 row) flag, `b_idx * l1_len + i1`: nonzero when
+    /// *every* cell of the row is both inside the budget and finite — the
+    /// precondition for the expansion's whole-row reject.
+    row_fast: Vec<u8>,
+    /// Per-(bandwidth, L1 row) flag: nonzero when *any* cell of the row
+    /// passes the budget. A zero row contributes nothing but capacity
+    /// skips, so the expansion drops it without touching its cells.
+    row_any: Vec<u8>,
+    /// Smallest L2 grid capacity in elements (`u64::MAX` on an empty
+    /// grid): `l2_req <= l2_min_elems` means no cell of a row is
+    /// capacity-skipped.
+    l2_min_elems: u64,
+}
+
+/// [`UnitCtx::mask`] bit: the cell passes the area/power budget — the
+/// same `> max` comparisons as the fused filter, so a NaN cost *passes*
+/// here and is dropped by the finiteness gate, exactly as before.
+const MASK_BUDGET_OK: u8 = 1;
+/// [`UnitCtx::mask`] bit: the cell's area and power are both finite.
+const MASK_AP_FINITE: u8 = 2;
+
+impl UnitCtx {
+    fn new(ex: &Explorer, pes: u64) -> Self {
+        // One reference accelerator supplies the unit-constant parameters
+        // (vector width, precision, reuse support) exactly as the
+        // per-point constructions did.
+        let bw0 = ex.space.noc_bw.first().copied().unwrap_or(1);
+        let acc0 = ex.accelerator(pes, bw0, None);
+        let n = acc0.num_pes;
+        let nf = n as f64;
+        let a = &ex.area_model;
+        let p = &ex.power_model;
+        let e0 = maestro_hw::EnergyModel::cacti_28nm(0, 0);
+        let mut ctx = UnitCtx {
+            l1_elems: ex.space.l1_bytes.iter().map(|&b| ex.elements(b)).collect(),
+            l2_elems: ex.space.l2_bytes.iter().map(|&b| ex.elements(b)).collect(),
+            a_l1: ex
+                .space
+                .l1_bytes
+                .iter()
+                .map(|&l1| nf * a.pe_area(acc0.vector_width, acc0.precision_bytes, l1))
+                .collect(),
+            a_l2: ex.space.l2_bytes.iter().map(|&l2| a.l2_area(l2)).collect(),
+            a_bw: ex
+                .space
+                .noc_bw
+                .iter()
+                .map(|&bw| a.noc_area(n, bw))
+                .collect(),
+            a_sup: a.support_area(n, acc0.support),
+            p_l1: ex
+                .space
+                .l1_bytes
+                .iter()
+                .map(|&l1| p.pe_array_power(n, acc0.vector_width, l1))
+                .collect(),
+            p_l2: ex.space.l2_bytes.iter().map(|&l2| p.l2_power(l2)).collect(),
+            p_bw: ex.space.noc_bw.iter().map(|&bw| p.noc_power(bw)).collect(),
+            p_sup: p.support_power(n, acc0.support),
+            e_l1: ex
+                .space
+                .l1_bytes
+                .iter()
+                .map(|&l1| {
+                    let em = maestro_hw::EnergyModel::cacti_28nm(l1, 0);
+                    (em.l1_read, em.l1_write)
+                })
+                .collect(),
+            e_l2: ex
+                .space
+                .l2_bytes
+                .iter()
+                .map(|&l2| {
+                    let em = maestro_hw::EnergyModel::cacti_28nm(0, l2);
+                    (em.l2_read, em.l2_write)
+                })
+                .collect(),
+            e_mac: e0.mac,
+            e_noc: e0.noc,
+            mask: Vec::new(),
+            row_fast: Vec::new(),
+            row_any: Vec::new(),
+            l2_min_elems: u64::MAX,
+        };
+        ctx.l2_min_elems = ctx.l2_elems.iter().copied().min().unwrap_or(u64::MAX);
+        // Precompute the budget/finiteness verdict of every grid point
+        // once per unit (the verdict is mapping-independent), so the
+        // per-mapping expansion reduces it to one byte load — and roll the
+        // verdicts up per L1 row for the whole-row reject.
+        let cells = ctx.l1_elems.len() * ctx.l2_elems.len();
+        let mut mask = vec![0u8; ex.space.noc_bw.len() * cells];
+        let mut row_fast = vec![0u8; ex.space.noc_bw.len() * ctx.l1_elems.len()];
+        let mut row_any = vec![0u8; ex.space.noc_bw.len() * ctx.l1_elems.len()];
+        for b_idx in 0..ex.space.noc_bw.len() {
+            for i1 in 0..ctx.l1_elems.len() {
+                let mut all = MASK_BUDGET_OK | MASK_AP_FINITE;
+                let mut any = 0u8;
+                for i2 in 0..ctx.l2_elems.len() {
+                    let (area, power) = ctx.area_power(b_idx, i1, i2);
+                    let mut m = 0u8;
+                    if !(area > ex.constraints.max_area_mm2 || power > ex.constraints.max_power_mw)
+                    {
+                        m |= MASK_BUDGET_OK;
+                    }
+                    if area.is_finite() && power.is_finite() {
+                        m |= MASK_AP_FINITE;
+                    }
+                    all &= m;
+                    any |= m & MASK_BUDGET_OK;
+                    mask[b_idx * cells + i1 * ctx.l2_elems.len() + i2] = m;
+                }
+                row_fast[b_idx * ctx.l1_elems.len() + i1] =
+                    u8::from(all == MASK_BUDGET_OK | MASK_AP_FINITE);
+                row_any[b_idx * ctx.l1_elems.len() + i1] = any;
+            }
+        }
+        ctx.mask = mask;
+        ctx.row_fast = row_fast;
+        ctx.row_any = row_any;
+        ctx
+    }
+
+    /// `(area, power)` at one grid point, recomposed from the component
+    /// tables with the same addition order as `total_area`/`total_power`.
+    #[inline]
+    fn area_power(&self, b_idx: usize, i1: usize, i2: usize) -> (f64, f64) {
+        (
+            self.a_l1[i1] + self.a_l2[i2] + self.a_bw[b_idx] + self.a_sup,
+            self.p_l1[i1] + self.p_l2[i2] + self.p_bw[b_idx] + self.p_sup,
+        )
+    }
+}
+
+/// Per-mapping energy decomposition: the activity totals scaled once, plus
+/// the placed DRAM traffic per L2 grid entry. `at(i1, i2)` reproduces
+/// [`Explorer::placed_energy`] term by term in the same order (pinned by
+/// `cost_decomposition_matches_full_model_calls`), turning a model
+/// evaluation per (mapping, capacity) pair into a handful of
+/// multiply-adds per grid point.
+struct EnergyTab {
+    mac: f64,
+    l1r: f64,
+    l1w: f64,
+    l2r: f64,
+    l2w: f64,
+    noc: f64,
+    dram_pj: f64,
+    /// Placed `(dram_read + dram_write).total()` per L2 grid entry.
+    dram: Vec<f64>,
+}
+
+impl EnergyTab {
+    fn new(ex: &Explorer, report: &LayerReport, ctx: &UnitCtx) -> Self {
+        let c = &report.counts;
+        EnergyTab {
+            mac: c.macs * ctx.e_mac,
+            l1r: c.l1_read.total(),
+            l1w: c.l1_write.total(),
+            l2r: c.l2_read.total(),
+            l2w: c.l2_write.total(),
+            noc: c.noc.total() * ctx.e_noc,
+            dram_pj: ex.dram_pj,
+            dram: ctx
+                .l2_elems
+                .iter()
+                .map(|&l2_elems| {
+                    let (dr, dw) =
+                        maestro_core::report::offchip_traffic(c, report.tensor_elems, l2_elems);
+                    dr.total() + dw.total()
+                })
+                .collect(),
+        }
+    }
+
+    /// Placed energy at one capacity cell — the reference recomposition.
+    /// The sweep itself uses the row-hoisted [`EnergyCells::fill_once`];
+    /// `cost_decomposition_matches_full_model_calls` pins both against
+    /// [`Explorer::placed_energy`] bit-for-bit.
+    #[cfg(test)]
+    fn at(&self, ctx: &UnitCtx, i1: usize, i2: usize) -> f64 {
+        let (e1r, e1w) = ctx.e_l1[i1];
+        let (e2r, e2w) = ctx.e_l2[i2];
+        self.mac
+            + self.l1r * e1r
+            + self.l1w * e1w
+            + self.l2r * e2r
+            + self.l2w * e2w
+            + self.noc
+            + self.dram[i2] * self.dram_pj
+    }
+}
+
+/// The per-mapping placed energies of every capacity cell, composed once
+/// per mapping (placed energy is NoC-independent) and shared across the
+/// whole bandwidth axis. The cell values are [`EnergyTab::at`] evaluated
+/// with the identical operation sequence — the shared left prefix of the
+/// sum is hoisted per L1 row, which preserves every intermediate rounding.
+struct EnergyCells {
+    ready: bool,
+    e: Vec<f64>,
+    /// Per-L1-row minimum / maximum placed energy — the extreme
+    /// objectives a row can produce (EDP is monotone in energy at the
+    /// expansion's constant positive runtime), driving the whole-row
+    /// reject in `expand_capacities`.
+    rowmin: Vec<f64>,
+    rowmax: Vec<f64>,
+    /// Per-L1-row flag: every cell of the row is finite. Tracked
+    /// explicitly because `f64::min`/`max` skip NaN operands, so a NaN
+    /// cell (which must be *dropped*, not rejected) would otherwise be
+    /// invisible in the extremes.
+    row_finite: Vec<u8>,
+}
+
+impl EnergyCells {
+    fn new(l1_len: usize, l2_len: usize) -> Self {
+        EnergyCells {
+            ready: false,
+            e: vec![0.0; l1_len * l2_len],
+            rowmin: vec![f64::NAN; l1_len],
+            rowmax: vec![f64::NAN; l1_len],
+            row_finite: vec![0; l1_len],
+        }
+    }
+
+    /// Invalidate before moving to the next mapping.
+    fn reset(&mut self) {
+        self.ready = false;
+    }
+
+    /// Fill from the first analyzable bandwidth's report (activity counts
+    /// are the same for every bandwidth of a mapping).
+    fn fill_once(&mut self, ex: &Explorer, report: &LayerReport, ctx: &UnitCtx) {
+        if self.ready {
+            return;
+        }
+        let tab = EnergyTab::new(ex, report, ctx);
+        let l2_len = ctx.l2_elems.len();
+        for (i1, &(e1r, e1w)) in ctx.e_l1.iter().enumerate() {
+            // Left prefix of the `EnergyTab::at` chain, constant per row.
+            let row = tab.mac + tab.l1r * e1r + tab.l1w * e1w;
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            let mut finite = true;
+            for (i2, &(e2r, e2w)) in ctx.e_l2.iter().enumerate() {
+                let v = row + tab.l2r * e2r + tab.l2w * e2w + tab.noc + tab.dram[i2] * tab.dram_pj;
+                self.e[i1 * l2_len + i2] = v;
+                lo = lo.min(v);
+                hi = hi.max(v);
+                finite &= v.is_finite();
+            }
+            self.rowmin[i1] = lo;
+            self.rowmax[i1] = hi;
+            self.row_finite[i1] = u8::from(finite);
+        }
+        self.ready = true;
+    }
+}
+
+/// Running best-objective keys mirroring the `Partial::best_*` slots, so
+/// the hot loop compares against a register-resident `f64` instead of
+/// re-deriving the key from the stored [`DesignPoint`]. `NAN` means the
+/// slot is empty; `total_cmp` orders every finite key below it, which
+/// reproduces the "empty slot always loses" rule of [`update_best`].
+struct BestKeys {
+    neg_throughput: f64,
+    energy: f64,
+    edp: f64,
+}
+
+impl BestKeys {
+    fn new() -> Self {
+        BestKeys {
+            neg_throughput: f64::NAN,
+            energy: f64::NAN,
+            edp: f64::NAN,
+        }
+    }
+}
+
+/// A candidate design point by value, before the owned [`DesignPoint`]
+/// (and its mapping `String`) is materialized. Most candidates are
+/// examined and discarded; deferring the allocation to acceptance keeps
+/// the hot loop allocation-free.
+struct Cand<'a> {
+    pes: u64,
+    bw: u64,
+    l1: u64,
+    l2: u64,
+    mapping: &'a str,
+    area: f64,
+    power: f64,
+    runtime: f64,
+    throughput: f64,
+    energy: f64,
+    edp: f64,
+}
+
+impl Cand<'_> {
+    /// Mirror of [`DesignPoint::is_finite`].
+    fn is_finite(&self) -> bool {
+        [
+            self.area,
+            self.power,
+            self.runtime,
+            self.throughput,
+            self.energy,
+            self.edp,
+        ]
+        .iter()
+        .all(|v| v.is_finite())
+    }
+
+    fn to_point(&self) -> DesignPoint {
+        DesignPoint {
+            pes: self.pes,
+            noc_bw: self.bw,
+            l1_bytes: self.l1,
+            l2_bytes: self.l2,
+            mapping: self.mapping.to_string(),
+            area_mm2: self.area,
+            power_mw: self.power,
+            runtime: self.runtime,
+            throughput: self.throughput,
+            energy: self.energy,
+            edp: self.edp,
+        }
+    }
+}
+
+/// [`update_best`] for a not-yet-materialized candidate: same finite gate
+/// and strict-less, first-wins tie rule, but the owned point is only built
+/// (once, shared via `made`) when the candidate actually wins a slot.
+fn update_best_cand(
+    slot: &mut Option<DesignPoint>,
+    key_val: f64,
+    cand: &Cand<'_>,
+    made: &mut Option<DesignPoint>,
+    key: impl Fn(&DesignPoint) -> f64,
+) {
+    if !key_val.is_finite() {
+        return;
+    }
+    let better = match slot {
+        Some(cur) => key_val.total_cmp(&key(cur)) == std::cmp::Ordering::Less,
+        None => true,
+    };
+    if better {
+        *slot = Some(made.get_or_insert_with(|| cand.to_point()).clone());
     }
 }
 
@@ -573,6 +1200,165 @@ pub fn insert_pareto(front: &mut Vec<DesignPoint>, p: &DesignPoint) -> bool {
     true
 }
 
+/// A structure-of-arrays (runtime, energy) Pareto front.
+///
+/// Semantically identical to folding points through [`insert_pareto`], but
+/// the dominance scan runs over two flat `f64` arrays instead of a
+/// `Vec<DesignPoint>` of ~100-byte records with heap-allocated mapping
+/// strings. The scan accumulates a branch-free boolean (no early exit by
+/// default — fronts are small and the predictable loop beats a
+/// mispredicted break), and eviction compacts all three arrays in one
+/// stable pass.
+#[derive(Debug, Default, Clone)]
+pub struct ParetoFront {
+    runtime: Vec<f64>,
+    energy: Vec<f64>,
+    points: Vec<DesignPoint>,
+}
+
+impl ParetoFront {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront::default()
+    }
+
+    /// Number of points currently on the front.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points currently on the front, in insertion (fold) order.
+    pub fn points(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// Whether `(rt, en)` is dominated by (or ties) an existing member —
+    /// the same `q.runtime <= rt && q.energy <= en` test as
+    /// [`insert_pareto`]. The scan runs branch-free within fixed-width
+    /// chunks of the SoA columns (accumulating the disjunction, no
+    /// per-element branch for the predictor to miss) and exits between
+    /// chunks: in a sweep almost every candidate is dominated, usually by
+    /// an early member, so a full-length scan would throw away the common
+    /// case while a per-element early exit mispredicts on dense fronts.
+    fn dominated(&self, rt: f64, en: f64) -> bool {
+        const CHUNK: usize = 8;
+        let n = self.points.len();
+        let mut i = 0;
+        while i + CHUNK <= n {
+            let mut dom = false;
+            for j in i..i + CHUNK {
+                dom |= self.runtime[j] <= rt && self.energy[j] <= en;
+            }
+            if dom {
+                return true;
+            }
+            i += CHUNK;
+        }
+        let mut dom = false;
+        for j in i..n {
+            dom |= self.runtime[j] <= rt && self.energy[j] <= en;
+        }
+        dom
+    }
+
+    /// Stable in-place removal of members dominated by `(rt, en)` —
+    /// mirrors `retain(|q| !(rt <= q.runtime && en <= q.energy))`.
+    fn evict_dominated(&mut self, rt: f64, en: f64) {
+        let mut w = 0usize;
+        for r in 0..self.points.len() {
+            let keep = !(rt <= self.runtime[r] && en <= self.energy[r]);
+            if keep {
+                if w != r {
+                    self.runtime[w] = self.runtime[r];
+                    self.energy[w] = self.energy[r];
+                    self.points.swap(w, r);
+                }
+                w += 1;
+            }
+        }
+        self.runtime.truncate(w);
+        self.energy.truncate(w);
+        self.points.truncate(w);
+    }
+
+    /// Minimum member energy among members with `runtime <= rt`
+    /// (`+inf` when there is none). For a candidate at runtime `rt`,
+    /// `min_energy_leq_runtime(rt) <= en` is exactly [`Self::dominated`] —
+    /// the sweep's capacity expansion exploits this to reduce the per-cell
+    /// dominance scan to one scalar compare, since runtime is constant
+    /// across a whole (mapping, bandwidth) expansion.
+    fn min_energy_leq_runtime(&self, rt: f64) -> f64 {
+        let mut min = f64::INFINITY;
+        for i in 0..self.points.len() {
+            if self.runtime[i] <= rt && self.energy[i] < min {
+                min = self.energy[i];
+            }
+        }
+        min
+    }
+
+    /// Accept a point already known to be finite and non-dominated:
+    /// evict what it dominates and push. Callers must have established
+    /// both preconditions (see `expand_capacities`); this is the accept
+    /// half of [`Self::try_insert_with`].
+    fn accept(&mut self, rt: f64, en: f64, point: DesignPoint) {
+        self.evict_dominated(rt, en);
+        self.runtime.push(rt);
+        self.energy.push(en);
+        self.points.push(point);
+    }
+
+    /// Insert `(rt, en)` if non-dominated, materializing the owned point
+    /// via `make` only on acceptance. Returns whether the point entered
+    /// the front — same accept/reject behaviour as [`insert_pareto`].
+    pub fn try_insert_with(
+        &mut self,
+        rt: f64,
+        en: f64,
+        make: impl FnOnce() -> DesignPoint,
+    ) -> bool {
+        if !(rt.is_finite() && en.is_finite()) {
+            return false;
+        }
+        if self.dominated(rt, en) {
+            return false;
+        }
+        self.evict_dominated(rt, en);
+        self.runtime.push(rt);
+        self.energy.push(en);
+        self.points.push(make());
+        true
+    }
+
+    /// Insert an already-owned point (merge path). Equivalent to
+    /// [`insert_pareto`] on the underlying vector.
+    pub fn insert(&mut self, p: &DesignPoint) -> bool {
+        self.try_insert_with(p.runtime, p.energy, || p.clone())
+    }
+
+    /// Consume the front, returning the surviving points in fold order.
+    pub fn into_points(self) -> Vec<DesignPoint> {
+        self.points
+    }
+}
+
+impl From<Vec<DesignPoint>> for ParetoFront {
+    /// Rebuild the SoA columns from an existing front (assumed already
+    /// mutually non-dominated, e.g. a checkpointed partial's front).
+    fn from(points: Vec<DesignPoint>) -> Self {
+        ParetoFront {
+            runtime: points.iter().map(|p| p.runtime).collect(),
+            energy: points.iter().map(|p| p.energy).collect(),
+            points,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +1369,48 @@ mod tests {
 
     fn layer() -> Layer {
         Layer::new("c", Operator::conv2d(), LayerDims::square(1, 32, 32, 34, 3))
+    }
+
+    /// The per-axis cost decomposition (`UnitCtx::area_power`,
+    /// `EnergyTab::at`) must reproduce the full model calls bit-for-bit —
+    /// exact `f64` equality, not tolerance — on every grid point of the
+    /// standard space. The doc comments on `UnitCtx`/`EnergyTab` point
+    /// here.
+    #[test]
+    fn cost_decomposition_matches_full_model_calls() {
+        let ex = Explorer::new(SweepSpace::standard());
+        let maps = variants::variants(Style::KCP);
+        for &pes in &[16u64, 128, 512] {
+            let ctx = UnitCtx::new(&ex, pes);
+            for (b_idx, &bw) in ex.space.noc_bw.iter().enumerate() {
+                for (i1, &l1) in ex.space.l1_bytes.iter().enumerate() {
+                    for (i2, &l2) in ex.space.l2_bytes.iter().enumerate() {
+                        let acc = ex.accelerator(pes, bw, Some((l1, l2)));
+                        let (area, power) = ctx.area_power(b_idx, i1, i2);
+                        assert_eq!(area.to_bits(), ex.area_model.total_area(&acc).to_bits());
+                        assert_eq!(power.to_bits(), ex.power_model.total_power(&acc).to_bits());
+                    }
+                }
+            }
+            // Energy: decomposed table vs `placed_energy` on a real report.
+            let acc = ex.accelerator(pes, ex.space.noc_bw[0], None);
+            for mapping in &maps {
+                let Ok(report) = maestro_core::analyze(&layer(), mapping, &acc) else {
+                    continue;
+                };
+                let etab = EnergyTab::new(&ex, &report, &ctx);
+                let mut cells = EnergyCells::new(ex.space.l1_bytes.len(), ex.space.l2_bytes.len());
+                cells.fill_once(&ex, &report, &ctx);
+                for (i1, &l1) in ex.space.l1_bytes.iter().enumerate() {
+                    for (i2, &l2) in ex.space.l2_bytes.iter().enumerate() {
+                        let want = ex.placed_energy(&report, l1, l2);
+                        assert_eq!(etab.at(&ctx, i1, i2).to_bits(), want.to_bits());
+                        let got = cells.e[i1 * ex.space.l2_bytes.len() + i2];
+                        assert_eq!(got.to_bits(), want.to_bits());
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -855,8 +1683,13 @@ impl Explorer {
             panic!("injected failure for PE count {pes}");
         }
         let mut part = Partial::new();
-        let caps_per_eval = (self.space.l1_bytes.len() * self.space.l2_bytes.len()) as u64;
-        let mut memo = AnalysisCache::new();
+        let caps_per_eval = self.space.capacity_cells() as u64;
+        let mut memo = AnalysisCache::with_capacity(self.memo_cap);
+        let ctx = UnitCtx::new(self, pes);
+        let mut front = ParetoFront::new();
+        let l2_len = self.space.l2_bytes.len();
+        // The mapping label is the same for every point of this unit.
+        let label = format!("per-layer best of {}", mappings.len());
         for (b_idx, &bw) in self.space.noc_bw.iter().enumerate() {
             part.stats.explored += caps_per_eval;
             let acc = self.accelerator(pes, bw, None);
@@ -866,11 +1699,7 @@ impl Explorer {
             for layer in model.iter() {
                 let best = mappings
                     .iter()
-                    .enumerate()
-                    .filter_map(|(m_idx, m)| {
-                        let tag = (m_idx * self.space.noc_bw.len() + b_idx) as u64;
-                        memo.analyze(layer, m, &acc, tag).ok()
-                    })
+                    .filter_map(|m| self.memo_analyze(&mut memo, layer, m, &acc).ok())
                     .min_by(|a, b| a.runtime.total_cmp(&b.runtime));
                 match best {
                     Some(r) => reports.push(r),
@@ -885,62 +1714,77 @@ impl Explorer {
             }
             let runtime: f64 = reports.iter().map(|r| r.runtime).sum();
             let macs: f64 = reports.iter().map(|r| r.macs_effective).sum();
+            let throughput = macs / runtime.max(1.0);
             let l1_req = reports.iter().map(|r| r.l1_per_pe_elems).max().unwrap_or(0);
             let l2_req = reports
                 .iter()
                 .map(|r| r.l2_staging_elems)
                 .max()
                 .unwrap_or(0);
-            for &l1 in &self.space.l1_bytes {
-                if self.elements(l1) < l1_req {
-                    part.stats.capacity_skipped += self.space.l2_bytes.len() as u64;
+            for (i1, &l1) in self.space.l1_bytes.iter().enumerate() {
+                if ctx.l1_elems[i1] < l1_req {
+                    part.stats.capacity_skipped += l2_len as u64;
                     continue;
                 }
-                for &l2 in &self.space.l2_bytes {
-                    if self.elements(l2) < l2_req {
+                for (i2, &l2) in self.space.l2_bytes.iter().enumerate() {
+                    if ctx.l2_elems[i2] < l2_req {
                         part.stats.capacity_skipped += 1;
                         continue;
                     }
-                    let placed = self.accelerator(pes, bw, Some((l1, l2)));
-                    let area = self.area_model.total_area(&placed);
-                    let power = self.power_model.total_power(&placed);
+                    let (area, power) = ctx.area_power(b_idx, i1, i2);
                     if area > self.constraints.max_area_mm2 || power > self.constraints.max_power_mw
                     {
                         continue;
                     }
+                    // No cross-bandwidth energy cache here: the per-layer
+                    // best mapping (and so the activity counts) can change
+                    // with bandwidth.
                     let energy: f64 = reports.iter().map(|r| self.placed_energy(r, l1, l2)).sum();
-                    let point = DesignPoint {
+                    let cand = Cand {
                         pes,
-                        noc_bw: bw,
-                        l1_bytes: l1,
-                        l2_bytes: l2,
-                        mapping: format!("per-layer best of {}", mappings.len()),
-                        area_mm2: area,
-                        power_mw: power,
+                        bw,
+                        l1,
+                        l2,
+                        mapping: &label,
+                        area,
+                        power,
                         runtime,
-                        throughput: macs / runtime.max(1.0),
+                        throughput,
                         energy,
                         edp: energy * runtime,
                     };
-                    if !point.is_finite() {
+                    if !cand.is_finite() {
                         part.stats.nonfinite_dropped += 1;
                         continue;
                     }
                     part.stats.valid += 1;
-                    update_best(&mut part.best_throughput, &point, |p| -p.throughput);
-                    update_best(&mut part.best_energy, &point, |p| p.energy);
-                    update_best(&mut part.best_edp, &point, |p| p.edp);
-                    if insert_pareto(&mut part.pareto, &point) {
+                    let mut made: Option<DesignPoint> = None;
+                    update_best_cand(
+                        &mut part.best_throughput,
+                        -cand.throughput,
+                        &cand,
+                        &mut made,
+                        |p| -p.throughput,
+                    );
+                    update_best_cand(&mut part.best_energy, cand.energy, &cand, &mut made, |p| {
+                        p.energy
+                    });
+                    update_best_cand(&mut part.best_edp, cand.edp, &cand, &mut made, |p| p.edp);
+                    if front.try_insert_with(cand.runtime, cand.energy, || {
+                        made.get_or_insert_with(|| cand.to_point()).clone()
+                    }) {
                         part.stats.pareto_inserted += 1;
                     } else {
                         part.stats.pareto_rejected += 1;
                     }
                     if part.stats.valid.is_multiple_of(61) && part.sample.len() < self.sample_cap {
-                        part.sample.push(point);
+                        part.sample
+                            .push(made.get_or_insert_with(|| cand.to_point()).clone());
                     }
                 }
             }
         }
+        part.pareto = front.into_points();
         part.stats.evaluated += memo.misses();
         part.stats.memo_hits += memo.hits();
         part

@@ -47,7 +47,8 @@ pub mod variants;
 pub use cancel::{CancelToken, SessionCtl, SessionError, SessionReport};
 pub use checkpoint::{sweep_fingerprint, Checkpoint, CheckpointError, UnitEntry};
 pub use explorer::{
-    insert_pareto, DesignPoint, DseResult, DseStats, Explorer, Partial, QuarantinedUnit,
+    insert_pareto, DesignPoint, DseResult, DseStats, EvalMode, Explorer, ParetoFront, Partial,
+    QuarantinedUnit,
 };
 pub use fault::{Fault, FaultPlan, FaultSpecError};
 pub use parallel::{merge_partials, resolve_threads, run_units, UnitOutcome};

@@ -53,7 +53,7 @@
 use crate::cancel::CancelToken;
 use crate::checkpoint::{Checkpoint, UnitEntry};
 use crate::explorer::{
-    insert_pareto, update_best, DesignPoint, DseResult, DseStats, Partial, QuarantinedUnit,
+    update_best, DesignPoint, DseResult, DseStats, ParetoFront, Partial, QuarantinedUnit,
 };
 use crate::fault::FaultPlan;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -453,6 +453,9 @@ pub fn merge_indexed_partials(outcomes: Vec<(usize, UnitOutcome)>, sample_cap: u
         stats: DseStats::empty(),
         partial: false,
     };
+    // Merge through the SoA front — same accept/evict semantics as
+    // `insert_pareto`, but the dominance scans run over flat f64 columns.
+    let mut front = ParetoFront::new();
     for (i, outcome) in outcomes {
         let part = match outcome {
             Ok(p) => p,
@@ -474,7 +477,7 @@ pub fn merge_indexed_partials(outcomes: Vec<(usize, UnitOutcome)>, sample_cap: u
         out.stats.pareto_inserted += part.stats.pareto_inserted;
         out.stats.pareto_rejected += part.stats.pareto_rejected;
         for p in &part.pareto {
-            insert_pareto(&mut out.pareto, p);
+            front.insert(p);
         }
         if let Some(p) = &part.best_throughput {
             update_best(&mut out.best_throughput, p, |p| -p.throughput);
@@ -488,6 +491,7 @@ pub fn merge_indexed_partials(outcomes: Vec<(usize, UnitOutcome)>, sample_cap: u
         let room = sample_cap.saturating_sub(out.sample.len());
         out.sample.extend(part.sample.into_iter().take(room));
     }
+    out.pareto = front.into_points();
     out
 }
 

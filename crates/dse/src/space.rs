@@ -98,6 +98,13 @@ impl SweepSpace {
         (self.pes.len() * self.noc_bw.len() * self.l1_bytes.len() * self.l2_bytes.len()) as u64
     }
 
+    /// Number of L1 × L2 capacity cells — the points expanded from one
+    /// analysis evaluation, and the row length of the per-bandwidth
+    /// area/power and per-mapping energy tables in the explorer.
+    pub fn capacity_cells(&self) -> usize {
+        self.l1_bytes.len() * self.l2_bytes.len()
+    }
+
     /// Check that every grid is non-empty and zero-free.
     ///
     /// Grids do **not** need to be sorted: the explorer takes true minima

@@ -204,7 +204,10 @@ fn tracing_enabled_preserves_bit_identical_results() {
     for (threads, par) in traced.expect("traced sweeps completed") {
         assert_identical(&seq, par, &format!("tracing on, {threads} threads"));
     }
-    // The trace covered the sweeps: unit spans with nested analyze spans.
+    // The trace covered the sweeps: unit spans with nested analysis-stage
+    // spans (the staged evaluator emits per-stage spans — tensor/reuse/
+    // buffer/noc from `StagedAnalysis::build`, perf from `finish` — rather
+    // than the fused `maestro.analysis.analyze` wrapper).
     assert!(
         events.iter().any(|ev| ev.name == "maestro.dse.unit"),
         "no unit spans collected"
@@ -212,7 +215,7 @@ fn tracing_enabled_preserves_bit_identical_results() {
     assert!(
         events
             .iter()
-            .any(|ev| ev.name == "maestro.analysis.analyze" && ev.parent.is_some()),
-        "no nested analyze spans collected"
+            .any(|ev| ev.name.starts_with("maestro.analysis.") && ev.parent.is_some()),
+        "no nested analysis spans collected"
     );
 }

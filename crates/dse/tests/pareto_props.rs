@@ -1,7 +1,7 @@
 //! Property tests for the Pareto-front fold used by both the sequential
 //! explorer and the parallel merge.
 
-use maestro_dse::{insert_pareto, DesignPoint};
+use maestro_dse::{insert_pareto, DesignPoint, ParetoFront};
 use proptest::prelude::*;
 
 /// A design point whose only meaningful coordinates are (runtime, energy).
@@ -111,6 +111,50 @@ proptest! {
         let reversed = fold(&points);
         prop_assert_eq!(pairs(&reversed), pairs(&front));
     }
+
+    /// The SoA [`ParetoFront`] is a drop-in for folding through
+    /// `insert_pareto`: same accept/reject verdicts point-by-point, and the
+    /// exact same surviving points *in the same order* (not just as a set)
+    /// — the explorer's inserted/rejected tallies and serialized fronts
+    /// depend on both.
+    #[test]
+    fn soa_front_matches_insert_pareto_exactly(pts in points_strategy(), rotation in 0usize..8) {
+        let (a, b, c, d, e, f, g, h) = pts;
+        let mut points = vec![a, b, c, d, e, f, g, h];
+        points.rotate_left(rotation);
+
+        let mut vec_front = Vec::new();
+        let mut soa_front = ParetoFront::new();
+        for &(r, e) in &points {
+            let p = point(r, e);
+            let vec_accepted = insert_pareto(&mut vec_front, &p);
+            let soa_accepted = soa_front.insert(&p);
+            prop_assert_eq!(vec_accepted, soa_accepted, "verdict diverged on {:?}", (r, e));
+            prop_assert_eq!(&vec_front, soa_front.points(), "front diverged after {:?}", (r, e));
+        }
+        prop_assert_eq!(vec_front, soa_front.into_points());
+    }
+}
+
+/// The lazy-materialization path (`try_insert_with`) only invokes its
+/// constructor on acceptance, and non-finite objectives are rejected
+/// before the constructor can run.
+#[test]
+fn try_insert_with_builds_points_only_on_acceptance() {
+    let mut front = ParetoFront::new();
+    assert!(front.try_insert_with(2.0, 2.0, || fpoint(2.0, 2.0)));
+    // Dominated: constructor must not run.
+    assert!(!front.try_insert_with(3.0, 3.0, || unreachable!("dominated point was built")));
+    // Non-finite: rejected before the dominance scan.
+    assert!(!front.try_insert_with(f64::NAN, 0.0, || unreachable!("NaN point was built")));
+    assert!(!front.try_insert_with(0.0, f64::INFINITY, || unreachable!("inf point was built")));
+    // Dominating: accepted, evicts the incumbent.
+    assert!(front.try_insert_with(1.0, 1.0, || fpoint(1.0, 1.0)));
+    assert_eq!(front.len(), 1);
+    assert_eq!(
+        (front.points()[0].runtime, front.points()[0].energy),
+        (1.0, 1.0)
+    );
 }
 
 /// A point with raw float coordinates, for non-finite inputs.

@@ -118,17 +118,38 @@ impl PowerModel {
         }
     }
 
-    /// Total accelerator power in mW.
-    pub fn total_power(&self, acc: &Accelerator) -> f64 {
-        let pes = acc.num_pes as f64
+    /// Power of the whole PE array (control, MAC lanes, L1 scratchpads).
+    pub fn pe_array_power(&self, num_pes: u64, vector_width: u64, l1_bytes: u64) -> f64 {
+        num_pes as f64
             * (self.pe_mw
-                + self.mac_lane_mw * acc.vector_width as f64
-                + self.sram_mw_per_kb * acc.l1_bytes as f64 / 1024.0);
-        let l2 = self.sram_mw_per_kb * acc.l2_bytes as f64 / 1024.0;
-        let noc = self.noc_mw_per_lane * acc.noc.bandwidth as f64;
-        // Reuse-support structures burn a small per-PE overhead when present.
-        let support = support_cost::support_power_mw(acc);
-        pes + l2 + noc + support
+                + self.mac_lane_mw * vector_width as f64
+                + self.sram_mw_per_kb * l1_bytes as f64 / 1024.0)
+    }
+
+    /// Power of the shared L2 scratchpad.
+    pub fn l2_power(&self, l2_bytes: u64) -> f64 {
+        self.sram_mw_per_kb * l2_bytes as f64 / 1024.0
+    }
+
+    /// Power of the NoC at the given bandwidth.
+    pub fn noc_power(&self, bandwidth: u64) -> f64 {
+        self.noc_mw_per_lane * bandwidth as f64
+    }
+
+    /// Power of the spatial-reuse support structures (a small per-PE
+    /// overhead when present).
+    pub fn support_power(&self, num_pes: u64, support: crate::support::ReuseSupport) -> f64 {
+        support_cost::support_power_mw(num_pes, support)
+    }
+
+    /// Total accelerator power in mW: the component sums above, added in
+    /// this fixed order (the DSE decomposes the total into per-axis
+    /// component tables and relies on reproducing the exact additions).
+    pub fn total_power(&self, acc: &Accelerator) -> f64 {
+        self.pe_array_power(acc.num_pes, acc.vector_width, acc.l1_bytes)
+            + self.l2_power(acc.l2_bytes)
+            + self.noc_power(acc.noc.bandwidth)
+            + self.support_power(acc.num_pes, acc.support)
     }
 }
 
@@ -139,17 +160,16 @@ impl Default for PowerModel {
 }
 
 mod support_cost {
-    use crate::config::Accelerator;
-    use crate::support::{SpatialMulticast, SpatialReduction};
+    use crate::support::{ReuseSupport, SpatialMulticast, SpatialReduction};
 
     /// Power of the spatial-reuse structures, mW.
-    pub fn support_power_mw(acc: &Accelerator) -> f64 {
-        let n = acc.num_pes as f64;
-        let m = match acc.support.multicast {
+    pub fn support_power_mw(num_pes: u64, support: ReuseSupport) -> f64 {
+        let n = num_pes as f64;
+        let m = match support.multicast {
             SpatialMulticast::None => 0.0,
             _ => 0.02 * n,
         };
-        let r = match acc.support.reduction {
+        let r = match support.reduction {
             SpatialReduction::None => 0.0,
             _ => 0.03 * n,
         };

@@ -10,7 +10,7 @@ use std::str::FromStr;
 ///
 /// The `Display` impl prints the MAESTRO-style textual form, and
 /// [`FromStr`] parses it back; the two round-trip.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Dataflow {
     name: String,
     directives: Vec<Directive>,

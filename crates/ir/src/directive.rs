@@ -108,7 +108,7 @@ impl fmt::Display for MapKind {
 }
 
 /// One directive of a data-centric dataflow description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Directive {
     /// `SpatialMap(size, offset) dim`
     SpatialMap {

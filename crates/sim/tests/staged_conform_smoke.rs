@@ -1,0 +1,49 @@
+//! Conformance smoke test through the staged analysis pipeline.
+//!
+//! The fused `analyze()` the differential harness calls is implemented as
+//! `StagedAnalysis::build(..).finish(..)`, so every conform run already
+//! exercises the staged path. This smoke pins that down from both ends:
+//! a seeded harness run must stay clean, and for the same seeded case
+//! stream the explicitly-staged evaluation must agree bit-for-bit with
+//! the report the harness compared against the simulator.
+
+use maestro_core::{analyze, StagedAnalysis};
+use maestro_sim::conform::gen_case;
+use maestro_sim::{run_conform, ConformConfig};
+use proptest::TestRng;
+
+/// A seeded conform run (model vs. step simulator) stays divergence-free
+/// with the staged pipeline serving the model side.
+#[test]
+fn conform_smoke_is_clean_through_staged_pipeline() {
+    let cfg = ConformConfig {
+        seed: 2026,
+        cases: 40,
+        ..ConformConfig::default()
+    };
+    let report = run_conform(&cfg);
+    assert!(report.is_clean(), "divergences: {report:?}");
+    assert!(report.compared > 0, "smoke compared nothing: {report:?}");
+}
+
+/// For the harness's own generated cases, explicit staged evaluation
+/// (build once, finish under the case's NoC) is bit-identical to the
+/// fused call the harness makes.
+#[test]
+fn staged_evaluation_matches_fused_on_conform_cases() {
+    let mut rng = TestRng::from_seed(2026);
+    let mut agreed = 0u32;
+    for _ in 0..60 {
+        let case = gen_case(&mut rng);
+        let fused = analyze(&case.layer, &case.dataflow, &case.acc);
+        let staged = match StagedAnalysis::build(&case.layer, &case.dataflow, &case.acc) {
+            Ok(s) => s.finish(case.acc.noc.bandwidth, case.acc.noc.avg_latency),
+            Err(e) => Err(e),
+        };
+        assert_eq!(fused, staged, "case diverged: {case}");
+        if fused.is_ok() {
+            agreed += 1;
+        }
+    }
+    assert!(agreed > 10, "too few analyzable cases ({agreed})");
+}
