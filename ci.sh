@@ -17,6 +17,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 # The analysis-pipeline crates are panic-free by policy (see DESIGN.md):
 # no unwrap()/expect() outside tests. Enforced both here and by
 # crate-level deny attributes in each lib.rs.
+# (maestro-serve carries the same denies as crate-level attributes in
+# its lib.rs; it is omitted from this command-line pass because clippy's
+# trailing flags leak onto workspace dependencies, and serve pulls in
+# maestro-sim, which is exempt from the unwrap/expect policy.)
 echo "== cargo clippy (panic-free library crates)"
 cargo clippy -p maestro-core -p maestro-ir -p maestro-dse -p maestro-hw -p maestro-dnn -p maestro-obs --lib \
   -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
@@ -26,7 +30,7 @@ cargo clippy -p maestro-core -p maestro-ir -p maestro-dse -p maestro-hw -p maest
 # emit() is the one sanctioned egress point.
 echo "== cargo clippy (no stray stderr prints in library crates)"
 cargo clippy -p maestro-core -p maestro-ir -p maestro-dse -p maestro-hw -p maestro-dnn \
-  -p maestro-sim -p maestro-obs --lib \
+  -p maestro-sim -p maestro-obs -p maestro-serve --lib \
   -- -D warnings -D clippy::print-stderr
 
 # No library code may call std::process::exit: every shutdown path goes
@@ -35,7 +39,7 @@ cargo clippy -p maestro-core -p maestro-ir -p maestro-dse -p maestro-hw -p maest
 # crate-level deny attributes in each lib.rs.
 echo "== cargo clippy (no process::exit outside main)"
 cargo clippy -p maestro-core -p maestro-ir -p maestro-dse -p maestro-hw -p maestro-dnn \
-  -p maestro-sim -p maestro-obs --lib \
+  -p maestro-sim -p maestro-obs -p maestro-serve --lib \
   -- -D warnings -D clippy::exit
 
 echo "== cargo build --release"
@@ -119,5 +123,99 @@ if ! diff <(strip_clock "${smokedir}/golden.json") <(strip_clock "${smokedir}/re
   echo "resumed frontier differs from the uninterrupted golden run" >&2
   exit 1
 fi
+
+# Serve smoke: boot the daemon on an ephemeral port, drive it over raw
+# TCP (bash /dev/tcp — no curl dependency), check the typed responses
+# and the Prometheus counters, provoke one queue-full 503, then SIGTERM
+# and demand a clean exit 0 inside the drain deadline.
+echo "== serve smoke (daemon: analyze + dse + /metrics + shed + drain)"
+serve_log="${smokedir}/serve.log"
+serve_request() { # serve_request <addr> <method> <path> [body]
+  local host="${1%:*}" port="${1##*:}" method="$2" path="$3" body="${4:-}"
+  exec 3<>"/dev/tcp/${host}/${port}"
+  printf '%s %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\nContent-Length: %s\r\n\r\n%s' \
+    "${method}" "${path}" "${#body}" "${body}" >&3
+  cat <&3
+  exec 3>&- 2>/dev/null || true
+}
+wait_for_addr() { # wait_for_addr <logfile>; echoes host:port
+  local addr="" i
+  for i in $(seq 1 100); do
+    addr=$(sed -n 's/^serving on //p' "$1" | head -1)
+    [ -n "${addr}" ] && break
+    sleep 0.1
+  done
+  [ -n "${addr}" ] || { echo "daemon never announced its address" >&2; return 1; }
+  echo "${addr}"
+}
+target/release/maestro serve --addr 127.0.0.1:0 --workers 2 --drain-seconds 10 \
+  > "${serve_log}" 2> "${smokedir}/serve.err" &
+serve_pid=$!
+serve_addr=$(wait_for_addr "${serve_log}")
+analyze_resp=$(serve_request "${serve_addr}" POST /v1/analyze \
+  '{"model":"alexnet","layer":"CONV1","pes":64}')
+grep -q "HTTP/1.1 200" <<<"${analyze_resp}" || { echo "analyze failed: ${analyze_resp}" >&2; exit 1; }
+grep -q '"runtime"' <<<"${analyze_resp}" || { echo "analyze lacks runtime: ${analyze_resp}" >&2; exit 1; }
+dse_resp=$(serve_request "${serve_addr}" POST /v1/dse \
+  '{"model":"alexnet","layer":"CONV3","style":"KC-P","space":"tiny"}')
+grep -q "HTTP/1.1 200" <<<"${dse_resp}" || { echo "dse failed: ${dse_resp}" >&2; exit 1; }
+grep -q '"pareto"' <<<"${dse_resp}" || { echo "dse lacks pareto front: ${dse_resp}" >&2; exit 1; }
+metrics_resp=$(serve_request "${serve_addr}" GET /metrics)
+served=$(sed -n 's/^maestro_serve_requests_total \([0-9]*\).*/\1/p' <<<"${metrics_resp}" | head -1)
+if [ -z "${served}" ] || [ "${served}" -lt 2 ]; then
+  echo "expected maestro_serve_requests_total >= 2, got '${served}'" >&2
+  exit 1
+fi
+kill -TERM "${serve_pid}"
+rc=0; wait "${serve_pid}" || rc=$?
+if [ "${rc}" -ne 0 ]; then
+  echo "daemon drain exited ${rc}, expected 0" >&2
+  cat "${smokedir}/serve.err" >&2 || true
+  exit 1
+fi
+
+# Queue-full shedding: one worker, queue depth one. Occupy the worker
+# and the queue slot with two half-sent requests held open on fds 4/5;
+# the third connection must be shed immediately with 503 + Retry-After.
+echo "== serve smoke (queue-full 503)"
+target/release/maestro serve --addr 127.0.0.1:0 --workers 1 --queue-depth 1 \
+  --drain-seconds 10 > "${serve_log}.shed" 2>/dev/null &
+serve_pid=$!
+serve_addr=$(wait_for_addr "${serve_log}.shed")
+shed_host="${serve_addr%:*}"; shed_port="${serve_addr##*:}"
+exec 4<>"/dev/tcp/${shed_host}/${shed_port}"; printf 'POST /v1/analyze HTTP/1.1\r\n' >&4
+sleep 0.3
+exec 5<>"/dev/tcp/${shed_host}/${shed_port}"; printf 'GET /healthz HT' >&5
+sleep 0.3
+shed_resp=$(serve_request "${serve_addr}" GET /healthz)
+grep -q "HTTP/1.1 503" <<<"${shed_resp}" || { echo "expected a 503 shed: ${shed_resp}" >&2; exit 1; }
+grep -q "Retry-After:" <<<"${shed_resp}" || { echo "503 lacks Retry-After: ${shed_resp}" >&2; exit 1; }
+exec 4>&- 5>&-
+kill -TERM "${serve_pid}"
+rc=0; wait "${serve_pid}" || rc=$?
+[ "${rc}" -eq 0 ] || { echo "shed daemon drain exited ${rc}, expected 0" >&2; exit 1; }
+
+# Chaos smoke: sustained mixed loadgen traffic, SIGTERM mid-load. The
+# drain guarantee is zero dropped (started-but-incomplete) responses —
+# loadgen itself exits 1 on any drop — and the daemon exits 0.
+echo "== serve chaos smoke (SIGTERM under loadgen traffic)"
+target/release/maestro serve --addr 127.0.0.1:0 --workers 2 --drain-seconds 10 \
+  > "${serve_log}.chaos" 2>/dev/null &
+serve_pid=$!
+serve_addr=$(wait_for_addr "${serve_log}.chaos")
+target/release/loadgen --addr "${serve_addr}" --seconds 3 --concurrency 4 \
+  --mode mixed --retries 0 --json > "${smokedir}/chaos.json" &
+loadgen_pid=$!
+sleep 1
+kill -TERM "${serve_pid}"
+rc=0; wait "${serve_pid}" || rc=$?
+[ "${rc}" -eq 0 ] || { echo "chaos daemon drain exited ${rc}, expected 0" >&2; exit 1; }
+rc=0; wait "${loadgen_pid}" || rc=$?
+if [ "${rc}" -ne 0 ]; then
+  echo "loadgen reported dropped responses or zero successes under chaos" >&2
+  cat "${smokedir}/chaos.json" >&2 || true
+  exit 1
+fi
+grep -q '"dropped": 0' "${smokedir}/chaos.json" || { echo "chaos run dropped responses" >&2; exit 1; }
 
 echo "CI OK"

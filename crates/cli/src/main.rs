@@ -118,6 +118,7 @@ fn main() -> ExitCode {
         "dse" => cmd_dse(&args),
         "validate" => cmd_validate(&args),
         "conform" => cmd_conform(&args),
+        "serve" => cmd_serve(&args),
         "mapping" => cmd_mapping(&args),
         "explain" => cmd_explain(&args),
         "lint" => cmd_lint(&args),
@@ -186,6 +187,7 @@ USAGE:
   maestro dse      --model <zoo> --layer <name> --style <style> [--threads <n>] [--json]
   maestro validate --model <zoo> --dataflow <style|file> --pes <n>
   maestro conform  [--seed <n>] [--cases <n>] [--max-steps <n>] [--max-seconds <s>] [--tol-runtime <pct>] [--tol-l1 <pct>] [--tol-l2 <pct>] [--tol-util <abs>] [--tol-macs <pct>] [--json]
+  maestro serve    [--addr <host:port>] [--workers <n>] [--queue-depth <n>] [--drain-seconds <s>]
   maestro mapping  --model <zoo> --layer <name> --dataflow <style|file> --pes <n> --step <t>
   maestro explain  --model <zoo> --layer <name> --dataflow <style|file> --pes <n>
   maestro lint     --model <zoo> --layer <name> --dataflow <style|file> --pes <n>
@@ -212,6 +214,20 @@ Long-running sweeps (dse):
   --eval <staged|full>       cost-model evaluation mode (default staged; bit-identical,
                              staged shares NoC-independent stages across the bw axis)
   --memo-cap <n>             per-unit analysis-cache entry cap (default 4096; 0 = unbounded)
+
+Serving (serve):
+  --addr <host:port>         bind address (default 127.0.0.1:7433; port 0 picks a free port)
+  --workers <n>              worker threads (default 4)
+  --queue-depth <n>          admission queue bound; full queue sheds 503 + Retry-After (default 64)
+  --default-deadline-ms <n>  deadline for requests without deadline_ms (default 10000)
+  --drain-seconds <s>        drain budget after SIGTERM/SIGINT before in-flight
+                             requests are cancelled (default 5; forced drain exits 7)
+  --io-timeout <s>           socket read/write timeout, slow-loris guard (default 10)
+  --max-body-bytes <n>       request body cap, 413 beyond it (default 1048576)
+  --shards <n>               shared analysis-cache shards (default 8)
+  --memo-cap <n>             per-shard analysis-cache entry cap (default 4096)
+  --max-seconds <s>          self-terminate after s seconds (smoke tests)
+  --test-endpoints           enable POST /v1/panic (panic-isolation tests only)
 
 Observability (any command):
   --metrics <path|->     dump the metrics registry (Prometheus text format)
@@ -692,6 +708,76 @@ fn cmd_conform(args: &Args) -> Result<(), CliError> {
         ))
     } else {
         Ok(())
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let to_usize = |v: u64, what: &str| -> Result<usize, CliError> {
+        usize::try_from(v).map_err(|_| CliError::usage(format!("--{what} is too large")))
+    };
+    let cfg = maestro_serve::ServeConfig {
+        addr: args.get("addr", "127.0.0.1:7433").to_string(),
+        workers: to_usize(
+            args.get_u64("workers", 4).map_err(CliError::usage)?,
+            "workers",
+        )?,
+        queue_depth: to_usize(
+            args.get_u64("queue-depth", 64).map_err(CliError::usage)?,
+            "queue-depth",
+        )?,
+        default_deadline: Duration::from_millis(
+            args.get_u64("default-deadline-ms", 10_000)
+                .map_err(CliError::usage)?,
+        ),
+        drain_deadline: Duration::from_secs_f64(
+            args.get_f64("drain-seconds", 5.0)
+                .map_err(CliError::usage)?,
+        ),
+        max_body_bytes: to_usize(
+            args.get_u64("max-body-bytes", 1024 * 1024)
+                .map_err(CliError::usage)?,
+            "max-body-bytes",
+        )?,
+        io_timeout: Duration::from_secs_f64(
+            args.get_f64("io-timeout", 10.0).map_err(CliError::usage)?,
+        ),
+        memo_cap: to_usize(
+            args.get_u64("memo-cap", maestro_core::DEFAULT_CACHE_CAP as u64)
+                .map_err(CliError::usage)?,
+            "memo-cap",
+        )?,
+        shards: to_usize(
+            args.get_u64("shards", 8).map_err(CliError::usage)?,
+            "shards",
+        )?,
+        test_endpoints: args.flag("test-endpoints"),
+    };
+    // SIGTERM/SIGINT raise the process interrupt flag, which this heeding
+    // token observes — tripping it starts the drain.
+    signal::install_interrupt_handlers();
+    let shutdown = maestro_obs::CancelToken::new();
+    let max_seconds = args.get_f64("max-seconds", 0.0).map_err(CliError::usage)?;
+    if max_seconds > 0.0 {
+        shutdown.set_deadline_in(Duration::from_secs_f64(max_seconds));
+    }
+    let requested = cfg.addr.clone();
+    let server = maestro_serve::Server::bind(cfg)
+        .map_err(|e| CliError::usage(format!("cannot bind {requested}: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::new(ErrorKind::Other, format!("local_addr: {e}")))?;
+    // Scripted clients (the ci smoke, loadgen wrappers) read this line to
+    // learn the port when `--addr ...:0` picked one.
+    println!("serving on {addr}");
+    match server
+        .run(&shutdown)
+        .map_err(|e| CliError::new(ErrorKind::Other, format!("serve: {e}")))?
+    {
+        maestro_serve::DrainOutcome::Clean => Ok(()),
+        maestro_serve::DrainOutcome::Forced => Err(CliError::new(
+            ErrorKind::Interrupted,
+            "drain deadline expired — in-flight requests were cancelled (their 504 responses were still written)",
+        )),
     }
 }
 

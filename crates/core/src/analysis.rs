@@ -38,6 +38,11 @@ pub enum AnalysisError {
     /// Resolution produced no cluster levels, so there is nothing to
     /// analyze.
     EmptyResolution,
+    /// A cooperative cancellation token tripped (deadline, signal, or
+    /// explicit cancel) before the analysis completed. Only the
+    /// `*_cancellable` entry points produce this; plain calls run to
+    /// completion.
+    Cancelled,
 }
 
 impl fmt::Display for AnalysisError {
@@ -53,6 +58,9 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::EmptyResolution => {
                 write!(f, "resolution produced no cluster levels")
+            }
+            AnalysisError::Cancelled => {
+                write!(f, "analysis cancelled (deadline or interrupt)")
             }
         }
     }
@@ -113,6 +121,38 @@ pub fn analyze(
     StagedAnalysis::build(layer, dataflow, acc)?.finish(acc.noc.bandwidth, acc.noc.avg_latency)
 }
 
+/// [`analyze`] polling a cooperative [`CancelToken`] at its stage
+/// boundary: when the token trips before the (cheap) pricing stage runs,
+/// the call returns [`AnalysisError::Cancelled`] instead of finishing.
+/// This is the per-request deadline hook for the serving daemon — a
+/// request whose budget expires stops consuming its worker at the next
+/// cancellation point rather than running to completion.
+///
+/// [`CancelToken`]: maestro_obs::CancelToken
+///
+/// # Errors
+///
+/// As [`analyze`], plus [`AnalysisError::Cancelled`] when `token` trips
+/// before completion.
+pub fn analyze_cancellable(
+    layer: &Layer,
+    dataflow: &Dataflow,
+    acc: &Accelerator,
+    token: &maestro_obs::CancelToken,
+) -> Result<LayerReport, AnalysisError> {
+    if token.is_cancelled() {
+        return Err(AnalysisError::Cancelled);
+    }
+    let _span = maestro_obs::span::span("maestro.analysis.analyze");
+    let staged = StagedAnalysis::build(layer, dataflow, acc)?;
+    // Stage boundary: the expensive NoC-independent stages are done; bail
+    // before pricing if the budget expired while they ran.
+    if token.is_cancelled() {
+        return Err(AnalysisError::Cancelled);
+    }
+    staged.finish(acc.noc.bandwidth, acc.noc.avg_latency)
+}
+
 /// Analyze every layer of `model` under a per-layer dataflow choice.
 ///
 /// # Errors
@@ -144,6 +184,37 @@ pub fn analyze_model(
     acc: &Accelerator,
 ) -> Result<ModelReport, AnalysisError> {
     analyze_model_with(model, acc, |_| dataflow.clone())
+}
+
+/// [`analyze_model`] polling a cooperative [`CancelToken`] at every layer
+/// boundary: a tripped token aborts the remaining layers with
+/// [`AnalysisError::Cancelled`]. Deep models (ResNet-50, EfficientNet)
+/// are the whole-model serving path's long pole, so per-layer polling
+/// bounds a timed-out request's overstay to one layer's analysis.
+///
+/// [`CancelToken`]: maestro_obs::CancelToken
+///
+/// # Errors
+///
+/// As [`analyze_model`], plus [`AnalysisError::Cancelled`] when `token`
+/// trips before the last layer completes.
+pub fn analyze_model_cancellable(
+    model: &Model,
+    dataflow: &Dataflow,
+    acc: &Accelerator,
+    token: &maestro_obs::CancelToken,
+) -> Result<ModelReport, AnalysisError> {
+    let mut layers = Vec::with_capacity(model.len());
+    for layer in model.iter() {
+        if token.is_cancelled() {
+            return Err(AnalysisError::Cancelled);
+        }
+        layers.push(analyze(layer, dataflow, acc)?);
+    }
+    Ok(ModelReport {
+        model: model.name.clone(),
+        layers,
+    })
 }
 
 #[cfg(test)]
@@ -202,6 +273,33 @@ mod tests {
                 fixed.runtime()
             );
         }
+    }
+
+    #[test]
+    fn cancellable_paths_match_plain_calls_and_honor_the_token() {
+        let layer = Layer::new("c", Operator::conv2d(), LayerDims::square(1, 16, 16, 18, 3));
+        let acc = Accelerator::builder(64).build();
+        let df = Style::KCP.dataflow();
+        let live = maestro_obs::CancelToken::detached();
+        assert_eq!(
+            analyze_cancellable(&layer, &df, &acc, &live).unwrap(),
+            analyze(&layer, &df, &acc).unwrap()
+        );
+        let model = zoo::alexnet(1);
+        assert_eq!(
+            analyze_model_cancellable(&model, &df, &acc, &live).unwrap(),
+            analyze_model(&model, &df, &acc).unwrap()
+        );
+        let tripped = maestro_obs::CancelToken::detached();
+        tripped.cancel();
+        assert_eq!(
+            analyze_cancellable(&layer, &df, &acc, &tripped).unwrap_err(),
+            AnalysisError::Cancelled
+        );
+        assert_eq!(
+            analyze_model_cancellable(&model, &df, &acc, &tripped).unwrap_err(),
+            AnalysisError::Cancelled
+        );
     }
 
     #[test]

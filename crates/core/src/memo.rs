@@ -484,6 +484,104 @@ impl AnalysisCache {
     }
 }
 
+/// A thread-safe, sharded front for [`AnalysisCache`]: requests from any
+/// number of threads share one memo table, which is what a long-lived
+/// serving daemon needs (today's per-sweep caches die with their sweep,
+/// so every request re-paid the cost model for shapes the process had
+/// already analyzed).
+///
+/// Entries are sharded by the **NoC-independent** fingerprint, so every
+/// NoC configuration of one (shape, dataflow, static accelerator) context
+/// lands in the same shard and keeps sharing its stage-tier build —
+/// exactly the reuse [`AnalysisCache::analyze_staged`] exists for. Each
+/// shard is a plain `Mutex<AnalysisCache>`: lookups take one uncontended
+/// lock (the shard count spreads hot shapes), and every acquisition that
+/// had to wait is counted in `maestro.cache.lock_waits`, so contention is
+/// observable instead of silent.
+///
+/// The single-threaded DSE path is untouched: sweeps keep their private
+/// per-worker [`AnalysisCache`] with zero locking.
+#[derive(Debug)]
+pub struct SharedAnalysisCache {
+    shards: Box<[std::sync::Mutex<AnalysisCache>]>,
+}
+
+/// `OnceLock`-cached handle for the shard-lock contention counter.
+fn lock_waits_counter() -> &'static maestro_obs::Counter {
+    static C: std::sync::OnceLock<maestro_obs::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| maestro_obs::registry().counter("maestro.cache.lock_waits"))
+}
+
+impl SharedAnalysisCache {
+    /// A cache with `shards` shards of `cap_per_shard` entries per tier
+    /// each (`shards` is clamped to at least 1; `0` capacity = unbounded).
+    pub fn new(shards: usize, cap_per_shard: usize) -> Self {
+        SharedAnalysisCache {
+            shards: (0..shards.max(1))
+                .map(|_| std::sync::Mutex::new(AnalysisCache::with_capacity(cap_per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Which shard owns the context with NoC-independent fingerprint
+    /// `stat` for `key`.
+    fn shard(&self, key: &ShapeKey, stat: u64) -> &std::sync::Mutex<AnalysisCache> {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv::new();
+        key.hash(&mut h);
+        h.u64(stat);
+        let idx = (h.finish() % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Lock a shard, counting acquisitions that had to wait. A poisoned
+    /// shard (a panicking analysis under `catch_unwind`) is recovered:
+    /// the cache holds only finished `Result`s, so its state is sound.
+    fn lock<'a>(
+        &self,
+        shard: &'a std::sync::Mutex<AnalysisCache>,
+    ) -> std::sync::MutexGuard<'a, AnalysisCache> {
+        if let Ok(guard) = shard.try_lock() {
+            return guard;
+        }
+        lock_waits_counter().inc();
+        shard.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// [`AnalysisCache::analyze_staged`] against the shared table. The
+    /// staged path is the right default for a server: repeated shapes hit
+    /// the report tier, and NoC-only variations of known contexts re-run
+    /// just the cheap pricing stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and memoizes) [`AnalysisError`] from the cost model.
+    pub fn analyze_staged(
+        &self,
+        layer: &Layer,
+        dataflow: &Dataflow,
+        acc: &Accelerator,
+    ) -> Result<LayerReport, AnalysisError> {
+        let Some(key) = ShapeKey::of(layer) else {
+            // Uncacheable (custom coupling): run directly, no lock taken.
+            return analyze(layer, dataflow, acc);
+        };
+        let (stat, full) = context_fingerprints(dataflow, acc);
+        let shard = self.shard(&key, stat);
+        let mut cache = self.lock(shard);
+        cache.staged_lookup(key, stat, full, layer, dataflow, acc)
+    }
+
+    /// Aggregate `(hits, misses)` across all shards (tests/diagnostics;
+    /// takes every shard lock in turn).
+    pub fn hit_miss(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            let c = self.lock(s);
+            (h + c.hits(), m + c.misses())
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,5 +723,47 @@ mod tests {
         let mut l = layer("x");
         l.coupling_override = Some(l.op.coupling());
         assert!(ShapeKey::of(&l).is_none());
+    }
+
+    #[test]
+    fn shared_cache_matches_direct_analysis_and_counts_hits() {
+        let shared = SharedAnalysisCache::new(4, 64);
+        let l = layer("x");
+        let df = Style::KCP.dataflow();
+        let acc = Accelerator::builder(64).build();
+        let direct = analyze(&l, &df, &acc).expect("analyzable");
+        assert_eq!(shared.analyze_staged(&l, &df, &acc).unwrap(), direct);
+        assert_eq!(shared.analyze_staged(&l, &df, &acc).unwrap(), direct);
+        let (hits, misses) = shared.hit_miss();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn shared_cache_serves_concurrent_threads() {
+        let shared = SharedAnalysisCache::new(2, 64);
+        let df = Style::KCP.dataflow();
+        let direct = {
+            let acc = Accelerator::builder(64).noc(NocConfig::new(8, 2)).build();
+            analyze(&layer("t"), &df, &acc).expect("analyzable")
+        };
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for bw in [1u64, 2, 4, 8, 16] {
+                        let acc = Accelerator::builder(64).noc(NocConfig::new(bw, 2)).build();
+                        let r = shared.analyze_staged(&layer("t"), &df, &acc).unwrap();
+                        if bw == 8 {
+                            assert_eq!(r, direct);
+                        }
+                    }
+                });
+            }
+        });
+        let (hits, misses) = shared.hit_miss();
+        assert_eq!(hits + misses, 20, "every lookup accounted for");
+        assert!(
+            hits >= 15,
+            "at most one miss per NoC point: {hits}/{misses}"
+        );
     }
 }

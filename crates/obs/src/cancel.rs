@@ -17,6 +17,16 @@
 //! two relaxed loads (plus one `Instant::now()` only when a deadline is
 //! armed), and no locks are ever taken — safe to poll from any number of
 //! worker threads at unit-boundary granularity.
+//!
+//! # Clones vs. children
+//!
+//! A **clone** shares the same state: cancelling or arming a deadline on
+//! any clone trips all of them. A **child**
+//! ([`CancelToken::child_with_deadline`]) has its *own* flag and deadline
+//! but also observes its parent chain — so a server can hand each request
+//! a child with a per-request deadline without a timed-out request ever
+//! cancelling the server token, while cancelling the server token still
+//! drains every in-flight request.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -58,6 +68,34 @@ struct Inner {
     deadline_micros: AtomicU64,
     /// Whether this token also observes the process-wide interrupt flag.
     heed_interrupt: bool,
+    /// Parent token state, observed (never mutated) by this token. A
+    /// child trips when any ancestor trips; ancestors are unaffected by
+    /// anything done to the child.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    /// Whether this state (or any ancestor) has tripped.
+    fn cancelled(&self) -> bool {
+        let mut cur = self;
+        loop {
+            if cur.flag.load(Ordering::Relaxed)
+                || (cur.heed_interrupt && interrupt_raised())
+                || cur.deadline_passed()
+            {
+                return true;
+            }
+            match &cur.parent {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    fn deadline_passed(&self) -> bool {
+        let d = self.deadline_micros.load(Ordering::Relaxed);
+        d != 0 && epoch().elapsed().as_micros() as u64 + 1 >= d
+    }
 }
 
 /// A cloneable cancellation token. See the module docs for semantics.
@@ -73,6 +111,7 @@ impl CancelToken {
             flag: AtomicBool::new(false),
             deadline_micros: AtomicU64::new(0),
             heed_interrupt: true,
+            parent: None,
         }))
     }
 
@@ -85,6 +124,39 @@ impl CancelToken {
             flag: AtomicBool::new(false),
             deadline_micros: AtomicU64::new(0),
             heed_interrupt: false,
+            parent: None,
+        }))
+    }
+
+    /// A child token with its own deadline `budget` from now: it trips
+    /// when the budget elapses, when [`CancelToken::cancel`] is called on
+    /// it, or when *this* token (or any of its ancestors) trips — but
+    /// nothing done to the child ever affects this token. This is what
+    /// makes per-request deadlines safe in a long-lived server: the old
+    /// pattern of arming [`CancelToken::set_deadline_in`] on a clone
+    /// shared state with every other clone, so one request's deadline
+    /// cancelled the whole process.
+    pub fn child_with_deadline(&self, budget: Duration) -> Self {
+        let child = CancelToken(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline_micros: AtomicU64::new(0),
+            // Interrupt observation is inherited through the parent
+            // chain; the child adds no policy of its own.
+            heed_interrupt: false,
+            parent: Some(Arc::clone(&self.0)),
+        }));
+        child.set_deadline_in(budget);
+        child
+    }
+
+    /// A child token with no deadline of its own (see
+    /// [`CancelToken::child_with_deadline`]).
+    pub fn child(&self) -> Self {
+        CancelToken(Arc::new(Inner {
+            flag: AtomicBool::new(false),
+            deadline_micros: AtomicU64::new(0),
+            heed_interrupt: false,
+            parent: Some(Arc::clone(&self.0)),
         }))
     }
 
@@ -102,18 +174,18 @@ impl CancelToken {
             .store(at.as_micros() as u64 + 1, Ordering::Relaxed);
     }
 
-    /// Whether the armed deadline (if any) has passed.
+    /// Whether the armed deadline (if any) of *this* token has passed
+    /// (ancestor deadlines are observed by [`CancelToken::is_cancelled`],
+    /// not here).
     pub fn deadline_exceeded(&self) -> bool {
-        let d = self.0.deadline_micros.load(Ordering::Relaxed);
-        d != 0 && epoch().elapsed().as_micros() as u64 + 1 >= d
+        self.0.deadline_passed()
     }
 
     /// Whether any cancellation source has tripped: explicit cancel, the
-    /// process interrupt flag (unless detached), or the deadline.
+    /// process interrupt flag (unless detached), the deadline, or any of
+    /// those on an ancestor token.
     pub fn is_cancelled(&self) -> bool {
-        self.0.flag.load(Ordering::Relaxed)
-            || (self.0.heed_interrupt && interrupt_raised())
-            || self.deadline_exceeded()
+        self.0.cancelled()
     }
 
     /// Sleep for `total`, waking early (returning `false`) if the token
@@ -202,5 +274,50 @@ mod tests {
     fn cooperative_sleep_completes_when_uncancelled() {
         let t = CancelToken::detached();
         assert!(t.sleep_cooperatively(Duration::from_millis(10)));
+    }
+
+    /// The server-safety regression: a child's deadline (or explicit
+    /// cancel) must never trip its parent — the old clone-and-arm pattern
+    /// shared deadline state across every clone of the token.
+    #[test]
+    fn child_deadline_never_cancels_parent() {
+        let server = CancelToken::detached();
+        let request = server.child_with_deadline(Duration::ZERO);
+        assert!(request.is_cancelled(), "zero budget trips immediately");
+        assert!(request.deadline_exceeded());
+        assert!(!server.is_cancelled(), "parent must be unaffected");
+        assert!(!server.deadline_exceeded());
+        let other = server.child_with_deadline(Duration::from_secs(3600));
+        assert!(!other.is_cancelled(), "sibling must be unaffected");
+        other.cancel();
+        assert!(!server.is_cancelled(), "explicit child cancel stays local");
+    }
+
+    #[test]
+    fn parent_cancel_reaches_children_transitively() {
+        let root = CancelToken::detached();
+        let mid = root.child();
+        let leaf = mid.child_with_deadline(Duration::from_secs(3600));
+        assert!(!leaf.is_cancelled());
+        root.cancel();
+        assert!(mid.is_cancelled());
+        assert!(leaf.is_cancelled());
+        assert!(
+            !leaf.deadline_exceeded(),
+            "the leaf's own deadline did not pass; the trip came from root"
+        );
+    }
+
+    #[test]
+    fn child_observes_interrupt_through_heeding_parent() {
+        clear_interrupt();
+        let heeding = CancelToken::new();
+        let child = heeding.child_with_deadline(Duration::from_secs(3600));
+        let detached_child = CancelToken::detached().child();
+        raise_interrupt();
+        assert!(child.is_cancelled(), "inherited via the parent chain");
+        assert!(!detached_child.is_cancelled());
+        clear_interrupt();
+        assert!(!child.is_cancelled());
     }
 }

@@ -1,0 +1,376 @@
+//! Request routing and the analyze / dse / conform endpoint handlers.
+//!
+//! Endpoints (see the README "Serving" section for the JSON schemas):
+//!
+//! * `GET /healthz` — liveness: `200` while the process runs.
+//! * `GET /readyz` — readiness: `200` while accepting, `503` once a
+//!   drain has started.
+//! * `GET /metrics` — the process-global Prometheus exposition.
+//! * `POST /v1/analyze` — one cost-model evaluation (layer or whole
+//!   model), served through the shared analysis cache.
+//! * `POST /v1/dse` — a bounded design-space exploration session.
+//! * `POST /v1/conform` — a conformance sweep against the simulator.
+//! * `POST /v1/panic` — test-only (off by default): panics in the
+//!   handler, to exercise worker panic isolation.
+//!
+//! Every `/v1` request runs under a child [`CancelToken`] carrying the
+//! request deadline (`deadline_ms` in the body, else the server default).
+//! A tripped deadline yields `504` with `"partial": true` and whatever
+//! partial result the engine produced; the token is a *child*, so the
+//! timeout can never cancel the server or a sibling request.
+//!
+//! Model references resolve through [`maestro_dnn::zoo`] *only* — a
+//! network-facing daemon must not read arbitrary filesystem paths on
+//! behalf of its clients.
+
+use crate::http::{Request, Response};
+use crate::json::{self, Value};
+use crate::server::ServeMetrics;
+use maestro_core::{AnalysisError, ModelReport, SharedAnalysisCache};
+use maestro_dnn::{zoo, Model};
+use maestro_hw::Accelerator;
+use maestro_ir::{Dataflow, Style};
+use maestro_obs::CancelToken;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Deadlines are clamped to this ceiling; an absent or absurd
+/// `deadline_ms` cannot pin a worker for hours.
+const MAX_DEADLINE: Duration = Duration::from_secs(3600);
+
+/// Shared, immutable context every worker thread serves requests from.
+pub struct ApiCtx {
+    /// The process-wide analysis cache shared by all requests.
+    pub cache: SharedAnalysisCache,
+    /// Root of every per-request child token. Detached (it must ignore
+    /// the interrupt flag: a drain lets in-flight requests finish);
+    /// cancelled only when a forced drain gives up on the drain deadline.
+    pub request_root: CancelToken,
+    /// Deadline applied when a request does not carry `deadline_ms`.
+    pub default_deadline: Duration,
+    /// Flips to `false` when the drain starts (`/readyz` → 503).
+    pub ready: AtomicBool,
+    /// Gate for `POST /v1/panic` (tests and the ci smoke only).
+    pub test_endpoints: bool,
+    /// Serve-plane counters and histograms.
+    pub metrics: ServeMetrics,
+}
+
+impl ApiCtx {
+    /// Route and serve one parsed request.
+    pub fn handle(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::text(200, "ok\n"),
+            ("GET", "/readyz") => {
+                if self.ready.load(Ordering::Relaxed) {
+                    Response::text(200, "ready\n")
+                } else {
+                    Response::text(503, "draining\n")
+                }
+            }
+            ("GET", "/metrics") => Response::text(200, maestro_obs::registry().render_prometheus()),
+            ("POST", "/v1/analyze") => self.with_body(req, Self::analyze),
+            ("POST", "/v1/dse") => self.with_body(req, Self::dse),
+            ("POST", "/v1/conform") => self.with_body(req, Self::conform),
+            ("POST", "/v1/panic") if self.test_endpoints => {
+                panic!("test endpoint /v1/panic: deliberate handler panic")
+            }
+            (
+                _,
+                "/healthz" | "/readyz" | "/metrics" | "/v1/analyze" | "/v1/dse" | "/v1/conform",
+            ) => error_response(405, "method not allowed for this path"),
+            _ => error_response(404, "no such endpoint"),
+        }
+    }
+
+    /// Decode the JSON body, derive the request token, dispatch.
+    fn with_body(&self, req: &Request, f: fn(&Self, &Value, &CancelToken) -> Response) -> Response {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(_) => return error_response(400, "request body is not UTF-8"),
+        };
+        let body = if text.trim().is_empty() {
+            Value::Obj(Vec::new())
+        } else {
+            match json::parse(text) {
+                Ok(v) => v,
+                Err(e) => return error_response(400, &e.to_string()),
+            }
+        };
+        if !matches!(body, Value::Obj(_)) {
+            return error_response(400, "request body must be a JSON object");
+        }
+        let budget = match body.get("deadline_ms") {
+            None => self.default_deadline,
+            Some(v) => match v.as_u64() {
+                Some(ms) => Duration::from_millis(ms).min(MAX_DEADLINE),
+                None => return error_response(400, "`deadline_ms` must be a non-negative integer"),
+            },
+        };
+        let token = self.request_root.child_with_deadline(budget);
+        f(self, &body, &token)
+    }
+
+    /// `POST /v1/analyze`.
+    fn analyze(&self, body: &Value, token: &CancelToken) -> Response {
+        let model = match load_model(body) {
+            Ok(m) => m,
+            Err(r) => return r,
+        };
+        let dataflow = match load_dataflow(body) {
+            Ok(d) => d,
+            Err(r) => return r,
+        };
+        let acc = match accelerator(body) {
+            Ok(a) => a,
+            Err(r) => return r,
+        };
+        let layer_name = body.get("layer").and_then(Value::as_str).unwrap_or("");
+        if !layer_name.is_empty() {
+            let Some(layer) = model.layer(layer_name) else {
+                return error_response(
+                    400,
+                    &format!("model {} has no layer `{layer_name}`", model.name),
+                );
+            };
+            if token.is_cancelled() {
+                self.metrics.timeouts.inc();
+                return timeout_response(0, 1, None);
+            }
+            return match self.cache.analyze_staged(layer, &dataflow, &acc) {
+                Ok(report) => match serde_json::to_string(&report) {
+                    Ok(js) => Response::json(
+                        200,
+                        format!(
+                            "{{\"model\":{},\"layer\":{},\"report\":{js}}}",
+                            json_str(&model.name),
+                            json_str(layer_name)
+                        ),
+                    ),
+                    Err(e) => error_response(500, &e.to_string()),
+                },
+                Err(e) => analysis_error_response(&e),
+            };
+        }
+        // Whole model: poll the token per layer so a timed-out request
+        // overstays by at most one layer's analysis.
+        let mut layers = Vec::with_capacity(model.len());
+        for layer in model.iter() {
+            if token.is_cancelled() {
+                self.metrics.timeouts.inc();
+                return timeout_response(layers.len(), model.len(), None);
+            }
+            match self.cache.analyze_staged(layer, &dataflow, &acc) {
+                Ok(r) => layers.push(r),
+                Err(e) => return analysis_error_response(&e),
+            }
+        }
+        let report = ModelReport {
+            model: model.name.clone(),
+            layers,
+        };
+        match serde_json::to_string(&report) {
+            Ok(js) => Response::json(200, js),
+            Err(e) => error_response(500, &e.to_string()),
+        }
+    }
+
+    /// `POST /v1/dse`.
+    fn dse(&self, body: &Value, token: &CancelToken) -> Response {
+        let model = match load_model(body) {
+            Ok(m) => m,
+            Err(r) => return r,
+        };
+        let layer_name = body.get("layer").and_then(Value::as_str).unwrap_or("");
+        if layer_name.is_empty() {
+            return error_response(400, "missing `layer`");
+        }
+        let Some(layer) = model.layer(layer_name) else {
+            return error_response(
+                400,
+                &format!("model {} has no layer `{layer_name}`", model.name),
+            );
+        };
+        let style_name = body.get("style").and_then(Value::as_str).unwrap_or("KC-P");
+        let Some(style) = find_style(style_name) else {
+            return error_response(400, &format!("unknown style `{style_name}`"));
+        };
+        let space = match body
+            .get("space")
+            .and_then(Value::as_str)
+            .unwrap_or("standard")
+        {
+            "standard" => maestro_dse::SweepSpace::standard(),
+            "tiny" => maestro_dse::SweepSpace::tiny(),
+            other => {
+                return error_response(400, &format!("unknown space `{other}` (standard|tiny)"))
+            }
+        };
+        let mut explorer = maestro_dse::Explorer::new(space);
+        if let Some(eval) = body.get("eval").and_then(Value::as_str) {
+            match eval.parse::<maestro_dse::EvalMode>() {
+                Ok(mode) => explorer.eval = mode,
+                Err(e) => return error_response(400, &e),
+            }
+        }
+        let threads = body
+            .get("threads")
+            .and_then(Value::as_u64)
+            .map(|t| t.min(64) as usize)
+            .unwrap_or(1);
+        let ctl = maestro_dse::SessionCtl {
+            token: token.clone(),
+            // No periodic checkpointing in the serving path: there is no
+            // checkpoint file, so the time-based cadence is disabled too.
+            checkpoint_every: None,
+            ..Default::default()
+        };
+        match explorer.explore_session(
+            layer,
+            &maestro_dse::variants::variants(style),
+            threads,
+            &ctl,
+        ) {
+            Ok((result, session)) => {
+                let js = match serde_json::to_string(&result) {
+                    Ok(js) => js,
+                    Err(e) => return error_response(500, &e.to_string()),
+                };
+                if session.interrupted {
+                    self.metrics.timeouts.inc();
+                    timeout_response(session.completed_units, session.total_units, Some(&js))
+                } else {
+                    Response::json(
+                        200,
+                        format!(
+                            "{{\"partial\":false,\"completed_units\":{},\"total_units\":{},\"result\":{js}}}",
+                            session.completed_units, session.total_units
+                        ),
+                    )
+                }
+            }
+            Err(maestro_dse::SessionError::Space(e)) => error_response(400, &e.to_string()),
+            Err(e) => error_response(500, &e.to_string()),
+        }
+    }
+
+    /// `POST /v1/conform`.
+    fn conform(&self, body: &Value, token: &CancelToken) -> Response {
+        let get = |key: &str, dflt: u64| -> Result<u64, Response> {
+            match body.get(key) {
+                None => Ok(dflt),
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    error_response(400, &format!("`{key}` must be a non-negative integer"))
+                }),
+            }
+        };
+        let mut cfg = maestro_sim::ConformConfig::default();
+        cfg.seed = match get("seed", cfg.seed) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        cfg.cases = match get("cases", cfg.cases) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        cfg.max_steps = match get("max_steps", cfg.max_steps) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let report = maestro_sim::run_conform_cancellable(&cfg, token);
+        let js = match serde_json::to_string(&report) {
+            Ok(js) => js,
+            Err(e) => return error_response(500, &e.to_string()),
+        };
+        if report.interrupted {
+            self.metrics.timeouts.inc();
+            timeout_response(report.cases as usize, cfg.cases as usize, Some(&js))
+        } else {
+            Response::json(200, js)
+        }
+    }
+}
+
+/// `{"error": <msg>}` with the given status.
+pub fn error_response(status: u16, msg: &str) -> Response {
+    let mut r = Response::json(status, format!("{{\"error\":{}}}", json_str(msg)));
+    // Client-fault statuses close the connection: the parser state after
+    // a rejected request is untrustworthy.
+    r.close = status == 400 || status == 408 || status == 413;
+    r
+}
+
+/// The typed `504` carrying the partial-result marker.
+fn timeout_response(completed: usize, total: usize, partial_result: Option<&str>) -> Response {
+    let result = match partial_result {
+        Some(js) => format!(",\"result\":{js}"),
+        None => String::new(),
+    };
+    Response::json(
+        504,
+        format!(
+            "{{\"error\":\"deadline exceeded\",\"partial\":true,\
+             \"completed_units\":{completed},\"total_units\":{total}{result}}}"
+        ),
+    )
+}
+
+fn analysis_error_response(e: &AnalysisError) -> Response {
+    match e {
+        // The client's configuration cannot be analyzed: their fault.
+        AnalysisError::Layer(_) | AnalysisError::Resolve(_) => error_response(400, &e.to_string()),
+        AnalysisError::Cancelled => timeout_response(0, 1, None),
+        _ => error_response(500, &e.to_string()),
+    }
+}
+
+fn load_model(body: &Value) -> Result<Model, Response> {
+    let name = body.get("model").and_then(Value::as_str).unwrap_or("vgg16");
+    zoo::by_name(name, 1).ok_or_else(|| {
+        error_response(
+            400,
+            &format!("unknown zoo model `{name}` (the daemon serves zoo models only)"),
+        )
+    })
+}
+
+fn load_dataflow(body: &Value) -> Result<Dataflow, Response> {
+    let spec = body
+        .get("dataflow")
+        .and_then(Value::as_str)
+        .unwrap_or("KC-P");
+    find_style(spec)
+        .map(|s| s.dataflow())
+        .ok_or_else(|| error_response(400, &format!("unknown dataflow style `{spec}`")))
+}
+
+fn find_style(spec: &str) -> Option<Style> {
+    Style::ALL
+        .into_iter()
+        .find(|s| s.short_name().eq_ignore_ascii_case(spec) || s.alias().eq_ignore_ascii_case(spec))
+}
+
+fn accelerator(body: &Value) -> Result<Accelerator, Response> {
+    let get = |key: &str, dflt: u64| match body.get(key) {
+        None => Ok(dflt),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| error_response(400, &format!("`{key}` must be a non-negative integer"))),
+    };
+    let pes = get("pes", 256)?;
+    let bw = get("bw", 32)?;
+    let l1 = get("l1", 2048)?;
+    let l2 = get("l2", 1 << 20)?;
+    Ok(Accelerator::builder(pes)
+        .noc_bandwidth(bw)
+        .l1_bytes(l1)
+        .l2_bytes(l2)
+        .build())
+}
+
+/// JSON-escape a string (delegates to the serde shim's writer).
+fn json_str(s: &str) -> String {
+    let mut w = serde::JsonWriter::new(false);
+    w.write_str(s);
+    w.into_string()
+}

@@ -1,0 +1,403 @@
+//! A hardened HTTP/1.1 request parser and response writer.
+//!
+//! Incremental: [`parse_request`] is called on the connection's receive
+//! buffer after every read and either yields a complete request (plus how
+//! many bytes it consumed — the remainder is the next pipelined request),
+//! asks for more bytes, or rejects the input with a typed error that maps
+//! to exactly one status code:
+//!
+//! * [`HttpError::Malformed`] → `400 Bad Request` — syntax violations,
+//!   unsupported transfer encodings, conflicting `Content-Length`s;
+//! * [`HttpError::TooLarge`] → `413 Payload Too Large` — header section
+//!   or declared body over the configured limits.
+//!
+//! A read timeout with a partially received request is the third
+//! malformed class (slow-loris) and maps to `408 Request Timeout` — that
+//! decision lives in the connection loop, which knows whether bytes were
+//! pending.
+//!
+//! The parser never panics on any byte sequence; the property tests feed
+//! it arbitrary, truncated and oversized inputs.
+
+/// Size limits enforced during parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum size of the request line + headers (bytes).
+    pub max_head_bytes: usize,
+    /// Maximum declared `Content-Length` (bytes).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target (path + query), always starting with `/`.
+    pub path: String,
+    /// The request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub close: bool,
+}
+
+/// Outcome of a parse attempt over the current buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// A complete request; `consumed` bytes belong to it and must be
+    /// drained from the buffer (pipelined requests may follow).
+    Complete {
+        /// The request.
+        req: Request,
+        /// Bytes of the buffer consumed by this request.
+        consumed: usize,
+    },
+    /// The buffer holds a prefix of a request; read more bytes.
+    Partial,
+}
+
+/// Typed request-rejection classes (see the module docs for the status
+/// mapping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Syntactically invalid request → `400`.
+    Malformed(&'static str),
+    /// Header section or declared body over the limits → `413`.
+    TooLarge(&'static str),
+}
+
+impl HttpError {
+    /// The HTTP status code this rejection maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed(_) => 400,
+            HttpError::TooLarge(_) => 413,
+        }
+    }
+
+    /// Human-readable description of the rejection.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            HttpError::Malformed(what) | HttpError::TooLarge(what) => what,
+        }
+    }
+}
+
+/// Try to parse one request from the front of `buf`.
+///
+/// # Errors
+///
+/// [`HttpError`] when the buffered bytes can never become a valid
+/// request under `limits` — the connection should answer with the mapped
+/// status and close.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed, HttpError> {
+    // Locate the end of the header section.
+    let head_end = match find_subsequence(buf, b"\r\n\r\n") {
+        Some(pos) => pos,
+        None => {
+            if buf.len() > limits.max_head_bytes {
+                return Err(HttpError::TooLarge("header section exceeds limit"));
+            }
+            return Ok(Parsed::Partial);
+        }
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(HttpError::TooLarge("header section exceeds limit"));
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 bytes in header section"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let (method, path) = parse_request_line(request_line)?;
+    let http10 = request_line.ends_with("HTTP/1.0");
+
+    let mut content_length: Option<u64> = None;
+    let mut close = http10;
+    for line in lines {
+        let (name, value) = parse_header(line)?;
+        if name.eq_ignore_ascii_case("content-length") {
+            let v: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("invalid Content-Length"))?;
+            if let Some(prev) = content_length {
+                if prev != v {
+                    return Err(HttpError::Malformed("conflicting Content-Length headers"));
+                }
+            }
+            content_length = Some(v);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::Malformed("transfer encodings are not supported"));
+        } else if name.eq_ignore_ascii_case("connection") {
+            let v = value.trim();
+            if v.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if v.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        }
+    }
+
+    let body_len = content_length.unwrap_or(0);
+    if body_len > limits.max_body_bytes as u64 {
+        return Err(HttpError::TooLarge("declared body exceeds limit"));
+    }
+    let body_len = body_len as usize;
+    let total = head_end + 4 + body_len;
+    if buf.len() < total {
+        return Ok(Parsed::Partial);
+    }
+    Ok(Parsed::Complete {
+        req: Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: buf[head_end + 4..total].to_vec(),
+            close,
+        },
+        consumed: total,
+    })
+}
+
+fn parse_request_line(line: &str) -> Result<(&str, &str), HttpError> {
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens in request line"));
+    }
+    if method.is_empty() || method.len() > 16 || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("invalid method token"));
+    }
+    if !path.starts_with('/') || path.len() > 1024 {
+        return Err(HttpError::Malformed("invalid request target"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    Ok((method, path))
+}
+
+fn parse_header(line: &str) -> Result<(&str, &str), HttpError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or(HttpError::Malformed("header line without `:`"))?;
+    if name.is_empty()
+        || !name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err(HttpError::Malformed("invalid header name"));
+    }
+    if value.bytes().any(|b| b < 0x20 && b != b'\t') {
+        return Err(HttpError::Malformed("control character in header value"));
+    }
+    Ok((name, value))
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+    /// Optional `Retry-After` header (seconds) — set on `503` sheds.
+    pub retry_after: Option<u64>,
+    /// Whether to close the connection after writing this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    /// Serialize as an HTTP/1.1 response with `Content-Length`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        if self.close {
+            head.push_str("Connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(raw: &[u8]) -> (Request, usize) {
+        match parse_request(raw, &Limits::default()).unwrap() {
+            Parsed::Complete { req, consumed } => (req, consumed),
+            Parsed::Partial => panic!("unexpected partial for {raw:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let (req, n) = parse_ok(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(
+            (req.method.as_str(), req.path.as_str()),
+            ("GET", "/healthz")
+        );
+        assert!(req.body.is_empty());
+        assert!(!req.close);
+        assert_eq!(n, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".len());
+
+        let raw = b"POST /v1/analyze HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        let (req, n) = parse_ok(raw);
+        assert_eq!(req.body, b"{\"a\"");
+        assert_eq!(n, raw.len());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (req, n) = parse_ok(raw);
+        assert_eq!(req.path, "/a");
+        let (req2, _) = parse_ok(&raw[n..]);
+        assert_eq!(req2.path, "/b");
+    }
+
+    #[test]
+    fn truncated_requests_are_partial() {
+        for raw in [
+            &b"GET"[..],
+            b"GET /a HTTP/1.1\r\nHost",
+            b"POST /a HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+        ] {
+            assert_eq!(
+                parse_request(raw, &Limits::default()).unwrap(),
+                Parsed::Partial
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        for raw in [
+            &b"get /a HTTP/1.1\r\n\r\n"[..], // lowercase method
+            b"GET a HTTP/1.1\r\n\r\n",       // relative target
+            b"GET /a HTTP/2\r\n\r\n",        // bad version
+            b"GET /a HTTP/1.1 X\r\n\r\n",    // extra token
+            b"GET /a HTTP/1.1\r\nNoColon\r\n\r\n",
+            b"GET /a HTTP/1.1\r\n: v\r\n\r\n", // empty name
+            b"POST /a HTTP/1.1\r\nContent-Length: x\r\n\r\n",
+            b"POST /a HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+            b"POST /a HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET /a HTTP/1.1\r\nH: \x01bad\r\n\r\n",
+        ] {
+            let err = parse_request(raw, &Limits::default()).unwrap_err();
+            assert_eq!(err.status(), 400, "{raw:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_requests_get_413() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 16,
+        };
+        // Oversized declared body.
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 17\r\n\r\n";
+        assert_eq!(parse_request(raw, &limits).unwrap_err().status(), 413);
+        // Header section too big — with and without the terminator.
+        let mut big = b"GET /a HTTP/1.1\r\n".to_vec();
+        big.extend_from_slice(format!("X: {}\r\n\r\n", "y".repeat(100)).as_bytes());
+        assert_eq!(parse_request(&big, &limits).unwrap_err().status(), 413);
+        let unterminated = vec![b'A'; 100];
+        assert_eq!(
+            parse_request(&unterminated, &limits).unwrap_err().status(),
+            413
+        );
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let (req, _) = parse_ok(b"GET /a HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(req.close);
+        let (req, _) = parse_ok(b"GET /a HTTP/1.0\r\n\r\n");
+        assert!(req.close, "HTTP/1.0 defaults to close");
+        let (req, _) = parse_ok(b"GET /a HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn responses_serialize_with_content_length() {
+        let mut r = Response::json(503, "{\"error\":\"shed\"}".to_string());
+        r.retry_after = Some(1);
+        r.close = true;
+        let text = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains(&format!(
+            "Content-Length: {}\r\n",
+            "{\"error\":\"shed\"}".len()
+        )));
+        assert!(text.ends_with("{\"error\":\"shed\"}"));
+    }
+}

@@ -1,0 +1,52 @@
+//! `maestro serve`: a hardened, long-lived analysis daemon.
+//!
+//! Serves the cost model ([`maestro_core::analyze`]), the design-space
+//! explorer ([`maestro_dse::Explorer`]) and the conformance harness
+//! ([`maestro_sim::run_conform_cancellable`]) over hand-rolled HTTP/1.1 +
+//! JSON on a [`std::net::TcpListener`] — the build environment is offline,
+//! so there is no async runtime or HTTP dependency to lean on, and none is
+//! needed: requests are CPU-bound analysis calls, so a fixed worker-thread
+//! pool with a bounded accept queue is the right shape.
+//!
+//! Robustness properties, each regression-tested:
+//!
+//! * **Admission control** — a bounded connection queue; when it is full
+//!   the acceptor sheds load with an immediate `503` + `Retry-After`
+//!   instead of letting latency collapse (`maestro.serve.shed`).
+//! * **Per-request deadlines** — every request runs under a
+//!   [`CancelToken::child_with_deadline`] child token, so a timed-out
+//!   request returns a typed `504` with a partial-result marker and can
+//!   never cancel the server (or a sibling request).
+//! * **Panic isolation** — each request is wrapped in `catch_unwind`; a
+//!   panicking handler returns `500`, increments `maestro.serve.panics`,
+//!   and the worker thread survives.
+//! * **Socket hygiene** — read/write timeouts (slow-loris → `408`) and a
+//!   max-request-size guard (oversized body/headers → `413`).
+//! * **Graceful drain** — `SIGTERM`/`SIGINT` stops accepting, flips
+//!   `/readyz` to not-ready, finishes in-flight requests under a drain
+//!   deadline, then exits cleanly; a forced drain cancels in-flight
+//!   request tokens instead of dropping their responses.
+//!
+//! [`CancelToken::child_with_deadline`]: maestro_obs::CancelToken::child_with_deadline
+
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::print_stderr,
+        clippy::exit
+    )
+)]
+
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod queue;
+pub mod server;
+
+pub use api::ApiCtx;
+pub use http::{parse_request, HttpError, Limits, Parsed, Request, Response};
+pub use json::{parse as parse_json, JsonError, Value};
+pub use queue::BoundedQueue;
+pub use server::{DrainOutcome, ServeConfig, ServeMetrics, Server};

@@ -1,0 +1,373 @@
+//! The daemon: acceptor, bounded admission queue, worker pool, drain.
+//!
+//! Thread topology: the caller's thread runs the accept loop (and later
+//! the drain); `workers` fixed threads pop connections from the bounded
+//! queue and serve keep-alive request loops. There is no async runtime —
+//! requests are CPU-bound analysis calls, so the pool *is* the
+//! concurrency limit and the queue bound *is* the admission policy.
+//!
+//! Cancellation topology (the part that must not be gotten wrong):
+//!
+//! * the `shutdown` token passed to [`Server::run`] typically heeds the
+//!   process interrupt flag — `SIGTERM` starts the drain;
+//! * [`ApiCtx::request_root`] is **detached**: in-flight requests keep
+//!   running through a drain (an accepted request is a promise);
+//! * each request runs under `request_root.child_with_deadline(..)`, so
+//!   per-request deadlines stay per-request;
+//! * only when the drain deadline expires does the server cancel
+//!   `request_root`, turning the stragglers into `504`s — still
+//!   *written* responses, never dropped connections — and reports
+//!   [`DrainOutcome::Forced`] (the CLI maps it to exit 7).
+
+use crate::api::{error_response, ApiCtx};
+use crate::http::{parse_request, Limits, Parsed, Request, Response};
+use crate::queue::BoundedQueue;
+use maestro_core::SharedAnalysisCache;
+use maestro_obs::{Counter, Gauge, Histogram};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration (the CLI's `serve` flags map 1:1 onto this).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7433` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Bounded admission queue depth; a full queue sheds with `503`.
+    pub queue_depth: usize,
+    /// Deadline for requests that do not carry `deadline_ms`.
+    pub default_deadline: Duration,
+    /// How long a drain waits for in-flight requests before forcing
+    /// cancellation.
+    pub drain_deadline: Duration,
+    /// Maximum accepted request body size.
+    pub max_body_bytes: usize,
+    /// Socket read/write timeout (slow-loris guard).
+    pub io_timeout: Duration,
+    /// Per-shard capacity of the shared analysis cache.
+    pub memo_cap: usize,
+    /// Shard count of the shared analysis cache.
+    pub shards: usize,
+    /// Enable the test-only `POST /v1/panic` endpoint.
+    pub test_endpoints: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7433".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            default_deadline: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+            max_body_bytes: 1024 * 1024,
+            io_timeout: Duration::from_secs(10),
+            memo_cap: maestro_core::DEFAULT_CACHE_CAP,
+            shards: 8,
+            test_endpoints: false,
+        }
+    }
+}
+
+/// How a drain ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainOutcome {
+    /// Every in-flight request finished inside the drain deadline.
+    Clean,
+    /// The drain deadline expired; in-flight request tokens were
+    /// cancelled (their responses were still written as `504`s).
+    Forced,
+}
+
+/// Serve-plane metrics, registered in the process-global registry under
+/// `maestro.serve.*` (exposed as `maestro_serve_*`).
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    /// Requests parsed and dispatched.
+    pub requests_total: Counter,
+    /// Connections shed by admission control (`503`).
+    pub shed: Counter,
+    /// Handler panics isolated by `catch_unwind` (`500`).
+    pub panics: Counter,
+    /// Requests that hit their deadline (`504`).
+    pub timeouts: Counter,
+    /// Requests rejected by the HTTP parser (`400`/`408`/`413`).
+    pub bad_requests: Counter,
+    /// Connections accepted (admitted or shed).
+    pub connections: Counter,
+    /// Requests currently being served.
+    pub in_flight: Gauge,
+    /// End-to-end request service time (seconds).
+    pub request_seconds: Histogram,
+}
+
+impl ServeMetrics {
+    /// Register (or re-attach to) the serve-plane metrics.
+    pub fn register() -> ServeMetrics {
+        let r = maestro_obs::registry();
+        ServeMetrics {
+            requests_total: r.counter("maestro.serve.requests_total"),
+            shed: r.counter("maestro.serve.shed"),
+            panics: r.counter("maestro.serve.panics"),
+            timeouts: r.counter("maestro.serve.timeouts"),
+            bad_requests: r.counter("maestro.serve.bad_requests"),
+            connections: r.counter("maestro.serve.connections"),
+            in_flight: r.gauge("maestro.serve.in_flight"),
+            request_seconds: r.histogram(
+                "maestro.serve.request_seconds",
+                &[0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0],
+            ),
+        }
+    }
+}
+
+/// A bound (but not yet running) daemon. Binding is separate from
+/// running so the caller can learn the actual port (`addr:0`) before the
+/// accept loop takes the thread over.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    /// Bind the listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission).
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Server { listener, cfg })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname` failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept loop until `shutdown` trips, then drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures; serving errors on
+    /// individual connections are absorbed (counted, logged) instead.
+    pub fn run(self, shutdown: &maestro_obs::CancelToken) -> std::io::Result<DrainOutcome> {
+        let Server { listener, cfg } = self;
+        listener.set_nonblocking(true)?;
+        let metrics = ServeMetrics::register();
+        let ctx = Arc::new(ApiCtx {
+            cache: SharedAnalysisCache::new(cfg.shards, cfg.memo_cap),
+            request_root: maestro_obs::CancelToken::detached(),
+            default_deadline: cfg.default_deadline,
+            ready: AtomicBool::new(true),
+            test_endpoints: cfg.test_endpoints,
+            metrics: metrics.clone(),
+        });
+        let queue: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(cfg.queue_depth));
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let limits = Limits {
+            max_head_bytes: Limits::default().max_head_bytes,
+            max_body_bytes: cfg.max_body_bytes,
+        };
+
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for i in 0..cfg.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let ctx = Arc::clone(&ctx);
+            let in_flight = Arc::clone(&in_flight);
+            let io_timeout = cfg.io_timeout;
+            let handle = std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        serve_connection(stream, &ctx, &in_flight, io_timeout, &limits);
+                    }
+                })?;
+            workers.push(handle);
+        }
+
+        maestro_obs::info!(
+            "serve: listening with {} workers, queue depth {}",
+            cfg.workers.max(1),
+            cfg.queue_depth
+        );
+        while !shutdown.is_cancelled() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    metrics.connections.inc();
+                    if let Err(stream) = queue.try_push(stream) {
+                        shed(stream, &metrics, cfg.io_timeout);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    // Transient accept failures (EMFILE, ECONNABORTED):
+                    // back off briefly and keep serving.
+                    maestro_obs::warn!("serve: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+
+        // --- Drain ---------------------------------------------------
+        // Stop admitting: readiness off, listener closed, queue refuses
+        // producers but keeps already-admitted connections poppable.
+        ctx.ready.store(false, Ordering::Relaxed);
+        drop(listener);
+        queue.close();
+        maestro_obs::info!("serve: drain started (deadline {:?})", cfg.drain_deadline);
+        let t0 = Instant::now();
+        let outcome = if wait_for_workers(&workers, t0, cfg.drain_deadline) {
+            DrainOutcome::Clean
+        } else {
+            // The deadline expired with requests still in flight: cancel
+            // their tokens so they finish as 504s, then give them a short
+            // grace period to write those responses out.
+            maestro_obs::warn!(
+                "serve: drain deadline expired with {} requests in flight — cancelling",
+                in_flight.load(Ordering::Relaxed)
+            );
+            ctx.request_root.cancel();
+            wait_for_workers(&workers, Instant::now(), Duration::from_secs(2));
+            DrainOutcome::Forced
+        };
+        for handle in workers {
+            if handle.is_finished() {
+                // A worker that panicked outside `catch_unwind` would be
+                // a server bug; surface it in the logs, not a crash.
+                if handle.join().is_err() {
+                    maestro_obs::error!("serve: a worker thread panicked outside a request");
+                }
+            }
+            // Unfinished workers (forced drain with a stuck handler) are
+            // detached; process exit reaps them.
+        }
+        maestro_obs::info!(
+            "serve: drained in {:.3}s ({})",
+            t0.elapsed().as_secs_f64(),
+            match outcome {
+                DrainOutcome::Clean => "clean",
+                DrainOutcome::Forced => "forced",
+            }
+        );
+        Ok(outcome)
+    }
+}
+
+/// Poll until every worker finished or `budget` elapsed.
+fn wait_for_workers(
+    workers: &[std::thread::JoinHandle<()>],
+    t0: Instant,
+    budget: Duration,
+) -> bool {
+    loop {
+        if workers.iter().all(|w| w.is_finished()) {
+            return true;
+        }
+        if t0.elapsed() >= budget {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Admission-control rejection: immediate `503` + `Retry-After`, close.
+fn shed(stream: TcpStream, metrics: &ServeMetrics, io_timeout: Duration) {
+    metrics.shed.inc();
+    let mut resp = error_response(503, "server is at capacity, retry later");
+    resp.retry_after = Some(1);
+    resp.close = true;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(io_timeout.min(Duration::from_secs(1))));
+    let mut stream = stream;
+    let _ = stream.write_all(&resp.to_bytes());
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Serve one connection: a keep-alive loop of parse → handle → respond.
+fn serve_connection(
+    stream: TcpStream,
+    ctx: &ApiCtx,
+    in_flight: &AtomicU64,
+    io_timeout: Duration,
+    limits: &Limits,
+) {
+    let mut stream = stream;
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(io_timeout)).is_err()
+        || stream.set_write_timeout(Some(io_timeout)).is_err()
+    {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 8 * 1024];
+    loop {
+        match parse_request(&buf, limits) {
+            Ok(Parsed::Complete { req, consumed }) => {
+                buf.drain(..consumed);
+                let resp = serve_request(ctx, &req, in_flight);
+                let close = resp.close || req.close || !ctx.ready.load(Ordering::Relaxed);
+                let mut resp = resp;
+                resp.close = close;
+                if stream.write_all(&resp.to_bytes()).is_err() || close {
+                    return;
+                }
+            }
+            Ok(Parsed::Partial) => match stream.read(&mut chunk) {
+                Ok(0) => return, // EOF (possibly mid-request: nothing to answer)
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    // Slow-loris: bytes of an unfinished request arrived,
+                    // then the line went quiet past the read timeout.
+                    if !buf.is_empty() {
+                        ctx.metrics.bad_requests.inc();
+                        let _ =
+                            stream.write_all(&error_response(408, "request timed out").to_bytes());
+                    }
+                    return;
+                }
+                Err(_) => return,
+            },
+            Err(e) => {
+                ctx.metrics.bad_requests.inc();
+                let resp = error_response(e.status(), e.describe());
+                let _ = stream.write_all(&resp.to_bytes());
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatch one request under panic isolation and metrics accounting.
+fn serve_request(ctx: &ApiCtx, req: &Request, in_flight: &AtomicU64) -> Response {
+    ctx.metrics.requests_total.inc();
+    let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+    ctx.metrics.in_flight.set(now as f64);
+    let t0 = Instant::now();
+    let resp = match catch_unwind(AssertUnwindSafe(|| ctx.handle(req))) {
+        Ok(resp) => resp,
+        Err(_) => {
+            ctx.metrics.panics.inc();
+            let mut r = error_response(500, "internal panic in request handler");
+            r.close = true;
+            r
+        }
+    };
+    ctx.metrics
+        .request_seconds
+        .observe(t0.elapsed().as_secs_f64());
+    let now = in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+    ctx.metrics.in_flight.set(now as f64);
+    resp
+}

@@ -1,0 +1,128 @@
+//! Parser fuzz suite: the HTTP/1.1 request parser and the JSON body
+//! parser must never panic on any byte sequence, and every rejection
+//! must carry exactly one typed status (`400` malformed, `413`
+//! oversized; `408` — the slow-loris class — is decided by the
+//! connection loop and covered by the end-to-end tests).
+
+use maestro_serve::http::{parse_request, HttpError, Limits, Parsed};
+use maestro_serve::json;
+use proptest::collection;
+use proptest::prelude::*;
+
+const VALID: &[u8] = b"POST /v1/analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 27\r\n\r\n{\"model\":\"vgg16\",\"pes\":256}";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes, permissive and tiny limits: no panic, and any
+    /// error is one of the two typed classes.
+    #[test]
+    fn http_parser_never_panics_on_arbitrary_bytes(
+        bytes in collection::vec(0u8..=255, 0..1024),
+    ) {
+        for limits in [
+            Limits::default(),
+            Limits { max_head_bytes: 64, max_body_bytes: 32 },
+        ] {
+            match parse_request(&bytes, &limits) {
+                Ok(Parsed::Partial | Parsed::Complete { .. }) => {}
+                Err(e) => prop_assert!(matches!(e.status(), 400 | 413), "{e:?}"),
+            }
+        }
+    }
+
+    /// Every strict prefix of a valid request is `Partial` — the
+    /// connection loop keeps reading, it never misclassifies a
+    /// truncation as malformed.
+    #[test]
+    fn truncations_of_a_valid_request_are_partial(cut in 0usize..10_000) {
+        let cut = cut % VALID.len();
+        prop_assert_eq!(
+            parse_request(&VALID[..cut], &Limits::default()).unwrap(),
+            Parsed::Partial,
+            "cut at {}", cut
+        );
+    }
+
+    /// Single-byte corruptions of a valid request parse without panicking
+    /// (whether they yield Complete, Partial, or a typed rejection
+    /// depends on which byte flipped).
+    #[test]
+    fn mutated_requests_never_panic(
+        (idx, byte) in (0usize..10_000, 0u8..=255),
+    ) {
+        let mut raw = VALID.to_vec();
+        let n = raw.len();
+        raw[idx % n] = byte;
+        match parse_request(&raw, &Limits::default()) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(matches!(e.status(), 400 | 413)),
+        }
+    }
+
+    /// Pipelined requests followed by arbitrary garbage: the first two
+    /// parses consume exactly the valid requests; the third attempt (the
+    /// garbage) must not panic.
+    #[test]
+    fn pipelined_requests_with_garbage_tail_never_panic(
+        tail in collection::vec(0u8..=255, 0..256),
+    ) {
+        let mut buf = VALID.to_vec();
+        buf.extend_from_slice(VALID);
+        buf.extend_from_slice(&tail);
+        for _ in 0..2 {
+            match parse_request(&buf, &Limits::default()).unwrap() {
+                Parsed::Complete { req, consumed } => {
+                    prop_assert_eq!(req.path.as_str(), "/v1/analyze");
+                    buf.drain(..consumed);
+                }
+                Parsed::Partial => prop_assert!(false, "valid request misread as partial"),
+            }
+        }
+        let _ = parse_request(&buf, &Limits::default());
+    }
+
+    /// Any declared body over the limit is the `413` class, regardless of
+    /// how far over it is.
+    #[test]
+    fn oversized_declared_bodies_get_413(extra in 1u64..1_000_000_000) {
+        let limits = Limits { max_head_bytes: 8192, max_body_bytes: 4096 };
+        let raw = format!(
+            "POST /v1/analyze HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            limits.max_body_bytes as u64 + extra
+        );
+        prop_assert_eq!(
+            parse_request(raw.as_bytes(), &limits).unwrap_err(),
+            HttpError::TooLarge("declared body exceeds limit")
+        );
+    }
+
+    /// The JSON parser accepts arbitrary (lossily decoded) text without
+    /// panicking.
+    #[test]
+    fn json_parser_never_panics(bytes in collection::vec(0u8..=255, 0..512)) {
+        let lossy = String::from_utf8_lossy(&bytes);
+        let _ = json::parse(&lossy);
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = json::parse(s);
+        }
+    }
+
+    /// Serialization round-trip: anything the response writer emits has a
+    /// correct `Content-Length` framing (a client can rely on it).
+    #[test]
+    fn response_framing_is_self_consistent(
+        status in 0usize..6,
+        body in collection::vec(32u8..=126, 0..128),
+    ) {
+        let status = [200u16, 400, 404, 500, 503, 504][status];
+        let body = String::from_utf8_lossy(&body).into_owned();
+        let resp = maestro_serve::http::Response::json(status, body.clone());
+        let bytes = resp.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        let (head, got_body) = text.split_once("\r\n\r\n").unwrap();
+        prop_assert_eq!(got_body, body.as_str());
+        prop_assert!(head.contains(&format!("Content-Length: {}", body.len())));
+        prop_assert!(head.starts_with(&format!("HTTP/1.1 {status} ")));
+    }
+}
