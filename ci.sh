@@ -149,6 +149,7 @@ wait_for_addr() { # wait_for_addr <logfile>; echoes host:port
   echo "${addr}"
 }
 target/release/maestro serve --addr 127.0.0.1:0 --workers 2 --drain-seconds 10 \
+  --trace-sample 1 --access-log "${smokedir}/access.jsonl" \
   > "${serve_log}" 2> "${smokedir}/serve.err" &
 serve_pid=$!
 serve_addr=$(wait_for_addr "${serve_log}")
@@ -156,6 +157,7 @@ analyze_resp=$(serve_request "${serve_addr}" POST /v1/analyze \
   '{"model":"alexnet","layer":"CONV1","pes":64}')
 grep -q "HTTP/1.1 200" <<<"${analyze_resp}" || { echo "analyze failed: ${analyze_resp}" >&2; exit 1; }
 grep -q '"runtime"' <<<"${analyze_resp}" || { echo "analyze lacks runtime: ${analyze_resp}" >&2; exit 1; }
+grep -qi "x-maestro-trace:" <<<"${analyze_resp}" || { echo "analyze lacks trace header: ${analyze_resp}" >&2; exit 1; }
 dse_resp=$(serve_request "${serve_addr}" POST /v1/dse \
   '{"model":"alexnet","layer":"CONV3","style":"KC-P","space":"tiny"}')
 grep -q "HTTP/1.1 200" <<<"${dse_resp}" || { echo "dse failed: ${dse_resp}" >&2; exit 1; }
@@ -166,6 +168,22 @@ if [ -z "${served}" ] || [ "${served}" -lt 2 ]; then
   echo "expected maestro_serve_requests_total >= 2, got '${served}'" >&2
   exit 1
 fi
+# Build/uptime identity gauges: one constant-1 info metric with
+# version+git labels, one monotone uptime gauge, pinned here so a
+# rename never silently breaks dashboards.
+grep -q '^maestro_build_info{version="' <<<"${metrics_resp}" \
+  || { echo "missing maestro_build_info in /metrics" >&2; exit 1; }
+grep -Eq '^maestro_build_info\{.*git="[^"]+".*\} 1$' <<<"${metrics_resp}" \
+  || { echo "maestro_build_info lacks a git label" >&2; exit 1; }
+grep -q '^# TYPE maestro_serve_uptime_seconds gauge' <<<"${metrics_resp}" \
+  || { echo "missing maestro_serve_uptime_seconds in /metrics" >&2; exit 1; }
+# Request traces: the analyze request above was kept (1-in-1 sampling)
+# and is listed with phase attribution.
+traces_resp=$(serve_request "${serve_addr}" GET /debug/traces)
+grep -q '"name":"POST /v1/analyze"' <<<"${traces_resp}" \
+  || { echo "analyze trace not in /debug/traces: ${traces_resp}" >&2; exit 1; }
+grep -q '"name":"analyze"' <<<"${traces_resp}" \
+  || { echo "trace lacks an analyze phase: ${traces_resp}" >&2; exit 1; }
 kill -TERM "${serve_pid}"
 rc=0; wait "${serve_pid}" || rc=$?
 if [ "${rc}" -ne 0 ]; then
@@ -173,6 +191,11 @@ if [ "${rc}" -ne 0 ]; then
   cat "${smokedir}/serve.err" >&2 || true
   exit 1
 fi
+# The JSONL access log attributed every request it saw.
+grep -q '"trace_id":"' "${smokedir}/access.jsonl" \
+  || { echo "access log is missing trace ids" >&2; exit 1; }
+grep -q '"analyze_us":' "${smokedir}/access.jsonl" \
+  || { echo "access log is missing phase attribution" >&2; exit 1; }
 
 # Queue-full shedding: one worker, queue depth one. Occupy the worker
 # and the queue slot with two half-sent requests held open on fds 4/5;
@@ -191,6 +214,21 @@ shed_resp=$(serve_request "${serve_addr}" GET /healthz)
 grep -q "HTTP/1.1 503" <<<"${shed_resp}" || { echo "expected a 503 shed: ${shed_resp}" >&2; exit 1; }
 grep -q "Retry-After:" <<<"${shed_resp}" || { echo "503 lacks Retry-After: ${shed_resp}" >&2; exit 1; }
 exec 4>&- 5>&-
+# Tail sampling must have force-kept the shed 503 in the flight
+# recorder, and the trace explorer renders it — waterfall and folded.
+shed_trace=""
+for i in $(seq 1 50); do
+  shed_trace=$(serve_request "${serve_addr}" GET /debug/traces || true)
+  grep -q '"name":"shed"' <<<"${shed_trace}" && break
+  sleep 0.1
+done
+grep -q '"name":"shed"' <<<"${shed_trace}" || { echo "shed trace was not tail-kept: ${shed_trace}" >&2; exit 1; }
+grep -q '"status":503' <<<"${shed_trace}" || { echo "shed trace lacks its 503: ${shed_trace}" >&2; exit 1; }
+grep -q '"kept":"error"' <<<"${shed_trace}" || { echo "shed trace not kept as error: ${shed_trace}" >&2; exit 1; }
+explorer_out=$(target/release/maestro trace --from "${serve_addr}")
+grep -q "shed" <<<"${explorer_out}" || { echo "trace explorer missed the shed: ${explorer_out}" >&2; exit 1; }
+folded_out=$(target/release/maestro trace --from "${serve_addr}" --folded)
+grep -q "shed;" <<<"${folded_out}" || { echo "folded output missed the shed: ${folded_out}" >&2; exit 1; }
 kill -TERM "${serve_pid}"
 rc=0; wait "${serve_pid}" || rc=$?
 [ "${rc}" -eq 0 ] || { echo "shed daemon drain exited ${rc}, expected 0" >&2; exit 1; }
@@ -217,5 +255,23 @@ if [ "${rc}" -ne 0 ]; then
   exit 1
 fi
 grep -q '"dropped": 0' "${smokedir}/chaos.json" || { echo "chaos run dropped responses" >&2; exit 1; }
+
+# Serve latency baseline: a short steady analyze load, report written to
+# BENCH_serve.json (p50/p90/p99 + QPS + outcome census) for tracking.
+echo "== serve bench (BENCH_serve.json)"
+target/release/maestro serve --addr 127.0.0.1:0 --workers 2 \
+  > "${serve_log}.bench" 2>/dev/null &
+serve_pid=$!
+serve_addr=$(wait_for_addr "${serve_log}.bench")
+target/release/loadgen --addr "${serve_addr}" --seconds 2 --concurrency 4 \
+  --mode analyze --retries 2 --out BENCH_serve.json > /dev/null
+kill -TERM "${serve_pid}"
+rc=0; wait "${serve_pid}" || rc=$?
+[ "${rc}" -eq 0 ] || { echo "bench daemon drain exited ${rc}, expected 0" >&2; exit 1; }
+for field in '"qps"' '"p50_ms"' '"p90_ms"' '"p99_ms"' '"ok"' '"shed"'; do
+  grep -q "${field}" BENCH_serve.json \
+    || { echo "BENCH_serve.json is missing ${field}" >&2; cat BENCH_serve.json >&2; exit 1; }
+done
+grep -q '"dropped": 0' BENCH_serve.json || { echo "serve bench dropped responses" >&2; exit 1; }
 
 echo "CI OK"

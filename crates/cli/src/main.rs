@@ -14,6 +14,7 @@
 
 mod args;
 mod signal;
+mod trace_view;
 
 use args::Args;
 use maestro_core::{analyze, analyze_model, analyze_model_with, AnalysisError};
@@ -192,6 +193,7 @@ USAGE:
   maestro explain  --model <zoo> --layer <name> --dataflow <style|file> --pes <n>
   maestro lint     --model <zoo> --layer <name> --dataflow <style|file> --pes <n>
   maestro trace    --model <zoo> --layer <name> --dataflow <style|file> --pes <n> [--steps <k>]
+  maestro trace    [<id>] --from <host:port> | --file <dump.json> [--folded]
   maestro tune     --model <zoo> --pes <n> [--objective runtime|energy|edp] [--json]
   maestro zoo
 
@@ -211,6 +213,10 @@ Long-running sweeps (dse):
   --retries <n>              re-attempts for a failed unit before quarantine (default 1)
   --unit-timeout <ms>        per-unit watchdog budget (trips only on injected stalls)
   --progress                 stderr progress line with units/s and ETA
+  --trace-sample <k|1/k>     record 1-in-k per-unit traces into the flight recorder
+                             (quarantined units are always kept)
+  --trace-seed <n>           seed for the deterministic per-unit trace IDs (default 0)
+  --trace-out <path|->       dump the recorded unit traces as JSON after the sweep
   --eval <staged|full>       cost-model evaluation mode (default staged; bit-identical,
                              staged shares NoC-independent stages across the bw axis)
   --memo-cap <n>             per-unit analysis-cache entry cap (default 4096; 0 = unbounded)
@@ -228,6 +234,17 @@ Serving (serve):
   --memo-cap <n>             per-shard analysis-cache entry cap (default 4096)
   --max-seconds <s>          self-terminate after s seconds (smoke tests)
   --test-endpoints           enable POST /v1/panic (panic-isolation tests only)
+  --access-log <path|->      JSONL per-request log with phase attribution (- = stdout)
+  --trace-capacity <n>       flight-recorder ring size, last n kept traces (default 256)
+  --trace-sample <k|1/k>     keep 1-in-k healthy requests; 5xx/shed/504/slow are
+                             always kept (default 16)
+  --trace-slow-ms <n>        requests at least this slow are always kept (default 100)
+  --trace-seed <n>           fixed trace-ID seed (tests; default: from the clock)
+
+Trace explorer (trace --from/--file):
+  --from <host:port>         fetch /debug/traces (or /debug/traces/<id>) from a daemon
+  --file <path>              read a saved trace dump (e.g. dse --trace-out) instead
+  --folded                   collapsed-stack output for flamegraph scripts
 
 Observability (any command):
   --metrics <path|->     dump the metrics registry (Prometheus text format)
@@ -437,6 +454,11 @@ fn session_ctl(args: &Args, threads: usize) -> Result<(maestro_dse::SessionCtl, 
     }
     ctl.retries = u32::try_from(args.get_u64("retries", 1).map_err(CliError::usage)?)
         .map_err(|_| CliError::usage("--retries is too large"))?;
+    let trace_sample = args.get("trace-sample", "");
+    if !trace_sample.is_empty() {
+        ctl.trace_sample = Some(parse_sample(trace_sample)?);
+        ctl.trace_seed = args.get_u64("trace-seed", 0).map_err(CliError::usage)?;
+    }
     let timeout_ms = args.get_u64("unit-timeout", 0).map_err(CliError::usage)?;
     if timeout_ms > 0 {
         ctl.unit_timeout = Some(Duration::from_millis(timeout_ms));
@@ -449,7 +471,7 @@ fn session_ctl(args: &Args, threads: usize) -> Result<(maestro_dse::SessionCtl, 
             // seconds per unit per worker.
             let h = maestro_obs::registry().histogram(
                 "maestro.dse.unit_seconds",
-                &[1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 60.0],
+                &maestro_dse::unit_seconds_buckets(),
             );
             let (count, sum) = (h.count(), h.sum());
             if count == 0 || sum <= 0.0 {
@@ -463,6 +485,19 @@ fn session_ctl(args: &Args, threads: usize) -> Result<(maestro_dse::SessionCtl, 
         }));
     }
     Ok((ctl, resumed))
+}
+
+/// Parse a `--trace-sample` rate: `K` or `1/K`, keeping 1 in `K`
+/// (`1` = keep everything).
+fn parse_sample(spec: &str) -> Result<u64, CliError> {
+    let k = spec.strip_prefix("1/").unwrap_or(spec);
+    let k: u64 = k
+        .parse()
+        .map_err(|_| CliError::usage(format!("--trace-sample expects K or 1/K, got `{spec}`")))?;
+    if k == 0 {
+        return Err(CliError::usage("--trace-sample must be at least 1"));
+    }
+    Ok(k)
 }
 
 fn cmd_dse(args: &Args) -> Result<(), CliError> {
@@ -498,6 +533,20 @@ fn cmd_dse(args: &Args) -> Result<(), CliError> {
     if resumed {
         // stderr so `--json` stdout stays machine-parseable.
         eprintln!("resumed: {} units skipped", session.resumed_skipped);
+    }
+    // Per-unit traces, when sampled: dump whatever the flight recorder
+    // kept (drawn units plus every quarantined one) — even on an
+    // interrupted run, where attribution matters most.
+    let trace_out = args.get("trace-out", "");
+    if !trace_out.is_empty() {
+        let dump =
+            maestro_obs::trace::records_to_json(&maestro_obs::FlightRecorder::global().recent());
+        if trace_out == "-" {
+            println!("{dump}");
+        } else {
+            std::fs::write(trace_out, dump)
+                .map_err(|e| CliError::usage(format!("writing traces to {trace_out}: {e}")))?;
+        }
     }
     // An interrupted session still prints everything it has — the partial
     // frontier is the whole point of graceful shutdown — and then exits 7.
@@ -751,6 +800,25 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             "shards",
         )?,
         test_endpoints: args.flag("test-endpoints"),
+        access_log: {
+            let dest = args.get("access-log", "");
+            (!dest.is_empty()).then(|| dest.to_string())
+        },
+        trace_capacity: to_usize(
+            args.get_u64("trace-capacity", 256)
+                .map_err(CliError::usage)?,
+            "trace-capacity",
+        )?,
+        trace_sample: parse_sample(args.get("trace-sample", "16"))?,
+        trace_slow: Duration::from_millis(
+            args.get_u64("trace-slow-ms", 100)
+                .map_err(CliError::usage)?,
+        ),
+        trace_seed: if args.get("trace-seed", "").is_empty() {
+            None
+        } else {
+            Some(args.get_u64("trace-seed", 0).map_err(CliError::usage)?)
+        },
     };
     // SIGTERM/SIGINT raise the process interrupt flag, which this heeding
     // token observes — tripping it starts the drain.
@@ -831,7 +899,17 @@ fn cmd_lint(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `maestro trace` is two tools behind one name. With `--from` (a
+/// daemon's `/debug/traces`) or `--file` (a saved dump) it is the
+/// request-trace explorer: a listing, an ASCII waterfall per trace, or
+/// `--folded` collapsed stacks for flamegraph scripts. Otherwise it is
+/// the original simulator step trace (`--model/--layer/...`).
 fn cmd_trace(args: &Args) -> Result<(), CliError> {
+    let from = args.get("from", "");
+    let file = args.get("file", "");
+    if !from.is_empty() || !file.is_empty() {
+        return cmd_trace_explorer(args, from, file);
+    }
     let model = load_model(args.get("model", "vgg16"))?;
     let layer = pick_layer(&model, args)?;
     let df = load_dataflow(args.get("dataflow", "KC-P"))?;
@@ -862,6 +940,55 @@ fn cmd_trace(args: &Args) -> Result<(), CliError> {
             s.macs,
             s.active_pes
         );
+    }
+    Ok(())
+}
+
+fn cmd_trace_explorer(args: &Args, from: &str, file: &str) -> Result<(), CliError> {
+    let id = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or_default();
+    let text = if !from.is_empty() {
+        let path = if id.is_empty() {
+            "/debug/traces".to_string()
+        } else {
+            format!("/debug/traces/{id}")
+        };
+        trace_view::fetch(from, &path).map_err(CliError::usage)?
+    } else {
+        std::fs::read_to_string(file)
+            .map_err(|e| CliError::usage(format!("reading {file}: {e}")))?
+    };
+    let mut traces = trace_view::decode_traces(&text).map_err(CliError::parse)?;
+    if !id.is_empty() {
+        // The daemon path already filtered; this covers `--file` dumps
+        // (and tolerates abbreviated IDs either way).
+        traces.retain(|t| t.id.starts_with(id) || t.id.trim_start_matches('0') == id);
+        if traces.is_empty() {
+            return Err(CliError::usage(format!("no trace matching `{id}`")));
+        }
+    }
+    if args.flag("folded") {
+        for t in &traces {
+            print!("{}", trace_view::folded(t));
+        }
+        return Ok(());
+    }
+    if id.is_empty() && traces.len() > 1 {
+        println!(
+            "{:<32}  {:>4}  {:>10}  {:<7}  name",
+            "trace", "code", "total", "kept"
+        );
+        for t in &traces {
+            println!("{}", trace_view::summary(t));
+        }
+        println!("\n(`maestro trace <id> ...` for a waterfall)");
+    } else {
+        for t in &traces {
+            print!("{}", trace_view::waterfall(t));
+        }
     }
     Ok(())
 }

@@ -66,6 +66,16 @@ pub struct SessionCtl {
     pub unit_timeout: Option<Duration>,
     /// Progress observer (the CLI's `--progress` line).
     pub on_progress: Option<Box<ProgressFn>>,
+    /// Record a per-unit trace into the global
+    /// [`maestro_obs::FlightRecorder`] for 1 in this many units
+    /// (`None` = off, the CLI's `--trace-sample`). Sampling is on the
+    /// *unit index* — deterministic across thread counts and
+    /// interrupt/resume splits — and quarantined units are always kept,
+    /// so a failed sweep is attributable after the fact.
+    pub trace_sample: Option<u64>,
+    /// Seed mixed into sampled units' trace IDs, so a given
+    /// `(seed, unit)` pair names the same trace on every run.
+    pub trace_seed: u64,
 }
 
 impl Default for SessionCtl {
@@ -80,6 +90,8 @@ impl Default for SessionCtl {
             retries: 1,
             unit_timeout: None,
             on_progress: None,
+            trace_sample: None,
+            trace_seed: 0,
         }
     }
 }
@@ -95,6 +107,8 @@ impl fmt::Debug for SessionCtl {
             .field("retries", &self.retries)
             .field("unit_timeout", &self.unit_timeout)
             .field("on_progress", &self.on_progress.is_some())
+            .field("trace_sample", &self.trace_sample)
+            .field("trace_seed", &self.trace_seed)
             .finish()
     }
 }

@@ -1109,6 +1109,15 @@ struct UnitMetrics {
     unit_rate: maestro_obs::Histogram,
 }
 
+/// The one source of truth for `maestro.dse.unit_seconds` bucket bounds:
+/// log-spaced, 2 per decade from 100 µs to 60 s, so tail quantiles
+/// interpolate within ~3x instead of the old decade-wide jumps. The CLI
+/// registers the same histogram from its progress callback — sharing the
+/// bounds here keeps the two registrations from conflicting.
+pub fn unit_seconds_buckets() -> Vec<f64> {
+    maestro_obs::metrics::log_buckets(1e-4, 60.0, 2)
+}
+
 fn unit_metrics() -> &'static UnitMetrics {
     static M: std::sync::OnceLock<UnitMetrics> = std::sync::OnceLock::new();
     M.get_or_init(|| {
@@ -1120,10 +1129,7 @@ fn unit_metrics() -> &'static UnitMetrics {
             capacity_skipped: r.counter("maestro.dse.capacity_skipped"),
             pareto_inserted: r.counter("maestro.dse.pareto_inserted"),
             pareto_rejected: r.counter("maestro.dse.pareto_rejected"),
-            unit_seconds: r.histogram(
-                "maestro.dse.unit_seconds",
-                &[1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 60.0],
-            ),
+            unit_seconds: r.histogram("maestro.dse.unit_seconds", &unit_seconds_buckets()),
             // Designs/second per shard; the paper reports sweeps north of
             // 0.1M designs/s, hence the decade buckets up to 1e8.
             unit_rate: r.histogram("maestro.dse.unit_rate", &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8]),
@@ -1875,6 +1881,8 @@ impl Explorer {
                 every: ctl.checkpoint_every,
             }),
             on_progress: ctl.on_progress.as_deref(),
+            trace_sample: ctl.trace_sample,
+            trace_seed: ctl.trace_seed,
         };
         let run = run_units_ctl(total, threads, &run_ctl, unit);
 

@@ -47,10 +47,12 @@ pub mod variants;
 pub use cancel::{CancelToken, SessionCtl, SessionError, SessionReport};
 pub use checkpoint::{sweep_fingerprint, Checkpoint, CheckpointError, UnitEntry};
 pub use explorer::{
-    insert_pareto, DesignPoint, DseResult, DseStats, EvalMode, Explorer, ParetoFront, Partial,
-    QuarantinedUnit,
+    insert_pareto, unit_seconds_buckets, DesignPoint, DseResult, DseStats, EvalMode, Explorer,
+    ParetoFront, Partial, QuarantinedUnit,
 };
 pub use fault::{Fault, FaultPlan, FaultSpecError};
-pub use parallel::{merge_partials, resolve_threads, run_units, UnitOutcome};
+pub use parallel::{
+    merge_partials, resolve_threads, run_units, unit_trace_draw, unit_trace_id, UnitOutcome,
+};
 pub use space::{Constraints, SpaceError, SweepSpace};
 pub use tuner::{tune_layer, tune_model, Objective, TunedLayer, TunedModel};

@@ -3,7 +3,7 @@
 //! access: `tracing`/`metrics`/`log` cannot be pulled in; see DESIGN.md's
 //! dependency policy).
 //!
-//! Four cooperating facilities:
+//! Five cooperating facilities:
 //!
 //! * [`cancel`] — a cloneable cooperative [`CancelToken`] (explicit
 //!   cancel, wall-clock deadline, process-wide interrupt flag raisable
@@ -19,6 +19,10 @@
 //!   monotonic timing, per-thread buffers flushed at root-scope exit so
 //!   the parallel DSE hot path never contends on a global lock. Exported
 //!   as JSONL events.
+//! * [`trace`] — request-scoped trace IDs propagated into spans via a
+//!   thread-local context, plus a bounded tail-sampling
+//!   [`trace::FlightRecorder`] that keeps 100% of failed/slow work and a
+//!   deterministic 1-in-K sample of the rest.
 //!
 //! # Zero cost when disabled
 //!
@@ -55,8 +59,10 @@ pub mod cancel;
 pub mod log;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use cancel::{interrupt_raised, raise_interrupt, CancelToken};
 pub use log::Level;
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
 pub use span::{SpanEvent, SpanGuard};
+pub use trace::{FlightPolicy, FlightRecorder, KeepReason, Phase, TraceId, TraceRecord};

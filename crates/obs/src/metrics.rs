@@ -129,6 +129,90 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Estimate the `q`-quantile of the recorded distribution (see the
+    /// free [`quantile`] function for the interpolation rule).
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile(self.bounds(), &self.cumulative_buckets(), q)
+    }
+}
+
+/// Log-spaced histogram bucket upper bounds: `per_decade` geometrically
+/// spaced bounds per factor of 10, from `min` up to (and including) a
+/// bound at `max`. Bounds are rounded to 3 significant digits so the
+/// exposition labels stay readable (`0.001`, `0.00178`, `0.00316`, ...).
+///
+/// Degenerate inputs are clamped rather than panicking: non-positive
+/// `min` becomes `1e-6`, `per_decade` 0 becomes 1, and the series is
+/// capped at 256 bounds.
+pub fn log_buckets(min: f64, max: f64, per_decade: u32) -> Vec<f64> {
+    let min = if min.is_finite() && min > 0.0 {
+        min
+    } else {
+        1e-6
+    };
+    let max = if max.is_finite() && max > min {
+        max
+    } else {
+        min
+    };
+    let ratio = 10f64.powf(1.0 / per_decade.max(1) as f64);
+    let mut out = Vec::new();
+    let mut b = min;
+    // Stop just shy of max so rounding jitter can't emit a bound that
+    // duplicates the final exact-max bound.
+    while b < max * 0.999 && out.len() < 255 {
+        out.push(round_sig3(b));
+        b *= ratio;
+    }
+    out.push(round_sig3(max));
+    out.dedup();
+    out
+}
+
+/// Round to 3 significant digits.
+fn round_sig3(v: f64) -> f64 {
+    if v == 0.0 || !v.is_finite() {
+        return v;
+    }
+    let mag = v.abs().log10().floor();
+    let scale = 10f64.powf(2.0 - mag);
+    (v * scale).round() / scale
+}
+
+/// Estimate the `q`-quantile from histogram buckets, the same way
+/// Prometheus' `histogram_quantile` does: find the bucket the target
+/// rank falls in, then interpolate linearly between the bucket's edges
+/// (the first bucket's lower edge is 0). Ranks landing in the `+Inf`
+/// overflow bucket clamp to the last finite bound.
+///
+/// `cumulative` must be the cumulative counts, one per bound plus the
+/// final `+Inf` entry — exactly what
+/// [`Histogram::cumulative_buckets`] returns. Returns `NaN` for an empty
+/// histogram; `q` is clamped to `[0, 1]`.
+pub fn quantile(bounds: &[f64], cumulative: &[u64], q: f64) -> f64 {
+    let total = cumulative.last().copied().unwrap_or(0);
+    if total == 0 {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = q * total as f64;
+    let mut prev = 0u64;
+    for (idx, &cum) in cumulative.iter().enumerate() {
+        if (cum as f64) >= target && cum > prev {
+            let lower = if idx == 0 { 0.0 } else { bounds[idx - 1] };
+            if idx >= bounds.len() {
+                // +Inf bucket: no finite upper edge to interpolate to.
+                return bounds.last().copied().unwrap_or(f64::NAN);
+            }
+            let upper = bounds[idx];
+            let in_bucket = (cum - prev) as f64;
+            let frac = ((target - prev as f64) / in_bucket).clamp(0.0, 1.0);
+            return lower + frac * (upper - lower);
+        }
+        prev = cum;
+    }
+    bounds.last().copied().unwrap_or(f64::NAN)
 }
 
 #[derive(Debug, Clone)]
@@ -136,6 +220,9 @@ enum Metric {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    /// A constant-1 gauge carrying identity labels (the Prometheus
+    /// `*_info` idiom, e.g. `maestro_build_info{version=...,git=...} 1`).
+    Info(Vec<(String, String)>),
 }
 
 /// The metrics registry: a name → metric table.
@@ -217,6 +304,22 @@ impl Registry {
         }
     }
 
+    /// Register (or replace) the info metric `name`: a constant-1 gauge
+    /// whose labels carry build/identity metadata. Label values are
+    /// escaped on render, so any string is safe.
+    pub fn info(&self, name: &str, labels: &[(&str, &str)]) {
+        let mut m = self.lock();
+        m.insert(
+            name.to_string(),
+            Metric::Info(
+                labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            ),
+        );
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
         // A poisoned registry mutex means some other thread panicked
         // mid-registration; the map itself is still structurally sound.
@@ -250,6 +353,17 @@ impl Registry {
                     let _ = writeln!(out, "{pname}_sum {}", fmt_f64(h.sum()));
                     let _ = writeln!(out, "{pname}_count {}", h.count());
                 }
+                Metric::Info(labels) => {
+                    let _ = writeln!(out, "# TYPE {pname} gauge");
+                    let _ = write!(out, "{pname}{{");
+                    for (i, (k, v)) in labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{}=\"{}\"", sanitize(k), escape_label(v));
+                    }
+                    let _ = writeln!(out, "}} 1");
+                }
             }
         }
         out
@@ -280,6 +394,21 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// Escape a label value per the Prometheus text format: backslash,
+/// double quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// One parsed sample of an exposition: `name{labels} value`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
@@ -288,13 +417,25 @@ pub struct Sample {
     pub name: String,
     /// The `le` label for histogram buckets, if present.
     pub le: Option<String>,
+    /// The full label set, unescaped, in exposition order.
+    pub labels: Vec<(String, String)>,
     /// The sample value.
     pub value: f64,
 }
 
+impl Sample {
+    /// Look up a label value by key.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// Parse a Prometheus text exposition back into samples (comments and
 /// `# TYPE` lines are skipped). Supports the subset this module renders:
-/// bare samples and a single optional `le` label.
+/// bare samples and quoted, escaped label sets.
 pub fn parse_exposition(text: &str) -> Vec<Sample> {
     let mut samples = Vec::new();
     for line in text.lines() {
@@ -308,20 +449,70 @@ pub fn parse_exposition(text: &str) -> Vec<Sample> {
         let Ok(value) = value.parse::<f64>() else {
             continue;
         };
-        let (name, le) = match head.split_once('{') {
-            None => (head.to_string(), None),
-            Some((n, rest)) => {
-                let le = rest
-                    .trim_end_matches('}')
-                    .split(',')
-                    .find_map(|kv| kv.trim().strip_prefix("le="))
-                    .map(|v| v.trim_matches('"').to_string());
-                (n.to_string(), le)
-            }
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_string(), Vec::new()),
+            Some((n, rest)) => (
+                n.to_string(),
+                parse_labels(rest.strip_suffix('}').unwrap_or(rest)),
+            ),
         };
-        samples.push(Sample { name, le, value });
+        let le = labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| v.clone());
+        samples.push(Sample {
+            name,
+            le,
+            labels,
+            value,
+        });
     }
     samples
+}
+
+/// Parse the inside of a `{...}` label set, honoring quoting and the
+/// `\\` / `\"` / `\n` escapes [`escape_label`] emits.
+fn parse_labels(s: &str) -> Vec<(String, String)> {
+    let mut labels = Vec::new();
+    let mut chars = s.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(&c) if c == ',' || c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            break; // malformed tail; keep what we have
+        }
+        let mut val = String::new();
+        loop {
+            match chars.next() {
+                None | Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('n') => val.push('\n'),
+                    Some('"') => val.push('"'),
+                    Some('\\') => val.push('\\'),
+                    Some(other) => {
+                        val.push('\\');
+                        val.push(other);
+                    }
+                    None => break,
+                },
+                Some(c) => val.push(c),
+            }
+        }
+        labels.push((key.trim().to_string(), val));
+    }
+    labels
 }
 
 #[cfg(test)]
@@ -414,5 +605,170 @@ mod tests {
     #[test]
     fn sanitize_maps_dots_and_dashes() {
         assert_eq!(sanitize("maestro.dse.unit-rate"), "maestro_dse_unit_rate");
+    }
+
+    #[test]
+    fn log_buckets_are_geometric_and_bounded() {
+        let b = log_buckets(0.001, 10.0, 3);
+        // 3 per decade over 4 decades = 12 steps + the exact max.
+        assert_eq!(b.len(), 13, "{b:?}");
+        assert_eq!(b[0], 0.001);
+        assert_eq!(b[1], 0.00215);
+        assert_eq!(b[2], 0.00464);
+        assert_eq!(b[3], 0.01);
+        assert_eq!(*b.last().unwrap(), 10.0);
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "{b:?}");
+        // Degenerate inputs clamp instead of panicking.
+        assert!(!log_buckets(-1.0, 0.0, 0).is_empty());
+        assert!(log_buckets(1e-9, 1e9, 100).len() <= 256);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // Bounds 10/20/40, counts: 4 in (0,10], 4 in (10,20], 2 in +Inf.
+        let bounds = [10.0, 20.0, 40.0];
+        let cumulative = [4, 8, 8, 10];
+        // p50 → rank 5 of 10 → 1 into the 4-count (10,20] bucket: 12.5.
+        assert!((quantile(&bounds, &cumulative, 0.5) - 12.5).abs() < 1e-9);
+        // p25 → rank 2.5 of 10 → 62.5% through (0,10]: 6.25.
+        assert!((quantile(&bounds, &cumulative, 0.25) - 6.25).abs() < 1e-9);
+        // p80 → rank 8 → exactly the top of (10,20].
+        assert!((quantile(&bounds, &cumulative, 0.8) - 20.0).abs() < 1e-9);
+        // p99 lands in +Inf → clamps to the last finite bound.
+        assert_eq!(quantile(&bounds, &cumulative, 0.99), 40.0);
+        // q is clamped; empty histograms answer NaN.
+        assert_eq!(quantile(&bounds, &cumulative, 2.0), 40.0);
+        assert!(quantile(&bounds, &[0, 0, 0, 0], 0.5).is_nan());
+        assert!(quantile(&[], &[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn histogram_quantile_matches_free_function() {
+        let r = Registry::new();
+        let h = r.histogram("maestro.test.q", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.6, 3.0] {
+            h.observe(v);
+        }
+        let direct = h.quantile(0.5);
+        let free = quantile(h.bounds(), &h.cumulative_buckets(), 0.5);
+        assert_eq!(direct, free);
+        // rank 2 of 4 → halfway through the 2-count (1,2] bucket.
+        assert!((direct - 1.5).abs() < 1e-9, "{direct}");
+    }
+
+    #[test]
+    fn info_metric_renders_constant_one_with_labels() {
+        let r = Registry::new();
+        r.info(
+            "maestro.build_info",
+            &[("version", "0.1.0"), ("git", "abc1234")],
+        );
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE maestro_build_info gauge"), "{text}");
+        assert!(
+            text.contains("maestro_build_info{version=\"0.1.0\",git=\"abc1234\"} 1"),
+            "{text}"
+        );
+        let samples = parse_exposition(&text);
+        let s = samples
+            .iter()
+            .find(|s| s.name == "maestro_build_info")
+            .expect("info sample");
+        assert_eq!(s.value, 1.0);
+        assert_eq!(s.label("version"), Some("0.1.0"));
+        assert_eq!(s.label("git"), Some("abc1234"));
+    }
+
+    #[test]
+    fn label_escaping_round_trips_hostile_values() {
+        let hostile = "a\\b\"c\nd,e}f{g=h";
+        let r = Registry::new();
+        r.info("maestro.test.esc", &[("v", hostile), ("plain", "ok")]);
+        let text = r.render_prometheus();
+        // The rendered line is still one line (newline escaped).
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("maestro_test_esc{"))
+            .expect("info line");
+        assert!(line.contains("\\n"), "{line}");
+        let samples = parse_exposition(&text);
+        let s = samples
+            .iter()
+            .find(|s| s.name == "maestro_test_esc")
+            .expect("esc sample");
+        assert_eq!(s.label("v"), Some(hostile));
+        assert_eq!(s.label("plain"), Some("ok"));
+    }
+
+    #[test]
+    fn concurrent_updates_during_render_stay_consistent() {
+        // Worker threads hammer a counter + histogram while the main
+        // thread renders and re-parses in a loop — the shape the serve
+        // worker pool produces when /metrics is scraped under load. The
+        // parsed exposition must always be well-formed and every parsed
+        // histogram must satisfy its own invariants (cumulative buckets
+        // nondecreasing, +Inf == _count).
+        let r = std::sync::Arc::new(Registry::new());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let r = std::sync::Arc::clone(&r);
+            let stop = std::sync::Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let c = r.counter("maestro.test.conc.ops");
+                let h = r.histogram("maestro.test.conc.lat", &[0.001, 0.01, 0.1, 1.0]);
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    c.inc();
+                    h.observe((n % 7) as f64 * 0.03);
+                    // Churn registration too: lookups race with renders.
+                    let _ = r.gauge(if t % 2 == 0 {
+                        "maestro.test.conc.g0"
+                    } else {
+                        "maestro.test.conc.g1"
+                    });
+                    n += 1;
+                }
+                n
+            }));
+        }
+        for _ in 0..50 {
+            let text = r.render_prometheus();
+            let samples = parse_exposition(&text);
+            let bucket_of = |le: &str| {
+                samples
+                    .iter()
+                    .find(|s| {
+                        s.name == "maestro_test_conc_lat_bucket" && s.le.as_deref() == Some(le)
+                    })
+                    .map(|s| s.value)
+            };
+            if let (Some(inf), Some(count)) = (
+                bucket_of("+Inf"),
+                samples
+                    .iter()
+                    .find(|s| s.name == "maestro_test_conc_lat_count")
+                    .map(|s| s.value),
+            ) {
+                // Rendering reads bucket cells then the count cell;
+                // each worker has at most one observe in flight between
+                // its bucket and count increments, so the count snapshot
+                // can trail the +Inf snapshot by at most the thread
+                // count.
+                assert!(count + 4.0 >= inf, "count {count} < +Inf {inf}\n{text}");
+            }
+            let mut prev = 0.0;
+            for s in samples
+                .iter()
+                .filter(|s| s.name == "maestro_test_conc_lat_bucket")
+            {
+                assert!(s.value >= prev, "buckets not cumulative:\n{text}");
+                prev = s.value;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+        assert_eq!(r.counter("maestro.test.conc.ops").get(), total);
     }
 }

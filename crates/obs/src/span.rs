@@ -36,6 +36,9 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub duration_ns: u64,
+    /// The request trace the span ran under (see [`crate::trace`]);
+    /// 0 when no trace context was installed on the thread.
+    pub trace: u128,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -107,6 +110,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 #[cold]
 fn span_slow(name: &'static str) -> SpanGuard {
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let trace = crate::trace::current();
     let start_ns = epoch().elapsed().as_nanos() as u64;
     let (parent, depth, thread) = STATE.with(|s| {
         let mut s = s.borrow_mut();
@@ -122,6 +126,7 @@ fn span_slow(name: &'static str) -> SpanGuard {
         thread,
         depth,
         start_ns,
+        trace,
         start: Instant::now(),
     }))
 }
@@ -134,6 +139,7 @@ struct OpenSpan {
     thread: u64,
     depth: u32,
     start_ns: u64,
+    trace: u128,
     start: Instant,
 }
 
@@ -155,6 +161,7 @@ impl Drop for SpanGuard {
             depth: open.depth,
             start_ns: open.start_ns,
             duration_ns: open.start.elapsed().as_nanos() as u64,
+            trace: open.trace,
         };
         STATE.with(|s| {
             let mut s = s.borrow_mut();
@@ -188,7 +195,8 @@ pub fn drain() -> Vec<SpanEvent> {
 }
 
 /// Render events as JSON Lines: one object per span, schema
-/// `{"name","id","parent","thread","depth","start_us","dur_us"}`.
+/// `{"name","id","parent","thread","depth","start_us","dur_us"}` plus a
+/// `"trace"` hex field on spans recorded under a request trace context.
 /// Names are `&'static str` identifiers from this codebase; they are
 /// escaped anyway so the output is valid JSON for any name.
 pub fn to_jsonl(events: &[SpanEvent]) -> String {
@@ -218,6 +226,9 @@ pub fn to_jsonl(events: &[SpanEvent]) -> String {
         out.push_str(&(e.start_ns / 1_000).to_string());
         out.push_str(",\"dur_us\":");
         out.push_str(&(e.duration_ns / 1_000).to_string());
+        if e.trace != 0 {
+            out.push_str(&format!(",\"trace\":\"{:032x}\"", e.trace));
+        }
         out.push_str("}\n");
     }
     out
@@ -390,6 +401,44 @@ mod tests {
     }
 
     #[test]
+    fn spans_carry_the_installed_trace_context() {
+        let ((), events) = with_tracing(|| {
+            {
+                let _bare = span("maestro.test.untraced");
+            }
+            let prev = crate::trace::set_current(crate::trace::TraceId(0xfeed));
+            {
+                let _traced = span("maestro.test.traced");
+            }
+            crate::trace::clear_current(prev);
+        });
+        let bare = events
+            .iter()
+            .find(|e| e.name == "maestro.test.untraced")
+            .expect("untraced span recorded");
+        let traced = events
+            .iter()
+            .find(|e| e.name == "maestro.test.traced")
+            .expect("traced span recorded");
+        assert_eq!(bare.trace, 0);
+        assert_eq!(traced.trace, 0xfeed);
+        let jsonl = to_jsonl(&events);
+        let traced_line = jsonl
+            .lines()
+            .find(|l| l.contains("maestro.test.traced"))
+            .expect("traced line");
+        assert!(
+            traced_line.contains("\"trace\":\"0000000000000000000000000000feed\""),
+            "{traced_line}"
+        );
+        let bare_line = jsonl
+            .lines()
+            .find(|l| l.contains("maestro.test.untraced"))
+            .expect("bare line");
+        assert!(!bare_line.contains("\"trace\""), "{bare_line}");
+    }
+
+    #[test]
     fn aggregate_sums_by_name() {
         let events = vec![
             SpanEvent {
@@ -400,6 +449,7 @@ mod tests {
                 depth: 0,
                 start_ns: 0,
                 duration_ns: 100,
+                trace: 0,
             },
             SpanEvent {
                 name: "b",
@@ -409,6 +459,7 @@ mod tests {
                 depth: 1,
                 start_ns: 10,
                 duration_ns: 30,
+                trace: 0,
             },
             SpanEvent {
                 name: "b",
@@ -418,6 +469,7 @@ mod tests {
                 depth: 1,
                 start_ns: 50,
                 duration_ns: 50,
+                trace: 0,
             },
         ];
         let agg = aggregate(&events);

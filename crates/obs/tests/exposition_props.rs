@@ -1,0 +1,62 @@
+//! Property tests for the Prometheus text exposition: label values
+//! containing every escape-relevant character (`\`, `"`, newline) plus
+//! structural characters (`{`, `}`, `,`, `=`, spaces) must round-trip
+//! through render → parse unchanged, and the rendered exposition must
+//! stay line-structured (one sample per line).
+
+use maestro_obs::metrics::{parse_exposition, Registry};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Alphabet biased toward the characters that break naive renderers.
+const ALPHABET: &[char] = &[
+    '\\', '"', '\n', '{', '}', ',', '=', ' ', 'a', 'b', 'Z', '0', '9', '_', '.', '-', '/', 'µ',
+    '\t',
+];
+
+fn label_value(bytes: Vec<usize>) -> String {
+    bytes
+        .into_iter()
+        .map(|i| ALPHABET[i % ALPHABET.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hostile_label_values_round_trip(
+        raw_a in collection::vec(0usize..1000, 0..24),
+        raw_b in collection::vec(0usize..1000, 0..24),
+    ) {
+        let va = label_value(raw_a);
+        let vb = label_value(raw_b);
+        let r = Registry::new();
+        r.info("maestro.prop.info", &[("a", &va), ("b", &vb)]);
+        r.counter("maestro.prop.anchor").add(7);
+
+        let text = r.render_prometheus();
+        // Line structure survives: exactly one non-comment line per
+        // sample, so embedded newlines must have been escaped.
+        let sample_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .collect();
+        prop_assert_eq!(sample_lines.len(), 2, "{}", text);
+
+        let samples = parse_exposition(&text);
+        let info = samples
+            .iter()
+            .find(|s| s.name == "maestro_prop_info")
+            .unwrap_or_else(|| panic!("info sample missing in:\n{text}"));
+        prop_assert_eq!(info.value, 1.0);
+        prop_assert_eq!(info.label("a"), Some(va.as_str()), "{}", text);
+        prop_assert_eq!(info.label("b"), Some(vb.as_str()), "{}", text);
+        // The unrelated counter still parses to its exact value.
+        let anchor = samples
+            .iter()
+            .find(|s| s.name == "maestro_prop_anchor")
+            .unwrap_or_else(|| panic!("anchor sample missing in:\n{text}"));
+        prop_assert_eq!(anchor.value, 7.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Embeds the short git hash as `MAESTRO_GIT_HASH` for the
+//! `maestro_build_info` metric. Builds from a tarball (no `.git`, no
+//! `git` binary) fall back to the compiled-in `"unknown"`.
+
+fn main() {
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    let hash = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    if let Some(hash) = hash {
+        println!("cargo:rustc-env=MAESTRO_GIT_HASH={hash}");
+    }
+}

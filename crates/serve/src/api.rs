@@ -30,9 +30,10 @@ use maestro_core::{AnalysisError, ModelReport, SharedAnalysisCache};
 use maestro_dnn::{zoo, Model};
 use maestro_hw::Accelerator;
 use maestro_ir::{Dataflow, Style};
+use maestro_obs::trace::{records_to_json, FlightRecorder, TraceId};
 use maestro_obs::CancelToken;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Deadlines are clamped to this ceiling; an absent or absurd
 /// `deadline_ms` cannot pin a worker for hours.
@@ -54,6 +55,8 @@ pub struct ApiCtx {
     pub test_endpoints: bool,
     /// Serve-plane counters and histograms.
     pub metrics: ServeMetrics,
+    /// Daemon start time; `/metrics` derives the uptime gauge from it.
+    pub started: Instant,
 }
 
 impl ApiCtx {
@@ -68,7 +71,25 @@ impl ApiCtx {
                     Response::text(503, "draining\n")
                 }
             }
-            ("GET", "/metrics") => Response::text(200, maestro_obs::registry().render_prometheus()),
+            ("GET", "/metrics") => {
+                self.metrics
+                    .uptime_seconds
+                    .set(self.started.elapsed().as_secs_f64());
+                Response::text(200, maestro_obs::registry().render_prometheus())
+            }
+            ("GET", "/debug/traces") => {
+                Response::json(200, records_to_json(&FlightRecorder::global().recent()))
+            }
+            ("GET", path) if path.strip_prefix("/debug/traces/").is_some() => {
+                let raw = path.strip_prefix("/debug/traces/").unwrap_or("");
+                let Some(id) = TraceId::parse(raw) else {
+                    return error_response(400, "trace id must be 1-32 hex digits");
+                };
+                match FlightRecorder::global().find(id) {
+                    Some(rec) => Response::json(200, rec.to_json()),
+                    None => error_response(404, "no such trace (evicted or sampled out)"),
+                }
+            }
             ("POST", "/v1/analyze") => self.with_body(req, Self::analyze),
             ("POST", "/v1/dse") => self.with_body(req, Self::dse),
             ("POST", "/v1/conform") => self.with_body(req, Self::conform),
@@ -79,6 +100,9 @@ impl ApiCtx {
                 _,
                 "/healthz" | "/readyz" | "/metrics" | "/v1/analyze" | "/v1/dse" | "/v1/conform",
             ) => error_response(405, "method not allowed for this path"),
+            (_, path) if path.starts_with("/debug/traces") => {
+                error_response(405, "method not allowed for this path")
+            }
             _ => error_response(404, "no such endpoint"),
         }
     }
@@ -108,6 +132,9 @@ impl ApiCtx {
             },
         };
         let token = self.request_root.child_with_deadline(budget);
+        // Body decoded, token built: attribution shifts from parse to
+        // the analysis stages.
+        crate::trace::mark("analyze");
         f(self, &body, &token)
     }
 
@@ -138,17 +165,20 @@ impl ApiCtx {
                 return timeout_response(0, 1, None);
             }
             return match self.cache.analyze_staged(layer, &dataflow, &acc) {
-                Ok(report) => match serde_json::to_string(&report) {
-                    Ok(js) => Response::json(
-                        200,
-                        format!(
-                            "{{\"model\":{},\"layer\":{},\"report\":{js}}}",
-                            json_str(&model.name),
-                            json_str(layer_name)
+                Ok(report) => {
+                    crate::trace::mark("serialize");
+                    match serde_json::to_string(&report) {
+                        Ok(js) => Response::json(
+                            200,
+                            format!(
+                                "{{\"model\":{},\"layer\":{},\"report\":{js}}}",
+                                json_str(&model.name),
+                                json_str(layer_name)
+                            ),
                         ),
-                    ),
-                    Err(e) => error_response(500, &e.to_string()),
-                },
+                        Err(e) => error_response(500, &e.to_string()),
+                    }
+                }
                 Err(e) => analysis_error_response(&e),
             };
         }
@@ -169,6 +199,7 @@ impl ApiCtx {
             model: model.name.clone(),
             layers,
         };
+        crate::trace::mark("serialize");
         match serde_json::to_string(&report) {
             Ok(js) => Response::json(200, js),
             Err(e) => error_response(500, &e.to_string()),
@@ -232,6 +263,7 @@ impl ApiCtx {
             &ctl,
         ) {
             Ok((result, session)) => {
+                crate::trace::mark("serialize");
                 let js = match serde_json::to_string(&result) {
                     Ok(js) => js,
                     Err(e) => return error_response(500, &e.to_string()),
@@ -278,6 +310,7 @@ impl ApiCtx {
             Err(r) => return r,
         };
         let report = maestro_sim::run_conform_cancellable(&cfg, token);
+        crate::trace::mark("serialize");
         let js = match serde_json::to_string(&report) {
             Ok(js) => js,
             Err(e) => return error_response(500, &e.to_string()),

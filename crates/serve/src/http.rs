@@ -220,6 +220,9 @@ pub struct Response {
     pub body: String,
     /// Optional `Retry-After` header (seconds) — set on `503` sheds.
     pub retry_after: Option<u64>,
+    /// The request's trace ID, echoed as the `x-maestro-trace` header
+    /// (stamped by the connection loop on every response).
+    pub trace: Option<String>,
     /// Whether to close the connection after writing this response.
     pub close: bool,
 }
@@ -232,6 +235,7 @@ impl Response {
             content_type: "application/json",
             body,
             retry_after: None,
+            trace: None,
             close: false,
         }
     }
@@ -243,6 +247,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
             retry_after: None,
+            trace: None,
             close: false,
         }
     }
@@ -258,6 +263,9 @@ impl Response {
         );
         if let Some(secs) = self.retry_after {
             head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        if let Some(trace) = &self.trace {
+            head.push_str(&format!("x-maestro-trace: {trace}\r\n"));
         }
         if self.close {
             head.push_str("Connection: close\r\n");
@@ -389,10 +397,12 @@ mod tests {
     fn responses_serialize_with_content_length() {
         let mut r = Response::json(503, "{\"error\":\"shed\"}".to_string());
         r.retry_after = Some(1);
+        r.trace = Some("00ab".repeat(8));
         r.close = true;
         let text = String::from_utf8(r.to_bytes()).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains(&format!("x-maestro-trace: {}\r\n", "00ab".repeat(8))));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains(&format!(
             "Content-Length: {}\r\n",

@@ -44,6 +44,7 @@ pub mod http;
 pub mod json;
 pub mod queue;
 pub mod server;
+pub mod trace;
 
 pub use api::ApiCtx;
 pub use http::{parse_request, HttpError, Limits, Parsed, Request, Response};

@@ -22,7 +22,9 @@
 use crate::api::{error_response, ApiCtx};
 use crate::http::{parse_request, Limits, Parsed, Request, Response};
 use crate::queue::BoundedQueue;
+use crate::trace::{AccessLog, RequestTimer};
 use maestro_core::SharedAnalysisCache;
+use maestro_obs::trace::{FlightPolicy, FlightRecorder};
 use maestro_obs::{Counter, Gauge, Histogram};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -55,6 +57,17 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Enable the test-only `POST /v1/panic` endpoint.
     pub test_endpoints: bool,
+    /// JSONL access-log destination (`-` = stdout, `None` = off).
+    pub access_log: Option<String>,
+    /// Flight-recorder ring capacity (kept traces; the memory bound).
+    pub trace_capacity: usize,
+    /// Keep 1 in this many healthy requests (1 = keep all; errors and
+    /// slow requests are always kept).
+    pub trace_sample: u64,
+    /// Requests at least this slow are always kept.
+    pub trace_slow: Duration,
+    /// Fixed trace-ID seed (tests); `None` seeds from the clock.
+    pub trace_seed: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +83,11 @@ impl Default for ServeConfig {
             memo_cap: maestro_core::DEFAULT_CACHE_CAP,
             shards: 8,
             test_endpoints: false,
+            access_log: None,
+            trace_capacity: 256,
+            trace_sample: 16,
+            trace_slow: Duration::from_millis(100),
+            trace_seed: None,
         }
     }
 }
@@ -102,7 +120,9 @@ pub struct ServeMetrics {
     pub connections: Counter,
     /// Requests currently being served.
     pub in_flight: Gauge,
-    /// End-to-end request service time (seconds).
+    /// Seconds since the daemon started (refreshed on `/metrics`).
+    pub uptime_seconds: Gauge,
+    /// End-to-end request service time (seconds), log-spaced buckets.
     pub request_seconds: Histogram,
 }
 
@@ -118,9 +138,13 @@ impl ServeMetrics {
             bad_requests: r.counter("maestro.serve.bad_requests"),
             connections: r.counter("maestro.serve.connections"),
             in_flight: r.gauge("maestro.serve.in_flight"),
+            uptime_seconds: r.gauge("maestro.serve.uptime_seconds"),
+            // Log-spaced: 3 buckets per decade from 100µs to 10s, so a
+            // single-digit-millisecond p99 is interpolated inside a
+            // ~2x-wide bucket instead of a 5x-wide fixed one.
             request_seconds: r.histogram(
                 "maestro.serve.request_seconds",
-                &[0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0],
+                &maestro_obs::metrics::log_buckets(1e-4, 10.0, 3),
             ),
         }
     }
@@ -164,6 +188,25 @@ impl Server {
         let Server { listener, cfg } = self;
         listener.set_nonblocking(true)?;
         let metrics = ServeMetrics::register();
+        maestro_obs::registry().info(
+            "maestro.build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("git", option_env!("MAESTRO_GIT_HASH").unwrap_or("unknown")),
+            ],
+        );
+        if let Some(seed) = cfg.trace_seed {
+            maestro_obs::trace::seed_trace_ids(seed);
+        }
+        FlightRecorder::global().configure(FlightPolicy {
+            capacity: cfg.trace_capacity,
+            sample_k: cfg.trace_sample,
+            slow_us: cfg.trace_slow.as_micros() as u64,
+        });
+        let access: Option<Arc<AccessLog>> = match &cfg.access_log {
+            None => None,
+            Some(path) => Some(Arc::new(AccessLog::open(path)?)),
+        };
         let ctx = Arc::new(ApiCtx {
             cache: SharedAnalysisCache::new(cfg.shards, cfg.memo_cap),
             request_root: maestro_obs::CancelToken::detached(),
@@ -171,8 +214,10 @@ impl Server {
             ready: AtomicBool::new(true),
             test_endpoints: cfg.test_endpoints,
             metrics: metrics.clone(),
+            started: Instant::now(),
         });
-        let queue: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(cfg.queue_depth));
+        let queue: Arc<BoundedQueue<(TcpStream, Instant)>> =
+            Arc::new(BoundedQueue::new(cfg.queue_depth));
         let in_flight = Arc::new(AtomicU64::new(0));
         let limits = Limits {
             max_head_bytes: Limits::default().max_head_bytes,
@@ -185,11 +230,20 @@ impl Server {
             let ctx = Arc::clone(&ctx);
             let in_flight = Arc::clone(&in_flight);
             let io_timeout = cfg.io_timeout;
+            let access = access.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("serve-worker-{i}"))
                 .spawn(move || {
-                    while let Some(stream) = queue.pop() {
-                        serve_connection(stream, &ctx, &in_flight, io_timeout, &limits);
+                    while let Some((stream, accepted)) = queue.pop() {
+                        serve_connection(
+                            stream,
+                            accepted,
+                            &ctx,
+                            &in_flight,
+                            io_timeout,
+                            &limits,
+                            access.as_deref(),
+                        );
                     }
                 })?;
             workers.push(handle);
@@ -204,8 +258,14 @@ impl Server {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     metrics.connections.inc();
-                    if let Err(stream) = queue.try_push(stream) {
-                        shed(stream, &metrics, cfg.io_timeout);
+                    if let Err((stream, accepted)) = queue.try_push((stream, Instant::now())) {
+                        shed(
+                            stream,
+                            accepted,
+                            &metrics,
+                            cfg.io_timeout,
+                            access.as_deref(),
+                        );
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -283,26 +343,53 @@ fn wait_for_workers(
 }
 
 /// Admission-control rejection: immediate `503` + `Retry-After`, close.
-fn shed(stream: TcpStream, metrics: &ServeMetrics, io_timeout: Duration) {
+/// Shed requests get a trace too — a 503 outcome is always tail-kept, so
+/// overload events stay diagnosable after the fact.
+fn shed(
+    stream: TcpStream,
+    accepted: Instant,
+    metrics: &ServeMetrics,
+    io_timeout: Duration,
+    access: Option<&AccessLog>,
+) {
     metrics.shed.inc();
+    let mut timer = RequestTimer::begin(accepted);
+    timer.mark("shed");
     let mut resp = error_response(503, "server is at capacity, retry later");
     resp.retry_after = Some(1);
+    resp.trace = Some(timer.id().to_hex());
     resp.close = true;
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(io_timeout.min(Duration::from_secs(1))));
     let mut stream = stream;
-    let _ = stream.write_all(&resp.to_bytes());
+    let bytes = resp.to_bytes();
+    let _ = stream.write_all(&bytes);
     let _ = stream.shutdown(std::net::Shutdown::Both);
+    let rec = timer.finish("shed".to_string(), 503, resp.body.len() as u64);
+    if let Some(log) = access {
+        log.write(&rec);
+    }
+    let _ = FlightRecorder::global().record(rec);
 }
 
 /// Serve one connection: a keep-alive loop of parse → handle → respond.
+///
+/// Trace anchoring: the connection's *first* request is anchored at
+/// `accepted`, so its `queue` phase is the real admission wait
+/// (accept → worker pop). Keep-alive successors are anchored at the
+/// first byte observed after the previous response — client think time
+/// between requests is idle line time, not served latency, and is left
+/// out of the trace.
 fn serve_connection(
     stream: TcpStream,
+    accepted: Instant,
     ctx: &ApiCtx,
     in_flight: &AtomicU64,
     io_timeout: Duration,
     limits: &Limits,
+    access: Option<&AccessLog>,
 ) {
+    let popped = Instant::now();
     let mut stream = stream;
     if stream.set_nonblocking(false).is_err()
         || stream.set_read_timeout(Some(io_timeout)).is_err()
@@ -312,28 +399,74 @@ fn serve_connection(
     }
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 8 * 1024];
+    // `Some` until the first request completes parsing.
+    let mut first: Option<(Instant, Instant)> = Some((accepted, popped));
+    // First instant bytes of the *current* request were observed.
+    let mut first_byte: Option<Instant> = None;
     loop {
         match parse_request(&buf, limits) {
             Ok(Parsed::Complete { req, consumed }) => {
                 buf.drain(..consumed);
+                let parsed_at = Instant::now();
+                let mut timer = match first.take() {
+                    Some((accepted, popped)) => {
+                        let mut t = RequestTimer::begin(accepted);
+                        t.phase_span("queue", accepted, popped);
+                        t.phase_span("parse", popped, parsed_at);
+                        t
+                    }
+                    None => {
+                        let anchor = first_byte.unwrap_or(parsed_at);
+                        let mut t = RequestTimer::begin(anchor);
+                        t.phase_span("parse", anchor, parsed_at);
+                        t
+                    }
+                };
+                first_byte = if buf.is_empty() {
+                    None
+                } else {
+                    // Pipelined bytes of the next request are already
+                    // buffered; its clock starts now.
+                    Some(parsed_at)
+                };
+                // Keep the `parse` attribution open across routing and
+                // body decode; `ApiCtx::with_body` advances it.
+                timer.mark("parse");
+                let route = format!("{} {}", req.method, req.path);
+                crate::trace::install(timer);
                 let resp = serve_request(ctx, &req, in_flight);
                 let close = resp.close || req.close || !ctx.ready.load(Ordering::Relaxed);
                 let mut resp = resp;
                 resp.close = close;
-                if stream.write_all(&resp.to_bytes()).is_err() || close {
+                if resp.trace.is_none() {
+                    resp.trace = crate::trace::active_id().map(|id| id.to_hex());
+                }
+                let write_failed = stream.write_all(&resp.to_bytes()).is_err();
+                crate::trace::finish_active(&route, resp.status, resp.body.len() as u64, access);
+                if write_failed || close {
                     return;
                 }
             }
             Ok(Parsed::Partial) => match stream.read(&mut chunk) {
                 Ok(0) => return, // EOF (possibly mid-request: nothing to answer)
-                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    if buf.is_empty() && n > 0 && first_byte.is_none() {
+                        first_byte = Some(Instant::now());
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     // Slow-loris: bytes of an unfinished request arrived,
                     // then the line went quiet past the read timeout.
                     if !buf.is_empty() {
                         ctx.metrics.bad_requests.inc();
-                        let _ =
-                            stream.write_all(&error_response(408, "request timed out").to_bytes());
+                        let mut resp = error_response(408, "request timed out");
+                        reject_with_trace(
+                            &mut stream,
+                            &mut resp,
+                            first.take().map(|(a, _)| a).or(first_byte),
+                            access,
+                        );
                     }
                     return;
                 }
@@ -341,20 +474,49 @@ fn serve_connection(
             },
             Err(e) => {
                 ctx.metrics.bad_requests.inc();
-                let resp = error_response(e.status(), e.describe());
-                let _ = stream.write_all(&resp.to_bytes());
+                let mut resp = error_response(e.status(), e.describe());
+                reject_with_trace(
+                    &mut stream,
+                    &mut resp,
+                    first.take().map(|(a, _)| a).or(first_byte),
+                    access,
+                );
                 return;
             }
         }
     }
 }
 
+/// Write a parser-rejection response (`400`/`408`/`413`) with a trace:
+/// even requests that never parsed get an `x-maestro-trace` header and a
+/// recorder entry, anchored at the best-known request start.
+fn reject_with_trace(
+    stream: &mut TcpStream,
+    resp: &mut Response,
+    anchor: Option<Instant>,
+    access: Option<&AccessLog>,
+) {
+    let anchor = anchor.unwrap_or_else(Instant::now);
+    let mut timer = RequestTimer::begin(anchor);
+    timer.phase_span("parse", anchor, Instant::now());
+    resp.trace = Some(timer.id().to_hex());
+    let _ = stream.write_all(&resp.to_bytes());
+    let rec = timer.finish("reject".to_string(), resp.status, resp.body.len() as u64);
+    if let Some(log) = access {
+        log.write(&rec);
+    }
+    let _ = FlightRecorder::global().record(rec);
+}
+
 /// Dispatch one request under panic isolation and metrics accounting.
+/// The active timer's trace ID is installed as the thread's span context
+/// for the duration, so spans recorded by the analysis engines carry it.
 fn serve_request(ctx: &ApiCtx, req: &Request, in_flight: &AtomicU64) -> Response {
     ctx.metrics.requests_total.inc();
     let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
     ctx.metrics.in_flight.set(now as f64);
     let t0 = Instant::now();
+    let span_prev = crate::trace::active_id().map(maestro_obs::trace::set_current);
     let resp = match catch_unwind(AssertUnwindSafe(|| ctx.handle(req))) {
         Ok(resp) => resp,
         Err(_) => {
@@ -364,6 +526,9 @@ fn serve_request(ctx: &ApiCtx, req: &Request, in_flight: &AtomicU64) -> Response
             r
         }
     };
+    if let Some(prev) = span_prev {
+        maestro_obs::trace::clear_current(prev);
+    }
     ctx.metrics
         .request_seconds
         .observe(t0.elapsed().as_secs_f64());
