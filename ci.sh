@@ -133,9 +133,15 @@ serve_log="${smokedir}/serve.log"
 serve_request() { # serve_request <addr> <method> <path> [body]
   local host="${1%:*}" port="${1##*:}" method="$2" path="$3" body="${4:-}"
   exec 3<>"/dev/tcp/${host}/${port}"
-  printf '%s %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\nContent-Length: %s\r\n\r\n%s' \
-    "${method}" "${path}" "${#body}" "${body}" >&3
-  cat <&3
+  # The accept path is event-driven now: a shed 503 can be written and
+  # the socket closed before this write lands, so run it in a subshell
+  # with SIGPIPE ignored — a late write must not kill the script.
+  (
+    trap '' PIPE
+    printf '%s %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\nContent-Length: %s\r\n\r\n%s' \
+      "${method}" "${path}" "${#body}" "${body}" >&3
+  ) 2>/dev/null || true
+  cat <&3 2>/dev/null || true
   exec 3>&- 2>/dev/null || true
 }
 wait_for_addr() { # wait_for_addr <logfile>; echoes host:port
@@ -162,6 +168,27 @@ dse_resp=$(serve_request "${serve_addr}" POST /v1/dse \
   '{"model":"alexnet","layer":"CONV3","style":"KC-P","space":"tiny"}')
 grep -q "HTTP/1.1 200" <<<"${dse_resp}" || { echo "dse failed: ${dse_resp}" >&2; exit 1; }
 grep -q '"pareto"' <<<"${dse_resp}" || { echo "dse lacks pareto front: ${dse_resp}" >&2; exit 1; }
+# Batch: one request, many points, per-item error isolation — the bad
+# middle point becomes an error element, the good points still analyze.
+batch_resp=$(serve_request "${serve_addr}" POST /v1/batch \
+  '{"points":[{"model":"alexnet","layer":"CONV1","pes":64},{"model":"alexnet","layer":"NOPE"},{"model":"alexnet","layer":"CONV2","pes":64}]}')
+grep -q "HTTP/1.1 200" <<<"${batch_resp}" || { echo "batch failed: ${batch_resp}" >&2; exit 1; }
+grep -q '"count":3' <<<"${batch_resp}" || { echo "batch lacks count: ${batch_resp}" >&2; exit 1; }
+reports=$(grep -o '"report"' <<<"${batch_resp}" | wc -l)
+[ "${reports}" -eq 2 ] || { echo "expected 2 batch reports, got ${reports}: ${batch_resp}" >&2; exit 1; }
+grep -q 'no layer .NOPE' <<<"${batch_resp}" || { echo "batch lost the per-item error: ${batch_resp}" >&2; exit 1; }
+# Streaming DSE: NDJSON with more than one line, the last line being the
+# well-formed final result.
+stream_resp=$(serve_request "${serve_addr}" POST /v1/dse \
+  '{"model":"alexnet","layer":"CONV3","style":"KC-P","space":"tiny","stream":true}')
+grep -q "application/x-ndjson" <<<"${stream_resp}" || { echo "stream lacks NDJSON content type: ${stream_resp}" >&2; exit 1; }
+stream_body=$(sed '1,/^\r*$/d' <<<"${stream_resp}")
+stream_lines=$(grep -c . <<<"${stream_body}")
+[ "${stream_lines}" -gt 1 ] || { echo "expected >1 NDJSON lines, got ${stream_lines}: ${stream_resp}" >&2; exit 1; }
+tail -1 <<<"${stream_body}" | grep -q '"final":true' \
+  || { echo "stream final line malformed: ${stream_body}" >&2; exit 1; }
+tail -1 <<<"${stream_body}" | grep -q '"partial":false' \
+  || { echo "uninterrupted stream marked partial: ${stream_body}" >&2; exit 1; }
 metrics_resp=$(serve_request "${serve_addr}" GET /metrics)
 served=$(sed -n 's/^maestro_serve_requests_total \([0-9]*\).*/\1/p' <<<"${metrics_resp}" | head -1)
 if [ -z "${served}" ] || [ "${served}" -lt 2 ]; then
@@ -177,6 +204,10 @@ grep -Eq '^maestro_build_info\{.*git="[^"]+".*\} 1$' <<<"${metrics_resp}" \
   || { echo "maestro_build_info lacks a git label" >&2; exit 1; }
 grep -q '^# TYPE maestro_serve_uptime_seconds gauge' <<<"${metrics_resp}" \
   || { echo "missing maestro_serve_uptime_seconds in /metrics" >&2; exit 1; }
+grep -q '^# TYPE maestro_serve_queue_depth gauge' <<<"${metrics_resp}" \
+  || { echo "missing maestro_serve_queue_depth in /metrics" >&2; exit 1; }
+grep -q '^maestro_serve_write_failures ' <<<"${metrics_resp}" \
+  || { echo "missing maestro_serve_write_failures in /metrics" >&2; exit 1; }
 # Request traces: the analyze request above was kept (1-in-1 sampling)
 # and is listed with phase attribution.
 traces_resp=$(serve_request "${serve_addr}" GET /debug/traces)
@@ -210,7 +241,10 @@ exec 4<>"/dev/tcp/${shed_host}/${shed_port}"; printf 'POST /v1/analyze HTTP/1.1\
 sleep 0.3
 exec 5<>"/dev/tcp/${shed_host}/${shed_port}"; printf 'GET /healthz HT' >&5
 sleep 0.3
-shed_resp=$(serve_request "${serve_addr}" GET /healthz)
+# Shedding is decided at accept, before any request bytes are read —
+# connect and read without writing, so the server's immediate close
+# cannot RST away the 503 mid-handshake.
+shed_resp=$(exec 3<>"/dev/tcp/${shed_host}/${shed_port}"; cat <&3; exec 3>&-)
 grep -q "HTTP/1.1 503" <<<"${shed_resp}" || { echo "expected a 503 shed: ${shed_resp}" >&2; exit 1; }
 grep -q "Retry-After:" <<<"${shed_resp}" || { echo "503 lacks Retry-After: ${shed_resp}" >&2; exit 1; }
 exec 4>&- 5>&-
@@ -233,10 +267,12 @@ kill -TERM "${serve_pid}"
 rc=0; wait "${serve_pid}" || rc=$?
 [ "${rc}" -eq 0 ] || { echo "shed daemon drain exited ${rc}, expected 0" >&2; exit 1; }
 
-# Chaos smoke: sustained mixed loadgen traffic, SIGTERM mid-load. The
-# drain guarantee is zero dropped (started-but-incomplete) responses —
+# Chaos smoke: sustained mixed loadgen traffic — analyze, dse, conform,
+# plus /v1/batch requests and NDJSON /v1/dse streams — SIGTERM mid-load.
+# The drain guarantee is zero dropped (started-but-incomplete) responses
+# — a truncated stream without its final line counts as dropped, and
 # loadgen itself exits 1 on any drop — and the daemon exits 0.
-echo "== serve chaos smoke (SIGTERM under loadgen traffic)"
+echo "== serve chaos smoke (SIGTERM under mixed batch/stream traffic)"
 target/release/maestro serve --addr 127.0.0.1:0 --workers 2 --drain-seconds 10 \
   > "${serve_log}.chaos" 2>/dev/null &
 serve_pid=$!
@@ -256,22 +292,42 @@ if [ "${rc}" -ne 0 ]; then
 fi
 grep -q '"dropped": 0' "${smokedir}/chaos.json" || { echo "chaos run dropped responses" >&2; exit 1; }
 
-# Serve latency baseline: a short steady analyze load, report written to
-# BENCH_serve.json (p50/p90/p99 + QPS + outcome census) for tracking.
-echo "== serve bench (BENCH_serve.json)"
+# Serve latency baseline: short steady loads in each serving shape —
+# single analyze, 8-point batch, NDJSON stream — composed into one
+# BENCH_serve.json (p50/p90/p99 + QPS + outcome census per row).
+echo "== serve bench (BENCH_serve.json: analyze + batch + stream rows)"
 target/release/maestro serve --addr 127.0.0.1:0 --workers 2 \
   > "${serve_log}.bench" 2>/dev/null &
 serve_pid=$!
 serve_addr=$(wait_for_addr "${serve_log}.bench")
-target/release/loadgen --addr "${serve_addr}" --seconds 2 --concurrency 4 \
-  --mode analyze --retries 2 --out BENCH_serve.json > /dev/null
+for mode in analyze batch stream; do
+  target/release/loadgen --addr "${serve_addr}" --seconds 2 --concurrency 4 \
+    --mode "${mode}" --retries 2 --out "${smokedir}/bench_${mode}.json" > /dev/null
+done
 kill -TERM "${serve_pid}"
 rc=0; wait "${serve_pid}" || rc=$?
 [ "${rc}" -eq 0 ] || { echo "bench daemon drain exited ${rc}, expected 0" >&2; exit 1; }
-for field in '"qps"' '"p50_ms"' '"p90_ms"' '"p99_ms"' '"ok"' '"shed"'; do
-  grep -q "${field}" BENCH_serve.json \
-    || { echo "BENCH_serve.json is missing ${field}" >&2; cat BENCH_serve.json >&2; exit 1; }
+for mode in analyze batch stream; do
+  for field in '"qps"' '"p50_ms"' '"p90_ms"' '"p99_ms"' '"ok"' '"shed"'; do
+    grep -q "${field}" "${smokedir}/bench_${mode}.json" \
+      || { echo "bench ${mode} row is missing ${field}" >&2; cat "${smokedir}/bench_${mode}.json" >&2; exit 1; }
+  done
+  grep -q '"dropped": 0' "${smokedir}/bench_${mode}.json" \
+    || { echo "serve bench (${mode}) dropped responses" >&2; exit 1; }
 done
-grep -q '"dropped": 0' BENCH_serve.json || { echo "serve bench dropped responses" >&2; exit 1; }
+# The accept path is event-driven now: a cached single analyze must land
+# well under the former 2 ms accept-poll floor.
+p50=$(sed -n 's/.*"p50_ms": \([0-9.]*\).*/\1/p' "${smokedir}/bench_analyze.json" | head -1)
+awk "BEGIN{exit !(${p50} < 2.0)}" \
+  || { echo "analyze p50 ${p50} ms is not below the former 2 ms accept-poll floor" >&2; exit 1; }
+{
+  printf '{\n'
+  for mode in analyze batch stream; do
+    [ "${mode}" = analyze ] || printf ',\n'
+    printf '"%s":\n' "${mode}"
+    cat "${smokedir}/bench_${mode}.json"
+  done
+  printf '}\n'
+} > BENCH_serve.json
 
 echo "CI OK"

@@ -20,9 +20,14 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7433 [--seconds 5] [--concurrency 8]
-//!         [--mode analyze|mixed] [--deadline-ms 2000] [--budget-ms 4000]
-//!         [--retries 4] [--json] [--out report.json]
+//!         [--mode analyze|mixed|batch|stream] [--deadline-ms 2000]
+//!         [--budget-ms 4000] [--retries 4] [--json] [--out report.json]
 //! ```
+//!
+//! `batch` fires 8-point `/v1/batch` requests; `stream` fires NDJSON
+//! `/v1/dse` streams (EOF-framed — a stream counts `ok` only once its
+//! `"final":true` line fully arrived, so a truncated stream is
+//! `dropped`). `mixed` sprinkles both in with analyze/dse/conform.
 
 use serde::Serialize;
 use std::io::{Read, Write};
@@ -76,8 +81,8 @@ fn parse_args() -> Config {
         }
     }
     assert!(
-        cfg.mode == "analyze" || cfg.mode == "mixed",
-        "--mode must be analyze|mixed"
+        matches!(cfg.mode.as_str(), "analyze" | "mixed" | "batch" | "stream"),
+        "--mode must be analyze|mixed|batch|stream"
     );
     cfg
 }
@@ -177,16 +182,37 @@ fn exchange(addr: &SocketAddr, raw: &[u8], io_timeout: Duration) -> Outcome {
 }
 
 /// Parse a response prefix: `Some((status, body_complete))` once the
-/// status line and headers are readable.
+/// status line and headers are readable. `Content-Length` responses
+/// complete at the declared byte count; EOF-framed NDJSON streams
+/// complete once the `"final":true` marker line fully arrived — a stream
+/// cut before it is an incomplete (dropped) response.
 fn classify(buf: &[u8]) -> Option<(u16, bool)> {
     let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
     let head = std::str::from_utf8(&buf[..head_end]).ok()?;
     let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
-    let content_length = head
+    let body = &buf[head_end + 4..];
+    match head
         .lines()
         .find_map(|l| l.strip_prefix("Content-Length: "))
-        .and_then(|v| v.trim().parse::<usize>().ok())?;
-    Some((status, buf.len() >= head_end + 4 + content_length))
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(content_length) => Some((status, body.len() >= content_length)),
+        None if head.contains("application/x-ndjson") => Some((status, stream_complete(body))),
+        None => None,
+    }
+}
+
+/// A newline-terminated body whose last line carries the final marker.
+fn stream_complete(body: &[u8]) -> bool {
+    if !body.ends_with(b"\n") {
+        return false;
+    }
+    let Ok(text) = std::str::from_utf8(body) else {
+        return false;
+    };
+    text.lines()
+        .next_back()
+        .is_some_and(|l| l.contains("\"final\":true"))
 }
 
 /// Parse `Retry-After` out of a shed response (best effort).
@@ -204,9 +230,39 @@ struct WorkerArgs {
     seed: u64,
 }
 
+fn batch_body(rng: &mut Rng, deadline_ms: u64) -> String {
+    const LAYERS: [&str; 4] = ["CONV1", "CONV2", "CONV3", "CONV5"];
+    let points: Vec<String> = (0..8)
+        .map(|_| {
+            format!(
+                "{{\"model\":\"alexnet\",\"layer\":\"{}\",\"pes\":64,\"bw\":{}}}",
+                LAYERS[rng.below(LAYERS.len() as u64) as usize],
+                1 << rng.below(6),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"deadline_ms\":{deadline_ms},\"points\":[{}]}}",
+        points.join(",")
+    )
+}
+
+fn stream_body(deadline_ms: u64) -> String {
+    format!(
+        "{{\"model\":\"alexnet\",\"layer\":\"CONV3\",\"style\":\"KC-P\",\
+         \"space\":\"tiny\",\"stream\":true,\"deadline_ms\":{deadline_ms}}}"
+    )
+}
+
 fn request_body(mode: &str, rng: &mut Rng, deadline_ms: u64) -> (String, String) {
     // Rotate layers so the shared cache sees both hits and misses.
     const LAYERS: [&str; 4] = ["CONV1", "CONV2", "CONV3", "CONV5"];
+    if mode == "batch" {
+        return ("/v1/batch".to_string(), batch_body(rng, deadline_ms));
+    }
+    if mode == "stream" {
+        return ("/v1/dse".to_string(), stream_body(deadline_ms));
+    }
     if mode == "mixed" {
         match rng.below(10) {
             0 => {
@@ -224,6 +280,8 @@ fn request_body(mode: &str, rng: &mut Rng, deadline_ms: u64) -> (String, String)
                     format!("{{\"cases\":3,\"deadline_ms\":{deadline_ms}}}"),
                 )
             }
+            2 => return ("/v1/batch".to_string(), batch_body(rng, deadline_ms)),
+            3 => return ("/v1/dse".to_string(), stream_body(deadline_ms)),
             _ => {}
         }
     }

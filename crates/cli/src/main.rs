@@ -226,6 +226,8 @@ Serving (serve):
   --workers <n>              worker threads (default 4)
   --queue-depth <n>          admission queue bound; full queue sheds 503 + Retry-After (default 64)
   --default-deadline-ms <n>  deadline for requests without deadline_ms (default 10000)
+  --max-request-threads <n>  cap on the `threads` one /v1/dse request may claim
+                             (default 0 = the host's available parallelism)
   --drain-seconds <s>        drain budget after SIGTERM/SIGINT before in-flight
                              requests are cancelled (default 5; forced drain exits 7)
   --io-timeout <s>           socket read/write timeout, slow-loris guard (default 10)
@@ -819,6 +821,11 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         } else {
             Some(args.get_u64("trace-seed", 0).map_err(CliError::usage)?)
         },
+        max_request_threads: to_usize(
+            args.get_u64("max-request-threads", 0)
+                .map_err(CliError::usage)?,
+            "max-request-threads",
+        )?,
     };
     // SIGTERM/SIGINT raise the process interrupt flag, which this heeding
     // token observes — tripping it starts the drain.

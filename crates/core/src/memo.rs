@@ -27,7 +27,7 @@
 //!   over NoC bandwidths run the expensive stages once
 //!   ([`AnalysisCache::analyze_staged`]).
 
-use crate::analysis::{analyze, AnalysisError};
+use crate::analysis::{analyze, analyze_cancellable, AnalysisError};
 use crate::lru::Lru;
 use crate::report::LayerReport;
 use crate::stages::StagedAnalysis;
@@ -443,6 +443,34 @@ impl AnalysisCache {
         )
     }
 
+    /// [`AnalysisCache::analyze_staged`] polling a cooperative
+    /// [`CancelToken`](maestro_obs::CancelToken) at the stage boundaries,
+    /// so a request whose deadline expires mid-computation stops at the
+    /// next cancellation point instead of pinning its worker to the end.
+    /// Cache hits are returned regardless of the token — they are cheaper
+    /// than the poll is useful — and [`AnalysisError::Cancelled`] is
+    /// **never** memoized: a deadline belongs to the request, not to the
+    /// (shape, context) entry.
+    ///
+    /// # Errors
+    ///
+    /// As [`AnalysisCache::analyze_staged`], plus
+    /// [`AnalysisError::Cancelled`] when `token` trips before completion.
+    pub fn analyze_staged_cancellable(
+        &mut self,
+        layer: &Layer,
+        dataflow: &Dataflow,
+        acc: &Accelerator,
+        token: &maestro_obs::CancelToken,
+    ) -> Result<LayerReport, AnalysisError> {
+        let Some(key) = ShapeKey::of(layer) else {
+            self.misses += 1;
+            return analyze_cancellable(layer, dataflow, acc, token);
+        };
+        let (stat, full) = context_fingerprints(dataflow, acc);
+        self.staged_lookup_cancellable(key, stat, full, layer, dataflow, acc, Some(token))
+    }
+
     /// Shared staged-path body behind both fingerprint entry points.
     fn staged_lookup(
         &mut self,
@@ -452,6 +480,24 @@ impl AnalysisCache {
         layer: &Layer,
         dataflow: &Dataflow,
         acc: &Accelerator,
+    ) -> Result<LayerReport, AnalysisError> {
+        self.staged_lookup_cancellable(key, stat, full, layer, dataflow, acc, None)
+    }
+
+    /// The staged-path body. With a token, cancellation is polled before
+    /// the expensive stage build and again at the build/price boundary;
+    /// a completed stage build is kept (it is valid whatever the token
+    /// says) but a `Cancelled` outcome never reaches the report tier.
+    #[allow(clippy::too_many_arguments)]
+    fn staged_lookup_cancellable(
+        &mut self,
+        key: ShapeKey,
+        stat: u64,
+        full: u64,
+        layer: &Layer,
+        dataflow: &Dataflow,
+        acc: &Accelerator,
+        token: Option<&maestro_obs::CancelToken>,
     ) -> Result<LayerReport, AnalysisError> {
         if let Some(cached) = self.reports.get(&(key, full)) {
             self.hits += 1;
@@ -469,15 +515,30 @@ impl AnalysisCache {
             }
             None => {
                 self.stage_misses += 1;
+                if token.is_some_and(maestro_obs::CancelToken::is_cancelled) {
+                    // Nothing built yet, nothing to memoize: a later
+                    // request with budget left must still be able to
+                    // build and cache this context.
+                    return Err(AnalysisError::Cancelled);
+                }
                 let built = StagedAnalysis::build(layer, dataflow, acc);
                 let out = match &built {
-                    Ok(staged) => staged.finish(acc.noc.bandwidth, acc.noc.avg_latency),
+                    Ok(staged) => {
+                        if token.is_some_and(maestro_obs::CancelToken::is_cancelled) {
+                            Err(AnalysisError::Cancelled)
+                        } else {
+                            staged.finish(acc.noc.bandwidth, acc.noc.avg_latency)
+                        }
+                    }
                     Err(e) => Err(e.clone()),
                 };
                 self.evictions += self.stages.insert((key, stat), built);
                 out
             }
         };
+        if matches!(result, Err(AnalysisError::Cancelled)) {
+            return result;
+        }
         self.evictions += self.reports.insert((key, full), result.clone());
         self.inserts += 1;
         result
@@ -572,6 +633,32 @@ impl SharedAnalysisCache {
         cache.staged_lookup(key, stat, full, layer, dataflow, acc)
     }
 
+    /// [`AnalysisCache::analyze_staged_cancellable`] against the shared
+    /// table: the serving daemon's per-request deadline hook. `Cancelled`
+    /// is never memoized, so one timed-out request cannot poison the
+    /// cache for the requests that follow it.
+    ///
+    /// # Errors
+    ///
+    /// As [`SharedAnalysisCache::analyze_staged`], plus
+    /// [`AnalysisError::Cancelled`] when `token` trips before completion.
+    pub fn analyze_staged_cancellable(
+        &self,
+        layer: &Layer,
+        dataflow: &Dataflow,
+        acc: &Accelerator,
+        token: &maestro_obs::CancelToken,
+    ) -> Result<LayerReport, AnalysisError> {
+        let Some(key) = ShapeKey::of(layer) else {
+            // Uncacheable (custom coupling): run directly, no lock taken.
+            return analyze_cancellable(layer, dataflow, acc, token);
+        };
+        let (stat, full) = context_fingerprints(dataflow, acc);
+        let shard = self.shard(&key, stat);
+        let mut cache = self.lock(shard);
+        cache.staged_lookup_cancellable(key, stat, full, layer, dataflow, acc, Some(token))
+    }
+
     /// Aggregate `(hits, misses)` across all shards (tests/diagnostics;
     /// takes every shard lock in turn).
     pub fn hit_miss(&self) -> (u64, u64) {
@@ -619,6 +706,58 @@ mod tests {
             ShapeKey::of(&dense).unwrap(),
             ShapeKey::of(&sparse).unwrap()
         );
+    }
+
+    /// Pins the deadline bugfix: a tripped token yields `Cancelled`, and
+    /// that outcome is never memoized — the next request with budget gets
+    /// the real report and subsequent calls hit the report tier.
+    #[test]
+    fn cancelled_results_are_not_memoized() {
+        let acc = Accelerator::builder(64).build();
+        let l = layer("x");
+        let df = Style::KCP.dataflow();
+        let mut cache = AnalysisCache::new();
+
+        let tripped = maestro_obs::CancelToken::detached();
+        tripped.cancel();
+        assert!(matches!(
+            cache.analyze_staged_cancellable(&l, &df, &acc, &tripped),
+            Err(AnalysisError::Cancelled)
+        ));
+
+        let fresh = maestro_obs::CancelToken::detached();
+        let report = cache
+            .analyze_staged_cancellable(&l, &df, &acc, &fresh)
+            .expect("cancelled outcome must not poison the cache");
+        assert_eq!(report, analyze(&l, &df, &acc).expect("analyzable"));
+
+        let hits_before = cache.hits();
+        cache
+            .analyze_staged_cancellable(&l, &df, &acc, &fresh)
+            .expect("analyzable");
+        assert_eq!(cache.hits(), hits_before + 1, "report tier now serves it");
+    }
+
+    #[test]
+    fn shared_cache_cancellable_matches_plain() {
+        let acc = Accelerator::builder(64).build();
+        let l = layer("x");
+        let df = Style::KCP.dataflow();
+        let shared = SharedAnalysisCache::new(4, 0);
+
+        let tripped = maestro_obs::CancelToken::detached();
+        tripped.cancel();
+        assert!(matches!(
+            shared.analyze_staged_cancellable(&l, &df, &acc, &tripped),
+            Err(AnalysisError::Cancelled)
+        ));
+
+        let fresh = maestro_obs::CancelToken::detached();
+        let via_token = shared
+            .analyze_staged_cancellable(&l, &df, &acc, &fresh)
+            .expect("analyzable");
+        let plain = shared.analyze_staged(&l, &df, &acc).expect("analyzable");
+        assert_eq!(via_token, plain);
     }
 
     #[test]

@@ -22,6 +22,33 @@ use std::time::Duration;
 /// are reported once up front). Called from worker threads; keep it cheap.
 pub type ProgressFn = dyn Fn(usize, usize) + Sync;
 
+/// One completed work unit's frontier contribution, delivered to
+/// [`SessionCtl::on_unit`] streaming consumers as the unit finishes.
+///
+/// The calls are serialized (the engine fires them under its completion
+/// lock), `completed` is strictly monotone across them, and `pareto`
+/// borrows the unit's own frontier slice — the *incremental* view; the
+/// merged cross-unit frontier arrives with the final
+/// [`crate::DseResult`].
+#[derive(Debug)]
+pub struct UnitUpdate<'a> {
+    /// The unit's index in the sweep.
+    pub unit: usize,
+    /// Terminal units so far (including resumed-skipped ones).
+    pub completed: usize,
+    /// Total work units in the sweep.
+    pub total: usize,
+    /// This unit's local Pareto frontier (empty for a failed unit).
+    pub pareto: &'a [crate::explorer::DesignPoint],
+    /// The failure message when the unit was quarantined.
+    pub failed: Option<&'a str>,
+}
+
+/// Per-unit streaming callback. Called from worker threads under the
+/// completion lock — keep it bounded (a socket write with a timeout is
+/// fine; unbounded blocking stalls the sweep).
+pub type UnitFn = dyn Fn(&UnitUpdate<'_>) + Sync;
+
 /// Controls for one interruption-proof sweep. [`SessionCtl::default`] is
 /// a plain run-to-completion sweep: no checkpointing, no deadline, no
 /// faults, a detached token.
@@ -66,6 +93,10 @@ pub struct SessionCtl {
     pub unit_timeout: Option<Duration>,
     /// Progress observer (the CLI's `--progress` line).
     pub on_progress: Option<Box<ProgressFn>>,
+    /// Per-unit frontier observer (the serving daemon's NDJSON stream).
+    /// Fired once per unit completed *in this session* — resumed-skipped
+    /// units are not replayed.
+    pub on_unit: Option<Box<UnitFn>>,
     /// Record a per-unit trace into the global
     /// [`maestro_obs::FlightRecorder`] for 1 in this many units
     /// (`None` = off, the CLI's `--trace-sample`). Sampling is on the
@@ -90,6 +121,7 @@ impl Default for SessionCtl {
             retries: 1,
             unit_timeout: None,
             on_progress: None,
+            on_unit: None,
             trace_sample: None,
             trace_seed: 0,
         }
@@ -107,6 +139,7 @@ impl fmt::Debug for SessionCtl {
             .field("retries", &self.retries)
             .field("unit_timeout", &self.unit_timeout)
             .field("on_progress", &self.on_progress.is_some())
+            .field("on_unit", &self.on_unit.is_some())
             .field("trace_sample", &self.trace_sample)
             .field("trace_seed", &self.trace_seed)
             .finish()

@@ -1881,6 +1881,7 @@ impl Explorer {
                 every: ctl.checkpoint_every,
             }),
             on_progress: ctl.on_progress.as_deref(),
+            on_unit: ctl.on_unit.as_deref(),
             trace_sample: ctl.trace_sample,
             trace_seed: ctl.trace_seed,
         };

@@ -44,7 +44,7 @@ pub mod space;
 pub mod tuner;
 pub mod variants;
 
-pub use cancel::{CancelToken, SessionCtl, SessionError, SessionReport};
+pub use cancel::{CancelToken, SessionCtl, SessionError, SessionReport, UnitUpdate};
 pub use checkpoint::{sweep_fingerprint, Checkpoint, CheckpointError, UnitEntry};
 pub use explorer::{
     insert_pareto, unit_seconds_buckets, DesignPoint, DseResult, DseStats, EvalMode, Explorer,

@@ -50,7 +50,7 @@
 //! the unit index, so the bit-identical guarantee extends across
 //! interruption, resume and injection at any thread count.
 
-use crate::cancel::CancelToken;
+use crate::cancel::{CancelToken, UnitUpdate};
 use crate::checkpoint::{Checkpoint, UnitEntry};
 use crate::explorer::{
     update_best, DesignPoint, DseResult, DseStats, ParetoFront, Partial, QuarantinedUnit,
@@ -224,6 +224,10 @@ pub struct RunCtl<'a> {
     pub checkpoint: Option<CheckpointSink<'a>>,
     /// Called with `(completed, total)` after each terminal unit.
     pub on_progress: Option<&'a (dyn Fn(usize, usize) + Sync + 'a)>,
+    /// Per-unit frontier observer, fired under the completion lock so
+    /// calls are serialized and `completed` is strictly monotone (see
+    /// [`crate::cancel::SessionCtl::on_unit`]).
+    pub on_unit: Option<&'a (dyn Fn(&UnitUpdate<'_>) + Sync + 'a)>,
     /// Record 1 in this many units (by unit index, plus every
     /// quarantined unit) as a trace in the global flight recorder.
     /// See [`crate::cancel::SessionCtl::trace_sample`].
@@ -418,6 +422,23 @@ where
                 }
             }
         }
+        // Deliberately still under the lock: streaming consumers get
+        // serialized calls with monotone `completed`, with no extra
+        // synchronization of their own.
+        if let Some(f) = ctl.on_unit {
+            let (pareto, failed): (&[_], Option<&str>) = match &st.slots[i] {
+                Some(Ok(p)) => (&p.pareto, None),
+                Some(Err(e)) => (&[], Some(e.as_str())),
+                None => (&[], None),
+            };
+            f(&UnitUpdate {
+                unit: i,
+                completed,
+                total: units,
+                pareto,
+                failed,
+            });
+        }
         drop(st);
         if let Some(p) = ctl.on_progress {
             p(completed, units);
@@ -499,6 +520,7 @@ where
         unit_timeout: None,
         checkpoint: None,
         on_progress: None,
+        on_unit: None,
         trace_sample: None,
         trace_seed: 0,
     };
@@ -623,8 +645,45 @@ mod tests {
             unit_timeout: None,
             checkpoint: None,
             on_progress: None,
+            on_unit: None,
             trace_sample: None,
             trace_seed: 0,
+        }
+    }
+
+    /// The streaming hook fires exactly once per unit, serialized, with a
+    /// strictly monotone `completed` and the failure message on
+    /// quarantined units — the contract the NDJSON stream relies on.
+    #[test]
+    fn on_unit_fires_serialized_with_monotone_progress() {
+        let token = CancelToken::detached();
+        let faults = FaultPlan::new(0, Vec::new());
+        let seen: Mutex<Vec<(usize, usize, bool)>> = Mutex::new(Vec::new());
+        let on_unit = |u: &UnitUpdate<'_>| {
+            seen.lock()
+                .unwrap()
+                .push((u.unit, u.completed, u.failed.is_some()));
+        };
+        let ctl = RunCtl {
+            on_unit: Some(&on_unit),
+            ..plain_ctl(&token, &faults)
+        };
+        let report = run_units_ctl(6, 3, &ctl, |i| {
+            if i == 2 {
+                panic!("boom unit 2");
+            }
+            unit(i)
+        });
+        assert!(report.complete());
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 6, "one call per unit");
+        let completed: Vec<usize> = seen.iter().map(|(_, c, _)| *c).collect();
+        assert_eq!(completed, vec![1, 2, 3, 4, 5, 6], "strictly monotone");
+        let mut units: Vec<usize> = seen.iter().map(|(u, _, _)| *u).collect();
+        units.sort_unstable();
+        assert_eq!(units, vec![0, 1, 2, 3, 4, 5]);
+        for (u, _, failed) in &seen {
+            assert_eq!(*failed, *u == 2, "only the panicked unit is failed");
         }
     }
 

@@ -51,6 +51,29 @@ impl Gauge {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Atomically add `delta` (may be negative) via a CAS loop over the
+    /// stored bits — safe under concurrent updates, unlike a read/`set`
+    /// pair which can lose increments between the two steps.
+    pub fn add(&self, delta: f64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + delta).to_bits())
+            });
+    }
+
+    /// Atomically increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Atomically decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
@@ -530,6 +553,34 @@ mod tests {
         let g = r.gauge("maestro.test.level");
         g.set(2.5);
         assert!((r.gauge("maestro.test.level").get() - 2.5).abs() < 1e-12);
+    }
+
+    /// Pins the `in_flight`-style race: N threads doing paired inc/dec
+    /// must leave the gauge at exactly zero. With the old read-then-`set`
+    /// update pattern interleavings lost updates and the gauge drifted.
+    #[test]
+    fn gauge_add_is_atomic_under_contention() {
+        let r = Registry::new();
+        let g = r.gauge("maestro.test.contended");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        g.inc();
+                        g.dec();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(g.get(), 0.0, "paired inc/dec must cancel exactly");
+
+        g.add(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //! * `GET /metrics` — the process-global Prometheus exposition.
 //! * `POST /v1/analyze` — one cost-model evaluation (layer or whole
 //!   model), served through the shared analysis cache.
-//! * `POST /v1/dse` — a bounded design-space exploration session.
+//! * `POST /v1/batch` — many analyze points through one connection, one
+//!   JSON parse and one cache session, with per-item error isolation.
+//! * `POST /v1/dse` — a bounded design-space exploration session. With
+//!   `"stream": true` the response is `application/x-ndjson`: one line
+//!   per completed unit (its local Pareto frontier), then a final line
+//!   carrying the merged result and session stats.
 //! * `POST /v1/conform` — a conformance sweep against the simulator.
 //! * `POST /v1/panic` — test-only (off by default): panics in the
 //!   handler, to exercise worker panic isolation.
@@ -32,12 +37,81 @@ use maestro_hw::Accelerator;
 use maestro_ir::{Dataflow, Style};
 use maestro_obs::trace::{records_to_json, FlightRecorder, TraceId};
 use maestro_obs::CancelToken;
+use std::io::Write;
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Deadlines are clamped to this ceiling; an absent or absurd
 /// `deadline_ms` cannot pin a worker for hours.
 const MAX_DEADLINE: Duration = Duration::from_secs(3600);
+
+/// `/v1/batch` accepts at most this many points per request — enough for
+/// any realistic layers × configs sweep through one connection, small
+/// enough that one request cannot monopolize a worker for minutes.
+pub const MAX_BATCH_POINTS: usize = 4096;
+
+/// What serving a request produced: a buffered [`Response`] the
+/// connection loop writes, or the accounting for a response the handler
+/// already streamed to the socket (NDJSON), where only the close and the
+/// trace finish remain.
+pub enum Handled {
+    /// A full response to serialize and write.
+    Response(Response),
+    /// The handler wrote the response itself, incrementally.
+    Streamed(StreamSummary),
+}
+
+/// Accounting for a streamed response (headers + NDJSON lines already on
+/// the wire). Streamed responses always close the connection — there is
+/// no `Content-Length`, so EOF is the framing.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSummary {
+    /// Status of the already-written status line (always 200: errors
+    /// detected before the first byte return a buffered `Response`).
+    pub status: u16,
+    /// Body bytes written (NDJSON lines, excluding headers).
+    pub bytes: u64,
+    /// A socket write failed mid-stream; the client saw a truncation.
+    pub write_failed: bool,
+}
+
+/// Clamp a client-requested `threads` to the server-side cap: absent or
+/// zero requests run single-threaded, and no request can exceed
+/// `max_request_threads` however large a value it sends.
+pub fn effective_threads(requested: u64, cap: usize) -> usize {
+    (requested.max(1).min(usize::MAX as u64) as usize).min(cap.max(1))
+}
+
+/// Shared state behind a streaming response: the cloned socket handle
+/// plus write accounting. Held in an `Arc<Mutex<..>>` so the `'static`
+/// per-unit callback and the handler can both reach it; the engine fires
+/// callbacks under its completion lock, so lines never interleave.
+struct StreamSink {
+    sock: TcpStream,
+    bytes: u64,
+    failed: bool,
+}
+
+impl StreamSink {
+    /// Write one NDJSON line (appends `\n`). After the first failed
+    /// write the sink goes inert — the peer is gone; analysis still
+    /// completes and is cached for the next request.
+    fn line(&mut self, json: &str) {
+        if self.failed {
+            return;
+        }
+        let mut buf = Vec::with_capacity(json.len() + 1);
+        buf.extend_from_slice(json.as_bytes());
+        buf.push(b'\n');
+        if self.sock.write_all(&buf).is_ok() {
+            self.bytes += buf.len() as u64;
+        } else {
+            self.failed = true;
+        }
+    }
+}
 
 /// Shared, immutable context every worker thread serves requests from.
 pub struct ApiCtx {
@@ -57,6 +131,10 @@ pub struct ApiCtx {
     pub metrics: ServeMetrics,
     /// Daemon start time; `/metrics` derives the uptime gauge from it.
     pub started: Instant,
+    /// Upper bound on the `threads` a single `/v1/dse` request may claim
+    /// (already resolved: `--max-request-threads`, or the host's
+    /// available parallelism when the flag is 0/absent).
+    pub max_request_threads: usize,
 }
 
 impl ApiCtx {
@@ -91,6 +169,7 @@ impl ApiCtx {
                 }
             }
             ("POST", "/v1/analyze") => self.with_body(req, Self::analyze),
+            ("POST", "/v1/batch") => self.with_body(req, Self::batch),
             ("POST", "/v1/dse") => self.with_body(req, Self::dse),
             ("POST", "/v1/conform") => self.with_body(req, Self::conform),
             ("POST", "/v1/panic") if self.test_endpoints => {
@@ -98,7 +177,8 @@ impl ApiCtx {
             }
             (
                 _,
-                "/healthz" | "/readyz" | "/metrics" | "/v1/analyze" | "/v1/dse" | "/v1/conform",
+                "/healthz" | "/readyz" | "/metrics" | "/v1/analyze" | "/v1/batch" | "/v1/dse"
+                | "/v1/conform",
             ) => error_response(405, "method not allowed for this path"),
             (_, path) if path.starts_with("/debug/traces") => {
                 error_response(405, "method not allowed for this path")
@@ -107,35 +187,65 @@ impl ApiCtx {
         }
     }
 
-    /// Decode the JSON body, derive the request token, dispatch.
-    fn with_body(&self, req: &Request, f: fn(&Self, &Value, &CancelToken) -> Response) -> Response {
+    /// Route and serve one parsed request with the socket in reach, so
+    /// handlers that stream (NDJSON `/v1/dse`) can write incrementally.
+    /// Everything else delegates to [`ApiCtx::handle`].
+    pub fn handle_conn(&self, req: &Request, sock: &TcpStream) -> Handled {
+        if req.method == "POST" && req.path == "/v1/dse" {
+            let (body, token) = match self.decode_body(req) {
+                Ok(decoded) => decoded,
+                Err(resp) => return Handled::Response(resp),
+            };
+            if body.get("stream").and_then(Value::as_bool) == Some(true) {
+                return self.dse_stream(&body, &token, sock);
+            }
+            return Handled::Response(self.dse(&body, &token));
+        }
+        Handled::Response(self.handle(req))
+    }
+
+    /// Decode the JSON body and derive the request token.
+    fn decode_body(&self, req: &Request) -> Result<(Value, CancelToken), Response> {
         let text = match std::str::from_utf8(&req.body) {
             Ok(t) => t,
-            Err(_) => return error_response(400, "request body is not UTF-8"),
+            Err(_) => return Err(error_response(400, "request body is not UTF-8")),
         };
         let body = if text.trim().is_empty() {
             Value::Obj(Vec::new())
         } else {
             match json::parse(text) {
                 Ok(v) => v,
-                Err(e) => return error_response(400, &e.to_string()),
+                Err(e) => return Err(error_response(400, &e.to_string())),
             }
         };
         if !matches!(body, Value::Obj(_)) {
-            return error_response(400, "request body must be a JSON object");
+            return Err(error_response(400, "request body must be a JSON object"));
         }
         let budget = match body.get("deadline_ms") {
             None => self.default_deadline,
             Some(v) => match v.as_u64() {
                 Some(ms) => Duration::from_millis(ms).min(MAX_DEADLINE),
-                None => return error_response(400, "`deadline_ms` must be a non-negative integer"),
+                None => {
+                    return Err(error_response(
+                        400,
+                        "`deadline_ms` must be a non-negative integer",
+                    ))
+                }
             },
         };
         let token = self.request_root.child_with_deadline(budget);
         // Body decoded, token built: attribution shifts from parse to
         // the analysis stages.
         crate::trace::mark("analyze");
-        f(self, &body, &token)
+        Ok((body, token))
+    }
+
+    /// Decode the JSON body, derive the request token, dispatch.
+    fn with_body(&self, req: &Request, f: fn(&Self, &Value, &CancelToken) -> Response) -> Response {
+        match self.decode_body(req) {
+            Ok((body, token)) => f(self, &body, &token),
+            Err(resp) => resp,
+        }
     }
 
     /// `POST /v1/analyze`.
@@ -160,11 +270,14 @@ impl ApiCtx {
                     &format!("model {} has no layer `{layer_name}`", model.name),
                 );
             };
-            if token.is_cancelled() {
-                self.metrics.timeouts.inc();
-                return timeout_response(0, 1, None);
-            }
-            return match self.cache.analyze_staged(layer, &dataflow, &acc) {
+            // The cancellable staged path polls the token at the stage
+            // boundaries inside the engine, so a slow layer stops at the
+            // next cancellation point instead of pinning the worker past
+            // its 504 budget.
+            return match self
+                .cache
+                .analyze_staged_cancellable(layer, &dataflow, &acc, token)
+            {
                 Ok(report) => {
                     crate::trace::mark("serialize");
                     match serde_json::to_string(&report) {
@@ -179,19 +292,26 @@ impl ApiCtx {
                         Err(e) => error_response(500, &e.to_string()),
                     }
                 }
+                Err(AnalysisError::Cancelled) => {
+                    self.metrics.timeouts.inc();
+                    timeout_response(0, 1, None)
+                }
                 Err(e) => analysis_error_response(&e),
             };
         }
-        // Whole model: poll the token per layer so a timed-out request
-        // overstays by at most one layer's analysis.
+        // Whole model: the per-layer loop plus the engine's in-layer
+        // cancellation points bound how far a timed-out request overstays.
         let mut layers = Vec::with_capacity(model.len());
         for layer in model.iter() {
-            if token.is_cancelled() {
-                self.metrics.timeouts.inc();
-                return timeout_response(layers.len(), model.len(), None);
-            }
-            match self.cache.analyze_staged(layer, &dataflow, &acc) {
+            match self
+                .cache
+                .analyze_staged_cancellable(layer, &dataflow, &acc, token)
+            {
                 Ok(r) => layers.push(r),
+                Err(AnalysisError::Cancelled) => {
+                    self.metrics.timeouts.inc();
+                    return timeout_response(layers.len(), model.len(), None);
+                }
                 Err(e) => return analysis_error_response(&e),
             }
         }
@@ -206,25 +326,29 @@ impl ApiCtx {
         }
     }
 
-    /// `POST /v1/dse`.
-    fn dse(&self, body: &Value, token: &CancelToken) -> Response {
-        let model = match load_model(body) {
-            Ok(m) => m,
-            Err(r) => return r,
-        };
+    /// Parse and validate everything a `/v1/dse` request needs before any
+    /// byte is written, shared by the buffered and streaming paths.
+    fn dse_setup(
+        &self,
+        body: &Value,
+    ) -> Result<(Model, String, Style, maestro_dse::Explorer, usize), Response> {
+        let model = load_model(body)?;
         let layer_name = body.get("layer").and_then(Value::as_str).unwrap_or("");
         if layer_name.is_empty() {
-            return error_response(400, "missing `layer`");
+            return Err(error_response(400, "missing `layer`"));
         }
-        let Some(layer) = model.layer(layer_name) else {
-            return error_response(
+        if model.layer(layer_name).is_none() {
+            return Err(error_response(
                 400,
                 &format!("model {} has no layer `{layer_name}`", model.name),
-            );
-        };
+            ));
+        }
         let style_name = body.get("style").and_then(Value::as_str).unwrap_or("KC-P");
         let Some(style) = find_style(style_name) else {
-            return error_response(400, &format!("unknown style `{style_name}`"));
+            return Err(error_response(
+                400,
+                &format!("unknown style `{style_name}`"),
+            ));
         };
         let space = match body
             .get("space")
@@ -234,21 +358,38 @@ impl ApiCtx {
             "standard" => maestro_dse::SweepSpace::standard(),
             "tiny" => maestro_dse::SweepSpace::tiny(),
             other => {
-                return error_response(400, &format!("unknown space `{other}` (standard|tiny)"))
+                return Err(error_response(
+                    400,
+                    &format!("unknown space `{other}` (standard|tiny)"),
+                ))
             }
         };
         let mut explorer = maestro_dse::Explorer::new(space);
         if let Some(eval) = body.get("eval").and_then(Value::as_str) {
             match eval.parse::<maestro_dse::EvalMode>() {
                 Ok(mode) => explorer.eval = mode,
-                Err(e) => return error_response(400, &e),
+                Err(e) => return Err(error_response(400, &e)),
             }
         }
-        let threads = body
-            .get("threads")
-            .and_then(Value::as_u64)
-            .map(|t| t.min(64) as usize)
-            .unwrap_or(1);
+        // Server-side thread cap: without it, `workers × threads` scoped
+        // threads from concurrent requests could oversubscribe the host.
+        let threads = effective_threads(
+            body.get("threads").and_then(Value::as_u64).unwrap_or(1),
+            self.max_request_threads,
+        );
+        Ok((model, layer_name.to_string(), style, explorer, threads))
+    }
+
+    /// `POST /v1/dse` (buffered).
+    fn dse(&self, body: &Value, token: &CancelToken) -> Response {
+        let (model, layer_name, style, explorer, threads) = match self.dse_setup(body) {
+            Ok(setup) => setup,
+            Err(r) => return r,
+        };
+        let Some(layer) = model.layer(&layer_name) else {
+            // dse_setup validated the name; unreachable in practice.
+            return error_response(400, "missing `layer`");
+        };
         let ctl = maestro_dse::SessionCtl {
             token: token.clone(),
             // No periodic checkpointing in the serving path: there is no
@@ -283,6 +424,202 @@ impl ApiCtx {
             }
             Err(maestro_dse::SessionError::Space(e)) => error_response(400, &e.to_string()),
             Err(e) => error_response(500, &e.to_string()),
+        }
+    }
+
+    /// `POST /v1/dse` with `"stream": true`: NDJSON over the socket. One
+    /// line per completed unit (that unit's local Pareto frontier), then
+    /// a final line (`"final":true`) with the merged result and session
+    /// counters. Validation failures happen before the first byte and
+    /// return a buffered error; once the head is on the wire the
+    /// connection is committed to EOF framing and always closes.
+    fn dse_stream(&self, body: &Value, token: &CancelToken, sock: &TcpStream) -> Handled {
+        let (model, layer_name, style, explorer, threads) = match self.dse_setup(body) {
+            Ok(setup) => setup,
+            Err(r) => return Handled::Response(r),
+        };
+        let Some(layer) = model.layer(&layer_name) else {
+            return Handled::Response(error_response(400, "missing `layer`"));
+        };
+        let cloned = match sock.try_clone() {
+            Ok(s) => s,
+            Err(e) => {
+                return Handled::Response(error_response(
+                    500,
+                    &format!("cannot clone socket for streaming: {e}"),
+                ))
+            }
+        };
+        // Head first, by hand: EOF-framed (no `Content-Length`), so the
+        // connection must close when the stream ends.
+        let mut head = String::from(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n",
+        );
+        if let Some(id) = crate::trace::active_id() {
+            head.push_str(&format!("x-maestro-trace: {}\r\n", id.to_hex()));
+        }
+        head.push_str("\r\n");
+        let sink = Arc::new(Mutex::new(StreamSink {
+            sock: cloned,
+            bytes: 0,
+            failed: false,
+        }));
+        {
+            let mut s = sink.lock().unwrap_or_else(|e| e.into_inner());
+            if s.sock.write_all(head.as_bytes()).is_err() {
+                s.failed = true;
+            }
+        }
+
+        let unit_sink = Arc::clone(&sink);
+        let ctl = maestro_dse::SessionCtl {
+            token: token.clone(),
+            checkpoint_every: None,
+            on_unit: Some(Box::new(move |u: &maestro_dse::UnitUpdate<'_>| {
+                let pareto = serde_json::to_string(&u.pareto).unwrap_or_else(|_| "[]".to_string());
+                let line = match u.failed {
+                    Some(msg) => format!(
+                        "{{\"unit\":{},\"completed\":{},\"total\":{},\"failed\":{}}}",
+                        u.unit,
+                        u.completed,
+                        u.total,
+                        json_str(msg)
+                    ),
+                    None => format!(
+                        "{{\"unit\":{},\"completed\":{},\"total\":{},\"pareto\":{pareto}}}",
+                        u.unit, u.completed, u.total
+                    ),
+                };
+                unit_sink
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .line(&line);
+            })),
+            ..Default::default()
+        };
+        let final_line = match explorer.explore_session(
+            layer,
+            &maestro_dse::variants::variants(style),
+            threads,
+            &ctl,
+        ) {
+            Ok((result, session)) => {
+                crate::trace::mark("serialize");
+                if session.interrupted {
+                    self.metrics.timeouts.inc();
+                }
+                match serde_json::to_string(&result) {
+                    Ok(js) => format!(
+                        "{{\"final\":true,\"partial\":{},\"completed_units\":{},\"total_units\":{},\"result\":{js}}}",
+                        session.interrupted, session.completed_units, session.total_units
+                    ),
+                    Err(e) => format!("{{\"final\":true,\"error\":{}}}", json_str(&e.to_string())),
+                }
+            }
+            Err(e) => format!("{{\"final\":true,\"error\":{}}}", json_str(&e.to_string())),
+        };
+        let mut s = sink.lock().unwrap_or_else(|e| e.into_inner());
+        s.line(&final_line);
+        Handled::Streamed(StreamSummary {
+            status: 200,
+            bytes: s.bytes,
+            write_failed: s.failed,
+        })
+    }
+
+    /// `POST /v1/batch`: an array of single-layer analyze points served
+    /// through one connection, one JSON parse and one shared-cache
+    /// session. Items fail independently — a bad point becomes a
+    /// per-item `{"error": ..}` object, never a failed batch — and the
+    /// request deadline turns the remainder into a `504` carrying the
+    /// results completed so far.
+    fn batch(&self, body: &Value, token: &CancelToken) -> Response {
+        let Some(points) = body.get("points") else {
+            return error_response(400, "missing `points` (an array of analyze points)");
+        };
+        let Value::Arr(points) = points else {
+            return error_response(400, "`points` must be an array");
+        };
+        if points.len() > MAX_BATCH_POINTS {
+            return error_response(
+                400,
+                &format!(
+                    "batch of {} points exceeds the {MAX_BATCH_POINTS}-point limit",
+                    points.len()
+                ),
+            );
+        }
+        let mut results: Vec<String> = Vec::with_capacity(points.len());
+        for point in points {
+            if token.is_cancelled() {
+                self.metrics.timeouts.inc();
+                let partial = format!("{{\"results\":[{}]}}", results.join(","));
+                return timeout_response(results.len(), points.len(), Some(&partial));
+            }
+            match self.batch_point(point, token) {
+                Ok(item) => results.push(item),
+                // Cancelled mid-point: account it as not completed.
+                Err(()) => {
+                    self.metrics.timeouts.inc();
+                    let partial = format!("{{\"results\":[{}]}}", results.join(","));
+                    return timeout_response(results.len(), points.len(), Some(&partial));
+                }
+            }
+        }
+        crate::trace::mark("serialize");
+        Response::json(
+            200,
+            format!(
+                "{{\"count\":{},\"results\":[{}]}}",
+                results.len(),
+                results.join(",")
+            ),
+        )
+    }
+
+    /// Serve one batch point. `Ok` is the item's JSON object — a report
+    /// or a per-item error; `Err(())` means the request deadline tripped
+    /// mid-analysis (the caller turns the whole tail into a 504).
+    fn batch_point(&self, point: &Value, token: &CancelToken) -> Result<String, ()> {
+        if !matches!(point, Value::Obj(_)) {
+            return Ok("{\"error\":\"batch point must be a JSON object\"}".to_string());
+        }
+        let model = match load_model(point) {
+            Ok(m) => m,
+            Err(r) => return Ok(r.body),
+        };
+        let dataflow = match load_dataflow(point) {
+            Ok(d) => d,
+            Err(r) => return Ok(r.body),
+        };
+        let acc = match accelerator(point) {
+            Ok(a) => a,
+            Err(r) => return Ok(r.body),
+        };
+        let layer_name = point.get("layer").and_then(Value::as_str).unwrap_or("");
+        if layer_name.is_empty() {
+            return Ok("{\"error\":\"batch point missing `layer`\"}".to_string());
+        }
+        let Some(layer) = model.layer(layer_name) else {
+            return Ok(format!(
+                "{{\"error\":{}}}",
+                json_str(&format!("model {} has no layer `{layer_name}`", model.name))
+            ));
+        };
+        match self
+            .cache
+            .analyze_staged_cancellable(layer, &dataflow, &acc, token)
+        {
+            Ok(report) => match serde_json::to_string(&report) {
+                Ok(js) => Ok(format!(
+                    "{{\"model\":{},\"layer\":{},\"report\":{js}}}",
+                    json_str(&model.name),
+                    json_str(layer_name)
+                )),
+                Err(e) => Ok(format!("{{\"error\":{}}}", json_str(&e.to_string()))),
+            },
+            Err(AnalysisError::Cancelled) => Err(()),
+            Err(e) => Ok(format!("{{\"error\":{}}}", json_str(&e.to_string()))),
         }
     }
 
@@ -406,4 +743,34 @@ fn json_str(s: &str) -> String {
     let mut w = serde::JsonWriter::new(false);
     w.write_str(s);
     w.into_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Regression: `/v1/dse` used to clamp `threads` only to a hardwired
+    // 64 — a handful of concurrent requests could claim hundreds of
+    // scoped threads. The cap is now server-side configuration.
+    #[test]
+    fn effective_threads_clamps_to_the_server_cap() {
+        assert_eq!(
+            effective_threads(0, 8),
+            1,
+            "absent/zero runs single-threaded"
+        );
+        assert_eq!(effective_threads(1, 8), 1);
+        assert_eq!(effective_threads(4, 8), 4);
+        assert_eq!(
+            effective_threads(u64::MAX, 8),
+            8,
+            "no request exceeds the cap"
+        );
+        assert_eq!(effective_threads(1_000_000, 2), 2);
+        assert_eq!(
+            effective_threads(5, 0),
+            1,
+            "a zero cap still serves one thread"
+        );
+    }
 }

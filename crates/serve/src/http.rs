@@ -139,10 +139,22 @@ pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed, HttpError> {
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(HttpError::Malformed("transfer encodings are not supported"));
         } else if name.eq_ignore_ascii_case("connection") {
-            let v = value.trim();
-            if v.eq_ignore_ascii_case("close") {
+            // `Connection` is a comma-separated token list (RFC 9110
+            // §7.6.1): `keep-alive, foo` must still honour the tokens it
+            // does carry. `close` wins over `keep-alive` if both appear.
+            let mut saw_close = false;
+            let mut saw_keep_alive = false;
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    saw_close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    saw_keep_alive = true;
+                }
+            }
+            if saw_close {
                 close = true;
-            } else if v.eq_ignore_ascii_case("keep-alive") {
+            } else if saw_keep_alive {
                 close = false;
             }
         }
@@ -199,7 +211,7 @@ fn parse_header(line: &str) -> Result<(&str, &str), HttpError> {
     {
         return Err(HttpError::Malformed("invalid header name"));
     }
-    if value.bytes().any(|b| b < 0x20 && b != b'\t') {
+    if value.bytes().any(|b| (b < 0x20 && b != b'\t') || b == 0x7f) {
         return Err(HttpError::Malformed("control character in header value"));
     }
     Ok((name, value))
@@ -357,6 +369,7 @@ mod tests {
             b"POST /a HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
             b"POST /a HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
             b"GET /a HTTP/1.1\r\nH: \x01bad\r\n\r\n",
+            b"GET /a HTTP/1.1\r\nH: del\x7fbyte\r\n\r\n", // DEL is a control byte too
         ] {
             let err = parse_request(raw, &Limits::default()).unwrap_err();
             assert_eq!(err.status(), 400, "{raw:?} → {err:?}");
@@ -391,6 +404,22 @@ mod tests {
         assert!(req.close, "HTTP/1.0 defaults to close");
         let (req, _) = parse_ok(b"GET /a HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
         assert!(!req.close);
+    }
+
+    /// Pins the list-value gap: `Connection` tokens must be split on
+    /// commas, and `close` must win when both tokens appear.
+    #[test]
+    fn connection_header_is_token_split() {
+        let (req, _) = parse_ok(b"GET /a HTTP/1.1\r\nConnection: keep-alive, foo\r\n\r\n");
+        assert!(!req.close, "keep-alive token in a list must be honoured");
+        let (req, _) = parse_ok(b"GET /a HTTP/1.1\r\nConnection: foo, close\r\n\r\n");
+        assert!(req.close, "close token in a list must be honoured");
+        let (req, _) = parse_ok(b"GET /a HTTP/1.0\r\nConnection: upgrade, Keep-Alive\r\n\r\n");
+        assert!(!req.close, "HTTP/1.0 keep-alive via list value");
+        let (req, _) = parse_ok(b"GET /a HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n");
+        assert!(req.close, "close wins over keep-alive");
+        let (req, _) = parse_ok(b"GET /a HTTP/1.1\r\nConnection: upgrade\r\n\r\n");
+        assert!(!req.close, "unknown tokens leave the default untouched");
     }
 
     #[test]

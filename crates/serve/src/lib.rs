@@ -10,6 +10,13 @@
 //!
 //! Robustness properties, each regression-tested:
 //!
+//! * **Event-driven accept** — the acceptor blocks in `accept(2)` (no
+//!   poll loop, no accept-latency floor); a drain wakes it with one
+//!   loopback *wake token* connection (see [`server`] docs).
+//! * **Amortized request cost** — `POST /v1/batch` serves many analyze
+//!   points through one connection, one parse and one cache session with
+//!   per-item error isolation, and `POST /v1/dse` with `"stream": true`
+//!   streams incremental NDJSON frontier updates as units complete.
 //! * **Admission control** — a bounded connection queue; when it is full
 //!   the acceptor sheds load with an immediate `503` + `Retry-After`
 //!   instead of letting latency collapse (`maestro.serve.shed`).
@@ -46,7 +53,7 @@ pub mod queue;
 pub mod server;
 pub mod trace;
 
-pub use api::ApiCtx;
+pub use api::{effective_threads, ApiCtx, Handled, StreamSummary, MAX_BATCH_POINTS};
 pub use http::{parse_request, HttpError, Limits, Parsed, Request, Response};
 pub use json::{parse as parse_json, JsonError, Value};
 pub use queue::BoundedQueue;

@@ -6,6 +6,17 @@
 //! requests are CPU-bound analysis calls, so the pool *is* the
 //! concurrency limit and the queue bound *is* the admission policy.
 //!
+//! The acceptor *blocks* in `accept(2)` — no poll loop, no latency
+//! floor. Because the process interrupt flag is poll-only (the signal
+//! handler just stores an atomic; there is nothing to `connect` a
+//! condvar to), a dedicated `serve-acceptor-waker` thread polls the
+//! shutdown token and, when it trips, performs one throwaway loopback
+//! connection to the listener — the *wake token* — so the blocked
+//! `accept` returns and the acceptor observes the drain. Connections
+//! accepted after the token tripped (the wake token itself, or a client
+//! that raced the signal) are closed unserved, exactly as the old
+//! nonblocking loop left them to die in the backlog.
+//!
 //! Cancellation topology (the part that must not be gotten wrong):
 //!
 //! * the `shutdown` token passed to [`Server::run`] typically heeds the
@@ -19,7 +30,7 @@
 //!   *written* responses, never dropped connections — and reports
 //!   [`DrainOutcome::Forced`] (the CLI maps it to exit 7).
 
-use crate::api::{error_response, ApiCtx};
+use crate::api::{error_response, ApiCtx, Handled};
 use crate::http::{parse_request, Limits, Parsed, Request, Response};
 use crate::queue::BoundedQueue;
 use crate::trace::{AccessLog, RequestTimer};
@@ -68,6 +79,11 @@ pub struct ServeConfig {
     pub trace_slow: Duration,
     /// Fixed trace-ID seed (tests); `None` seeds from the clock.
     pub trace_seed: Option<u64>,
+    /// Upper bound on the `threads` a single `/v1/dse` request may claim.
+    /// `0` (the default) resolves to the host's available parallelism —
+    /// without a cap, `workers × threads` scoped threads from concurrent
+    /// requests could oversubscribe the host.
+    pub max_request_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +104,7 @@ impl Default for ServeConfig {
             trace_sample: 16,
             trace_slow: Duration::from_millis(100),
             trace_seed: None,
+            max_request_threads: 0,
         }
     }
 }
@@ -118,8 +135,13 @@ pub struct ServeMetrics {
     pub bad_requests: Counter,
     /// Connections accepted (admitted or shed).
     pub connections: Counter,
+    /// Response writes that failed (client gone before the body landed).
+    pub write_failures: Counter,
     /// Requests currently being served.
     pub in_flight: Gauge,
+    /// Connections admitted but not yet popped by a worker (sampled on
+    /// every push and pop).
+    pub queue_depth: Gauge,
     /// Seconds since the daemon started (refreshed on `/metrics`).
     pub uptime_seconds: Gauge,
     /// End-to-end request service time (seconds), log-spaced buckets.
@@ -137,7 +159,9 @@ impl ServeMetrics {
             timeouts: r.counter("maestro.serve.timeouts"),
             bad_requests: r.counter("maestro.serve.bad_requests"),
             connections: r.counter("maestro.serve.connections"),
+            write_failures: r.counter("maestro.serve.write_failures"),
             in_flight: r.gauge("maestro.serve.in_flight"),
+            queue_depth: r.gauge("maestro.serve.queue_depth"),
             uptime_seconds: r.gauge("maestro.serve.uptime_seconds"),
             // Log-spaced: 3 buckets per decade from 100µs to 10s, so a
             // single-digit-millisecond p99 is interpolated inside a
@@ -186,7 +210,6 @@ impl Server {
     /// individual connections are absorbed (counted, logged) instead.
     pub fn run(self, shutdown: &maestro_obs::CancelToken) -> std::io::Result<DrainOutcome> {
         let Server { listener, cfg } = self;
-        listener.set_nonblocking(true)?;
         let metrics = ServeMetrics::register();
         maestro_obs::registry().info(
             "maestro.build_info",
@@ -215,6 +238,13 @@ impl Server {
             test_endpoints: cfg.test_endpoints,
             metrics: metrics.clone(),
             started: Instant::now(),
+            max_request_threads: if cfg.max_request_threads > 0 {
+                cfg.max_request_threads
+            } else {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(8)
+            },
         });
         let queue: Arc<BoundedQueue<(TcpStream, Instant)>> =
             Arc::new(BoundedQueue::new(cfg.queue_depth));
@@ -235,6 +265,7 @@ impl Server {
                 .name(format!("serve-worker-{i}"))
                 .spawn(move || {
                     while let Some((stream, accepted)) = queue.pop() {
+                        ctx.metrics.queue_depth.set(queue.len() as f64);
                         serve_connection(
                             stream,
                             accepted,
@@ -249,28 +280,74 @@ impl Server {
             workers.push(handle);
         }
 
+        // The acceptor blocks in `accept(2)`; this thread is the only way
+        // it learns about a drain. The interrupt flag is poll-only (the
+        // signal handler just stores an atomic), so the waker polls the
+        // token and then unblocks the acceptor with one throwaway
+        // loopback connection — the wake token.
+        let wake_addr = {
+            let mut a = listener.local_addr()?;
+            if a.ip().is_unspecified() {
+                // `accept` listens on the wildcard; `connect` needs a
+                // concrete address.
+                a.set_ip(match a {
+                    SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            a
+        };
+        let waker_token = shutdown.clone();
+        let waker = std::thread::Builder::new()
+            .name("serve-acceptor-waker".to_string())
+            .spawn(move || {
+                while !waker_token.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                for attempt in 0..3 {
+                    match TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1)) {
+                        // The accepted-and-dropped wake connection is all
+                        // the acceptor needs; the stream closes here.
+                        Ok(_) => return,
+                        Err(e) if attempt == 2 => {
+                            // The acceptor may have already observed the
+                            // accept error path and broken out; if not,
+                            // SIGKILL remains the operator's backstop.
+                            maestro_obs::warn!("serve: acceptor wake failed: {e}");
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })?;
+
         maestro_obs::info!(
             "serve: listening with {} workers, queue depth {}",
             cfg.workers.max(1),
             cfg.queue_depth
         );
-        while !shutdown.is_cancelled() {
+        loop {
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    if shutdown.is_cancelled() {
+                        // The wake token, or a client that raced the
+                        // signal: close it unserved, same as the old
+                        // nonblocking loop left the backlog to die.
+                        drop(stream);
+                        break;
+                    }
                     metrics.connections.inc();
-                    if let Err((stream, accepted)) = queue.try_push((stream, Instant::now())) {
-                        shed(
+                    match queue.try_push((stream, Instant::now())) {
+                        Ok(()) => metrics.queue_depth.set(queue.len() as f64),
+                        Err((stream, accepted)) => shed(
                             stream,
                             accepted,
                             &metrics,
                             cfg.io_timeout,
                             access.as_deref(),
-                        );
+                        ),
                     }
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
-                }
+                Err(_) if shutdown.is_cancelled() => break,
                 Err(e) => {
                     // Transient accept failures (EMFILE, ECONNABORTED):
                     // back off briefly and keep serving.
@@ -279,6 +356,9 @@ impl Server {
                 }
             }
         }
+        // The waker either already connected (that is why accept woke) or
+        // is about to; it never blocks longer than its connect timeout.
+        let _ = waker.join();
 
         // --- Drain ---------------------------------------------------
         // Stop admitting: readiness off, listener closed, queue refuses
@@ -434,17 +514,40 @@ fn serve_connection(
                 timer.mark("parse");
                 let route = format!("{} {}", req.method, req.path);
                 crate::trace::install(timer);
-                let resp = serve_request(ctx, &req, in_flight);
-                let close = resp.close || req.close || !ctx.ready.load(Ordering::Relaxed);
-                let mut resp = resp;
-                resp.close = close;
-                if resp.trace.is_none() {
-                    resp.trace = crate::trace::active_id().map(|id| id.to_hex());
-                }
-                let write_failed = stream.write_all(&resp.to_bytes()).is_err();
-                crate::trace::finish_active(&route, resp.status, resp.body.len() as u64, access);
-                if write_failed || close {
-                    return;
+                match serve_request(ctx, &req, in_flight, &stream) {
+                    Handled::Response(resp) => {
+                        let close = resp.close || req.close || !ctx.ready.load(Ordering::Relaxed);
+                        let mut resp = resp;
+                        resp.close = close;
+                        if resp.trace.is_none() {
+                            resp.trace = crate::trace::active_id().map(|id| id.to_hex());
+                        }
+                        let bytes = resp.to_bytes();
+                        let write_failed = write_and_account(
+                            &mut stream,
+                            &bytes,
+                            &route,
+                            resp.status,
+                            resp.body.len() as u64,
+                            &ctx.metrics,
+                            access,
+                        );
+                        if write_failed || close {
+                            return;
+                        }
+                    }
+                    Handled::Streamed(sum) => {
+                        // The handler already wrote the NDJSON response;
+                        // only the accounting and the close remain (EOF
+                        // is the framing — streams never keep-alive).
+                        if sum.write_failed {
+                            ctx.metrics.write_failures.inc();
+                            crate::trace::finish_active_write_failed(&route, access);
+                        } else {
+                            crate::trace::finish_active(&route, sum.status, sum.bytes, access);
+                        }
+                        return;
+                    }
                 }
             }
             Ok(Parsed::Partial) => match stream.read(&mut chunk) {
@@ -508,22 +611,58 @@ fn reject_with_trace(
     let _ = FlightRecorder::global().record(rec);
 }
 
+/// Write the response bytes and record the request's true outcome: a
+/// failed write is *not* a served request, so it is counted in
+/// `write_failures` and traced as a distinct, always-kept `499` record
+/// instead of being logged as the success the client never saw.
+/// Returns whether the write failed (the caller must close).
+fn write_and_account<W: Write>(
+    sink: &mut W,
+    bytes: &[u8],
+    route: &str,
+    status: u16,
+    body_len: u64,
+    metrics: &ServeMetrics,
+    access: Option<&AccessLog>,
+) -> bool {
+    if sink.write_all(bytes).is_err() {
+        metrics.write_failures.inc();
+        crate::trace::finish_active_write_failed(route, access);
+        true
+    } else {
+        crate::trace::finish_active(route, status, body_len, access);
+        false
+    }
+}
+
 /// Dispatch one request under panic isolation and metrics accounting.
 /// The active timer's trace ID is installed as the thread's span context
 /// for the duration, so spans recorded by the analysis engines carry it.
-fn serve_request(ctx: &ApiCtx, req: &Request, in_flight: &AtomicU64) -> Response {
+/// The socket is in reach so streaming handlers (NDJSON `/v1/dse`) can
+/// write incrementally; a panic *mid-stream* still yields a buffered 500
+/// — the connection loop appends it and closes, and the client detects
+/// the truncation by the absent `"final":true` line.
+fn serve_request(
+    ctx: &ApiCtx,
+    req: &Request,
+    in_flight: &AtomicU64,
+    stream: &TcpStream,
+) -> Handled {
     ctx.metrics.requests_total.inc();
-    let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-    ctx.metrics.in_flight.set(now as f64);
+    in_flight.fetch_add(1, Ordering::Relaxed);
+    // One atomic add on the gauge itself: the old load-then-`set` pair
+    // let two concurrent requests publish the same stale snapshot and
+    // leave the gauge permanently skewed.
+    ctx.metrics.in_flight.inc();
     let t0 = Instant::now();
     let span_prev = crate::trace::active_id().map(maestro_obs::trace::set_current);
-    let resp = match catch_unwind(AssertUnwindSafe(|| ctx.handle(req))) {
-        Ok(resp) => resp,
+    let handled = match catch_unwind(AssertUnwindSafe(|| ctx.handle_conn(req, stream))) {
+        Ok(handled) => handled,
         Err(_) => {
             ctx.metrics.panics.inc();
             let mut r = error_response(500, "internal panic in request handler");
             r.close = true;
-            r
+            Handled::Response(r)
         }
     };
     if let Some(prev) = span_prev {
@@ -532,7 +671,70 @@ fn serve_request(ctx: &ApiCtx, req: &Request, in_flight: &AtomicU64) -> Response
     ctx.metrics
         .request_seconds
         .observe(t0.elapsed().as_secs_f64());
-    let now = in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
-    ctx.metrics.in_flight.set(now as f64);
-    resp
+    in_flight.fetch_sub(1, Ordering::Relaxed);
+    ctx.metrics.in_flight.dec();
+    handled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink whose writes always fail, standing in for a peer that hung
+    /// up before the response landed.
+    struct FailWriter;
+
+    impl Write for FailWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::from(ErrorKind::BrokenPipe))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    // Regression: failed response writes used to be logged as successes
+    // (the trace finished with the handler's 200 even though the client
+    // never saw a byte). Pin the distinct outcome: `write_failures`
+    // increments and the trace is force-kept with status 499.
+    #[test]
+    fn failed_write_is_accounted_as_a_distinct_outcome() {
+        let metrics = ServeMetrics::register();
+        let before = metrics.write_failures.get();
+        crate::trace::install(RequestTimer::begin(Instant::now()));
+        let failed = write_and_account(
+            &mut FailWriter,
+            b"HTTP/1.1 200 OK\r\n\r\n",
+            "POST /v1/test-write-fail",
+            200,
+            0,
+            &metrics,
+            None,
+        );
+        assert!(failed, "a failing sink must report write failure");
+        assert_eq!(metrics.write_failures.get(), before + 1);
+        let kept = FlightRecorder::global()
+            .recent()
+            .into_iter()
+            .find(|r| r.name == "POST /v1/test-write-fail")
+            .expect("write-failure trace must be force-kept");
+        assert_eq!(
+            kept.status, 499,
+            "failed writes record 499, not the handler status"
+        );
+
+        // The success path must NOT touch the counter.
+        crate::trace::install(RequestTimer::begin(Instant::now()));
+        let ok = write_and_account(
+            &mut Vec::new(),
+            b"HTTP/1.1 200 OK\r\n\r\n",
+            "POST /v1/test-write-ok",
+            200,
+            0,
+            &metrics,
+            None,
+        );
+        assert!(!ok);
+        assert_eq!(metrics.write_failures.get(), before + 1);
+    }
 }

@@ -250,6 +250,24 @@ pub fn finish_active(route: &str, status: u16, bytes: u64, log: Option<&AccessLo
     let _ = FlightRecorder::global().record(rec);
 }
 
+/// Finish the active timer for a request whose response write *failed*:
+/// the client never received the body, so recording the handler's status
+/// would log a success that did not happen. The record is finished with
+/// status `499` (client closed request — the nginx convention) and zero
+/// bytes, and is force-kept in the flight recorder regardless of the
+/// sampling policy: a failed write is an error outcome and must stay
+/// diagnosable after the fact.
+pub fn finish_active_write_failed(route: &str, log: Option<&AccessLog>) {
+    let Some(timer) = take() else {
+        return;
+    };
+    let rec = timer.finish(route.to_string(), 499, 0);
+    if let Some(log) = log {
+        log.write(&rec);
+    }
+    FlightRecorder::global().keep(rec, KeepReason::Error);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

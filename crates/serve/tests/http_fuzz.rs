@@ -97,6 +97,53 @@ proptest! {
         );
     }
 
+    /// Any C0 control byte (other than HTAB) or DEL anywhere in a header
+    /// value is always the `400` class — DEL slipped through before this
+    /// was pinned.
+    #[test]
+    fn control_and_del_bytes_in_header_values_get_400(
+        prefix in collection::vec(0x20u8..=0x7e, 0..16),
+        // Index into the 32 forbidden bytes: C0 minus HTAB (0..=8,
+        // 10..=31), plus DEL.
+        bad in (0usize..32).prop_map(|i| match i {
+            0..=8 => i as u8,
+            9..=30 => (i + 1) as u8,
+            _ => 0x7f,
+        }),
+        suffix in collection::vec(0x20u8..=0x7e, 0..16),
+    ) {
+        let mut raw = b"GET /a HTTP/1.1\r\nH: ".to_vec();
+        raw.extend_from_slice(&prefix);
+        raw.push(bad);
+        raw.extend_from_slice(&suffix);
+        raw.extend_from_slice(b"\r\n\r\n");
+        let err = parse_request(&raw, &Limits::default()).unwrap_err();
+        prop_assert_eq!(err.status(), 400, "byte {:#04x} admitted", bad);
+    }
+
+    /// A `close` token anywhere in a `Connection` list value always
+    /// closes, whatever tokens surround it.
+    #[test]
+    fn close_token_in_connection_list_always_closes(
+        others in collection::vec(collection::vec(0u8..26, 1..9), 0..3)
+            .prop_map(|ts| ts
+                .into_iter()
+                .map(|t| t.into_iter().map(|c| (b'a' + c) as char).collect::<String>())
+                .collect::<Vec<String>>()),
+        pos in 0usize..4,
+    ) {
+        let mut tokens = others;
+        tokens.insert(pos.min(tokens.len()), "close".to_string());
+        let raw = format!(
+            "GET /a HTTP/1.1\r\nConnection: {}\r\n\r\n",
+            tokens.join(", ")
+        );
+        match parse_request(raw.as_bytes(), &Limits::default()) {
+            Ok(Parsed::Complete { req, .. }) => prop_assert!(req.close),
+            other => prop_assert!(false, "expected complete parse, got {other:?}"),
+        }
+    }
+
     /// The JSON parser accepts arbitrary (lossily decoded) text without
     /// panicking.
     #[test]

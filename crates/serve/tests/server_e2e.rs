@@ -163,6 +163,134 @@ fn dse_and_conform_round_trips() {
 }
 
 #[test]
+fn batch_serves_many_points_with_per_item_error_isolation() {
+    let d = Daemon::start(test_config());
+    // Eight good points across alexnet's conv layers, one bad point
+    // wedged in the middle.
+    let mut points: Vec<String> = (0..8)
+        .map(|i| {
+            format!(
+                "{{\"model\":\"alexnet\",\"layer\":\"CONV{}\",\"pes\":64}}",
+                (i % 5) + 1
+            )
+        })
+        .collect();
+    points.insert(3, "{\"model\":\"alexnet\",\"layer\":\"NOPE\"}".to_string());
+    let body = format!("{{\"points\":[{}]}}", points.join(","));
+    let resp = post(d.addr, "/v1/batch", &body);
+    assert_eq!(status_of(&resp), 200, "{resp}");
+    assert!(resp.contains("\"count\":9"), "{resp}");
+    // The eight good points analyzed; the bad one is an error *element*,
+    // not a failed batch.
+    assert_eq!(resp.matches("\"report\"").count(), 8, "{resp}");
+    assert_eq!(resp.matches("\"error\"").count(), 1, "{resp}");
+    assert!(resp.contains("no layer `NOPE`"), "{resp}");
+    // Malformed batch envelopes are typed 400s.
+    assert_eq!(status_of(&post(d.addr, "/v1/batch", "{}")), 400);
+    assert_eq!(status_of(&post(d.addr, "/v1/batch", "{\"points\":3}")), 400);
+    // An expired deadline yields the typed 504 with the partial results
+    // array (here: empty — the token is checked before the first point).
+    let resp = post(
+        d.addr,
+        "/v1/batch",
+        &format!("{{\"deadline_ms\":0,\"points\":[{}]}}", points.join(",")),
+    );
+    assert_eq!(status_of(&resp), 504, "{resp}");
+    assert!(resp.contains("\"partial\":true"), "{resp}");
+    assert!(resp.contains("\"results\":["), "{resp}");
+    assert_eq!(d.stop(), DrainOutcome::Clean);
+}
+
+#[test]
+fn dse_stream_emits_ndjson_unit_lines_and_a_final_result() {
+    use maestro_serve::Value;
+    let d = Daemon::start(test_config());
+    let resp = post(
+        d.addr,
+        "/v1/dse",
+        "{\"model\":\"alexnet\",\"layer\":\"CONV3\",\"style\":\"KC-P\",\"space\":\"tiny\",\"stream\":true}",
+    );
+    assert_eq!(status_of(&resp), 200, "{resp}");
+    assert!(resp.contains("application/x-ndjson"), "{resp}");
+    assert!(
+        !resp.contains("Content-Length:"),
+        "streams are EOF-framed: {resp}"
+    );
+    let body = resp.split_once("\r\n\r\n").expect("head/body split").1;
+    let lines: Vec<&str> = body.lines().filter(|l| !l.is_empty()).collect();
+    assert!(
+        lines.len() > 1,
+        "expected per-unit lines plus a final line: {body:?}"
+    );
+    // Unit lines parse, and `completed` is strictly monotone — the
+    // engine fires the callback under its completion lock.
+    let mut last_completed = 0;
+    for line in &lines[..lines.len() - 1] {
+        let v = maestro_serve::parse_json(line).expect("unit line is well-formed JSON");
+        let completed = v
+            .get("completed")
+            .and_then(Value::as_u64)
+            .expect("unit line carries `completed`");
+        assert!(completed > last_completed, "non-monotone stream: {body:?}");
+        last_completed = completed;
+        assert!(v.get("pareto").is_some() || v.get("failed").is_some());
+    }
+    let fin =
+        maestro_serve::parse_json(lines[lines.len() - 1]).expect("final line is well-formed JSON");
+    assert_eq!(fin.get("final").and_then(Value::as_bool), Some(true));
+    assert_eq!(fin.get("partial").and_then(Value::as_bool), Some(false));
+    assert!(fin.get("result").is_some(), "{body:?}");
+    // Validation failures surface *before* the first streamed byte, as
+    // ordinary buffered errors.
+    let resp = post(d.addr, "/v1/dse", "{\"stream\":true}");
+    assert_eq!(status_of(&resp), 400, "{resp}");
+    assert_eq!(d.stop(), DrainOutcome::Clean);
+}
+
+#[test]
+fn dse_thread_requests_are_capped_server_side() {
+    // Regression: `threads` used to be clamped only to a hardwired 64.
+    // With the cap at 1, an absurd request must still serve fine (on one
+    // thread) instead of spawning hundreds.
+    let d = Daemon::start(ServeConfig {
+        max_request_threads: 1,
+        ..test_config()
+    });
+    let resp = post(
+        d.addr,
+        "/v1/dse",
+        "{\"model\":\"alexnet\",\"layer\":\"CONV3\",\"space\":\"tiny\",\"threads\":999999}",
+    );
+    assert_eq!(status_of(&resp), 200, "{resp}");
+    assert!(resp.contains("\"partial\":false"), "{resp}");
+    assert_eq!(d.stop(), DrainOutcome::Clean);
+}
+
+#[test]
+fn queue_depth_gauge_is_registered_and_sampled() {
+    let d = Daemon::start(test_config());
+    // Serve a few requests so both sampling points (push and pop) ran.
+    for _ in 0..3 {
+        assert_eq!(status_of(&get(d.addr, "/healthz")), 200);
+    }
+    let metrics = get(d.addr, "/metrics");
+    let line = metrics
+        .lines()
+        .find(|l| l.starts_with("maestro_serve_queue_depth"))
+        .unwrap_or_else(|| panic!("queue_depth gauge missing from exposition: {metrics}"));
+    let depth: f64 = line
+        .split_whitespace()
+        .last()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable gauge line: {line}"));
+    // The registry is process-global and other daemons run concurrently,
+    // so mid-drive values are unobservable here; the pin is that the
+    // gauge exists, was sampled, and holds a sane (non-negative) depth.
+    assert!(depth >= 0.0, "{line}");
+    assert_eq!(d.stop(), DrainOutcome::Clean);
+}
+
+#[test]
 fn handler_panics_are_isolated_to_the_request() {
     let d = Daemon::start(ServeConfig {
         test_endpoints: true,
