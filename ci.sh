@@ -292,10 +292,51 @@ if [ "${rc}" -ne 0 ]; then
 fi
 grep -q '"dropped": 0' "${smokedir}/chaos.json" || { echo "chaos run dropped responses" >&2; exit 1; }
 
+# Chaos-matrix smoke: the daemon injects its *own* seeded faults — socket
+# read/write errors, delayed first writes, worker panics, handler stalls
+# — while mixed loadgen traffic (with retries, honoring the computed
+# Retry-After) runs against it. Invariants: no started-but-incomplete
+# response, the watchdog respawned at least one panicked worker (seed 42
+# first fires the panic draw at index 77, well inside a 3 s mixed load),
+# /readyz recovers, and the drain still exits 0.
+echo "== serve chaos-matrix smoke (seeded fault injection under load)"
+target/release/maestro serve --addr 127.0.0.1:0 --workers 2 --drain-seconds 10 \
+  --chaos 'read-err:0.02,write-err:0.02,write-delay:5ms:0.05,worker-panic:0.005,stall:5ms:0.05' \
+  --chaos-seed 42 --watchdog-interval-ms 100 \
+  > "${serve_log}.matrix" 2>/dev/null &
+serve_pid=$!
+serve_addr=$(wait_for_addr "${serve_log}.matrix")
+target/release/loadgen --addr "${serve_addr}" --seconds 3 --concurrency 4 \
+  --mode mixed --retries 3 --json > "${smokedir}/matrix.json" \
+  || { echo "loadgen failed under the chaos matrix" >&2; cat "${smokedir}/matrix.json" >&2; exit 1; }
+grep -q '"dropped": 0' "${smokedir}/matrix.json" \
+  || { echo "chaos matrix dropped responses" >&2; cat "${smokedir}/matrix.json" >&2; exit 1; }
+matrix_metrics=$(serve_request "${serve_addr}" GET /metrics)
+restarts=$(sed -n 's/^maestro_serve_worker_restarts \([0-9]*\).*/\1/p' <<<"${matrix_metrics}" | head -1)
+if [ -z "${restarts}" ] || [ "${restarts}" -lt 1 ]; then
+  echo "expected maestro_serve_worker_restarts >= 1 under panic chaos, got '${restarts}'" >&2
+  exit 1
+fi
+injected=$(sed -n 's/^maestro_serve_chaos_injected \([0-9]*\).*/\1/p' <<<"${matrix_metrics}" | head -1)
+if [ -z "${injected}" ] || [ "${injected}" -lt 1 ]; then
+  echo "expected maestro_serve_chaos_injected >= 1, got '${injected}'" >&2
+  exit 1
+fi
+readyz_resp=$(serve_request "${serve_addr}" GET /readyz)
+grep -q "HTTP/1.1 200" <<<"${readyz_resp}" \
+  || { echo "/readyz not 200 after chaos load: ${readyz_resp}" >&2; exit 1; }
+kill -TERM "${serve_pid}"
+rc=0; wait "${serve_pid}" || rc=$?
+[ "${rc}" -eq 0 ] || { echo "chaos-matrix daemon drain exited ${rc}, expected 0" >&2; exit 1; }
+
 # Serve latency baseline: short steady loads in each serving shape —
-# single analyze, 8-point batch, NDJSON stream — composed into one
-# BENCH_serve.json (p50/p90/p99 + QPS + outcome census per row).
-echo "== serve bench (BENCH_serve.json: analyze + batch + stream rows)"
+# single analyze, 8-point batch, NDJSON stream — plus an *overload* row:
+# an open-loop analyze run offering 4x the capacity just measured. The
+# admission controller must hold goodput at >= 80% of the 1x capacity
+# and keep admitted-request p99 under the request deadline while
+# shedding the excess. All composed into one BENCH_serve.json
+# (p50/p90/p99 + QPS + outcome census per row).
+echo "== serve bench (BENCH_serve.json: analyze + batch + stream + overload rows)"
 target/release/maestro serve --addr 127.0.0.1:0 --workers 2 \
   > "${serve_log}.bench" 2>/dev/null &
 serve_pid=$!
@@ -304,10 +345,16 @@ for mode in analyze batch stream; do
   target/release/loadgen --addr "${serve_addr}" --seconds 2 --concurrency 4 \
     --mode "${mode}" --retries 2 --out "${smokedir}/bench_${mode}.json" > /dev/null
 done
+cap_qps=$(sed -n 's/.*"qps": \([0-9.]*\).*/\1/p' "${smokedir}/bench_analyze.json" | head -1)
+offered=$(awk "BEGIN{printf \"%.0f\", ${cap_qps} * 4}")
+target/release/loadgen --addr "${serve_addr}" --seconds 3 --concurrency 8 \
+  --mode analyze --retries 0 --offered-rate "${offered}" \
+  --out "${smokedir}/bench_overload.json" > /dev/null \
+  || { echo "overload loadgen failed" >&2; cat "${smokedir}/bench_overload.json" >&2; exit 1; }
 kill -TERM "${serve_pid}"
 rc=0; wait "${serve_pid}" || rc=$?
 [ "${rc}" -eq 0 ] || { echo "bench daemon drain exited ${rc}, expected 0" >&2; exit 1; }
-for mode in analyze batch stream; do
+for mode in analyze batch stream overload; do
   for field in '"qps"' '"p50_ms"' '"p90_ms"' '"p99_ms"' '"ok"' '"shed"'; do
     grep -q "${field}" "${smokedir}/bench_${mode}.json" \
       || { echo "bench ${mode} row is missing ${field}" >&2; cat "${smokedir}/bench_${mode}.json" >&2; exit 1; }
@@ -320,9 +367,19 @@ done
 p50=$(sed -n 's/.*"p50_ms": \([0-9.]*\).*/\1/p' "${smokedir}/bench_analyze.json" | head -1)
 awk "BEGIN{exit !(${p50} < 2.0)}" \
   || { echo "analyze p50 ${p50} ms is not below the former 2 ms accept-poll floor" >&2; exit 1; }
+# The overload contract: goodput under 4x offered load stays >= 80% of
+# the 1x closed-loop capacity, and the p99 of *admitted* requests stays
+# under the 2 s request deadline — collapse on either axis means the
+# admission controller is letting queueing delay eat the service rate.
+over_qps=$(sed -n 's/.*"qps": \([0-9.]*\).*/\1/p' "${smokedir}/bench_overload.json" | head -1)
+over_p99=$(sed -n 's/.*"p99_ms": \([0-9.]*\).*/\1/p' "${smokedir}/bench_overload.json" | head -1)
+awk "BEGIN{exit !(${over_qps} >= 0.8 * ${cap_qps})}" \
+  || { echo "overload goodput ${over_qps} qps fell below 80% of capacity ${cap_qps} qps" >&2; exit 1; }
+awk "BEGIN{exit !(${over_p99} < 2000)}" \
+  || { echo "overload p99 ${over_p99} ms breached the 2 s request deadline" >&2; exit 1; }
 {
   printf '{\n'
-  for mode in analyze batch stream; do
+  for mode in analyze batch stream overload; do
     [ "${mode}" = analyze ] || printf ',\n'
     printf '"%s":\n' "${mode}"
     cat "${smokedir}/bench_${mode}.json"

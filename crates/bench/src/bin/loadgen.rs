@@ -3,8 +3,16 @@
 //! Closed-loop client threads fire analyze (or mixed analyze/dse/conform)
 //! requests at a running daemon, with the retry discipline a well-behaved
 //! client owes an admission-controlled server: exponential backoff with
-//! jitter on `503`/connect failures, honoring `Retry-After`, all under a
-//! per-request deadline budget so a retry storm can never run unbounded.
+//! jitter on `503`/connect failures, honoring the server's *computed*
+//! `Retry-After` as a backoff floor, all under a per-request deadline
+//! budget so a retry storm can never run unbounded.
+//!
+//! `--offered-rate <r>` switches to an *open loop*: each thread fires on
+//! a fixed tick schedule (`r / concurrency` per second from a common
+//! start), so offered load stays constant even as the server slows down —
+//! the only honest way to measure goodput under overload. Ticks the
+//! client cannot keep up with are counted as `missed`, never silently
+//! absorbed into a lower offered rate.
 //!
 //! Outcome classes (the chaos smoke keys on `dropped`):
 //!
@@ -21,7 +29,8 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7433 [--seconds 5] [--concurrency 8]
 //!         [--mode analyze|mixed|batch|stream] [--deadline-ms 2000]
-//!         [--budget-ms 4000] [--retries 4] [--json] [--out report.json]
+//!         [--budget-ms 4000] [--retries 4] [--offered-rate <r>]
+//!         [--json] [--out report.json]
 //! ```
 //!
 //! `batch` fires 8-point `/v1/batch` requests; `stream` fires NDJSON
@@ -45,6 +54,9 @@ struct Config {
     deadline_ms: u64,
     budget_ms: u64,
     retries: u32,
+    /// Open-loop offered load in requests/second across all threads
+    /// (0 = closed loop: each thread fires as fast as replies arrive).
+    offered_rate: f64,
     json: bool,
     out: String,
 }
@@ -58,6 +70,7 @@ fn parse_args() -> Config {
         deadline_ms: 2000,
         budget_ms: 4000,
         retries: 4,
+        offered_rate: 0.0,
         json: false,
         out: String::new(),
     };
@@ -75,6 +88,7 @@ fn parse_args() -> Config {
             "--deadline-ms" => cfg.deadline_ms = take().parse().expect("--deadline-ms"),
             "--budget-ms" => cfg.budget_ms = take().parse().expect("--budget-ms"),
             "--retries" => cfg.retries = take().parse().expect("--retries"),
+            "--offered-rate" => cfg.offered_rate = take().parse().expect("--offered-rate"),
             "--json" => cfg.json = true,
             "--out" => cfg.out = take(),
             other => panic!("unknown flag {other}"),
@@ -83,6 +97,10 @@ fn parse_args() -> Config {
     assert!(
         matches!(cfg.mode.as_str(), "analyze" | "mixed" | "batch" | "stream"),
         "--mode must be analyze|mixed|batch|stream"
+    );
+    assert!(
+        cfg.offered_rate.is_finite() && cfg.offered_rate >= 0.0,
+        "--offered-rate must be a non-negative rate in requests/second"
     );
     cfg
 }
@@ -114,6 +132,7 @@ impl Rng {
 struct Tally {
     sent: u64,
     ok: u64,
+    degraded: u64,
     shed: u64,
     timeout: u64,
     client_error: u64,
@@ -121,6 +140,7 @@ struct Tally {
     refused: u64,
     dropped: u64,
     retries: u64,
+    missed: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -128,6 +148,7 @@ impl Tally {
     fn merge(&mut self, other: Tally) {
         self.sent += other.sent;
         self.ok += other.ok;
+        self.degraded += other.degraded;
         self.shed += other.shed;
         self.timeout += other.timeout;
         self.client_error += other.client_error;
@@ -135,12 +156,24 @@ impl Tally {
         self.refused += other.refused;
         self.dropped += other.dropped;
         self.retries += other.retries;
+        self.missed += other.missed;
         self.latencies_us.extend(other.latencies_us);
     }
 }
 
+/// A complete parsed response: status plus the two serve-plane headers
+/// the retry/brownout discipline keys on.
+#[derive(Debug, Clone, Copy)]
+struct Reply {
+    status: u16,
+    /// The daemon's computed backoff hint (seconds), present on sheds.
+    retry_after: Option<u64>,
+    /// The response was served in brownout (`x-maestro-degraded`).
+    degraded: bool,
+}
+
 enum Outcome {
-    Status(u16),
+    Status(Reply),
     /// Connect failure or reset before any byte arrived.
     Refused,
     /// Bytes arrived but the response never completed (or was garbage).
@@ -166,9 +199,9 @@ fn exchange(addr: &SocketAddr, raw: &[u8], io_timeout: Duration) -> Outcome {
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(_) => break,
         }
-        if let Some((status, complete)) = classify(&buf) {
+        if let Some((reply, complete)) = classify(&buf) {
             if complete {
-                return Outcome::Status(status);
+                return Outcome::Status(reply);
             }
         }
     }
@@ -176,28 +209,36 @@ fn exchange(addr: &SocketAddr, raw: &[u8], io_timeout: Duration) -> Outcome {
         return Outcome::Refused;
     }
     match classify(&buf) {
-        Some((status, true)) => Outcome::Status(status),
+        Some((reply, true)) => Outcome::Status(reply),
         _ => Outcome::Dropped,
     }
 }
 
-/// Parse a response prefix: `Some((status, body_complete))` once the
+/// Parse a response prefix: `Some((reply, body_complete))` once the
 /// status line and headers are readable. `Content-Length` responses
 /// complete at the declared byte count; EOF-framed NDJSON streams
 /// complete once the `"final":true` marker line fully arrived — a stream
 /// cut before it is an incomplete (dropped) response.
-fn classify(buf: &[u8]) -> Option<(u16, bool)> {
+fn classify(buf: &[u8]) -> Option<(Reply, bool)> {
     let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
     let head = std::str::from_utf8(&buf[..head_end]).ok()?;
     let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    let reply = Reply {
+        status,
+        retry_after: head
+            .lines()
+            .find_map(|l| l.strip_prefix("Retry-After: "))
+            .and_then(|v| v.trim().parse().ok()),
+        degraded: head.lines().any(|l| l.starts_with("x-maestro-degraded:")),
+    };
     let body = &buf[head_end + 4..];
     match head
         .lines()
         .find_map(|l| l.strip_prefix("Content-Length: "))
         .and_then(|v| v.trim().parse::<usize>().ok())
     {
-        Some(content_length) => Some((status, body.len() >= content_length)),
-        None if head.contains("application/x-ndjson") => Some((status, stream_complete(body))),
+        Some(content_length) => Some((reply, body.len() >= content_length)),
+        None if head.contains("application/x-ndjson") => Some((reply, stream_complete(body))),
         None => None,
     }
 }
@@ -213,14 +254,6 @@ fn stream_complete(body: &[u8]) -> bool {
     text.lines()
         .next_back()
         .is_some_and(|l| l.contains("\"final\":true"))
-}
-
-/// Parse `Retry-After` out of a shed response (best effort).
-fn retry_after_hint(_status: u16) -> Option<Duration> {
-    // The daemon always sends `Retry-After: 1`; the hint is folded into
-    // the backoff floor below rather than parsed per-response (responses
-    // are not retained after classification).
-    Some(Duration::from_millis(100))
 }
 
 struct WorkerArgs {
@@ -300,7 +333,30 @@ fn worker(args: WorkerArgs) -> Tally {
     let mut tally = Tally::default();
     let mut rng = Rng::new(args.seed);
     let io_timeout = Duration::from_millis(args.cfg.deadline_ms.max(1000) * 2);
+    // Open loop: this thread's share of the offered rate, as a fixed tick
+    // schedule anchored at the thread's start.
+    let tick_secs = if args.cfg.offered_rate > 0.0 {
+        args.cfg.concurrency.max(1) as f64 / args.cfg.offered_rate
+    } else {
+        0.0
+    };
+    let epoch = Instant::now();
+    let mut next_tick: u64 = 0;
     while !args.stop.load(Ordering::Relaxed) {
+        if tick_secs > 0.0 {
+            let due = Duration::from_secs_f64(next_tick as f64 * tick_secs);
+            let now = epoch.elapsed();
+            if now < due {
+                std::thread::sleep(due - now);
+            } else {
+                // Fell behind the schedule: the ticks that already passed
+                // are *missed* offered load, not a quietly lower rate.
+                let behind = ((now - due).as_secs_f64() / tick_secs) as u64;
+                tally.missed += behind;
+                next_tick += behind;
+            }
+            next_tick += 1;
+        }
         let (path, body) = request_body(&args.cfg.mode, &mut rng, args.cfg.deadline_ms);
         let raw = format!(
             "POST {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
@@ -312,17 +368,23 @@ fn worker(args: WorkerArgs) -> Tally {
         let mut attempt: u32 = 0;
         let outcome = loop {
             let outcome = exchange(&args.addr, raw.as_bytes(), io_timeout);
-            let retryable = matches!(outcome, Outcome::Status(503) | Outcome::Refused);
+            let (retryable, hint) = match &outcome {
+                Outcome::Status(r) if r.status == 503 => (true, r.retry_after),
+                Outcome::Refused => (true, None),
+                _ => (false, None),
+            };
             if !retryable || attempt >= args.cfg.retries || args.stop.load(Ordering::Relaxed) {
                 break outcome;
             }
-            // Exponential backoff with full jitter, floored at the
-            // server's Retry-After hint, capped at 800 ms per step —
-            // all inside the request's deadline budget.
+            // Exponential backoff with jitter, floored at the server's
+            // computed Retry-After hint, capped at 800 ms per step (the
+            // cap yields to a larger hint) — all inside the request's
+            // deadline budget.
             let base = Duration::from_millis(25u64.saturating_mul(1 << attempt.min(8)));
-            let floor = retry_after_hint(503).unwrap_or(Duration::ZERO);
-            let cap = base.max(floor).min(Duration::from_millis(800));
-            let sleep = Duration::from_micros(rng.below(cap.as_micros().max(1) as u64));
+            let floor = hint.map(Duration::from_secs).unwrap_or(Duration::ZERO);
+            let cap = base.max(floor).min(Duration::from_millis(800).max(floor));
+            let jitter = cap.saturating_sub(floor);
+            let sleep = floor + Duration::from_micros(rng.below(jitter.as_micros().max(1) as u64));
             if t0.elapsed() + sleep >= budget {
                 break outcome;
             }
@@ -331,13 +393,16 @@ fn worker(args: WorkerArgs) -> Tally {
             tally.retries += 1;
         };
         match outcome {
-            Outcome::Status(s) if (200..300).contains(&s) => {
+            Outcome::Status(r) if (200..300).contains(&r.status) => {
                 tally.ok += 1;
+                if r.degraded {
+                    tally.degraded += 1;
+                }
                 tally.latencies_us.push(t0.elapsed().as_micros() as u64);
             }
-            Outcome::Status(503) => tally.shed += 1,
-            Outcome::Status(504) => tally.timeout += 1,
-            Outcome::Status(s) if (400..500).contains(&s) => tally.client_error += 1,
+            Outcome::Status(r) if r.status == 503 => tally.shed += 1,
+            Outcome::Status(r) if r.status == 504 => tally.timeout += 1,
+            Outcome::Status(r) if (400..500).contains(&r.status) => tally.client_error += 1,
             Outcome::Status(_) => tally.server_error += 1,
             Outcome::Refused => tally.refused += 1,
             Outcome::Dropped => tally.dropped += 1,
@@ -353,8 +418,17 @@ struct LoadReport {
     mode: String,
     concurrency: usize,
     seconds: f64,
+    /// Configured open-loop offered rate (req/s); 0 = closed loop.
+    offered_rate: f64,
+    /// Ticks due under the open-loop schedule (`sent + missed`).
+    offered: u64,
+    /// Open-loop ticks the client could not fire on time.
+    missed: u64,
     sent: u64,
     ok: u64,
+    /// 2xx responses carrying the brownout `x-maestro-degraded` marker
+    /// (a subset of `ok`).
+    degraded: u64,
     shed: u64,
     timeout: u64,
     client_error: u64,
@@ -415,8 +489,12 @@ fn main() {
         mode: cfg.mode.clone(),
         concurrency: cfg.concurrency,
         seconds: elapsed,
+        offered_rate: cfg.offered_rate,
+        offered: total.sent + total.missed,
+        missed: total.missed,
         sent: total.sent,
         ok: total.ok,
+        degraded: total.degraded,
         shed: total.shed,
         timeout: total.timeout,
         client_error: total.client_error,
@@ -444,9 +522,15 @@ fn main() {
             "loadgen: {} req in {:.2}s against {} ({} x {} mode)",
             report.sent, report.seconds, report.addr, report.concurrency, report.mode
         );
+        if report.offered_rate > 0.0 {
+            println!(
+                "  open loop  {:.1} req/s offered — {} due, {} fired, {} missed",
+                report.offered_rate, report.offered, report.sent, report.missed
+            );
+        }
         println!(
-            "  outcomes   {} ok, {} shed(503), {} timeout(504), {} 4xx, {} 5xx, {} refused, {} dropped, {} retries",
-            report.ok, report.shed, report.timeout, report.client_error,
+            "  outcomes   {} ok ({} degraded), {} shed(503), {} timeout(504), {} 4xx, {} 5xx, {} refused, {} dropped, {} retries",
+            report.ok, report.degraded, report.shed, report.timeout, report.client_error,
             report.server_error, report.refused, report.dropped, report.retries
         );
         println!(

@@ -242,6 +242,14 @@ Serving (serve):
                              always kept (default 16)
   --trace-slow-ms <n>        requests at least this slow are always kept (default 100)
   --trace-seed <n>           fixed trace-ID seed (tests; default: from the clock)
+  --sojourn-target-ms <n>    CoDel dequeue-shed target for queue sojourn (default 500; 0 = off)
+  --watchdog-interval-ms <n> worker watchdog tick: respawn crashed, supersede wedged (default 250)
+  --worker-quorum <n>        live workers needed for /readyz 200 (default 0 = majority)
+  --wedge-ms <n>             heartbeat staleness after which a busy worker is wedged
+                             (default 30000; 0 = off)
+  --chaos <spec>             seeded serve-plane fault injection, e.g.
+                             read-err:0.02,write-err:0.02,write-delay:5ms:0.05,worker-panic:0.005,stall:5ms:0.05
+  --chaos-seed <n>           seed for the chaos plan (default 0)
 
 Trace explorer (trace --from/--file):
   --from <host:port>         fetch /debug/traces (or /debug/traces/<id>) from a daemon
@@ -826,6 +834,27 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
                 .map_err(CliError::usage)?,
             "max-request-threads",
         )?,
+        sojourn_target: Duration::from_millis(
+            args.get_u64("sojourn-target-ms", 500)
+                .map_err(CliError::usage)?,
+        ),
+        watchdog_interval: Duration::from_millis(
+            args.get_u64("watchdog-interval-ms", 250)
+                .map_err(CliError::usage)?
+                .max(10),
+        ),
+        worker_quorum: to_usize(
+            args.get_u64("worker-quorum", 0).map_err(CliError::usage)?,
+            "worker-quorum",
+        )?,
+        wedge_after: Duration::from_millis(
+            args.get_u64("wedge-ms", 30_000).map_err(CliError::usage)?,
+        ),
+        chaos: {
+            let spec = args.get("chaos", "");
+            (!spec.is_empty()).then(|| spec.to_string())
+        },
+        chaos_seed: args.get_u64("chaos-seed", 0).map_err(CliError::usage)?,
     };
     // SIGTERM/SIGINT raise the process interrupt flag, which this heeding
     // token observes — tripping it starts the drain.

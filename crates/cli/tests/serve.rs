@@ -163,6 +163,138 @@ fn forced_drain_exits_7_but_still_answers_with_504() {
     assert!(resp.contains("\"partial\":true"), "{resp}");
 }
 
+/// Fetch one metric's value from the daemon's Prometheus exposition.
+fn metric_value(addr: &str, name: &str) -> f64 {
+    let metrics = get(addr, "/metrics");
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn readyz_dips_below_quorum_while_a_worker_is_wedged() {
+    // A deliberately sleepy watchdog (10 s scans) so the quorum dip is
+    // observable deterministically: while one of the two workers sits in
+    // a 1.2 s stall past the 100 ms wedge threshold, `/readyz` must
+    // report 503 naming the quorum cause, then recover to 200 once the
+    // stall ends — no supersession involved.
+    let (mut child, addr) = spawn_serve(&[
+        "--workers",
+        "2",
+        "--worker-quorum",
+        "2",
+        "--wedge-ms",
+        "100",
+        "--watchdog-interval-ms",
+        "10000",
+        "--test-endpoints",
+    ]);
+    assert_eq!(status_of(&get(&addr, "/readyz")), 200);
+    let addr2 = addr.clone();
+    let stalled = std::thread::spawn(move || post(&addr2, "/v1/stall", "{\"ms\":1200}"));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut saw_quorum_503 = false;
+    let mut recovered = false;
+    while Instant::now() < deadline {
+        let resp = get(&addr, "/readyz");
+        match status_of(&resp) {
+            503 if resp.contains("quorum") => saw_quorum_503 = true,
+            200 if saw_quorum_503 => {
+                recovered = true;
+                break;
+            }
+            _ => {}
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(saw_quorum_503, "never observed the below-quorum 503");
+    assert!(recovered, "/readyz never recovered to 200 after the stall");
+    // The wedged worker still completed its request.
+    let resp = stalled.join().expect("stall client");
+    assert_eq!(status_of(&resp), 200, "{resp}");
+    assert!(resp.contains("\"stalled_ms\":1200"), "{resp}");
+    signal(&child, "-TERM");
+    let (code, _) = wait_within(&mut child, Duration::from_secs(10));
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn wedged_workers_are_superseded_and_replaced_under_a_fast_watchdog() {
+    // Here the watchdog is fast (150 ms scans, 100 ms wedge threshold)
+    // and the stall long (2 s): the watchdog must supersede the wedged
+    // worker and spawn a replacement while the stall is still running.
+    let (mut child, addr) = spawn_serve(&[
+        "--workers",
+        "2",
+        "--worker-quorum",
+        "2",
+        "--wedge-ms",
+        "100",
+        "--watchdog-interval-ms",
+        "150",
+        "--test-endpoints",
+    ]);
+    let addr2 = addr.clone();
+    let stalled = std::thread::spawn(move || post(&addr2, "/v1/stall", "{\"ms\":2000}"));
+    // The restart counter must tick within the stall window, and once it
+    // has, the replacement worker puts /readyz back at 200.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while metric_value(&addr, "maestro_serve_worker_restarts") < 1.0 {
+        assert!(
+            Instant::now() < deadline,
+            "watchdog never replaced the wedged worker"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(status_of(&get(&addr, "/readyz")), 200);
+    // The superseded worker still writes its response before exiting.
+    let resp = stalled.join().expect("stall client");
+    assert_eq!(status_of(&resp), 200, "{resp}");
+    signal(&child, "-TERM");
+    let (code, _) = wait_within(&mut child, Duration::from_secs(10));
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn seeded_worker_panic_chaos_drops_no_responses_and_restarts_workers() {
+    // Deterministic chaos: with seed 7 at a 5% worker-panic rate, some
+    // of the ~120 pre-pop draws fire. Every request must still complete
+    // (the panic is drawn *before* a connection is popped), the watchdog
+    // must log restarts, and the daemon must still drain cleanly.
+    let (mut child, addr) = spawn_serve(&[
+        "--workers",
+        "2",
+        "--chaos",
+        "worker-panic:0.05",
+        "--chaos-seed",
+        "7",
+        "--watchdog-interval-ms",
+        "100",
+    ]);
+    for i in 0..120 {
+        let resp = post(
+            &addr,
+            "/v1/analyze",
+            &format!(
+                "{{\"model\":\"alexnet\",\"layer\":\"CONV{}\",\"pes\":64}}",
+                (i % 5) + 1
+            ),
+        );
+        assert_eq!(status_of(&resp), 200, "request {i}: {resp}");
+    }
+    assert!(
+        metric_value(&addr, "maestro_serve_worker_restarts") >= 1.0,
+        "no worker restarts observed under 5% panic chaos"
+    );
+    assert_eq!(status_of(&get(&addr, "/readyz")), 200);
+    signal(&child, "-TERM");
+    let (code, _) = wait_within(&mut child, Duration::from_secs(10));
+    assert_eq!(code, 0, "chaos daemon must still drain cleanly");
+}
+
 #[test]
 fn bad_requests_get_typed_statuses_from_the_binary() {
     let (mut child, addr) = spawn_serve(&[]);

@@ -173,6 +173,14 @@ impl<K: Hash + Eq + Clone, V> Lru<K, V> {
         }
     }
 
+    /// Look up `key` without promoting it: a read that must not perturb
+    /// the recency order (e.g. a brownout probe asking "is this cached?"
+    /// on behalf of a request that will not pay for a recompute).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        Some(&self.nodes[i].val)
+    }
+
     /// Look up `key`, promoting it to most-recently-used on a hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         let i = *self.map.get(key)?;

@@ -543,6 +543,18 @@ impl AnalysisCache {
         self.inserts += 1;
         result
     }
+
+    /// Report-tier-only probe: the cached success for this exact
+    /// (shape, full context), if present. Touches nothing — no counters,
+    /// no LRU promotion, no stage tier — because a brownout peek answers
+    /// "can we serve this for free right now?" and must not make the
+    /// cache think the entry was served when the caller may still 503.
+    pub fn peek_report(&self, key: ShapeKey, full: u64) -> Option<LayerReport> {
+        match self.reports.peek(&(key, full)) {
+            Some(Ok(report)) => Some(report.clone()),
+            _ => None,
+        }
+    }
 }
 
 /// A thread-safe, sharded front for [`AnalysisCache`]: requests from any
@@ -657,6 +669,23 @@ impl SharedAnalysisCache {
         let shard = self.shard(&key, stat);
         let mut cache = self.lock(shard);
         cache.staged_lookup_cancellable(key, stat, full, layer, dataflow, acc, Some(token))
+    }
+
+    /// [`AnalysisCache::peek_report`] against the shared table: the
+    /// brownout path's "serve from cache or shed" probe. Uncacheable
+    /// layers (no [`ShapeKey`]) always miss — there is nothing to serve
+    /// for free.
+    pub fn peek_report(
+        &self,
+        layer: &Layer,
+        dataflow: &Dataflow,
+        acc: &Accelerator,
+    ) -> Option<LayerReport> {
+        let key = ShapeKey::of(layer)?;
+        let (stat, full) = context_fingerprints(dataflow, acc);
+        let shard = self.shard(&key, stat);
+        let cache = self.lock(shard);
+        cache.peek_report(key, full)
     }
 
     /// Aggregate `(hits, misses)` across all shards (tests/diagnostics;

@@ -30,8 +30,10 @@
 
 use crate::http::{Request, Response};
 use crate::json::{self, Value};
+use crate::queue::AdmissionCtl;
 use crate::server::ServeMetrics;
-use maestro_core::{AnalysisError, ModelReport, SharedAnalysisCache};
+use crate::supervise::WorkerTable;
+use maestro_core::{AnalysisError, LayerReport, ModelReport, SharedAnalysisCache};
 use maestro_dnn::{zoo, Model};
 use maestro_hw::Accelerator;
 use maestro_ir::{Dataflow, Style};
@@ -39,7 +41,7 @@ use maestro_obs::trace::{records_to_json, FlightRecorder, TraceId};
 use maestro_obs::CancelToken;
 use std::io::Write;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -135,6 +137,59 @@ pub struct ApiCtx {
     /// (already resolved: `--max-request-threads`, or the host's
     /// available parallelism when the flag is 0/absent).
     pub max_request_threads: usize,
+    /// The dequeue-side CoDel controller; its dropping state is also an
+    /// overload-pressure signal for brownout decisions.
+    pub admission: Arc<AdmissionCtl>,
+    /// Worker liveness table: `/readyz` quorum and the watchdog share it.
+    pub workers: Arc<WorkerTable>,
+    /// Live mirror of this daemon's queue depth. A mirror rather than
+    /// the `maestro.serve.queue_depth` gauge because the metrics
+    /// registry is process-global: two daemons in one test process must
+    /// not read each other's pressure.
+    pub queue_len: Arc<AtomicUsize>,
+    /// The queue's capacity (pressure = depth / capacity).
+    pub queue_cap: usize,
+    /// Drain deadline in seconds — the ceiling for `Retry-After` hints
+    /// (past it, a draining daemon is gone and the hint is a lie).
+    pub drain_secs: u64,
+}
+
+/// Request priority class: what overload shedding may touch, and in what
+/// order. Control-plane probes are never shed (an operator debugging an
+/// overload needs `/metrics` most exactly when the daemon is drowning);
+/// long-running exploration is shed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqClass {
+    /// health/readiness/metrics/traces — and anything unroutable, which
+    /// costs less to answer (404) than to classify further.
+    Critical,
+    /// `/v1/analyze`, `/v1/batch`: interactive cost-model queries.
+    Normal,
+    /// `/v1/dse`, `/v1/conform`: multi-second exploration sessions.
+    Heavy,
+}
+
+/// Classify a parsed request (see [`ReqClass`]).
+pub fn classify(req: &Request) -> ReqClass {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/analyze" | "/v1/batch") => ReqClass::Normal,
+        ("POST", "/v1/dse" | "/v1/conform") => ReqClass::Heavy,
+        _ => ReqClass::Critical,
+    }
+}
+
+/// Instantaneous overload pressure, derived from this daemon's queue
+/// depth and the admission controller's dropping state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pressure {
+    /// Queue mostly empty; serve everything.
+    Nominal,
+    /// Standing queue (≥ half capacity, or CoDel is dropping): shed
+    /// [`ReqClass::Heavy`] work.
+    High,
+    /// Near queue-full (≥ 90% capacity): also shed batches and serve
+    /// analyze from cache only (brownout).
+    Critical,
 }
 
 impl ApiCtx {
@@ -142,13 +197,7 @@ impl ApiCtx {
     pub fn handle(&self, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Response::text(200, "ok\n"),
-            ("GET", "/readyz") => {
-                if self.ready.load(Ordering::Relaxed) {
-                    Response::text(200, "ready\n")
-                } else {
-                    Response::text(503, "draining\n")
-                }
-            }
+            ("GET", "/readyz") => self.readyz(),
             ("GET", "/metrics") => {
                 self.metrics
                     .uptime_seconds
@@ -175,6 +224,20 @@ impl ApiCtx {
             ("POST", "/v1/panic") if self.test_endpoints => {
                 panic!("test endpoint /v1/panic: deliberate handler panic")
             }
+            ("POST", "/v1/stall") if self.test_endpoints => {
+                // Simulates a wedged handler: a raw sleep that (unlike a
+                // deadline-aware analysis) never polls its token, so the
+                // worker's heartbeat goes stale and the watchdog's wedge
+                // detection has something real to find.
+                let ms = std::str::from_utf8(&req.body)
+                    .ok()
+                    .and_then(|t| json::parse(t).ok())
+                    .and_then(|b| b.get("ms").and_then(Value::as_u64))
+                    .unwrap_or(0)
+                    .min(10_000);
+                std::thread::sleep(Duration::from_millis(ms));
+                Response::json(200, format!("{{\"stalled_ms\":{ms}}}"))
+            }
             (
                 _,
                 "/healthz" | "/readyz" | "/metrics" | "/v1/analyze" | "/v1/batch" | "/v1/dse"
@@ -187,10 +250,105 @@ impl ApiCtx {
         }
     }
 
+    /// Readiness: drain state first, then worker quorum. The JSON body
+    /// names the cause, so an orchestrator (or a human) can tell "this
+    /// daemon is leaving" from "this daemon lost its workers".
+    fn readyz(&self) -> Response {
+        if !self.ready.load(Ordering::Relaxed) {
+            return Response::json(503, "{\"ready\":false,\"cause\":\"draining\"}".to_string());
+        }
+        let live = self.workers.live();
+        let (quorum, configured) = (self.workers.quorum, self.workers.configured);
+        if live < quorum {
+            return Response::json(
+                503,
+                format!(
+                    "{{\"ready\":false,\"cause\":\"workers below quorum\",\
+                     \"live\":{live},\"quorum\":{quorum},\"workers\":{configured}}}"
+                ),
+            );
+        }
+        Response::json(
+            200,
+            format!(
+                "{{\"ready\":true,\"live\":{live},\"quorum\":{quorum},\"workers\":{configured}}}"
+            ),
+        )
+    }
+
+    /// Instantaneous overload pressure (see [`Pressure`]).
+    pub fn pressure(&self) -> Pressure {
+        let depth = self.queue_len.load(Ordering::Relaxed);
+        let cap = self.queue_cap.max(1);
+        if depth * 10 >= cap * 9 {
+            Pressure::Critical
+        } else if depth * 2 >= cap || self.admission.dropping() {
+            Pressure::High
+        } else {
+            Pressure::Nominal
+        }
+    }
+
+    /// How long a shed client should wait before retrying: the time for
+    /// the current queue (plus this request) to drain through the worker
+    /// pool at the observed median service time, clamped to
+    /// `[1, drain-seconds]` — beyond the drain deadline the daemon may
+    /// simply be gone, so a larger promise is meaningless.
+    pub fn retry_hint(&self) -> u64 {
+        let hist = &self.metrics.request_seconds;
+        // Before any request completes there is no observed service
+        // time; assume a conservative 250ms median.
+        let p50 = if hist.count() > 0 {
+            let q = hist.quantile(0.5);
+            if q.is_finite() && q > 0.0 {
+                q
+            } else {
+                0.25
+            }
+        } else {
+            0.25
+        };
+        retry_after_secs(
+            p50,
+            self.queue_len.load(Ordering::Relaxed),
+            self.workers.configured,
+            self.drain_secs,
+        )
+    }
+
+    /// A `503` shed response carrying the computed retry hint.
+    pub fn shed_response(&self, msg: &str) -> Response {
+        let mut resp = error_response(503, msg);
+        resp.retry_after = Some(self.retry_hint());
+        resp
+    }
+
+    /// Class-based brownout shedding, decided before dispatch: under
+    /// [`Pressure::High`], heavy exploration sessions are shed so the
+    /// queue keeps draining interactive work; under
+    /// [`Pressure::Critical`], batches are shed too (single analyzes
+    /// continue into the cache-only degraded path). Critical-class
+    /// requests are never shed here.
+    fn preflight(&self, req: &Request) -> Option<Response> {
+        let shed = match (classify(req), self.pressure()) {
+            (ReqClass::Heavy, Pressure::High | Pressure::Critical) => true,
+            (ReqClass::Normal, Pressure::Critical) => req.path == "/v1/batch",
+            _ => false,
+        };
+        if !shed {
+            return None;
+        }
+        self.metrics.brownout_shed.inc();
+        Some(self.shed_response("server is under overload pressure, heavy requests are shed"))
+    }
+
     /// Route and serve one parsed request with the socket in reach, so
     /// handlers that stream (NDJSON `/v1/dse`) can write incrementally.
     /// Everything else delegates to [`ApiCtx::handle`].
     pub fn handle_conn(&self, req: &Request, sock: &TcpStream) -> Handled {
+        if let Some(resp) = self.preflight(req) {
+            return Handled::Response(resp);
+        }
         if req.method == "POST" && req.path == "/v1/dse" {
             let (body, token) = match self.decode_body(req) {
                 Ok(decoded) => decoded,
@@ -262,6 +420,14 @@ impl ApiCtx {
             Ok(a) => a,
             Err(r) => return r,
         };
+        // Brownout: a request whose deadline already tripped (it burned
+        // its budget queued) or one arriving under critical pressure is
+        // served from the report cache only. A degraded 200 from cache
+        // beats a 504 the client must retry — and costs the drowning
+        // daemon almost nothing.
+        if token.is_cancelled() || self.pressure() == Pressure::Critical {
+            return self.analyze_degraded(&model, body, &dataflow, &acc, token);
+        }
         let layer_name = body.get("layer").and_then(Value::as_str).unwrap_or("");
         if !layer_name.is_empty() {
             let Some(layer) = model.layer(layer_name) else {
@@ -323,6 +489,76 @@ impl ApiCtx {
         match serde_json::to_string(&report) {
             Ok(js) => Response::json(200, js),
             Err(e) => error_response(500, &e.to_string()),
+        }
+    }
+
+    /// The cache-only analyze path behind brownout. Every requested
+    /// layer must already sit in the shared report tier (peeked without
+    /// perturbing LRU order or hit/miss counters); any miss falls back
+    /// to the honest failure — `504` if the deadline tripped, a `503`
+    /// shed with a retry hint if we are merely refusing fresh work.
+    fn analyze_degraded(
+        &self,
+        model: &Model,
+        body: &Value,
+        dataflow: &Dataflow,
+        acc: &Accelerator,
+        token: &CancelToken,
+    ) -> Response {
+        let layer_name = body.get("layer").and_then(Value::as_str).unwrap_or("");
+        let mut resp = if layer_name.is_empty() {
+            let mut layers: Vec<LayerReport> = Vec::with_capacity(model.len());
+            for layer in model.iter() {
+                match self.cache.peek_report(layer, dataflow, acc) {
+                    Some(r) => layers.push(r),
+                    None => return self.degraded_miss(layers.len(), model.len(), token),
+                }
+            }
+            let report = ModelReport {
+                model: model.name.clone(),
+                layers,
+            };
+            crate::trace::mark("serialize");
+            match serde_json::to_string(&report) {
+                Ok(js) => Response::json(200, js),
+                Err(e) => return error_response(500, &e.to_string()),
+            }
+        } else {
+            let Some(layer) = model.layer(layer_name) else {
+                return error_response(
+                    400,
+                    &format!("model {} has no layer `{layer_name}`", model.name),
+                );
+            };
+            let Some(report) = self.cache.peek_report(layer, dataflow, acc) else {
+                return self.degraded_miss(0, 1, token);
+            };
+            crate::trace::mark("serialize");
+            match serde_json::to_string(&report) {
+                Ok(js) => Response::json(
+                    200,
+                    format!(
+                        "{{\"model\":{},\"layer\":{},\"report\":{js}}}",
+                        json_str(&model.name),
+                        json_str(layer_name)
+                    ),
+                ),
+                Err(e) => return error_response(500, &e.to_string()),
+            }
+        };
+        self.metrics.degraded.inc();
+        resp.degraded = Some("cache-only");
+        resp
+    }
+
+    /// The honest failure when brownout cannot serve from cache.
+    fn degraded_miss(&self, completed: usize, total: usize, token: &CancelToken) -> Response {
+        if token.is_cancelled() {
+            self.metrics.timeouts.inc();
+            timeout_response(completed, total, None)
+        } else {
+            self.metrics.brownout_shed.inc();
+            self.shed_response("server is in brownout, uncached analyses are shed")
         }
     }
 
@@ -661,6 +897,17 @@ impl ApiCtx {
     }
 }
 
+/// The `Retry-After` arithmetic behind [`ApiCtx::retry_hint`], pure so
+/// it can be pinned: the time for `queued` waiting connections (plus the
+/// one being shed) to drain through `workers` at the observed median
+/// service time, rounded up and clamped to `[1, drain_secs]`.
+pub fn retry_after_secs(p50_secs: f64, queued: usize, workers: usize, drain_secs: u64) -> u64 {
+    let queued = queued as f64 + 1.0;
+    let workers = workers.max(1) as f64;
+    let secs = (queued * p50_secs / workers).ceil() as u64;
+    secs.clamp(1, drain_secs.max(1))
+}
+
 /// `{"error": <msg>}` with the given status.
 pub fn error_response(status: u16, msg: &str) -> Response {
     let mut r = Response::json(status, format!("{{\"error\":{}}}", json_str(msg)));
@@ -772,5 +1019,40 @@ mod tests {
             1,
             "a zero cap still serves one thread"
         );
+    }
+
+    // Satellite: the shed path's `Retry-After` is computed from queue
+    // depth and the observed median service time, clamped to
+    // `[1, drain-seconds]` — never the old hard-coded 1.
+    #[test]
+    fn retry_after_is_drain_time_clamped_to_the_drain_deadline() {
+        // Empty queue, fast service: floor of 1 second.
+        assert_eq!(retry_after_secs(0.01, 0, 4, 5), 1);
+        // 8 queued at ~1s median through 4 workers: ceil(9/4) = 3.
+        assert_eq!(retry_after_secs(1.0, 8, 4, 5), 3);
+        // A deep queue of slow requests hits the drain-deadline ceiling.
+        assert_eq!(retry_after_secs(2.0, 63, 2, 5), 5);
+        // Degenerate inputs stay in range.
+        assert_eq!(retry_after_secs(0.25, 0, 0, 0), 1);
+        assert_eq!(retry_after_secs(1000.0, 1000, 1, 30), 30);
+    }
+
+    #[test]
+    fn request_classes_cover_the_route_table() {
+        let req = |method: &str, path: &str| Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: Vec::new(),
+            close: false,
+        };
+        for path in ["/healthz", "/readyz", "/metrics", "/debug/traces"] {
+            assert_eq!(classify(&req("GET", path)), ReqClass::Critical, "{path}");
+        }
+        assert_eq!(classify(&req("POST", "/v1/analyze")), ReqClass::Normal);
+        assert_eq!(classify(&req("POST", "/v1/batch")), ReqClass::Normal);
+        assert_eq!(classify(&req("POST", "/v1/dse")), ReqClass::Heavy);
+        assert_eq!(classify(&req("POST", "/v1/conform")), ReqClass::Heavy);
+        // Unroutable requests are answered (404) rather than shed.
+        assert_eq!(classify(&req("GET", "/nope")), ReqClass::Critical);
     }
 }

@@ -1,0 +1,297 @@
+//! Deterministic fault injection for the serve plane (`serve --chaos`).
+//!
+//! The same splitmix64 discipline as the DSE's `--inject` plan
+//! (`maestro_dse::fault`): whether a given injection site fires is a pure
+//! function of `(seed, kind, sequence#)`, where the sequence number is a
+//! per-kind atomic counter. Nothing else — not timing, not thread
+//! identity — feeds the draw, so a chaos run against a fixed request
+//! count hits a fixed set of sites and ci.sh can assert the serve-plane
+//! invariants (no dropped responses, drain contract intact, worker
+//! restarts observed) reproducibly instead of hoping a random fault
+//! landed.
+//!
+//! Five fault kinds, each placed so that the daemon's promises survive
+//! it (an injected fault must degrade service, never corrupt it):
+//!
+//! * **read-err** — the connection is torn down before any request byte
+//!   is read; the client sees a reset with zero response bytes (a clean,
+//!   retryable refusal — never a truncated response).
+//! * **write-err** — the response write is skipped (simulating a peer
+//!   that vanished); only ever injected before the *first* response byte
+//!   of a connection, so the client observes a refusal, not a torn body.
+//!   Counted in `maestro.serve.write_failures` like a real failed write.
+//! * **write-delay** — the response write is delayed, exercising client
+//!   timeout handling and the drain's straggler path.
+//! * **worker-panic** — a worker thread panics at the top of its loop,
+//!   *before* popping a connection (so no admitted connection is ever
+//!   lost), exercising the watchdog's detect-and-respawn path.
+//! * **stall** — the handler sleeps before dispatch, driving queue
+//!   sojourn up and exercising the CoDel shed and deadline paths.
+//!
+//! Spec grammar mirrors `--inject`:
+//! `read-err:0.01,write-err:0.01,write-delay:20ms:0.05,worker-panic:0.005,stall:10ms:0.02`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A malformed `--chaos` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSpecError {
+    /// The offending clause.
+    pub clause: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for ChaosSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad chaos clause `{}`: {}", self.clause, self.reason)
+    }
+}
+
+impl std::error::Error for ChaosSpecError {}
+
+/// Indexes into the per-kind sequence counters (also the kind tag mixed
+/// into the draw, so two kinds at the same sequence number decorrelate).
+const KIND_READ_ERR: usize = 0;
+const KIND_WRITE_ERR: usize = 1;
+const KIND_WRITE_DELAY: usize = 2;
+const KIND_WORKER_PANIC: usize = 3;
+const KIND_STALL: usize = 4;
+const KINDS: usize = 5;
+
+/// A seeded, deterministic serve-plane fault plan. See the module docs.
+#[derive(Debug)]
+pub struct ChaosPlan {
+    seed: u64,
+    read_err: f64,
+    write_err: f64,
+    write_delay: Option<(Duration, f64)>,
+    worker_panic: f64,
+    stall: Option<(Duration, f64)>,
+    seq: [AtomicU64; KINDS],
+}
+
+impl ChaosPlan {
+    /// Parse a spec like
+    /// `read-err:0.01,write-delay:20ms:0.05,worker-panic:0.005`.
+    /// Durations accept `ms`, `s` or bare milliseconds; rates are in
+    /// `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosSpecError`] naming the first malformed clause.
+    pub fn parse(spec: &str, seed: u64) -> Result<ChaosPlan, ChaosSpecError> {
+        let err = |clause: &str, reason: &str| ChaosSpecError {
+            clause: clause.to_string(),
+            reason: reason.to_string(),
+        };
+        let rate_of = |clause: &str, text: &str| -> Result<f64, ChaosSpecError> {
+            let rate: f64 = text
+                .parse()
+                .map_err(|_| err(clause, "rate must be a number"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(err(clause, "rate must be in [0, 1]"));
+            }
+            Ok(rate)
+        };
+        let mut plan = ChaosPlan::empty(seed);
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let mut parts = clause.split(':');
+            let kind = parts.next().unwrap_or("");
+            match kind {
+                "read-err" | "write-err" | "worker-panic" => {
+                    let rate = rate_of(clause, parts.next().unwrap_or(""))?;
+                    if parts.next().is_some() {
+                        return Err(err(clause, "expected `kind:rate`"));
+                    }
+                    match kind {
+                        "read-err" => plan.read_err = rate,
+                        "write-err" => plan.write_err = rate,
+                        _ => plan.worker_panic = rate,
+                    }
+                }
+                "write-delay" | "stall" => {
+                    let duration = parse_duration(clause, parts.next().unwrap_or(""))?;
+                    let rate = rate_of(clause, parts.next().unwrap_or(""))?;
+                    if parts.next().is_some() {
+                        return Err(err(clause, "expected `kind:duration:rate`"));
+                    }
+                    if kind == "write-delay" {
+                        plan.write_delay = Some((duration, rate));
+                    } else {
+                        plan.stall = Some((duration, rate));
+                    }
+                }
+                other => {
+                    return Err(err(
+                        clause,
+                        &format!(
+                            "unknown kind `{other}` \
+                             (read-err|write-err|write-delay|worker-panic|stall)"
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    fn empty(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            read_err: 0.0,
+            write_err: 0.0,
+            write_delay: None,
+            worker_panic: 0.0,
+            stall: None,
+            seq: Default::default(),
+        }
+    }
+
+    /// One deterministic draw in `[0, 1)` for `kind` at its next
+    /// sequence number (splitmix64-style finalizer, as in
+    /// `maestro_dse::fault`).
+    fn draw(&self, kind: usize) -> f64 {
+        let n = self.seq[kind].fetch_add(1, Ordering::Relaxed);
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((kind as u64 + 1).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(n.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Tear this connection down before reading any request byte?
+    pub fn read_error(&self) -> bool {
+        self.read_err > 0.0 && self.draw(KIND_READ_ERR) < self.read_err
+    }
+
+    /// Skip this (first-of-connection) response write?
+    pub fn write_error(&self) -> bool {
+        self.write_err > 0.0 && self.draw(KIND_WRITE_ERR) < self.write_err
+    }
+
+    /// Delay before writing this response.
+    pub fn write_delay(&self) -> Option<Duration> {
+        let (d, rate) = self.write_delay?;
+        (rate > 0.0 && self.draw(KIND_WRITE_DELAY) < rate).then_some(d)
+    }
+
+    /// Panic this worker thread (drawn at the loop top, before any
+    /// connection is popped)?
+    pub fn worker_panic(&self) -> bool {
+        self.worker_panic > 0.0 && self.draw(KIND_WORKER_PANIC) < self.worker_panic
+    }
+
+    /// Stall the handler before dispatching this request.
+    pub fn stall(&self) -> Option<Duration> {
+        let (d, rate) = self.stall?;
+        (rate > 0.0 && self.draw(KIND_STALL) < rate).then_some(d)
+    }
+}
+
+/// `50ms`, `2s`, or bare milliseconds.
+fn parse_duration(clause: &str, text: &str) -> Result<Duration, ChaosSpecError> {
+    let err = |reason: &str| ChaosSpecError {
+        clause: clause.to_string(),
+        reason: reason.to_string(),
+    };
+    let (digits, scale_ms) = if let Some(d) = text.strip_suffix("ms") {
+        (d, 1.0)
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, 1000.0)
+    } else {
+        (text, 1.0)
+    };
+    let v: f64 = digits
+        .parse()
+        .map_err(|_| err("duration must be like `50ms` or `2s`"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(err("duration must be non-negative and finite"));
+    }
+    Ok(Duration::from_secs_f64(v * scale_ms / 1000.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let p = ChaosPlan::parse(
+            "read-err:0.25,write-err:0.1,write-delay:20ms:0.5,worker-panic:1.0,stall:1s:0.0",
+            7,
+        )
+        .unwrap();
+        assert_eq!(p.read_err, 0.25);
+        assert_eq!(p.write_err, 0.1);
+        assert_eq!(p.write_delay, Some((Duration::from_millis(20), 0.5)));
+        assert_eq!(p.worker_panic, 1.0);
+        assert_eq!(p.stall, Some((Duration::from_secs(1), 0.0)));
+    }
+
+    #[test]
+    fn rejects_malformed_clauses() {
+        for bad in [
+            "explode:0.1",
+            "read-err:nan-ish",
+            "read-err:1.5",
+            "write-delay:20ms",
+            "write-delay:xx:0.1",
+            "read-err:0.1:extra",
+        ] {
+            assert!(ChaosPlan::parse(bad, 0).is_err(), "{bad} must be rejected");
+        }
+        // An empty spec is a no-op plan, not an error.
+        let p = ChaosPlan::parse("", 0).unwrap();
+        assert!(!p.read_error() && !p.worker_panic());
+    }
+
+    #[test]
+    fn draws_are_deterministic_in_the_sequence_number() {
+        let a = ChaosPlan::parse("worker-panic:0.5", 42).unwrap();
+        let b = ChaosPlan::parse("worker-panic:0.5", 42).unwrap();
+        let hits_a: Vec<bool> = (0..256).map(|_| a.worker_panic()).collect();
+        let hits_b: Vec<bool> = (0..256).map(|_| b.worker_panic()).collect();
+        assert_eq!(hits_a, hits_b, "same seed, same sequence, same hits");
+        assert!(hits_a.iter().any(|&h| h), "rate 0.5 over 256 draws hits");
+        assert!(hits_a.iter().any(|&h| !h), "rate 0.5 over 256 draws misses");
+
+        let c = ChaosPlan::parse("worker-panic:0.5", 43).unwrap();
+        let hits_c: Vec<bool> = (0..256).map(|_| c.worker_panic()).collect();
+        assert_ne!(hits_a, hits_c, "a different seed reshuffles the hits");
+    }
+
+    #[test]
+    fn kinds_decorrelate_at_equal_sequence_numbers() {
+        let p = ChaosPlan::parse("read-err:0.5,write-err:0.5", 9).unwrap();
+        let reads: Vec<bool> = (0..128).map(|_| p.read_error()).collect();
+        let q = ChaosPlan::parse("read-err:0.5,write-err:0.5", 9).unwrap();
+        let writes: Vec<bool> = (0..128).map(|_| q.write_error()).collect();
+        assert_ne!(reads, writes, "kind tag must decorrelate the draws");
+    }
+
+    #[test]
+    fn zero_rates_never_fire_and_never_burn_sequence_numbers() {
+        let p = ChaosPlan::parse("write-delay:10ms:0.0", 1).unwrap();
+        for _ in 0..64 {
+            assert_eq!(p.write_delay(), None);
+            assert!(!p.read_error());
+            assert!(!p.worker_panic());
+            assert_eq!(p.stall(), None);
+        }
+        // Disabled kinds short-circuit before drawing, so enabling a kind
+        // later in a config change does not shift other kinds' sequences.
+        assert_eq!(p.seq[KIND_READ_ERR].load(Ordering::Relaxed), 0);
+        assert_eq!(p.seq[KIND_WORKER_PANIC].load(Ordering::Relaxed), 0);
+    }
+}

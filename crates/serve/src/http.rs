@@ -235,6 +235,10 @@ pub struct Response {
     /// The request's trace ID, echoed as the `x-maestro-trace` header
     /// (stamped by the connection loop on every response).
     pub trace: Option<String>,
+    /// Brownout marker, emitted as `x-maestro-degraded` — set when the
+    /// body was served from cache under pressure instead of computed
+    /// fresh, so clients can tell a degraded 200 from a normal one.
+    pub degraded: Option<&'static str>,
     /// Whether to close the connection after writing this response.
     pub close: bool,
 }
@@ -248,6 +252,7 @@ impl Response {
             body,
             retry_after: None,
             trace: None,
+            degraded: None,
             close: false,
         }
     }
@@ -260,6 +265,7 @@ impl Response {
             body: body.into(),
             retry_after: None,
             trace: None,
+            degraded: None,
             close: false,
         }
     }
@@ -278,6 +284,9 @@ impl Response {
         }
         if let Some(trace) = &self.trace {
             head.push_str(&format!("x-maestro-trace: {trace}\r\n"));
+        }
+        if let Some(mode) = self.degraded {
+            head.push_str(&format!("x-maestro-degraded: {mode}\r\n"));
         }
         if self.close {
             head.push_str("Connection: close\r\n");
@@ -427,10 +436,12 @@ mod tests {
         let mut r = Response::json(503, "{\"error\":\"shed\"}".to_string());
         r.retry_after = Some(1);
         r.trace = Some("00ab".repeat(8));
+        r.degraded = Some("cache-only");
         r.close = true;
         let text = String::from_utf8(r.to_bytes()).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("x-maestro-degraded: cache-only\r\n"));
         assert!(text.contains(&format!("x-maestro-trace: {}\r\n", "00ab".repeat(8))));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains(&format!(

@@ -18,8 +18,23 @@
 //!   per-item error isolation, and `POST /v1/dse` with `"stream": true`
 //!   streams incremental NDJSON frontier updates as units complete.
 //! * **Admission control** — a bounded connection queue; when it is full
-//!   the acceptor sheds load with an immediate `503` + `Retry-After`
-//!   instead of letting latency collapse (`maestro.serve.shed`).
+//!   the acceptor sheds load with an immediate `503` + a *computed*
+//!   `Retry-After` (queue depth × observed median service time)
+//!   instead of letting latency collapse (`maestro.serve.shed`), and a
+//!   CoDel-style controller sheds at dequeue when queue sojourn stays
+//!   above `--sojourn-target` (`maestro.serve.shed_sojourn`).
+//! * **Priority-aware brownout** — requests are classed (health/metrics
+//!   over analyze/batch over dse/conform); under pressure heavy classes
+//!   shed first, and deadline-pressed analyzes are served from the
+//!   shared report cache with an `x-maestro-degraded` header instead of
+//!   504ing (`maestro.serve.brownout_shed`, `maestro.serve.degraded`).
+//! * **Worker supervision** — per-worker heartbeats, a watchdog that
+//!   respawns crashed workers and supersedes wedged ones
+//!   (`maestro.serve.worker_restarts`), and a `/readyz` that reports 503
+//!   with the cause when live workers fall below quorum.
+//! * **Deterministic chaos** — `--chaos` injects seeded socket faults,
+//!   worker panics and handler stalls (the DSE `--inject` splitmix64
+//!   discipline), so overload invariants are CI-assertable.
 //! * **Per-request deadlines** — every request runs under a
 //!   [`CancelToken::child_with_deadline`] child token, so a timed-out
 //!   request returns a typed `504` with a partial-result marker and can
@@ -47,14 +62,21 @@
 )]
 
 pub mod api;
+pub mod chaos;
 pub mod http;
 pub mod json;
 pub mod queue;
 pub mod server;
+pub mod supervise;
 pub mod trace;
 
-pub use api::{effective_threads, ApiCtx, Handled, StreamSummary, MAX_BATCH_POINTS};
+pub use api::{
+    classify, effective_threads, ApiCtx, Handled, Pressure, ReqClass, StreamSummary,
+    MAX_BATCH_POINTS,
+};
+pub use chaos::{ChaosPlan, ChaosSpecError};
 pub use http::{parse_request, HttpError, Limits, Parsed, Request, Response};
 pub use json::{parse as parse_json, JsonError, Value};
-pub use queue::BoundedQueue;
+pub use queue::{AdmissionCtl, BoundedQueue};
 pub use server::{DrainOutcome, ServeConfig, ServeMetrics, Server};
+pub use supervise::{ThreadGuard, WorkerSlot, WorkerTable};

@@ -30,9 +30,11 @@
 //!   *written* responses, never dropped connections — and reports
 //!   [`DrainOutcome::Forced`] (the CLI maps it to exit 7).
 
-use crate::api::{error_response, ApiCtx, Handled};
+use crate::api::{classify, error_response, ApiCtx, Handled, ReqClass};
+use crate::chaos::ChaosPlan;
 use crate::http::{parse_request, Limits, Parsed, Request, Response};
-use crate::queue::BoundedQueue;
+use crate::queue::{AdmissionCtl, BoundedQueue};
+use crate::supervise::{ThreadGuard, WorkerSlot, WorkerTable};
 use crate::trace::{AccessLog, RequestTimer};
 use maestro_core::SharedAnalysisCache;
 use maestro_obs::trace::{FlightPolicy, FlightRecorder};
@@ -40,7 +42,7 @@ use maestro_obs::{Counter, Gauge, Histogram};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -84,6 +86,23 @@ pub struct ServeConfig {
     /// without a cap, `workers × threads` scoped threads from concurrent
     /// requests could oversubscribe the host.
     pub max_request_threads: usize,
+    /// CoDel target for queue sojourn (accept → worker pop): sustained
+    /// sojourn above this sheds at dequeue. Zero disables sojourn
+    /// shedding (the queue-full check still applies).
+    pub sojourn_target: Duration,
+    /// How often the watchdog scans for crashed/wedged workers.
+    pub watchdog_interval: Duration,
+    /// Minimum live workers for `/readyz` to report ready; `0` means
+    /// majority of the configured pool.
+    pub worker_quorum: usize,
+    /// A busy worker whose heartbeat is older than this is considered
+    /// wedged and superseded. Zero disables wedge detection.
+    pub wedge_after: Duration,
+    /// Seeded fault-injection spec (`--chaos`), e.g.
+    /// `read-err:0.01,worker-panic:0.005`; `None` = no injection.
+    pub chaos: Option<String>,
+    /// Seed for the chaos plan's deterministic draws.
+    pub chaos_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +124,12 @@ impl Default for ServeConfig {
             trace_slow: Duration::from_millis(100),
             trace_seed: None,
             max_request_threads: 0,
+            sojourn_target: Duration::from_millis(500),
+            watchdog_interval: Duration::from_millis(250),
+            worker_quorum: 0,
+            wedge_after: Duration::from_secs(30),
+            chaos: None,
+            chaos_seed: 0,
         }
     }
 }
@@ -137,8 +162,22 @@ pub struct ServeMetrics {
     pub connections: Counter,
     /// Response writes that failed (client gone before the body landed).
     pub write_failures: Counter,
+    /// Connections shed at dequeue by the CoDel sojourn controller.
+    pub shed_sojourn: Counter,
+    /// Requests shed by class-based brownout (heavy work under pressure,
+    /// uncached analyzes in brownout).
+    pub brownout_shed: Counter,
+    /// Analyze requests served cache-only with `x-maestro-degraded`.
+    pub degraded: Counter,
+    /// Worker threads respawned by the watchdog (crashes + wedges).
+    pub worker_restarts: Counter,
+    /// Faults injected by the `--chaos` plan.
+    pub chaos_injected: Counter,
     /// Requests currently being served.
     pub in_flight: Gauge,
+    /// Workers currently counting toward the `/readyz` quorum (refreshed
+    /// by the watchdog).
+    pub workers_live: Gauge,
     /// Connections admitted but not yet popped by a worker (sampled on
     /// every push and pop).
     pub queue_depth: Gauge,
@@ -160,7 +199,13 @@ impl ServeMetrics {
             bad_requests: r.counter("maestro.serve.bad_requests"),
             connections: r.counter("maestro.serve.connections"),
             write_failures: r.counter("maestro.serve.write_failures"),
+            shed_sojourn: r.counter("maestro.serve.shed_sojourn"),
+            brownout_shed: r.counter("maestro.serve.brownout_shed"),
+            degraded: r.counter("maestro.serve.degraded"),
+            worker_restarts: r.counter("maestro.serve.worker_restarts"),
+            chaos_injected: r.counter("maestro.serve.chaos_injected"),
             in_flight: r.gauge("maestro.serve.in_flight"),
+            workers_live: r.gauge("maestro.serve.workers_live"),
             queue_depth: r.gauge("maestro.serve.queue_depth"),
             uptime_seconds: r.gauge("maestro.serve.uptime_seconds"),
             // Log-spaced: 3 buckets per decade from 100µs to 10s, so a
@@ -230,6 +275,19 @@ impl Server {
             None => None,
             Some(path) => Some(Arc::new(AccessLog::open(path)?)),
         };
+        let chaos = match &cfg.chaos {
+            None => None,
+            Some(spec) => Some(Arc::new(ChaosPlan::parse(spec, cfg.chaos_seed).map_err(
+                |e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()),
+            )?)),
+        };
+        let worker_count = cfg.workers.max(1);
+        let admission = Arc::new(AdmissionCtl::new(cfg.sojourn_target));
+        let table = Arc::new(WorkerTable::new(
+            worker_count,
+            cfg.worker_quorum,
+            cfg.wedge_after,
+        ));
         let ctx = Arc::new(ApiCtx {
             cache: SharedAnalysisCache::new(cfg.shards, cfg.memo_cap),
             request_root: maestro_obs::CancelToken::detached(),
@@ -245,6 +303,11 @@ impl Server {
                     .map(std::num::NonZeroUsize::get)
                     .unwrap_or(8)
             },
+            admission,
+            workers: Arc::clone(&table),
+            queue_len: Arc::new(AtomicUsize::new(0)),
+            queue_cap: cfg.queue_depth.max(1),
+            drain_secs: cfg.drain_deadline.as_secs().max(1),
         });
         let queue: Arc<BoundedQueue<(TcpStream, Instant)>> =
             Arc::new(BoundedQueue::new(cfg.queue_depth));
@@ -254,31 +317,30 @@ impl Server {
             max_body_bytes: cfg.max_body_bytes,
         };
 
-        let mut workers = Vec::with_capacity(cfg.workers.max(1));
-        for i in 0..cfg.workers.max(1) {
-            let queue = Arc::clone(&queue);
-            let ctx = Arc::clone(&ctx);
-            let in_flight = Arc::clone(&in_flight);
-            let io_timeout = cfg.io_timeout;
-            let access = access.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("serve-worker-{i}"))
-                .spawn(move || {
-                    while let Some((stream, accepted)) = queue.pop() {
-                        ctx.metrics.queue_depth.set(queue.len() as f64);
-                        serve_connection(
-                            stream,
-                            accepted,
-                            &ctx,
-                            &in_flight,
-                            io_timeout,
-                            &limits,
-                            access.as_deref(),
-                        );
-                    }
-                })?;
-            workers.push(handle);
+        let shared = Arc::new(WorkerShared {
+            queue: Arc::clone(&queue),
+            ctx: Arc::clone(&ctx),
+            table: Arc::clone(&table),
+            in_flight: Arc::clone(&in_flight),
+            io_timeout: cfg.io_timeout,
+            limits,
+            access: access.clone(),
+            chaos,
+        });
+        let mut pool = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let slot = table.new_slot(i);
+            let handle = spawn_worker(&shared, Arc::clone(&slot))?;
+            pool.push((slot, handle));
         }
+        metrics.workers_live.set(table.live() as f64);
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let interval = cfg.watchdog_interval.max(Duration::from_millis(10));
+            std::thread::Builder::new()
+                .name("serve-watchdog".to_string())
+                .spawn(move || watchdog_loop(&shared, pool, interval))?
+        };
 
         // The acceptor blocks in `accept(2)`; this thread is the only way
         // it learns about a drain. The interrupt flag is poll-only (the
@@ -337,13 +399,18 @@ impl Server {
                     }
                     metrics.connections.inc();
                     match queue.try_push((stream, Instant::now())) {
-                        Ok(()) => metrics.queue_depth.set(queue.len() as f64),
+                        Ok(()) => {
+                            let depth = queue.len();
+                            ctx.queue_len.store(depth, Ordering::Relaxed);
+                            metrics.queue_depth.set(depth as f64);
+                        }
                         Err((stream, accepted)) => shed(
                             stream,
                             accepted,
                             &metrics,
                             cfg.io_timeout,
                             access.as_deref(),
+                            ctx.retry_hint(),
                         ),
                     }
                 }
@@ -362,13 +429,20 @@ impl Server {
 
         // --- Drain ---------------------------------------------------
         // Stop admitting: readiness off, listener closed, queue refuses
-        // producers but keeps already-admitted connections poppable.
+        // producers but keeps already-admitted connections poppable. The
+        // table flips to draining so the watchdog stops wedge-replacing
+        // (but keeps respawning crashed workers while the queue holds
+        // admitted connections — the drain promise needs a pool).
         ctx.ready.store(false, Ordering::Relaxed);
         drop(listener);
+        table.set_draining();
         queue.close();
         maestro_obs::info!("serve: drain started (deadline {:?})", cfg.drain_deadline);
         let t0 = Instant::now();
-        let outcome = if wait_for_workers(&workers, t0, cfg.drain_deadline) {
+        // The watchdog owns the join handles (it reaps and respawns), so
+        // the drain waits on the table's active-thread count instead —
+        // every worker registration is RAII and survives panics.
+        let outcome = if wait_for_threads(&table, t0, cfg.drain_deadline) {
             DrainOutcome::Clean
         } else {
             // The deadline expired with requests still in flight: cancel
@@ -379,19 +453,20 @@ impl Server {
                 in_flight.load(Ordering::Relaxed)
             );
             ctx.request_root.cancel();
-            wait_for_workers(&workers, Instant::now(), Duration::from_secs(2));
+            wait_for_threads(&table, Instant::now(), Duration::from_secs(2));
             DrainOutcome::Forced
         };
-        for handle in workers {
-            if handle.is_finished() {
-                // A worker that panicked outside `catch_unwind` would be
-                // a server bug; surface it in the logs, not a crash.
-                if handle.join().is_err() {
-                    maestro_obs::error!("serve: a worker thread panicked outside a request");
-                }
+        if outcome == DrainOutcome::Clean {
+            // Every worker left its loop; the watchdog notices the empty
+            // pool on its next tick and exits.
+            if watchdog.join().is_err() {
+                maestro_obs::error!("serve: the watchdog thread panicked");
             }
-            // Unfinished workers (forced drain with a stuck handler) are
-            // detached; process exit reaps them.
+        } else {
+            // A stuck worker keeps its handle unfinished forever; the
+            // watchdog (like the stuck worker) is detached and reaped by
+            // process exit.
+            drop(watchdog);
         }
         maestro_obs::info!(
             "serve: drained in {:.3}s ({})",
@@ -405,14 +480,176 @@ impl Server {
     }
 }
 
-/// Poll until every worker finished or `budget` elapsed.
-fn wait_for_workers(
-    workers: &[std::thread::JoinHandle<()>],
-    t0: Instant,
-    budget: Duration,
-) -> bool {
+/// Everything a worker thread (original or respawned) needs, bundled so
+/// the watchdog can spawn replacements with one `Arc` clone.
+struct WorkerShared {
+    queue: Arc<BoundedQueue<(TcpStream, Instant)>>,
+    ctx: Arc<ApiCtx>,
+    table: Arc<WorkerTable>,
+    in_flight: Arc<AtomicU64>,
+    io_timeout: Duration,
+    limits: Limits,
+    access: Option<Arc<AccessLog>>,
+    chaos: Option<Arc<ChaosPlan>>,
+}
+
+/// Spawn one worker thread bound to `slot`. The loop beats the slot's
+/// heartbeat at every iteration and around every connection; an injected
+/// `worker-panic` fires *before* popping, so a chaos kill never takes an
+/// admitted connection down with the thread.
+fn spawn_worker(
+    shared: &Arc<WorkerShared>,
+    slot: Arc<WorkerSlot>,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{}", slot.index))
+        .spawn(move || {
+            let _guard = ThreadGuard::register(Arc::clone(&shared.table), Arc::clone(&slot));
+            loop {
+                slot.beat(shared.table.now_ms());
+                if slot.is_superseded() {
+                    // The watchdog gave up on this slot while it was
+                    // wedged and spawned a replacement; exiting here
+                    // avoids double-serving.
+                    break;
+                }
+                if let Some(chaos) = &shared.chaos {
+                    if chaos.worker_panic() {
+                        shared.ctx.metrics.chaos_injected.inc();
+                        panic!("chaos: injected worker panic");
+                    }
+                }
+                let Some((stream, accepted)) = shared.queue.pop() else {
+                    break; // queue closed and drained
+                };
+                let depth = shared.queue.len();
+                shared.ctx.queue_len.store(depth, Ordering::Relaxed);
+                shared.ctx.metrics.queue_depth.set(depth as f64);
+                slot.set_busy(true, shared.table.now_ms());
+                serve_connection(
+                    stream,
+                    accepted,
+                    &shared.ctx,
+                    &shared.in_flight,
+                    shared.io_timeout,
+                    &shared.limits,
+                    shared.access.as_deref(),
+                    shared.chaos.as_deref(),
+                );
+                slot.set_busy(false, shared.table.now_ms());
+            }
+        })
+}
+
+/// The watchdog: reap finished worker threads, respawn crashed ones,
+/// supersede wedged ones, refresh the liveness gauges. Runs until the
+/// drain finishes cleanly (draining + queue empty + no handles left);
+/// a forced drain detaches it instead.
+fn watchdog_loop(
+    shared: &Arc<WorkerShared>,
+    mut pool: Vec<(Arc<WorkerSlot>, std::thread::JoinHandle<()>)>,
+    interval: Duration,
+) {
+    let metrics = &shared.ctx.metrics;
+    let table = &shared.table;
+    let mut last_scan = Instant::now();
     loop {
-        if workers.iter().all(|w| w.is_finished()) {
+        // Sleep in small chunks so a drain is noticed (and drained
+        // workers reaped) promptly even under a long scan interval; the
+        // crash/wedge scan itself still runs once per `interval`.
+        std::thread::sleep(interval.min(Duration::from_millis(25)));
+        let draining = table.is_draining();
+        if !draining && last_scan.elapsed() < interval {
+            continue;
+        }
+        last_scan = Instant::now();
+        // Reap finished threads; a panicked worker is respawned into the
+        // same slot index. During a drain the pool is only sustained
+        // while admitted connections remain — a crash afterwards is just
+        // a thread that already did its job.
+        let mut alive = Vec::with_capacity(pool.len());
+        for (slot, handle) in pool {
+            if !handle.is_finished() {
+                alive.push((slot, handle));
+                continue;
+            }
+            let crashed = handle.join().is_err();
+            if !crashed {
+                continue; // clean exit: drained queue or superseded slot
+            }
+            maestro_obs::warn!("serve: worker {} crashed", slot.index);
+            if !slot.is_superseded() && (!draining || !shared.queue.is_empty()) {
+                let fresh = table.new_slot(slot.index);
+                match spawn_worker(shared, Arc::clone(&fresh)) {
+                    Ok(h) => {
+                        metrics.worker_restarts.inc();
+                        maestro_obs::info!("serve: worker {} respawned", fresh.index);
+                        alive.push((fresh, h));
+                    }
+                    Err(e) => {
+                        maestro_obs::error!("serve: failed to respawn worker {}: {e}", slot.index);
+                    }
+                }
+            }
+        }
+        pool = alive;
+        // Wedge scan: a busy worker silent past the threshold cannot be
+        // killed (std threads have no safe cancellation), so its slot is
+        // superseded — out of quorum, told to exit if it ever returns —
+        // and a replacement takes the index. Skipped while draining:
+        // stragglers there are the drain deadline's problem.
+        if !draining {
+            let now = table.now_ms();
+            let wedged: Vec<Arc<WorkerSlot>> = pool
+                .iter()
+                .filter(|(slot, _)| slot.is_wedged(now, table.wedge_after))
+                .map(|(slot, _)| Arc::clone(slot))
+                .collect();
+            for slot in wedged {
+                slot.supersede();
+                maestro_obs::warn!(
+                    "serve: worker {} wedged (heartbeat {}ms old) — superseding",
+                    slot.index,
+                    slot.heartbeat_age_ms(now)
+                );
+                let fresh = table.new_slot(slot.index);
+                match spawn_worker(shared, Arc::clone(&fresh)) {
+                    Ok(h) => {
+                        metrics.worker_restarts.inc();
+                        pool.push((fresh, h));
+                    }
+                    Err(e) => {
+                        maestro_obs::error!(
+                            "serve: failed to replace wedged worker {}: {e}",
+                            slot.index
+                        );
+                    }
+                }
+            }
+        }
+        metrics.workers_live.set(table.live() as f64);
+        let now = table.now_ms();
+        for slot in table.slots() {
+            maestro_obs::registry()
+                .gauge(&format!(
+                    "maestro.serve.worker_heartbeat_age_ms.{}",
+                    slot.index
+                ))
+                .set(slot.heartbeat_age_ms(now) as f64);
+        }
+        table.retire_dead();
+        if draining && shared.queue.is_empty() && pool.is_empty() {
+            return;
+        }
+    }
+}
+
+/// Poll until every registered worker thread has left its loop (their
+/// RAII guards hit zero) or `budget` elapsed.
+fn wait_for_threads(table: &WorkerTable, t0: Instant, budget: Duration) -> bool {
+    loop {
+        if table.active_threads() == 0 {
             return true;
         }
         if t0.elapsed() >= budget {
@@ -424,19 +661,21 @@ fn wait_for_workers(
 
 /// Admission-control rejection: immediate `503` + `Retry-After`, close.
 /// Shed requests get a trace too — a 503 outcome is always tail-kept, so
-/// overload events stay diagnosable after the fact.
+/// overload events stay diagnosable after the fact. `retry_after` is the
+/// computed drain-time hint (see `ApiCtx::retry_hint`), not a constant.
 fn shed(
     stream: TcpStream,
     accepted: Instant,
     metrics: &ServeMetrics,
     io_timeout: Duration,
     access: Option<&AccessLog>,
+    retry_after: u64,
 ) {
     metrics.shed.inc();
     let mut timer = RequestTimer::begin(accepted);
     timer.mark("shed");
     let mut resp = error_response(503, "server is at capacity, retry later");
-    resp.retry_after = Some(1);
+    resp.retry_after = Some(retry_after);
     resp.trace = Some(timer.id().to_hex());
     resp.close = true;
     let _ = stream.set_nonblocking(false);
@@ -460,6 +699,7 @@ fn shed(
 /// first byte observed after the previous response — client think time
 /// between requests is idle line time, not served latency, and is left
 /// out of the trace.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     accepted: Instant,
@@ -468,8 +708,18 @@ fn serve_connection(
     io_timeout: Duration,
     limits: &Limits,
     access: Option<&AccessLog>,
+    chaos: Option<&ChaosPlan>,
 ) {
     let popped = Instant::now();
+    if let Some(plan) = chaos {
+        // Injected read error: the connection dies before any request
+        // byte is read — the client sees a clean reset (zero response
+        // bytes), never a truncated response.
+        if plan.read_error() {
+            ctx.metrics.chaos_injected.inc();
+            return;
+        }
+    }
     let mut stream = stream;
     if stream.set_nonblocking(false).is_err()
         || stream.set_read_timeout(Some(io_timeout)).is_err()
@@ -483,12 +733,16 @@ fn serve_connection(
     let mut first: Option<(Instant, Instant)> = Some((accepted, popped));
     // First instant bytes of the *current* request were observed.
     let mut first_byte: Option<Instant> = None;
+    // No response byte written yet (gates chaos write faults: injecting
+    // after the first response would truncate, not refuse).
+    let mut wrote_any = false;
     loop {
         match parse_request(&buf, limits) {
             Ok(Parsed::Complete { req, consumed }) => {
                 buf.drain(..consumed);
                 let parsed_at = Instant::now();
-                let mut timer = match first.take() {
+                let first_info = first.take();
+                let mut timer = match first_info {
                     Some((accepted, popped)) => {
                         let mut t = RequestTimer::begin(accepted);
                         t.phase_span("queue", accepted, popped);
@@ -502,6 +756,36 @@ fn serve_connection(
                         t
                     }
                 };
+                // CoDel sojourn shed, decided at dequeue with the parsed
+                // request in hand: only the connection's first request
+                // carries queue sojourn, and critical-class probes
+                // (health/metrics) are never shed — nor fed to the
+                // controller, so they don't consume drop tokens.
+                if let Some((q_accepted, q_popped)) = first_info {
+                    if ctx.admission.enabled() && classify(&req) != ReqClass::Critical {
+                        let sojourn = q_popped.duration_since(q_accepted);
+                        if ctx.admission.on_dequeue(sojourn, q_popped) {
+                            ctx.metrics.shed_sojourn.inc();
+                            timer.mark("shed");
+                            let mut resp =
+                                ctx.shed_response("queue sojourn exceeded target, request shed");
+                            resp.close = true;
+                            resp.trace = Some(timer.id().to_hex());
+                            let route = format!("{} {}", req.method, req.path);
+                            crate::trace::install(timer);
+                            write_and_account(
+                                &mut stream,
+                                &resp.to_bytes(),
+                                &route,
+                                resp.status,
+                                resp.body.len() as u64,
+                                &ctx.metrics,
+                                access,
+                            );
+                            return;
+                        }
+                    }
+                }
                 first_byte = if buf.is_empty() {
                     None
                 } else {
@@ -514,13 +798,33 @@ fn serve_connection(
                 timer.mark("parse");
                 let route = format!("{} {}", req.method, req.path);
                 crate::trace::install(timer);
-                match serve_request(ctx, &req, in_flight, &stream) {
+                match serve_request(ctx, &req, in_flight, &stream, chaos) {
                     Handled::Response(resp) => {
                         let close = resp.close || req.close || !ctx.ready.load(Ordering::Relaxed);
                         let mut resp = resp;
                         resp.close = close;
                         if resp.trace.is_none() {
                             resp.trace = crate::trace::active_id().map(|id| id.to_hex());
+                        }
+                        if let Some(plan) = chaos {
+                            if !wrote_any {
+                                // Both write faults only fire before the
+                                // connection's first response byte: a
+                                // skipped or late *first* response is a
+                                // refusal the client can retry; the same
+                                // fault mid keep-alive would be a torn
+                                // stream.
+                                if let Some(delay) = plan.write_delay() {
+                                    ctx.metrics.chaos_injected.inc();
+                                    std::thread::sleep(delay);
+                                }
+                                if plan.write_error() {
+                                    ctx.metrics.chaos_injected.inc();
+                                    ctx.metrics.write_failures.inc();
+                                    crate::trace::finish_active_write_failed(&route, access);
+                                    return;
+                                }
+                            }
                         }
                         let bytes = resp.to_bytes();
                         let write_failed = write_and_account(
@@ -532,6 +836,7 @@ fn serve_connection(
                             &ctx.metrics,
                             access,
                         );
+                        wrote_any = true;
                         if write_failed || close {
                             return;
                         }
@@ -647,7 +952,14 @@ fn serve_request(
     req: &Request,
     in_flight: &AtomicU64,
     stream: &TcpStream,
+    chaos: Option<&ChaosPlan>,
 ) -> Handled {
+    if let Some(delay) = chaos.and_then(ChaosPlan::stall) {
+        // Injected handler stall: burns request budget and drives queue
+        // sojourn up, exercising the deadline and CoDel paths.
+        ctx.metrics.chaos_injected.inc();
+        std::thread::sleep(delay);
+    }
     ctx.metrics.requests_total.inc();
     in_flight.fetch_add(1, Ordering::Relaxed);
     // One atomic add on the gauge itself: the old load-then-`set` pair

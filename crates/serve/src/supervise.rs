@@ -1,0 +1,331 @@
+//! Worker supervision: heartbeats, liveness accounting, and the
+//! bookkeeping behind the watchdog's crashed/wedged detection.
+//!
+//! Each worker thread owns a [`WorkerSlot`] and beats its heartbeat at
+//! every loop iteration (and around every connection it serves). The
+//! watchdog in `server.rs` reads the slots to decide three things:
+//!
+//! * **crashed** — the worker's `JoinHandle` finished with a panic; the
+//!   watchdog respawns the slot (`maestro.serve.worker_restarts`).
+//! * **wedged** — the slot is busy and its heartbeat is older than the
+//!   configured wedge threshold; the thread cannot be killed (std has no
+//!   safe thread cancellation), so the slot is *superseded* — excluded
+//!   from liveness — and a replacement slot is spawned in its place. If
+//!   the wedged thread eventually returns, it finds its slot superseded
+//!   and exits instead of double-serving.
+//! * **quorum** — `/readyz` reports 503 while the number of live
+//!   (alive, not superseded, not wedged) workers is below quorum.
+//!
+//! All fields are atomics: workers beat on the hot path, and the
+//! watchdog and `/readyz` read without taking any lock the workers
+//! contend on.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-worker liveness record, shared between the worker thread, the
+/// watchdog, and `/readyz`.
+#[derive(Debug)]
+pub struct WorkerSlot {
+    /// Stable worker index (re-used across respawns of the same slot).
+    pub index: usize,
+    /// False once the worker's closure has returned or unwound.
+    alive: AtomicBool,
+    /// True once the watchdog has given up on this slot and spawned a
+    /// replacement; a superseded worker that wakes up must exit.
+    superseded: AtomicBool,
+    /// True while the worker is inside `serve_connection`.
+    busy: AtomicBool,
+    /// Last heartbeat, in milliseconds since the table's epoch.
+    heartbeat_ms: AtomicU64,
+}
+
+impl WorkerSlot {
+    /// Record a heartbeat at `now_ms` (milliseconds since table epoch).
+    pub fn beat(&self, now_ms: u64) {
+        self.heartbeat_ms.store(now_ms, Ordering::Relaxed);
+    }
+
+    /// Mark the worker as serving a connection (and beat).
+    pub fn set_busy(&self, busy: bool, now_ms: u64) {
+        self.busy.store(busy, Ordering::Relaxed);
+        self.beat(now_ms);
+    }
+
+    /// Mark the worker's closure as exited (normally or by panic).
+    pub fn set_dead(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+    }
+
+    /// Has the watchdog replaced this slot? A superseded worker should
+    /// stop popping work and exit.
+    pub fn is_superseded(&self) -> bool {
+        self.superseded.load(Ordering::Relaxed)
+    }
+
+    /// Exclude this slot from liveness and from further wedge scans.
+    pub fn supersede(&self) {
+        self.superseded.store(true, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the last heartbeat, as seen at `now_ms`.
+    pub fn heartbeat_age_ms(&self, now_ms: u64) -> u64 {
+        now_ms.saturating_sub(self.heartbeat_ms.load(Ordering::Relaxed))
+    }
+
+    /// Is this slot wedged: busy, not yet superseded, and silent for
+    /// longer than `wedge_after` (0 disables the check)?
+    pub fn is_wedged(&self, now_ms: u64, wedge_after: Duration) -> bool {
+        !wedge_after.is_zero()
+            && self.busy.load(Ordering::Relaxed)
+            && !self.is_superseded()
+            && self.heartbeat_age_ms(now_ms) > wedge_after.as_millis() as u64
+    }
+
+    /// Does this slot count toward quorum right now?
+    pub fn is_live(&self, now_ms: u64, wedge_after: Duration) -> bool {
+        self.alive.load(Ordering::Relaxed)
+            && !self.is_superseded()
+            && !self.is_wedged(now_ms, wedge_after)
+    }
+}
+
+/// The set of worker slots plus the drain/quorum state the watchdog and
+/// `/readyz` consult.
+#[derive(Debug)]
+pub struct WorkerTable {
+    epoch: Instant,
+    slots: Mutex<Vec<Arc<WorkerSlot>>>,
+    /// Minimum live workers for `/readyz` to report ready.
+    pub quorum: usize,
+    /// Configured worker count (reported in the `/readyz` body).
+    pub configured: usize,
+    /// Busy-with-stale-heartbeat threshold; zero disables wedge checks.
+    pub wedge_after: Duration,
+    draining: AtomicBool,
+    /// Worker threads whose slot registration is still active; the drain
+    /// path waits on this instead of joining handles, because a wedged
+    /// superseded thread may never finish.
+    active: AtomicUsize,
+}
+
+impl WorkerTable {
+    /// A table for `configured` workers. `quorum == 0` means majority:
+    /// `(configured + 1) / 2`.
+    pub fn new(configured: usize, quorum: usize, wedge_after: Duration) -> WorkerTable {
+        let quorum = if quorum == 0 {
+            configured.div_ceil(2)
+        } else {
+            quorum.min(configured)
+        };
+        WorkerTable {
+            epoch: Instant::now(),
+            slots: Mutex::new(Vec::with_capacity(configured)),
+            quorum,
+            configured,
+            wedge_after,
+            draining: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// Milliseconds since the table was created; the unit heartbeats are
+    /// stamped in.
+    pub fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Register a fresh slot with index `index`, already beating.
+    pub fn new_slot(&self, index: usize) -> Arc<WorkerSlot> {
+        let slot = Arc::new(WorkerSlot {
+            index,
+            alive: AtomicBool::new(true),
+            superseded: AtomicBool::new(false),
+            busy: AtomicBool::new(false),
+            heartbeat_ms: AtomicU64::new(self.now_ms()),
+        });
+        self.lock_slots().push(Arc::clone(&slot));
+        slot
+    }
+
+    /// Snapshot of every slot ever registered (including superseded and
+    /// dead ones, for heartbeat gauges).
+    pub fn slots(&self) -> Vec<Arc<WorkerSlot>> {
+        self.lock_slots().clone()
+    }
+
+    /// Drop slots that are dead or superseded-and-dead from the table so
+    /// gauges and `slots()` don't grow without bound across restarts.
+    pub fn retire_dead(&self) {
+        self.lock_slots()
+            .retain(|s| s.alive.load(Ordering::Relaxed));
+    }
+
+    /// Workers currently counting toward quorum.
+    pub fn live(&self) -> usize {
+        let now = self.now_ms();
+        self.lock_slots()
+            .iter()
+            .filter(|s| s.is_live(now, self.wedge_after))
+            .count()
+    }
+
+    /// Is the pool at or above quorum?
+    pub fn has_quorum(&self) -> bool {
+        self.live() >= self.quorum
+    }
+
+    /// Flip the table into drain mode (watchdog stops wedge-replacing).
+    pub fn set_draining(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Is the daemon draining?
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads whose [`ThreadGuard`] is still alive.
+    pub fn active_threads(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    fn lock_slots(&self) -> std::sync::MutexGuard<'_, Vec<Arc<WorkerSlot>>> {
+        // A panic while holding this lock only poisons bookkeeping;
+        // recover the inner state rather than wedging the watchdog.
+        self.slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// RAII registration of a worker thread with its table: increments
+/// `active_threads` on creation and decrements on drop, *including* when
+/// the worker unwinds from a panic — so the drain path can wait on
+/// "every worker thread has left its loop" without joining handles.
+#[derive(Debug)]
+pub struct ThreadGuard {
+    table: Arc<WorkerTable>,
+    slot: Arc<WorkerSlot>,
+}
+
+impl ThreadGuard {
+    /// Register `slot`'s thread as active.
+    pub fn register(table: Arc<WorkerTable>, slot: Arc<WorkerSlot>) -> ThreadGuard {
+        table.active.fetch_add(1, Ordering::Relaxed);
+        ThreadGuard { table, slot }
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        self.slot.set_dead();
+        self.table.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NO_WEDGE: Duration = Duration::ZERO;
+
+    #[test]
+    fn quorum_defaults_to_majority_and_clamps_to_pool_size() {
+        assert_eq!(WorkerTable::new(4, 0, NO_WEDGE).quorum, 2);
+        assert_eq!(WorkerTable::new(5, 0, NO_WEDGE).quorum, 3);
+        assert_eq!(WorkerTable::new(1, 0, NO_WEDGE).quorum, 1);
+        assert_eq!(WorkerTable::new(4, 3, NO_WEDGE).quorum, 3);
+        assert_eq!(WorkerTable::new(2, 9, NO_WEDGE).quorum, 2);
+    }
+
+    #[test]
+    fn live_count_tracks_death_and_supersession() {
+        let table = WorkerTable::new(3, 2, NO_WEDGE);
+        let a = table.new_slot(0);
+        let b = table.new_slot(1);
+        let _c = table.new_slot(2);
+        assert_eq!(table.live(), 3);
+        assert!(table.has_quorum());
+
+        a.set_dead();
+        assert_eq!(table.live(), 2);
+        assert!(table.has_quorum());
+
+        b.supersede();
+        assert_eq!(table.live(), 1);
+        assert!(!table.has_quorum());
+
+        // A respawn restores quorum.
+        table.new_slot(1);
+        assert_eq!(table.live(), 2);
+        assert!(table.has_quorum());
+    }
+
+    #[test]
+    fn wedge_detection_requires_busy_and_a_stale_heartbeat() {
+        let wedge = Duration::from_millis(50);
+        let table = WorkerTable::new(1, 1, wedge);
+        let slot = table.new_slot(0);
+        let now = table.now_ms();
+
+        // Idle and silent for a long time: not wedged (blocked in pop).
+        slot.beat(0);
+        assert!(!slot.is_wedged(now + 10_000, wedge));
+        assert!(slot.is_live(now + 10_000, wedge));
+
+        // Busy and fresh: fine.
+        slot.set_busy(true, now);
+        assert!(!slot.is_wedged(now + 10, wedge));
+
+        // Busy and stale: wedged, and no longer live.
+        assert!(slot.is_wedged(now + 51, wedge));
+        assert!(!slot.is_live(now + 51, wedge));
+
+        // Superseding removes it from further wedge scans.
+        slot.supersede();
+        assert!(!slot.is_wedged(now + 51, wedge));
+        assert!(!slot.is_live(now + 51, wedge));
+
+        // Zero threshold disables the check entirely.
+        let lazy = table.new_slot(1);
+        lazy.set_busy(true, 0);
+        assert!(!lazy.is_wedged(1_000_000, NO_WEDGE));
+    }
+
+    #[test]
+    fn thread_guard_counts_down_even_across_panics() {
+        let table = Arc::new(WorkerTable::new(2, 1, NO_WEDGE));
+        let slot = table.new_slot(0);
+        let guard = ThreadGuard::register(Arc::clone(&table), Arc::clone(&slot));
+        assert_eq!(table.active_threads(), 1);
+        drop(guard);
+        assert_eq!(table.active_threads(), 0);
+        assert!(!slot.is_live(table.now_ms(), NO_WEDGE));
+
+        let slot2 = table.new_slot(1);
+        let t2 = Arc::clone(&table);
+        let s2 = Arc::clone(&slot2);
+        let res = std::thread::spawn(move || {
+            let _guard = ThreadGuard::register(t2, s2);
+            panic!("worker dies");
+        })
+        .join();
+        assert!(res.is_err());
+        assert_eq!(table.active_threads(), 0, "unwind releases the guard");
+        assert!(!slot2.is_live(table.now_ms(), NO_WEDGE));
+    }
+
+    #[test]
+    fn retire_dead_drops_only_dead_slots() {
+        let table = WorkerTable::new(2, 1, NO_WEDGE);
+        let a = table.new_slot(0);
+        let _b = table.new_slot(1);
+        a.set_dead();
+        table.retire_dead();
+        let remaining = table.slots();
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].index, 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for `BoundedQueue`: the admission queue is the one
+//! structure every connection passes through, so its invariants — no
+//! lost items, no duplicated items, deterministic close-drain — hold
+//! under arbitrary concurrent push/pop/close interleavings or the
+//! daemon's "an accepted connection is a promise" contract is void.
+
+use maestro_serve::BoundedQueue;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Run `producers` threads pushing disjoint item ranges and `consumers`
+/// threads popping until closed-and-drained; returns (accepted items,
+/// popped items).
+fn run_interleaving(
+    cap: usize,
+    producers: usize,
+    per_producer: usize,
+    consumers: usize,
+    close_after: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(cap));
+    let accepted_count = Arc::new(AtomicU64::new(0));
+
+    let consumer_handles: Vec<_> = (0..consumers)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(item) = q.pop() {
+                    got.push(item);
+                }
+                got
+            })
+        })
+        .collect();
+
+    let producer_handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            let accepted_count = Arc::clone(&accepted_count);
+            std::thread::spawn(move || {
+                let mut accepted = Vec::new();
+                for i in 0..per_producer {
+                    let item = (p * per_producer + i) as u64;
+                    // A refused push is the shed path: the item is handed
+                    // back and (here) abandoned, exactly like a shed
+                    // connection.
+                    if q.try_push(item).is_ok() {
+                        accepted.push(item);
+                        let n = accepted_count.fetch_add(1, Ordering::Relaxed) + 1;
+                        if n as usize == close_after {
+                            q.close();
+                        }
+                    }
+                    if i % 7 == 3 {
+                        std::thread::yield_now();
+                    }
+                }
+                accepted
+            })
+        })
+        .collect();
+
+    let mut accepted: Vec<u64> = Vec::new();
+    for h in producer_handles {
+        accepted.extend(h.join().unwrap());
+    }
+    // All producers done: close (idempotent if a producer already did).
+    q.close();
+    let mut popped: Vec<u64> = Vec::new();
+    for h in consumer_handles {
+        popped.extend(h.join().unwrap());
+    }
+    (accepted, popped)
+}
+
+fn multiset(items: &[u64]) -> HashMap<u64, usize> {
+    let mut m = HashMap::new();
+    for &i in items {
+        *m.entry(i).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every successfully pushed item is popped exactly once — nothing
+    /// lost, nothing duplicated — no matter how producers, consumers and
+    /// a mid-stream close interleave.
+    #[test]
+    fn no_item_is_lost_or_duplicated(
+        cap in 1usize..16,
+        producers in 1usize..4,
+        per_producer in 1usize..24,
+        consumers in 1usize..4,
+        close_frac in 0u8..=4,
+    ) {
+        // close_after = 0 means "close only after producers finish";
+        // otherwise close mid-stream after roughly a fraction of pushes.
+        let total = producers * per_producer;
+        let close_after = if close_frac == 0 {
+            0
+        } else {
+            (total * close_frac as usize / 4).max(1)
+        };
+        let (accepted, popped) = run_interleaving(
+            cap, producers, per_producer, consumers, close_after,
+        );
+        prop_assert_eq!(
+            multiset(&accepted),
+            multiset(&popped),
+            "popped multiset must equal accepted multiset"
+        );
+    }
+
+    /// Close-drain is deterministic: whatever is queued at close is
+    /// recoverable in FIFO order, then every pop returns `None` forever.
+    #[test]
+    fn close_drains_deterministically(
+        cap in 1usize..32,
+        queued in 0usize..32,
+    ) {
+        let q: BoundedQueue<u64> = BoundedQueue::new(cap);
+        let mut pushed = Vec::new();
+        for i in 0..queued as u64 {
+            if q.try_push(i).is_ok() {
+                pushed.push(i);
+            }
+        }
+        q.close();
+        prop_assert_eq!(q.try_push(99), Err(99), "closed queue refuses");
+        let mut drained = Vec::new();
+        while let Some(item) = q.pop() {
+            drained.push(item);
+        }
+        prop_assert_eq!(drained, pushed, "drain preserves admitted items, in order");
+        prop_assert_eq!(q.pop(), None, "closed and drained stays empty");
+        prop_assert_eq!(q.len(), 0);
+    }
+}

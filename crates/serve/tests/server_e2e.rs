@@ -329,12 +329,49 @@ fn full_queue_sheds_with_503_and_retry_after() {
     let mut hold_queue = TcpStream::connect(d.addr).expect("connect");
     hold_queue.write_all(b"GET /healthz HT").ok();
     std::thread::sleep(Duration::from_millis(150));
-    // The third connection must be shed immediately.
+    // The third connection must be shed immediately, and the hint is
+    // *computed* (queue depth × observed median service time, clamped to
+    // [1, drain deadline]) — not the old hard-coded `1`.
     let resp = get(d.addr, "/healthz");
     assert_eq!(status_of(&resp), 503, "{resp}");
-    assert!(resp.contains("Retry-After:"), "{resp}");
+    let retry_after: u64 = resp
+        .lines()
+        .find_map(|l| l.strip_prefix("Retry-After: "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("missing or unparseable Retry-After: {resp:?}"));
+    let drain_secs = ServeConfig::default().drain_deadline.as_secs();
+    assert!(
+        (1..=drain_secs).contains(&retry_after),
+        "Retry-After {retry_after} outside [1, {drain_secs}]: {resp:?}"
+    );
     drop(hold_worker);
     drop(hold_queue);
+    assert_eq!(d.stop(), DrainOutcome::Clean);
+}
+
+#[test]
+fn brownout_serves_deadline_pressed_analyze_from_cache() {
+    let d = Daemon::start(test_config());
+    let body = "{\"model\":\"alexnet\",\"layer\":\"CONV2\",\"dataflow\":\"KC-P\",\"pes\":64}";
+    // Warm the shared report cache with a full-fidelity analyze.
+    let resp = post(d.addr, "/v1/analyze", body);
+    assert_eq!(status_of(&resp), 200, "{resp}");
+    // The same shape with an already-expired deadline is served degraded
+    // from the report cache: 200 + the brownout marker, not a 504.
+    let degraded_body =
+        "{\"model\":\"alexnet\",\"layer\":\"CONV2\",\"dataflow\":\"KC-P\",\"pes\":64,\"deadline_ms\":0}";
+    let resp = post(d.addr, "/v1/analyze", degraded_body);
+    assert_eq!(status_of(&resp), 200, "{resp}");
+    assert!(resp.contains("x-maestro-degraded: cache-only"), "{resp}");
+    assert!(resp.contains("\"report\""), "{resp}");
+    // An *uncached* shape under the same pressure still sheds as a 504 —
+    // brownout never fabricates results.
+    let resp = post(
+        d.addr,
+        "/v1/analyze",
+        "{\"model\":\"alexnet\",\"layer\":\"CONV4\",\"dataflow\":\"YX-P\",\"pes\":96,\"deadline_ms\":0}",
+    );
+    assert_eq!(status_of(&resp), 504, "{resp}");
     assert_eq!(d.stop(), DrainOutcome::Clean);
 }
 
